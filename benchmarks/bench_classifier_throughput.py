@@ -1,0 +1,48 @@
+"""Pipeline micro-benchmarks: classifier and capture throughput.
+
+Not a paper artifact -- this measures the reproduction's own processing
+rates: connections classified per second (the figure a CDN would care
+about when sizing the pipeline) and the cost of the order-reconstruction
+step relative to classification.
+"""
+
+from repro.core.classifier import ClassifierConfig, TamperingClassifier
+from repro.core.sequence import reconstruct_order
+
+
+def test_classifier_throughput(benchmark, study, emit):
+    classifier = TamperingClassifier()
+    samples = study.samples
+
+    results = benchmark(classifier.classify_all, samples)
+
+    assert len(results) == len(samples)
+    rate = len(samples) / benchmark.stats.stats.mean
+    emit(f"classifier throughput: {rate:,.0f} connections/second "
+         f"({len(samples)} samples per round)")
+
+
+def test_classifier_throughput_without_reorder(benchmark, study):
+    classifier = TamperingClassifier(ClassifierConfig(reorder=False))
+    results = benchmark(classifier.classify_all, study.samples)
+    assert len(results) == len(study.samples)
+
+
+def test_order_reconstruction_cost(benchmark, study):
+    packet_lists = [s.packets for s in study.samples]
+
+    def reconstruct_all():
+        return [reconstruct_order(packets) for packets in packet_lists]
+
+    ordered = benchmark(reconstruct_all)
+    assert len(ordered) == len(packet_lists)
+
+
+def test_evidence_throughput(benchmark, study):
+    from repro.core.evidence import evidence_for_sample
+
+    def run():
+        return [evidence_for_sample(s) for s in study.samples]
+
+    summaries = benchmark(run)
+    assert len(summaries) == len(study.samples)

@@ -1,0 +1,86 @@
+"""The DNS blind spot: censorship the passive pipeline cannot see.
+
+The paper scopes its methodology to tampering at or above the TCP layer
+(§2.1): a censor that poisons DNS stops clients *before* they reach the
+CDN, so those events never enter the sample.  This benchmark moves a
+censored country's enforcement from TCP tear-downs to DNS poisoning and
+measures what the passive pipeline reports in each configuration:
+
+* TCP-only enforcement → the pipeline sees the blocking;
+* DNS-first enforcement → the country's measured tampering rate drops
+  toward the baseline while its users remain just as blocked.
+"""
+
+from repro.core.classifier import TamperingClassifier
+from repro.core.aggregate import AnalysisDataset
+from repro.core.report import render_table
+from repro.dns.pipeline import filter_specs_through_dns
+from repro.dns.resolver import DnsCensor, DnsTamperMode
+from repro.middlebox.policy import BlockPolicy, DomainRule
+from repro.workloads.profiles import profile_for
+from repro.workloads.traffic import TrafficGenerator
+from repro.workloads.world import World
+
+N_CONNECTIONS = 2500
+_DAY = 86400.0
+
+
+def _run(world, specs):
+    classifier = TamperingClassifier()
+    samples = []
+    timestamps = {}
+    for spec in specs:
+        sample = world.simulate_connection(spec)
+        if sample is not None:
+            samples.append(sample)
+            timestamps[sample.conn_id] = spec.ts
+    results = classifier.classify_all(samples)
+    return AnalysisDataset.from_results(results, world.geo, timestamps)
+
+
+def test_dns_blindspot(benchmark, emit):
+    world = World(profiles=[profile_for("CN"), profile_for("DE")], seed=23, n_domains=1200)
+    generator = TrafficGenerator(world, seed=23)
+    specs = generator.specs(N_CONNECTIONS, start_ts=0.0, duration=7 * _DAY)
+
+    censor = DnsCensor(
+        BlockPolicy([DomainRule(sorted(world.blocklist("CN")))]),
+        mode=DnsTamperMode.NXDOMAIN,
+        name="cn-dns",
+        seed=23,
+    )
+
+    def run_both():
+        # Configuration A: all enforcement at the TCP layer (the default).
+        tcp_view = _run(world, specs)
+        # Configuration B: DNS poisoning fires first; survivors still
+        # cross the same TCP middleboxes (defence in depth), but blocked
+        # demand largely never reaches them.
+        dns_result = filter_specs_through_dns(world, specs, {"CN": [censor]}, seed=23)
+        dns_view = _run(world, dns_result.surviving)
+        return tcp_view, dns_view, dns_result
+
+    tcp_view, dns_view, dns_result = benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    tcp_rate = tcp_view.country_tampering_rate().get("CN", 0.0)
+    dns_rate = dns_view.country_tampering_rate().get("CN", 0.0)
+    cn_specs = [s for s in specs if s.country == "CN"]
+    blocked_share = 100.0 * dns_result.blocked_count / max(1, len(cn_specs))
+
+    emit(render_table(
+        ["configuration", "CN tampering % (passive view)", "CN users blocked before TCP"],
+        [
+            ["TCP tear-downs (paper's subjects)", tcp_rate, "0.0%"],
+            ["DNS poisoning first", dns_rate, f"{blocked_share:.1f}%"],
+        ],
+        title="DNS blind spot: same censorship intent, different pipeline visibility",
+    ))
+    emit(f"DNS-blocked connections never sampled: {dns_result.blocked_count} "
+         f"({len(dns_result.blocked_domains())} distinct domains)")
+
+    # Shape: the DNS configuration hides most of the blocking.
+    assert dns_result.blocked_count > 0
+    assert dns_rate < tcp_rate / 2, (tcp_rate, dns_rate)
+    # The users are still censored: the blocked share roughly replaces
+    # the tampering the passive view lost.
+    assert blocked_share > (tcp_rate - dns_rate) / 2

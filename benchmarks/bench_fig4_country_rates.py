@@ -1,0 +1,73 @@
+"""Figure 4: per-country signature distribution.
+
+The percentage of each country's connections matching each signature
+(plus 'Not Tampering').  Paper anchors reproduced in shape:
+
+* Turkmenistan leads (~84% tampered; ⟨SYN; ACK → RST⟩ is 66.4% of its
+  tampered connections), Peru is near the top, the US/DE/GB sit at the
+  bottom.
+* China's mix is dominated by the GFW burst signatures; Iran's by the
+  post-handshake drop/RST+ACK family.
+"""
+
+from repro.core.model import SignatureId, Stage
+from repro.core.report import render_table
+from repro.core.stats import wilson_interval
+from repro.workloads.profiles import PAPER_FIGURE4_COUNTRIES
+
+#: Paper-reported total tampering rates for anchor countries (%, Fig 4).
+PAPER_RATES = {"TM": 84.0, "PE": 53.9, "MX": 30.1}
+
+
+def test_fig4_country_signature_shares(benchmark, dataset, emit):
+    shares = benchmark(dataset.country_signature_shares)
+    rates = dataset.country_tampering_rate()
+
+    counts = {}
+    for c in dataset:
+        total, hits = counts.get(c.country, (0, 0))
+        counts[c.country] = (total + 1, hits + (1 if c.tampered else 0))
+
+    ordered = [c for c in PAPER_FIGURE4_COUNTRIES if c in shares]
+    rows = []
+    for country in ordered:
+        sig_shares = {s: p for s, p in shares[country].items() if s.is_tampering}
+        top = sorted(sig_shares.items(), key=lambda kv: -kv[1])[:2]
+        total, hits = counts.get(country, (0, 0))
+        lo, hi = wilson_interval(hits, total)
+        rows.append([
+            country,
+            rates.get(country, 0.0),
+            f"[{100 * lo:.1f}, {100 * hi:.1f}]",
+            ", ".join(f"{sig.display} {pct:.1f}%" for sig, pct in top),
+        ])
+    emit(render_table(["country", "tampered %", "95% CI", "dominant signatures"], rows,
+                      title="Figure 4: per-country tampering (Fig 4 axis order)"))
+
+    emit(render_table(
+        ["country", "paper %", "measured %"],
+        [[c, PAPER_RATES[c], rates.get(c, 0.0)] for c in PAPER_RATES],
+        title="Anchor rates (paper vs measured)",
+    ))
+
+    # Shape: ordering of the extremes.
+    assert rates["TM"] == max(rates[c] for c in ordered)
+    assert rates["TM"] > 60.0
+    assert rates["PE"] > 35.0
+    for western in ("US", "DE", "GB"):
+        assert rates.get(western, 0.0) < 10.0, western
+    assert rates["TM"] > rates["PE"] > rates["US"]
+
+    # Shape: TM dominated by post-ACK RST (its HTTP in-path dropper).
+    tm = shares["TM"]
+    tampered_total = sum(p for s, p in tm.items() if s.is_tampering)
+    assert tm.get(SignatureId.ACK_RST, 0.0) / tampered_total > 0.3
+
+    # Shape: China's mix includes the GFW burst signatures.
+    cn = shares.get("CN", {})
+    gfw_family = (
+        cn.get(SignatureId.PSH_RST_RSTACK, 0.0)
+        + cn.get(SignatureId.PSH_RSTACK_RSTACK, 0.0)
+        + cn.get(SignatureId.PSH_RST_RST0, 0.0)
+    )
+    assert gfw_family > 0.0

@@ -1,0 +1,45 @@
+"""Figure 5: per-AS match proportions within each country.
+
+For each country, the percentage of connections matching any signature
+in each of its large ASes (those collectively originating 80% of the
+country's connections).  Paper observation reproduced in shape:
+countries with centralized censorship (CN, IR) show a tight per-AS
+spread; decentralized regimes (RU, UA, PK) and lightly-filtered Western
+countries show wide spreads.
+"""
+
+from repro.core.report import render_table
+
+
+def test_fig5_asn_match_proportions(benchmark, dataset, emit):
+    per_asn = benchmark(dataset.asn_match_proportions, 0.8, 60)
+    spreads = dataset.asn_spread(0.8, min_connections=60)
+
+    rows = []
+    for country in ("TM", "CN", "IR", "RU", "UA", "PK", "MX", "US", "DE", "GB", "KR"):
+        if country not in per_asn or not per_asn[country]:
+            continue
+        rates = [rate for _, rate, _ in per_asn[country]]
+        rows.append([
+            country,
+            len(rates),
+            min(rates),
+            max(rates),
+            spreads.get(country, 0.0),
+        ])
+    emit(render_table(["country", "top ASes", "min match %", "max match %", "spread"],
+                      rows, title="Figure 5: per-AS match proportion (top-80% ASes)"))
+
+    # Shape: the decentralized group (RU, UA, PK) spreads wider than the
+    # centralized group (CN, IR) on average, and Russia in particular is
+    # wider than China (the paper's headline contrast).
+    def group_mean(codes):
+        values = [spreads[c] for c in codes if len(per_asn.get(c, [])) >= 3]
+        return sum(values) / len(values) if values else None
+
+    centralized = group_mean(("CN", "IR"))
+    decentralized = group_mean(("RU", "UA", "PK"))
+    if centralized is not None and decentralized is not None:
+        assert decentralized > centralized, (centralized, decentralized)
+    if len(per_asn.get("RU", [])) >= 3 and len(per_asn.get("CN", [])) >= 3:
+        assert spreads["RU"] > spreads["CN"]

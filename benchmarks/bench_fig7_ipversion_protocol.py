@@ -1,0 +1,59 @@
+"""Figure 7: IPv4-vs-IPv6 and TLS-vs-HTTP tampering comparisons.
+
+7(a): per-country Post-ACK/Post-PSH match rate in IPv4 vs IPv6 -- the
+paper fits a through-origin regression slope of 0.92 (no systematic
+difference between address families).
+
+7(b): per-country Post-PSH match rate for TLS vs HTTP by wire protocol
+-- the paper's slope is 0.3 (TLS is tampered more than HTTP overall),
+with Turkmenistan as the stand-out exception: >50% of its HTTP requests
+match but virtually no TLS.
+"""
+
+from repro.core.aggregate import regression_slope
+from repro.core.report import render_table
+
+PAPER_SLOPE_IPV = 0.92
+PAPER_SLOPE_PROTO = 0.3
+
+
+def test_fig7a_ipv4_vs_ipv6(benchmark, dataset, emit):
+    rates = benchmark(dataset.ip_version_rates, 25)
+    points = [(v4, v6) for v4, v6 in rates.values() if v4 > 0 or v6 > 0]
+    slope = regression_slope(points)
+
+    rows = [[c, v4, v6] for c, (v4, v6) in sorted(rates.items(), key=lambda kv: -kv[1][0])[:15]]
+    emit(render_table(["country", "IPv4 %", "IPv6 %"], rows,
+                      title=f"Figure 7(a): tampering by IP version "
+                            f"(slope paper={PAPER_SLOPE_IPV}, measured={slope:.2f})"))
+
+    # Shape: near parity between the address families (the paper's 0.92;
+    # per-country IPv6 denominators are small, so allow sampling slack).
+    assert 0.5 < slope < 1.6, f"IPv4-vs-IPv6 slope {slope:.2f} far from parity"
+
+
+def test_fig7b_tls_vs_http(benchmark, dataset, emit):
+    rates = benchmark(dataset.protocol_post_psh_rates)
+    points = [(tls, http) for tls, http in rates.values()]
+    slope = regression_slope(points)
+
+    rows = [[c, tls, http] for c, (tls, http) in sorted(rates.items(), key=lambda kv: -kv[1][1])[:15]]
+    emit(render_table(["country", "TLS %", "HTTP %"], rows,
+                      title=f"Figure 7(b): Post-PSH matches by protocol "
+                            f"(slope paper={PAPER_SLOPE_PROTO}, measured={slope:.2f})"))
+
+    # Shape: Turkmenistan is the HTTP-only outlier.
+    if "TM" in rates:
+        tls_tm, http_tm = rates["TM"]
+        assert http_tm > 20.0
+        assert tls_tm < http_tm / 4.0
+
+    # Shape: excluding the TM outlier, TLS is tampered at least as much
+    # as HTTP in the majority of tampering countries.
+    tls_heavier = sum(
+        1 for c, (tls, http) in rates.items()
+        if c != "TM" and (tls + http) > 2.0 and tls >= http
+    )
+    comparable = sum(1 for c, (tls, http) in rates.items() if c != "TM" and (tls + http) > 2.0)
+    if comparable:
+        assert tls_heavier / comparable > 0.5

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Active vs passive: why the paper says you need both.
+
+Runs the two measurement modalities over one synthetic world:
+
+* an **active scan** -- probe a realistic test list (curated lists + a
+  popularity tier) from two vantage points per country, observing the
+  client side, answering "what *could* be blocked";
+* the **passive pipeline** -- classify two weeks of sampled user traffic
+  at the server, answering "what *is* being blocked for real users".
+
+Then partitions each country's ground-truth blocklist by who can see
+what, reproducing the complementarity argument of the paper's §6 --
+including Iran's special case, where drop-based censorship hides the
+trigger domains from the passive view.
+
+Run:
+    python examples/active_vs_passive.py [n_connections]
+"""
+
+import sys
+
+from repro import two_week_study
+from repro.active.compare import compare_coverage
+from repro.active.prober import ActiveProber
+from repro.core.report import render_table
+from repro.workloads.testlist_gen import build_test_lists
+
+COUNTRIES = ("CN", "IR", "IN", "RU")
+
+
+def main() -> int:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 6000
+    print(f"Passive side: simulating a two-week study ({n} sampled connections)...")
+    study = two_week_study(n_connections=n, seed=7)
+    dataset = study.analyze()
+
+    lists = build_test_lists(study.world.universe, seed=7)
+    test_list = sorted(
+        lists["Citizenlab"].entries
+        | lists["Greatfire_all"].entries
+        | lists["Tranco_10K"].entries
+    )
+    test_list = [d for d in test_list if d in study.world.universe]
+    print(f"Active side: probing {len(test_list)} test-list domains from "
+          f"{len(COUNTRIES)} countries x 2 vantages...")
+    prober = ActiveProber(study.world, seed=7)
+    scan = prober.scan(test_list, countries=COUNTRIES, vantages_per_country=2)
+
+    report = compare_coverage(study.world, scan, dataset, countries=COUNTRIES)
+    rows = []
+    for cmp in report:
+        rows.append([
+            cmp.country, len(cmp.truth_blocked), len(cmp.both),
+            len(cmp.active_only), len(cmp.passive_only), len(cmp.invisible),
+            f"{100 * cmp.active_recall:.0f}%",
+            f"{100 * cmp.passive_recall:.0f}%",
+            f"{100 * cmp.union_recall:.0f}%",
+        ])
+    print()
+    print(render_table(
+        ["country", "blocked (truth)", "both", "active only", "passive only",
+         "invisible", "active recall", "passive recall", "union recall"],
+        rows,
+        title="Who sees what, per country",
+    ))
+
+    print("""
+Reading the table:
+  * "active only": listed domains nobody happened to request -- passive
+    measurement is structurally blind to them (paper §3.4).
+  * "passive only": domains real users were blocked from that the test
+    list misses -- the paper's §5.5 finding; these are free candidates
+    for the next version of the list.
+  * Iran's tiny passive recall is the paper's own caveat: censors that
+    drop the offending packet hide the trigger domain from the server.
+  * The union column is the paper's closing argument: only together do
+    the two modalities approach the truth.""")
+
+    ir = report["IR"]
+    cn = report["CN"]
+    assert cn.passive_recall > ir.passive_recall, "Iran's drops hide domains"
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""Forensics: telling forged RSTs from real ones with IP-ID and TTL.
+
+Compares four censor "header personalities" against an organic client
+abort, showing how the §4.3 evidence separates them:
+
+* the GFW burst (random IP-IDs, fixed unusual initial TTL),
+* the Korean ACK-guesser (random TTL per packet),
+* a stealthy enterprise device (copies the client's IP-ID, mimics TTL),
+* an impatient real client RST-aborting its own connection.
+
+Also writes a pcap of each capture so the traces can be opened in
+Wireshark.
+
+Run:
+    python examples/forged_packet_forensics.py [output-dir]
+"""
+
+import os
+import sys
+
+from repro.cdn.edge import EdgeConfig, make_edge_server
+from repro.cdn.sampler import capture_sample
+from repro.core.classifier import TamperingClassifier
+from repro.core.evidence import evidence_for_sample
+from repro.core.report import render_table
+from repro.middlebox.policy import BlockPolicy, DomainRule
+from repro.middlebox.vendors import gfw, korea_guesser, single_rstack
+from repro.netstack.pcap import write_pcap
+from repro.netstack.tcp import HostConfig
+from repro.netstack.tls import build_client_hello
+from repro.network.conditions import NetworkConditions
+from repro.network.endpoints import ImpatientClient
+from repro.network.sim import PathSimulator
+from repro.middlebox.actions import BlackholeMode
+from repro.middlebox.device import TamperBehavior, TamperingMiddlebox
+
+DOMAIN = "blocked.example"
+CLIENT_IP, SERVER_IP = "11.0.0.77", "198.41.3.3"
+
+
+def simulate(device, client=None, port=41_000):
+    from repro.netstack.tcp import TcpClient
+
+    if client is None:
+        client = TcpClient(
+            HostConfig(ip=CLIENT_IP, port=port, isn=9_000, ip_id_start=500),
+            SERVER_IP, 443,
+            request_segments=[build_client_hello(DOMAIN, seed=port)],
+        )
+    server = make_edge_server(SERVER_IP, EdgeConfig(port=443), seed=port)
+    chain = [device] if device else []
+    sim = PathSimulator(client, server, middleboxes=chain,
+                        conditions=NetworkConditions.simple(n_middleboxes=len(chain), hops=15))
+    return capture_sample(sim.run(start=10.0), conn_id=port)
+
+
+def main() -> int:
+    out_dir = sys.argv[1] if len(sys.argv) > 1 else "."
+    policy = BlockPolicy([DomainRule([DOMAIN])])
+    classifier = TamperingClassifier()
+
+    scenarios = {
+        "gfw-burst": simulate(gfw(policy, seed=1), port=41_001),
+        "korea-guesser": simulate(korea_guesser(policy, seed=2), port=41_002),
+        "stealthy-enterprise": simulate(single_rstack(policy, seed=3), port=41_003),
+    }
+    # Organic abort: a stalling path (responses blackholed for all flows)
+    # makes a real client give up with its own RST.
+    stall = TamperingMiddlebox(
+        BlockPolicy.everything(),
+        TamperBehavior(blackhole=BlackholeMode.SERVER_TO_CLIENT),
+        name="stalling-path",
+    )
+    impatient = ImpatientClient(
+        HostConfig(ip=CLIENT_IP, port=41_004, isn=7, ip_id_start=900),
+        SERVER_IP, 443,
+        request_segments=[build_client_hello(DOMAIN, seed=4)],
+        patience=0.3,
+    )
+    scenarios["organic-client-abort"] = simulate(stall, client=impatient, port=41_004)
+
+    rows = []
+    for name, sample in scenarios.items():
+        result = classifier.classify(sample)
+        ev = evidence_for_sample(sample)
+        rows.append([
+            name,
+            result.signature.display,
+            ev.max_ipid_delta if ev.max_ipid_delta is not None else "-",
+            ev.max_ttl_delta if ev.max_ttl_delta is not None else "-",
+            "yes" if (ev.ipid_inconsistent or ev.ttl_inconsistent) else "no",
+        ])
+        pcap_path = os.path.join(out_dir, f"forensics_{name}.pcap")
+        write_pcap(pcap_path, sample.packets)
+        print(f"wrote {pcap_path}")
+
+    print()
+    print(render_table(
+        ["scenario", "signature", "max |ΔIP-ID|", "max ΔTTL", "header evidence of injection"],
+        rows,
+        title="Forged vs organic RSTs under the §4.3 evidence",
+    ))
+    print("\nNote how the stealthy device and the organic abort evade the header")
+    print("evidence -- exactly why the paper treats IP-ID/TTL as supporting")
+    print("evidence for the signature set rather than a classifier by itself.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

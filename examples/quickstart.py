@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Quickstart: simulate a small global study and classify it.
+
+Runs a scaled-down version of the paper's two-week measurement: a
+synthetic world of ~45 countries with their middlebox deployments, a few
+thousand sampled connections, the 19-signature classifier, and the
+headline aggregates (possibly-tampered share, per-country rates, top
+signatures).
+
+Run:
+    python examples/quickstart.py [n_connections]
+"""
+
+import sys
+from collections import Counter
+
+from repro import TamperingClassifier, two_week_study
+from repro.core.report import render_table
+
+
+def main() -> int:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 3000
+    print(f"Simulating a two-week study with {n} sampled connections...")
+    study = two_week_study(n_connections=n, seed=7)
+    print(f"  world: {len(study.world.profiles)} countries, "
+          f"{len(study.world.universe)} domains, "
+          f"{len(study.world.geo.asns)} ASNs")
+    print(f"  captured: {len(study.samples)} connection samples\n")
+
+    data = study.analyze()
+    stats = data.stage_statistics()
+    print(f"possibly tampered:  {stats['possibly_tampered_pct']:.1f}% of connections "
+          f"(paper: 25.7%)")
+    print(f"signature coverage: {stats['signature_coverage_pct']:.1f}% of possibly "
+          f"tampered (paper: 86.9%)\n")
+
+    counts = Counter(c.signature for c in data if c.tampered)
+    rows = [[sig.display, n_match] for sig, n_match in counts.most_common(10)]
+    print(render_table(["signature", "matches"], rows, title="Top signatures"))
+    print()
+
+    rates = data.country_tampering_rate()
+    top = sorted(rates.items(), key=lambda kv: -kv[1])[:12]
+    rows = [[country, f"{rate:.1f}%"] for country, rate in top]
+    print(render_table(["country", "tampered"], rows,
+                       title="Most-tampered countries (by share of their connections)"))
+
+    # Individual connections are easy to inspect too:
+    classifier = TamperingClassifier()
+    tampered_sample = next(s for s in study.samples if s.truth_tampered)
+    result = classifier.classify(tampered_sample)
+    print(f"\nExample tampered connection (conn_id={result.conn_id}):")
+    print(f"  signature: {result.signature.display}  stage: {result.stage.value}")
+    print(f"  trigger domain (if visible): {result.domain}")
+    from repro.core.sequence import reconstruct_order
+
+    for pkt in reconstruct_order(result.sample.packets):
+        print(f"    {pkt.describe()}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

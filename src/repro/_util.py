@@ -1,0 +1,135 @@
+"""Small shared utilities: deterministic RNG derivation and IP formatting.
+
+The whole simulation is seeded.  To avoid threading a single
+:class:`random.Random` instance through every component (which would make
+results depend on call ordering), components derive *independent* child
+generators from a parent seed and a string label via :func:`derive_rng`.
+Two runs with the same seed therefore produce identical traffic no matter
+how the caller interleaves component construction.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import ipaddress
+import random
+from typing import Iterable, List, Sequence, Tuple, TypeVar
+
+T = TypeVar("T")
+
+__all__ = [
+    "derive_seed",
+    "derive_rng",
+    "ipv4_to_int",
+    "int_to_ipv4",
+    "ipv6_to_int",
+    "int_to_ipv6",
+    "ip_version",
+    "zipf_weights",
+    "weighted_choice",
+    "stable_hash",
+    "chunk_payload",
+    "clamp",
+]
+
+
+def stable_hash(*parts: object) -> int:
+    """Return a 64-bit hash of ``parts`` that is stable across processes.
+
+    Python's builtin :func:`hash` is randomised per process for strings,
+    which would break cross-run determinism, so we hash through SHA-256.
+    """
+    h = hashlib.sha256()
+    for part in parts:
+        h.update(repr(part).encode("utf-8"))
+        h.update(b"\x1f")
+    return int.from_bytes(h.digest()[:8], "big")
+
+
+def derive_seed(parent_seed: int, label: str) -> int:
+    """Derive a child seed from ``parent_seed`` and a component ``label``."""
+    return stable_hash(parent_seed, label)
+
+
+def derive_rng(parent_seed: int, label: str) -> random.Random:
+    """Return an independent :class:`random.Random` for one component."""
+    return random.Random(derive_seed(parent_seed, label))
+
+
+def ipv4_to_int(address: str) -> int:
+    """Convert dotted-quad IPv4 text to its 32-bit integer value."""
+    return int(ipaddress.IPv4Address(address))
+
+
+def int_to_ipv4(value: int) -> str:
+    """Convert a 32-bit integer to dotted-quad IPv4 text."""
+    return str(ipaddress.IPv4Address(value))
+
+
+def ipv6_to_int(address: str) -> int:
+    """Convert IPv6 text to its 128-bit integer value."""
+    return int(ipaddress.IPv6Address(address))
+
+
+def int_to_ipv6(value: int) -> str:
+    """Convert a 128-bit integer to compressed IPv6 text."""
+    return str(ipaddress.IPv6Address(value))
+
+
+def ip_version(address: str) -> int:
+    """Return 4 or 6 for the given textual IP address."""
+    return ipaddress.ip_address(address).version
+
+
+def zipf_weights(n: int, exponent: float = 1.0) -> List[float]:
+    """Return ``n`` Zipf-distributed weights summing to 1.
+
+    Rank 1 is the heaviest.  Used for domain popularity so that a small
+    set of domains dominates traffic, as on the real web.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    raw = [1.0 / ((rank + 1) ** exponent) for rank in range(n)]
+    total = sum(raw)
+    return [w / total for w in raw]
+
+
+def weighted_choice(rng: random.Random, items: Sequence[T], weights: Sequence[float]) -> T:
+    """Pick one item according to ``weights`` using ``rng``.
+
+    Thin wrapper that validates lengths; ``random.choices`` silently
+    mis-pairs mismatched sequences.
+    """
+    if len(items) != len(weights):
+        raise ValueError("items and weights must have the same length")
+    return rng.choices(items, weights=weights, k=1)[0]
+
+
+def chunk_payload(payload: bytes, mss: int) -> List[bytes]:
+    """Split an application payload into MSS-sized TCP segments."""
+    if mss <= 0:
+        raise ValueError("mss must be positive")
+    if not payload:
+        return []
+    return [payload[i : i + mss] for i in range(0, len(payload), mss)]
+
+
+def clamp(value: float, low: float, high: float) -> float:
+    """Clamp ``value`` into the inclusive range [low, high]."""
+    return max(low, min(high, value))
+
+
+def cumulative(values: Iterable[float]) -> List[float]:
+    """Running sum of ``values`` (used by CDF helpers in reports)."""
+    out: List[float] = []
+    total = 0.0
+    for v in values:
+        total += v
+        out.append(total)
+    return out
+
+
+def pairwise(seq: Sequence[T]) -> Iterable[Tuple[T, T]]:
+    """Yield consecutive pairs of ``seq`` (like itertools.pairwise)."""
+    for i in range(len(seq) - 1):
+        yield seq[i], seq[i + 1]

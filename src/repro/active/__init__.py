@@ -1,0 +1,32 @@
+"""Active measurement: the paper's comparison baseline.
+
+The paper positions passive detection as a *complement* to active
+measurement (Censored Planet, OONI, ICLab): active tools probe test-list
+domains from vantage points inside networks of interest and observe the
+*client side*; the passive pipeline observes real users' connections at
+the *server side*.  This subpackage implements the active side over the
+same synthetic world, so their complementary coverage can be measured
+directly (the paper's §2.2, §5.5 and §6 arguments):
+
+* :mod:`repro.active.prober` -- vantage points, single probes, and
+  test-list scans with client-side outcome classification.
+* :mod:`repro.active.compare` -- coverage comparison between an active
+  scan, a passive analysis, and (simulation-only) the ground-truth
+  blocklists.
+"""
+
+from repro.active.compare import ComparisonReport, compare_coverage
+from repro.active.residual import ResidualMeasurement, measure_residual_window
+from repro.active.prober import ActiveProber, ProbeOutcome, ProbeResult, ScanReport, Vantage
+
+__all__ = [
+    "Vantage",
+    "ProbeOutcome",
+    "ProbeResult",
+    "ScanReport",
+    "ActiveProber",
+    "ComparisonReport",
+    "compare_coverage",
+    "ResidualMeasurement",
+    "measure_residual_window",
+]

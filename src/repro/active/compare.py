@@ -1,0 +1,132 @@
+"""Active-vs-passive coverage comparison (the paper's §6 argument).
+
+Given an active scan (list-driven, vantage-limited, client-side) and a
+passive analysis (demand-driven, global, server-side) over the same
+world, partition each country's ground-truth blocklist into the four
+visibility classes the paper reasons about:
+
+* **both** -- on the test list *and* actively requested by users: both
+  methods see it.
+* **active only** -- on the test list but never (or rarely) requested:
+  "what *could* be blocked" -- passive measurement is blind here.
+* **passive only** -- requested and tampered with, but missing from the
+  test list: the paper's §5.5 finding that lists are incomplete.
+* **invisible** -- blocked, unlisted, and unrequested: neither method
+  can see it (active measurement *could*, with a better list).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set
+
+from repro.active.prober import ScanReport
+from repro.core.aggregate import AnalysisDataset
+from repro.core.testlists import registrable_domain
+
+__all__ = ["CountryComparison", "ComparisonReport", "compare_coverage"]
+
+
+@dataclasses.dataclass(frozen=True)
+class CountryComparison:
+    """Visibility partition of one country's ground-truth blocklist."""
+
+    country: str
+    truth_blocked: FrozenSet[str]
+    active_detected: FrozenSet[str]
+    passive_detected: FrozenSet[str]
+
+    @property
+    def both(self) -> FrozenSet[str]:
+        return self.active_detected & self.passive_detected
+
+    @property
+    def active_only(self) -> FrozenSet[str]:
+        return self.active_detected - self.passive_detected
+
+    @property
+    def passive_only(self) -> FrozenSet[str]:
+        return self.passive_detected - self.active_detected
+
+    @property
+    def invisible(self) -> FrozenSet[str]:
+        return self.truth_blocked - self.active_detected - self.passive_detected
+
+    @property
+    def union_detected(self) -> FrozenSet[str]:
+        return self.active_detected | self.passive_detected
+
+    def recall(self, detected: FrozenSet[str]) -> float:
+        if not self.truth_blocked:
+            return 0.0
+        return len(detected & self.truth_blocked) / len(self.truth_blocked)
+
+    @property
+    def active_recall(self) -> float:
+        return self.recall(self.active_detected)
+
+    @property
+    def passive_recall(self) -> float:
+        return self.recall(self.passive_detected)
+
+    @property
+    def union_recall(self) -> float:
+        return self.recall(self.union_detected)
+
+
+@dataclasses.dataclass
+class ComparisonReport:
+    """Per-country comparisons plus convenience accessors."""
+
+    countries: Dict[str, CountryComparison]
+
+    def __getitem__(self, country: str) -> CountryComparison:
+        return self.countries[country]
+
+    def __iter__(self):
+        return iter(self.countries.values())
+
+    @property
+    def total_passive_only(self) -> int:
+        return sum(len(c.passive_only) for c in self)
+
+    @property
+    def total_active_only(self) -> int:
+        return sum(len(c.active_only) for c in self)
+
+
+def _normalise(domains: Iterable[str]) -> Set[str]:
+    return {registrable_domain(d) for d in domains}
+
+
+def compare_coverage(
+    world,
+    scan: ScanReport,
+    passive: AnalysisDataset,
+    countries: Optional[Iterable[str]] = None,
+    passive_threshold: int = 1,
+) -> ComparisonReport:
+    """Build the visibility partition for each country.
+
+    ``passive`` detection uses the dataset's Post-PSH tampered-domain
+    extraction (what the server could actually attribute), at
+    ``passive_threshold`` matches per day.  All domain sets are reduced
+    to registrable domains before comparison.
+    """
+    if countries is None:
+        countries = scan.countries
+    out: Dict[str, CountryComparison] = {}
+    for country in countries:
+        truth = _normalise(world.blocklist(country))
+        active = _normalise(scan.blocked_domains(country)) & truth
+        passive_domains = (
+            _normalise(passive.tampered_domains(country=country, threshold=passive_threshold))
+            & truth
+        )
+        out[country] = CountryComparison(
+            country=country,
+            truth_blocked=frozenset(truth),
+            active_detected=frozenset(active),
+            passive_detected=frozenset(passive_domains),
+        )
+    return ComparisonReport(countries=out)

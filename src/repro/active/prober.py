@@ -1,0 +1,185 @@
+"""Active probing from in-country vantage points.
+
+An :class:`ActiveProber` holds vantage points (clients inside the
+networks of interest -- the thing the paper says is hard to procure) and
+probes test-list domains through the same middlebox chains real traffic
+crosses.  Unlike the passive pipeline, the prober observes the *client*
+side of each connection, so its outcome vocabulary matches active tools:
+``OK``, ``RESET`` (a RST killed the attempt), ``TIMEOUT`` (silence), and
+``BLOCKPAGE`` (injected content arrived).
+
+Probes are deliberately driven by a list, not by user demand: the scan
+answers "what *could* be blocked here", the paper's framing of active
+measurement's strength and weakness.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro._util import derive_rng, stable_hash
+from repro.errors import ConfigError
+from repro.netstack.tcp import TcpState
+from repro.workloads.traffic import ConnectionSpec
+from repro.workloads.world import World
+
+__all__ = ["Vantage", "ProbeOutcome", "ProbeResult", "ScanReport", "ActiveProber"]
+
+#: conn_id namespace for probes, far away from organic traffic ids.
+_PROBE_ID_BASE = 1 << 40
+
+
+class ProbeOutcome(enum.Enum):
+    """What the probing client observed."""
+
+    OK = "ok"  # graceful transfer completed
+    RESET = "reset"  # connection killed by a RST
+    TIMEOUT = "timeout"  # silence; the probe gave up
+    BLOCKPAGE = "blockpage"  # injected content arrived instead
+
+    @property
+    def is_anomaly(self) -> bool:
+        return self is not ProbeOutcome.OK
+
+
+@dataclasses.dataclass(frozen=True)
+class Vantage:
+    """One probing client inside a network of interest."""
+
+    country: str
+    asn: int
+    client_ip: str
+
+    @property
+    def label(self) -> str:
+        return f"{self.country}/AS{self.asn}"
+
+
+@dataclasses.dataclass(frozen=True)
+class ProbeResult:
+    """One probe of one domain from one vantage."""
+
+    vantage: Vantage
+    domain: str
+    protocol: str
+    outcome: ProbeOutcome
+
+    @property
+    def blocked(self) -> bool:
+        return self.outcome.is_anomaly
+
+
+@dataclasses.dataclass
+class ScanReport:
+    """All probes of one scan, with per-country blocked-domain views."""
+
+    results: List[ProbeResult]
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def blocked_domains(self, country: Optional[str] = None) -> Set[str]:
+        """Domains with at least one anomalous probe (from ``country``)."""
+        return {
+            r.domain
+            for r in self.results
+            if r.blocked and (country is None or r.vantage.country == country)
+        }
+
+    def reachable_domains(self, country: Optional[str] = None) -> Set[str]:
+        """Domains that served at least one vantage cleanly."""
+        return {
+            r.domain
+            for r in self.results
+            if not r.blocked and (country is None or r.vantage.country == country)
+        }
+
+    def outcomes_for(self, domain: str) -> List[ProbeResult]:
+        return [r for r in self.results if r.domain == domain]
+
+    @property
+    def countries(self) -> List[str]:
+        return sorted({r.vantage.country for r in self.results})
+
+
+class ActiveProber:
+    """Probe test-list domains through a world's middlebox chains."""
+
+    def __init__(self, world: World, seed: int = 0) -> None:
+        self.world = world
+        self.seed = seed
+        self._next_probe = 0
+
+    # ------------------------------------------------------------------
+    def vantages(self, country: str, count: int = 2) -> List[Vantage]:
+        """Recruit ``count`` vantage points spread over a country's ASNs.
+
+        Mirrors the real-world constraint that vantage points are scarce:
+        by default only a couple per country, placed in the largest
+        networks first.
+        """
+        if count < 1:
+            raise ConfigError("need at least one vantage")
+        state = self.world.country(country)
+        rng = derive_rng(self.seed, f"vantage:{country}")
+        out: List[Vantage] = []
+        for i in range(count):
+            asn = state.asns[i % len(state.asns)]
+            pool = state.clients_v4[asn]
+            out.append(Vantage(country=country, asn=asn, client_ip=pool[rng.randrange(len(pool))]))
+        return out
+
+    # ------------------------------------------------------------------
+    def probe(self, vantage: Vantage, domain: str, protocol: str = "tls") -> ProbeResult:
+        """Fetch ``domain`` once from ``vantage`` and classify the outcome."""
+        probe_id = _PROBE_ID_BASE + self._next_probe
+        self._next_probe += 1
+        rng = derive_rng(self.seed, f"probe:{probe_id}")
+        spec = ConnectionSpec(
+            conn_id=probe_id,
+            ts=0.0,
+            country=vantage.country,
+            asn=vantage.asn,
+            client_ip=vantage.client_ip,
+            client_port=rng.randrange(1024, 65536),
+            ip_version=4,
+            protocol=protocol,
+            domain=domain,
+            host=domain,
+            client_kind="browser",
+        )
+        result, client, _fired = self.world.run_connection(spec)
+        outcome = self._classify_client_side(result, client)
+        return ProbeResult(vantage=vantage, domain=domain, protocol=protocol, outcome=outcome)
+
+    @staticmethod
+    def _classify_client_side(result, client) -> ProbeOutcome:
+        injected_payload = [
+            p for p in result.client_received if p.injected and p.has_payload
+        ]
+        if injected_payload:
+            return ProbeOutcome.BLOCKPAGE
+        if client.state == TcpState.RESET:
+            return ProbeOutcome.RESET
+        if client.state == TcpState.TIME_WAIT:
+            return ProbeOutcome.OK
+        return ProbeOutcome.TIMEOUT
+
+    # ------------------------------------------------------------------
+    def scan(
+        self,
+        domains: Iterable[str],
+        countries: Sequence[str],
+        vantages_per_country: int = 2,
+        protocol: str = "tls",
+    ) -> ScanReport:
+        """Probe every domain from every country's vantage points."""
+        results: List[ProbeResult] = []
+        domain_list = list(domains)
+        for country in countries:
+            for vantage in self.vantages(country, vantages_per_country):
+                for domain in domain_list:
+                    results.append(self.probe(vantage, domain, protocol=protocol))
+        return ScanReport(results=results)

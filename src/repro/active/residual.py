@@ -1,0 +1,109 @@
+"""Residual-censorship measurement: an active experiment on our censors.
+
+Several censors keep blocking a (client, domain) pair for a while after
+one trigger -- the paper's Appendix B lists residual blocking among the
+explanations for signature churn, and §6 notes that *active* measurement
+can "trigger events and test hypotheses" in ways passive measurement
+cannot.  This module is that experiment: trigger a device once, then
+probe the same pair at increasing delays and report when the blocking
+stops.  Run against a device with a known ``residual_seconds`` it
+recovers the configured window; run against an unknown middlebox it
+measures one.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence, Tuple
+
+from repro.cdn.edge import EdgeConfig, make_edge_server
+from repro.middlebox.device import TamperingMiddlebox
+from repro.netstack.tcp import HostConfig, TcpClient, TcpState
+from repro.netstack.tls import build_client_hello
+from repro.network.conditions import NetworkConditions
+from repro.network.sim import PathSimulator
+
+__all__ = ["ResidualProbeResult", "ResidualMeasurement", "measure_residual_window"]
+
+_CLIENT_IP = "11.0.0.200"
+_SERVER_IP = "198.41.200.1"
+
+
+@dataclasses.dataclass(frozen=True)
+class ResidualProbeResult:
+    """One follow-up probe after the trigger."""
+
+    delay: float  # seconds after the triggering connection
+    blocked: bool
+
+
+@dataclasses.dataclass(frozen=True)
+class ResidualMeasurement:
+    """Outcome of a residual-window sweep."""
+
+    domain: str
+    probes: Tuple[ResidualProbeResult, ...]
+
+    @property
+    def estimated_window(self) -> Optional[float]:
+        """Last blocked delay (None if no follow-up was ever blocked)."""
+        blocked = [p.delay for p in self.probes if p.blocked]
+        return max(blocked) if blocked else None
+
+    @property
+    def first_unblocked(self) -> Optional[float]:
+        """Earliest delay at which the pair worked again."""
+        clear = [p.delay for p in self.probes if not p.blocked]
+        return min(clear) if clear else None
+
+
+def _run_once(device: TamperingMiddlebox, domain: str, start: float, port: int) -> bool:
+    """One connection for the pair; returns True if it was blocked."""
+    client = TcpClient(
+        HostConfig(ip=_CLIENT_IP, port=port, isn=40_000 + port, ip_id_start=port & 0xFFFF),
+        _SERVER_IP,
+        443,
+        request_segments=[build_client_hello(domain, seed=port)],
+    )
+    server = make_edge_server(_SERVER_IP, EdgeConfig(port=443), seed=port)
+    sim = PathSimulator(
+        client, server, middleboxes=[device],
+        conditions=NetworkConditions.simple(n_middleboxes=1, hops=14),
+    )
+    result = sim.run(start=start)
+    conn_key = _conn_key(client)
+    device.forget_flow(conn_key)
+    # Blocked = the client did not complete the transfer gracefully.
+    return client.state != TcpState.TIME_WAIT
+
+
+def _conn_key(client: TcpClient):
+    a = (client.config.ip, client.config.port)
+    b = (client.peer_ip, client.peer_port)
+    lo, hi = sorted((a, b))
+    return (lo[0], lo[1], hi[0], hi[1])
+
+
+def measure_residual_window(
+    device: TamperingMiddlebox,
+    trigger_domain: str = "blocked.example",
+    probe_domain: str = "innocent.example",
+    delays: Sequence[float] = (5, 15, 30, 45, 60, 75, 85, 95, 110, 130, 180),
+    start: float = 1_000.0,
+) -> ResidualMeasurement:
+    """Trigger once, then probe with an *innocent* request at ``delays``.
+
+    The device's policy must match ``trigger_domain`` and not
+    ``probe_domain``: follow-up probes are blocked only while the
+    residual window for the (client, server) pair is open, so the
+    probe results trace the window directly.  Probes use fresh ports
+    (fresh TCP flows) from the same client address.
+    """
+    triggered = _run_once(device, trigger_domain, start=start, port=41_000)
+    probes: List[ResidualProbeResult] = []
+    for index, delay in enumerate(sorted(delays)):
+        blocked = _run_once(device, probe_domain, start=start + delay, port=41_001 + index)
+        probes.append(ResidualProbeResult(delay=float(delay), blocked=blocked))
+    if not triggered:
+        probes = [ResidualProbeResult(delay=p.delay, blocked=False) for p in probes]
+    return ResidualMeasurement(domain=trigger_domain, probes=tuple(probes))

@@ -1,0 +1,31 @@
+"""The observing CDN: geolocation, edge servers, sampling, collection.
+
+The paper's measurement position is the *server side* of a global CDN.
+This subpackage provides that position: a synthetic geolocation database
+mapping client prefixes to (country, ASN) (:mod:`repro.cdn.geo`), a
+domain-category service (:mod:`repro.cdn.categorize`), edge-server
+construction (:mod:`repro.cdn.edge`), the 1-in-N connection sampler with
+the paper's collection constraints -- first 10 inbound packets, 1-second
+timestamps, possible reordering -- (:mod:`repro.cdn.sampler`), and sample
+records with JSONL/pcap persistence (:mod:`repro.cdn.collector`).
+"""
+
+from repro.cdn.categorize import CategoryDB
+from repro.cdn.collector import ConnectionSample, read_samples_jsonl, write_samples_jsonl
+from repro.cdn.edge import EdgeConfig, make_edge_server
+from repro.cdn.geo import GeoDatabase, GeoRecord
+from repro.cdn.sampler import CaptureConfig, ConnectionSampler, capture_sample
+
+__all__ = [
+    "GeoDatabase",
+    "GeoRecord",
+    "CategoryDB",
+    "EdgeConfig",
+    "make_edge_server",
+    "CaptureConfig",
+    "ConnectionSampler",
+    "capture_sample",
+    "ConnectionSample",
+    "write_samples_jsonl",
+    "read_samples_jsonl",
+]

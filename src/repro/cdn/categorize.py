@@ -1,0 +1,88 @@
+"""Domain categorization service.
+
+The paper buckets tampered domains into subject categories using the
+CDN's third-party vendor feed; Table 2 is built from those buckets.  Here
+the category assignments come from the synthetic domain universe
+(:mod:`repro.workloads.domains`), and this module provides the
+pipeline-facing service object: category lookup with the paper's caveat
+that a domain may belong to multiple categories.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
+
+__all__ = ["CategoryDB", "STANDARD_CATEGORIES"]
+
+#: The categories appearing in the paper's Table 2, plus common fillers.
+STANDARD_CATEGORIES: Tuple[str, ...] = (
+    "Adult Themes",
+    "Advertisements",
+    "Business",
+    "Chat",
+    "Content Servers",
+    "Education",
+    "Gaming",
+    "Hobbies & Interests",
+    "Login Screens",
+    "News",
+    "Shopping",
+    "Social Networks",
+    "Streaming",
+    "Technology",
+)
+
+
+class CategoryDB:
+    """Domain → categories lookup with reverse (category → domains) views."""
+
+    def __init__(self, assignments: Optional[Mapping[str, Iterable[str]]] = None) -> None:
+        self._by_domain: Dict[str, FrozenSet[str]] = {}
+        self._by_category: Dict[str, Set[str]] = {}
+        if assignments:
+            for domain, cats in assignments.items():
+                self.assign(domain, cats)
+
+    def assign(self, domain: str, categories: Iterable[str]) -> None:
+        """Record (or extend) the categories of ``domain``."""
+        domain = domain.lower().strip(".")
+        cats = frozenset(categories) | self._by_domain.get(domain, frozenset())
+        self._by_domain[domain] = cats
+        for cat in cats:
+            self._by_category.setdefault(cat, set()).add(domain)
+
+    def categories_of(self, domain: Optional[str]) -> FrozenSet[str]:
+        """Categories of ``domain`` (exact match, then parent-domain walk)."""
+        if not domain:
+            return frozenset()
+        name = domain.lower().strip(".")
+        while name:
+            cats = self._by_domain.get(name)
+            if cats is not None:
+                return cats
+            _, _, name = name.partition(".")
+        return frozenset()
+
+    def domains_in(self, category: str) -> FrozenSet[str]:
+        """All domains assigned to ``category``."""
+        return frozenset(self._by_category.get(category, ()))
+
+    @property
+    def categories(self) -> List[str]:
+        """All known categories, sorted."""
+        return sorted(self._by_category)
+
+    @property
+    def domains(self) -> List[str]:
+        """All known domains, sorted."""
+        return sorted(self._by_domain)
+
+    def __len__(self) -> int:
+        return len(self._by_domain)
+
+    def __contains__(self, domain: str) -> bool:
+        return domain.lower().strip(".") in self._by_domain
+
+    def as_lookup(self):
+        """Return a plain callable suitable for middlebox ``categorizer``."""
+        return self.categories_of

@@ -1,0 +1,66 @@
+"""Edge server construction.
+
+One :class:`~repro.netstack.tcp.TcpServer` is built per simulated
+connection (the CDN terminates each TCP connection independently).  The
+edge personality is fixed and well-behaved: standard options, 255-hop
+initial TTL budget unused (64), counter IP-IDs, and a small HTTP/TLS-ish
+response followed by a graceful FIN -- the baseline against which
+client-side anomalies stand out.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Optional
+
+from repro._util import derive_rng
+from repro.netstack.tcp import HostConfig, IpIdMode, TcpServer
+
+__all__ = ["EdgeConfig", "make_edge_server"]
+
+
+@dataclasses.dataclass(frozen=True)
+class EdgeConfig:
+    """Tunables for simulated edge servers."""
+
+    port: int = 443
+    response_size: int = 2200
+    mss: int = 1460
+    initial_ttl: int = 64
+
+    def response_payload(self) -> bytes:
+        """A deterministic response body of ``response_size`` bytes."""
+        head = (
+            b"HTTP/1.1 200 OK\r\n"
+            b"Server: repro-edge\r\n"
+            b"Content-Type: text/html\r\n"
+            b"Content-Length: %d\r\n\r\n" % max(0, self.response_size)
+        )
+        body = bytes((i * 31 + 7) & 0xFF for i in range(max(0, self.response_size)))
+        return head + body
+
+
+def make_edge_server(
+    ip: str,
+    config: Optional[EdgeConfig] = None,
+    seed: int = 0,
+) -> TcpServer:
+    """Build a fresh edge server endpoint bound to ``ip``.
+
+    The ISN and IP-ID start are derived from ``seed`` so that repeated
+    builds are deterministic but distinct connections do not share
+    sequence space.
+    """
+    config = config or EdgeConfig()
+    rng = derive_rng(seed, f"edge:{ip}:{config.port}")
+    host = HostConfig(
+        ip=ip,
+        port=config.port,
+        initial_ttl=config.initial_ttl,
+        ip_id_mode=IpIdMode.COUNTER,
+        ip_id_start=rng.randrange(0, 0x10000),
+        isn=rng.randrange(0, 1 << 32),
+        mss=config.mss,
+    )
+    return TcpServer(config=host, response_payload=config.response_payload())

@@ -1,0 +1,152 @@
+"""Synthetic geolocation: IP prefixes per (country, ASN), IPv4 and IPv6.
+
+The real pipeline geolocates client addresses with a commercial database.
+Here the database is *constructed*: every ASN in the world model receives
+one IPv4 /16 and one IPv6 /32, allocated deterministically in
+registration order.  Lookups are O(1) dictionary probes on the prefix
+bits, and the generator side can mint random client addresses inside any
+ASN's space -- the two operations the pipeline needs.
+
+CDN anycast addresses live in dedicated, recognisable prefixes
+(``198.41.0.0/16`` and ``2606:4700::/32``) so tests can assert that edge
+addresses never geolocate to a client network.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro._util import int_to_ipv4, int_to_ipv6, ipv4_to_int, ipv6_to_int
+from repro.errors import GeoError
+
+__all__ = ["GeoRecord", "GeoDatabase", "CDN_V4_PREFIX", "CDN_V6_PREFIX"]
+
+#: Anycast space used by simulated edge servers.
+CDN_V4_PREFIX = "198.41.0.0/16"
+CDN_V6_PREFIX = "2606:4700::/32"
+
+_V4_BASE = ipv4_to_int("11.0.0.0")
+_V6_BASE = ipv6_to_int("2a00::")
+_CDN_V4_BASE = ipv4_to_int("198.41.0.0")
+_CDN_V6_BASE = ipv6_to_int("2606:4700::")
+
+
+@dataclasses.dataclass(frozen=True)
+class GeoRecord:
+    """Attribution of one client prefix."""
+
+    country: str
+    asn: int
+
+
+class GeoDatabase:
+    """Prefix → (country, ASN) attribution plus address minting.
+
+    Register ASNs with :meth:`register_asn` (idempotent per ASN), then
+    use :meth:`lookup` for attribution and :meth:`client_address` to draw
+    addresses.  Registration order fixes the address layout, so building
+    the same world twice yields identical addressing.
+    """
+
+    def __init__(self) -> None:
+        self._v4_blocks: Dict[int, GeoRecord] = {}  # /16 index -> record
+        self._v6_blocks: Dict[int, GeoRecord] = {}  # /32 index -> record
+        self._asn_v4_block: Dict[int, int] = {}
+        self._asn_v6_block: Dict[int, int] = {}
+        self._asn_record: Dict[int, GeoRecord] = {}
+        self._next_block = 0
+
+    # ------------------------------------------------------------------
+    def register_asn(self, country: str, asn: int) -> None:
+        """Allocate address space for ``asn`` in ``country``.
+
+        Re-registering the same ASN with the same country is a no-op;
+        with a different country it raises :class:`GeoError` (an ASN
+        belongs to one country in this model).
+        """
+        existing = self._asn_record.get(asn)
+        record = GeoRecord(country=country, asn=asn)
+        if existing is not None:
+            if existing.country != country:
+                raise GeoError(f"ASN {asn} already registered to {existing.country}")
+            return
+        block = self._next_block
+        self._next_block += 1
+        v4_index = (_V4_BASE >> 16) + block
+        v6_index = (_V6_BASE >> 96) + block
+        if v4_index >= (_CDN_V4_BASE >> 16):
+            raise GeoError("IPv4 allocation space exhausted (too many ASNs)")
+        self._v4_blocks[v4_index] = record
+        self._v6_blocks[v6_index] = record
+        self._asn_v4_block[asn] = v4_index
+        self._asn_v6_block[asn] = v6_index
+        self._asn_record[asn] = record
+
+    @property
+    def asns(self) -> List[int]:
+        """All registered ASNs in registration order."""
+        return list(self._asn_record)
+
+    def asns_in(self, country: str) -> List[int]:
+        """ASNs registered to ``country``."""
+        return [asn for asn, rec in self._asn_record.items() if rec.country == country]
+
+    # ------------------------------------------------------------------
+    def lookup(self, address: str) -> GeoRecord:
+        """Attribute a client address; raises :class:`GeoError` if unknown."""
+        if ":" in address:
+            index = ipv6_to_int(address) >> 96
+            record = self._v6_blocks.get(index)
+        else:
+            index = ipv4_to_int(address) >> 16
+            record = self._v4_blocks.get(index)
+        if record is None:
+            raise GeoError(f"address {address} not in any registered prefix")
+        return record
+
+    def lookup_or_none(self, address: str) -> Optional[GeoRecord]:
+        """Like :meth:`lookup` but returns None for unknown space."""
+        try:
+            return self.lookup(address)
+        except (GeoError, ValueError):
+            return None
+
+    def country_of(self, address: str) -> Optional[str]:
+        """Country code for ``address`` or None."""
+        record = self.lookup_or_none(address)
+        return record.country if record else None
+
+    # ------------------------------------------------------------------
+    def client_address(self, rng: random.Random, asn: int, version: int = 4) -> str:
+        """Mint a random client address inside ``asn``'s space."""
+        if version == 4:
+            block = self._asn_v4_block.get(asn)
+            if block is None:
+                raise GeoError(f"ASN {asn} not registered")
+            host = rng.randrange(1, 0xFFFF)  # avoid .0.0 network address
+            return int_to_ipv4((block << 16) | host)
+        if version == 6:
+            block = self._asn_v6_block.get(asn)
+            if block is None:
+                raise GeoError(f"ASN {asn} not registered")
+            host = rng.getrandbits(64) | 1
+            return int_to_ipv6((block << 96) | host)
+        raise ValueError(f"bad IP version: {version}")
+
+    @staticmethod
+    def edge_address(rng: random.Random, version: int = 4) -> str:
+        """Mint a CDN anycast edge address."""
+        if version == 4:
+            return int_to_ipv4(_CDN_V4_BASE | rng.randrange(1, 0xFFFF))
+        if version == 6:
+            return int_to_ipv6(_CDN_V6_BASE | (rng.getrandbits(32) | 1))
+        raise ValueError(f"bad IP version: {version}")
+
+    @staticmethod
+    def is_edge_address(address: str) -> bool:
+        """True if ``address`` lies in the CDN anycast space."""
+        if ":" in address:
+            return (ipv6_to_int(address) >> 96) == (_CDN_V6_BASE >> 96)
+        return (ipv4_to_int(address) >> 16) == (_CDN_V4_BASE >> 16)

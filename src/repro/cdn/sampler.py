@@ -1,0 +1,153 @@
+"""Connection sampling and capture, with the paper's constraints.
+
+Two concerns live here:
+
+* **Which** connections to record: uniform 1-in-N sampling
+  (:class:`ConnectionSampler`), applied after DDoS filtering in the real
+  system.  Sampling is hash-based so it is deterministic per connection
+  id yet uniform across ids.
+
+* **What** to record per connection: :func:`capture_sample` reduces a
+  full simulation result to the paper's observed view -- the first ten
+  *inbound* packets, timestamps floored to one-second granularity, and
+  (to faithfully model the logging pipeline) a deterministic shuffle of
+  packets that share a timestamp bucket, since order within a second is
+  not preserved.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import random
+from typing import List, Optional
+
+from repro._util import derive_rng, stable_hash
+from repro.cdn.collector import ConnectionSample
+from repro.errors import ConfigError
+from repro.netstack.packet import Packet, PacketDirection
+from repro.network.sim import SimResult
+
+__all__ = ["ConnectionSampler", "CaptureConfig", "capture_sample"]
+
+
+class ConnectionSampler:
+    """Uniform 1-in-``rate`` connection sampling.
+
+    ``decide(conn_id)`` is stable: the same connection id always gets the
+    same verdict, independent of arrival order -- mirroring a hash-based
+    production sampler and keeping runs reproducible.
+    """
+
+    def __init__(self, rate: int = 10_000, seed: int = 0) -> None:
+        if rate < 1:
+            raise ConfigError("sampling rate must be >= 1")
+        self.rate = rate
+        self._seed = seed
+        self.observed = 0
+        self.sampled = 0
+
+    def decide(self, conn_id: int) -> bool:
+        """Return True if connection ``conn_id`` should be recorded."""
+        self.observed += 1
+        keep = stable_hash(self._seed, "sampler", conn_id) % self.rate == 0
+        if keep:
+            self.sampled += 1
+        return keep
+
+    @property
+    def effective_rate(self) -> float:
+        """Fraction of observed connections actually sampled so far."""
+        if self.observed == 0:
+            return 0.0
+        return self.sampled / self.observed
+
+
+@dataclasses.dataclass(frozen=True)
+class CaptureConfig:
+    """Knobs of the logging pipeline.
+
+    ``max_packets``
+        The paper records the first 10 inbound packets.
+    ``timestamp_granularity``
+        Seconds; timestamps are floored to multiples of this (1 s in the
+        paper).
+    ``shuffle_within_bucket``
+        Whether packets sharing a timestamp bucket are stored in
+        arbitrary order (True models the real pipeline; ablations turn
+        it off).
+    ``watch_seconds``
+        How long after the last inbound packet the window stays open --
+        this bounds the inactivity the classifier can observe.
+    """
+
+    max_packets: int = 10
+    timestamp_granularity: float = 1.0
+    shuffle_within_bucket: bool = True
+    watch_seconds: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.max_packets < 1:
+            raise ConfigError("max_packets must be >= 1")
+        if self.timestamp_granularity <= 0:
+            raise ConfigError("timestamp_granularity must be positive")
+        if self.watch_seconds < 0:
+            raise ConfigError("watch_seconds must be non-negative")
+
+
+def capture_sample(
+    result: SimResult,
+    conn_id: int,
+    config: Optional[CaptureConfig] = None,
+    seed: int = 0,
+    truth_tampered: Optional[bool] = None,
+    truth_vendor: Optional[str] = None,
+    truth_domain: Optional[str] = None,
+    truth_client_kind: str = "browser",
+) -> Optional[ConnectionSample]:
+    """Reduce a simulation result to the pipeline's observed record.
+
+    Returns None when the server received no packets at all (nothing to
+    log -- e.g. the SYN itself was dropped upstream, which the real system
+    cannot observe either).
+    """
+    config = config or CaptureConfig()
+    inbound = [p for p in result.server_inbound if p.direction == PacketDirection.TO_SERVER]
+    if not inbound:
+        return None
+
+    kept = inbound[: config.max_packets]
+    gran = config.timestamp_granularity
+    floored = [p.clone(ts=math.floor(p.ts / gran) * gran) for p in kept]
+
+    if config.shuffle_within_bucket:
+        rng = derive_rng(seed, f"capture:{conn_id}")
+        buckets: dict = {}
+        for p in floored:
+            buckets.setdefault(p.ts, []).append(p)
+        shuffled: List[Packet] = []
+        for ts in sorted(buckets):
+            group = buckets[ts]
+            rng.shuffle(group)
+            shuffled.extend(group)
+        floored = shuffled
+
+    first = inbound[0]
+    client_ip, client_port = first.src, first.sport
+    server_ip, server_port = first.dst, first.dport
+    window_end = max(p.ts for p in kept) + config.watch_seconds
+
+    return ConnectionSample(
+        conn_id=conn_id,
+        packets=floored,
+        window_end=window_end,
+        client_ip=client_ip,
+        client_port=client_port,
+        server_ip=server_ip,
+        server_port=server_port,
+        ip_version=first.ip_version,
+        truth_tampered=truth_tampered,
+        truth_vendor=truth_vendor,
+        truth_domain=truth_domain,
+        truth_client_kind=truth_client_kind,
+    )

@@ -1,0 +1,231 @@
+"""Command-line interface: ``repro-tamper`` / ``python -m repro``.
+
+Subcommands:
+
+* ``simulate`` -- run a study and write samples to JSONL (optionally pcap).
+* ``classify`` -- classify a JSONL sample file and print per-signature counts.
+* ``report`` -- run a study and print the headline analyses (Table 1
+  statistics, per-country rates, top categories).
+* ``evidence`` -- print IP-ID/TTL injection evidence for a sample file.
+* ``radar`` -- export privacy-preserving aggregates (the paper's data-
+  sharing commitment), suppressing small cells.
+* ``fingerprints`` -- cluster device fingerprints in a sample file.
+* ``profiles`` -- export the built-in country profiles as editable JSON.
+* ``signatures`` -- print the Table 1 signature catalogue.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections import Counter
+from typing import List, Optional
+
+from repro.cdn.collector import read_samples_jsonl, write_samples_jsonl
+from repro.core.classifier import TamperingClassifier
+from repro.core.model import SIGNATURES
+from repro.core.report import render_table
+from repro.netstack.pcap import write_pcap
+from repro.workloads.scenarios import iran_protest_study, two_week_study
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-tamper",
+        description="Passive connection-tampering detection (SIGCOMM 2023 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sim = sub.add_parser("simulate", help="run a study and persist the samples")
+    sim.add_argument("--connections", "-n", type=int, default=2000)
+    sim.add_argument("--seed", type=int, default=7)
+    sim.add_argument("--scenario", choices=("two-week", "iran"), default="two-week")
+    sim.add_argument("--profiles", help="JSON file of country profiles (two-week scenario only)")
+    sim.add_argument("--out", "-o", required=True, help="output JSONL path")
+    sim.add_argument("--pcap", help="also write all sampled packets to this pcap")
+
+    cls = sub.add_parser("classify", help="classify a JSONL sample file")
+    cls.add_argument("samples", help="input JSONL path")
+    cls.add_argument("--inactivity", type=float, default=3.0)
+
+    rep = sub.add_parser("report", help="run a study and print headline analyses")
+    rep.add_argument("--connections", "-n", type=int, default=2000)
+    rep.add_argument("--seed", type=int, default=7)
+
+    evd = sub.add_parser("evidence", help="IP-ID/TTL injection evidence for a JSONL sample file")
+    evd.add_argument("samples", help="input JSONL path")
+
+    radar = sub.add_parser("radar", help="run a study and export privacy-safe aggregates")
+    radar.add_argument("--connections", "-n", type=int, default=2000)
+    radar.add_argument("--seed", type=int, default=7)
+    radar.add_argument("--min-cell", type=int, default=20)
+    radar.add_argument("--out", "-o", required=True, help="output JSON path")
+
+    fng = sub.add_parser("fingerprints", help="cluster device fingerprints in a JSONL sample file")
+    fng.add_argument("samples", help="input JSONL path")
+    fng.add_argument("--min-count", type=int, default=2)
+
+    profiles = sub.add_parser("profiles", help="export the built-in country profiles as JSON")
+    profiles.add_argument("--out", "-o", required=True, help="output JSON path")
+
+    sub.add_parser("signatures", help="print the Table 1 signature catalogue")
+    return parser
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    if args.scenario == "iran":
+        study = iran_protest_study(n_connections=args.connections, seed=args.seed)
+    else:
+        profiles = None
+        if getattr(args, "profiles", None):
+            from repro.workloads.config import load_profiles
+
+            profiles = load_profiles(args.profiles)
+        study = two_week_study(n_connections=args.connections, seed=args.seed,
+                               profiles=profiles)
+    count = write_samples_jsonl(args.out, study.samples)
+    print(f"wrote {count} samples to {args.out}")
+    if args.pcap:
+        packets = [p for sample in study.samples for p in sample.packets]
+        write_pcap(args.pcap, packets)
+        print(f"wrote {len(packets)} packets to {args.pcap}")
+    return 0
+
+
+def _cmd_classify(args: argparse.Namespace) -> int:
+    from repro.core.classifier import ClassifierConfig
+
+    samples = read_samples_jsonl(args.samples)
+    classifier = TamperingClassifier(ClassifierConfig(inactivity_seconds=args.inactivity))
+    results = classifier.classify_all(samples)
+    counts = Counter(r.signature for r in results)
+    rows = [
+        [sig.display if sig.is_tampering else sig.value, counts[sig], f"{100.0 * counts[sig] / len(results):.2f}%"]
+        for sig in sorted(counts, key=lambda s: -counts[s])
+    ]
+    print(render_table(["signature", "count", "share"], rows, title=f"{len(results)} connections"))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    study = two_week_study(n_connections=args.connections, seed=args.seed)
+    data = study.analyze()
+    stats = data.stage_statistics()
+    print(f"connections: {stats['total_connections']}")
+    print(f"possibly tampered: {stats['possibly_tampered_pct']:.1f}%")
+    print(f"signature coverage of possibly tampered: {stats['signature_coverage_pct']:.1f}%")
+    print()
+    rates = data.country_tampering_rate()
+    rows = [[country, f"{rate:.1f}%"] for country, rate in sorted(rates.items(), key=lambda kv: -kv[1])[:20]]
+    print(render_table(["country", "tampered"], rows, title="Top tampered countries"))
+    print()
+    table2 = data.category_table(study.world.categories, countries=["CN", "IR", "US"], threshold=3)
+    rows = []
+    for region, entries in table2.items():
+        for cat, share, coverage in entries:
+            rows.append([region, cat, f"{share:.1f}%", f"{coverage:.1f}%"])
+    print(render_table(["region", "category", "% tampered conns", "category coverage"], rows,
+                       title="Most affected categories"))
+    return 0
+
+
+def _cmd_evidence(args: argparse.Namespace) -> int:
+    from repro.core.evidence import evidence_for_sample
+
+    samples = read_samples_jsonl(args.samples)
+    classifier = TamperingClassifier()
+    rows = []
+    scanners = 0
+    for sample in samples:
+        result = classifier.classify(sample)
+        if not result.is_tampering:
+            continue
+        summary = evidence_for_sample(sample)
+        scanners += summary.scanner
+        rows.append([
+            sample.conn_id,
+            result.signature.display,
+            summary.max_ipid_delta if summary.max_ipid_delta is not None else "-",
+            summary.max_ttl_delta if summary.max_ttl_delta is not None else "-",
+            "yes" if (summary.ipid_inconsistent or summary.ttl_inconsistent) else "no",
+        ])
+    print(render_table(
+        ["conn", "signature", "max |ΔIP-ID|", "max ΔTTL", "injection evidence"],
+        rows,
+        title=f"{len(rows)} tampering matches ({scanners} scanner-heuristic hits overall)",
+    ))
+    return 0
+
+
+def _cmd_radar(args: argparse.Namespace) -> int:
+    from repro.core.sharing import build_radar_export, write_radar_json
+
+    study = two_week_study(n_connections=args.connections, seed=args.seed)
+    data = study.analyze()
+    records = build_radar_export(data, min_cell=args.min_cell)
+    count = write_radar_json(args.out, records, indent=2)
+    countries = sorted({r.country for r in records})
+    print(f"wrote {count} aggregate records for {len(countries)} countries to {args.out}")
+    print(f"privacy floor: cells with fewer than {args.min_cell} connections suppressed")
+    return 0
+
+
+def _cmd_fingerprints(args: argparse.Namespace) -> int:
+    from repro.core.fingerprint import FingerprintIndex
+
+    samples = read_samples_jsonl(args.samples)
+    classifier = TamperingClassifier()
+    results = classifier.classify_all(samples)
+    index = FingerprintIndex.build(samples, results)
+    rows = []
+    for cluster in index.clusters(min_count=args.min_count):
+        rows.append([
+            cluster.fingerprint.signature.display,
+            cluster.fingerprint.ttl.value,
+            cluster.fingerprint.ip_id.value,
+            cluster.count,
+            cluster.label,
+        ])
+    print(render_table(["signature", "ttl", "ip-id", "events", "catalogue label"],
+                       rows, title=f"{len(rows)} fingerprint clusters"))
+    return 0
+
+
+def _cmd_profiles(args: argparse.Namespace) -> int:
+    from repro.workloads.config import dump_profiles
+    from repro.workloads.profiles import default_profiles
+
+    count = dump_profiles(args.out, default_profiles())
+    print(f"wrote {count} country profiles to {args.out}")
+    return 0
+
+
+def _cmd_signatures(_args: argparse.Namespace) -> int:
+    rows = [
+        [info.stage.value, info.display, info.description, info.prior_work]
+        for info in SIGNATURES.values()
+    ]
+    print(render_table(["stage", "signature", "description", "prior work"], rows,
+                       title="Table 1: tampering signatures"))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "simulate": _cmd_simulate,
+        "classify": _cmd_classify,
+        "report": _cmd_report,
+        "evidence": _cmd_evidence,
+        "radar": _cmd_radar,
+        "fingerprints": _cmd_fingerprints,
+        "profiles": _cmd_profiles,
+        "signatures": _cmd_signatures,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

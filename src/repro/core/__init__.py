@@ -1,0 +1,78 @@
+"""The paper's contribution: passive tampering detection and analysis.
+
+* :mod:`repro.core.model` -- the 19 tampering signatures of Table 1 and
+  the connection-stage taxonomy.
+* :mod:`repro.core.sequence` -- packet-order reconstruction from headers
+  (the dataset's timestamps have 1-second granularity).
+* :mod:`repro.core.signatures` -- the stage split and per-stage signature
+  decision logic.
+* :mod:`repro.core.classifier` -- the end-to-end pipeline from a
+  :class:`~repro.cdn.collector.ConnectionSample` to a classification.
+* :mod:`repro.core.evidence` -- IP-ID/TTL injection evidence (Figures
+  2-3) and scanner heuristics (§4.2).
+* :mod:`repro.core.aggregate` -- the groupings behind Figures 1, 4-10 and
+  Table 2.
+* :mod:`repro.core.testlists` -- test-list coverage analysis (Table 3).
+* :mod:`repro.core.report` -- plain-text rendering of every artifact.
+"""
+
+from repro.core.model import SignatureId, Stage, SIGNATURES, signature_info
+from repro.core.sequence import reconstruct_order
+from repro.core.signatures import SignatureMatch, match_signature
+from repro.core.classifier import ClassificationResult, ClassifierConfig, TamperingClassifier
+from repro.core.evidence import (
+    EvidenceSummary,
+    evidence_for_sample,
+    looks_like_scanner,
+    looks_like_zmap,
+    max_ipid_delta,
+    max_ttl_delta,
+)
+from repro.core.aggregate import AnalysisDataset, AnalyzedConnection
+from repro.core.fingerprint import (
+    Fingerprint,
+    FingerprintCluster,
+    FingerprintIndex,
+    fingerprint_sample,
+)
+from repro.core.sharing import RadarRecord, build_radar_export, write_radar_json
+from repro.core.stats import Changepoint, detect_changepoints, wilson_interval
+from repro.core.testlists import TestList, coverage_table, registrable_domain
+from repro.core.validation import ConfusionSummary, ValidationReport, score_dataset
+
+__all__ = [
+    "SignatureId",
+    "Stage",
+    "SIGNATURES",
+    "signature_info",
+    "reconstruct_order",
+    "SignatureMatch",
+    "match_signature",
+    "TamperingClassifier",
+    "ClassifierConfig",
+    "ClassificationResult",
+    "EvidenceSummary",
+    "evidence_for_sample",
+    "max_ipid_delta",
+    "max_ttl_delta",
+    "looks_like_scanner",
+    "looks_like_zmap",
+    "AnalyzedConnection",
+    "AnalysisDataset",
+    "TestList",
+    "registrable_domain",
+    "coverage_table",
+    "RadarRecord",
+    "build_radar_export",
+    "write_radar_json",
+    "ConfusionSummary",
+    "ValidationReport",
+    "score_dataset",
+    "Fingerprint",
+    "FingerprintCluster",
+    "FingerprintIndex",
+    "fingerprint_sample",
+    "wilson_interval",
+    "detect_changepoints",
+    "Changepoint",
+]

@@ -1,0 +1,548 @@
+"""Aggregation: the groupings behind the paper's figures and tables.
+
+:class:`AnalyzedConnection` is one classified connection annotated with
+geolocation; :class:`AnalysisDataset` holds a batch of them and exposes
+one method per analysis artifact:
+
+* :meth:`AnalysisDataset.signature_country_matrix` -- Figure 1
+* :meth:`AnalysisDataset.country_signature_shares` -- Figure 4
+* :meth:`AnalysisDataset.asn_match_proportions` -- Figure 5
+* :meth:`AnalysisDataset.timeseries` -- Figures 6, 8 and 9
+* :meth:`AnalysisDataset.ip_version_rates` -- Figure 7(a)
+* :meth:`AnalysisDataset.protocol_post_psh_rates` -- Figure 7(b)
+* :meth:`AnalysisDataset.category_table` -- Table 2
+* :meth:`AnalysisDataset.tampered_domains` -- Table 3 input
+* :meth:`AnalysisDataset.overlap_matrix` -- Figure 10
+* :meth:`AnalysisDataset.stage_statistics` -- Table 1 companion numbers
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from collections import Counter, defaultdict
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.cdn.categorize import CategoryDB
+from repro.cdn.geo import GeoDatabase
+from repro.core.classifier import ClassificationResult
+from repro.core.model import SignatureId, Stage
+
+__all__ = ["AnalyzedConnection", "AnalysisDataset", "regression_slope"]
+
+#: Signature stages the paper restricts attack-sensitive analyses to.
+POST_ACK_PSH_STAGES = (Stage.POST_ACK, Stage.POST_PSH)
+
+
+@dataclasses.dataclass
+class AnalyzedConnection:
+    """One classified, geolocated connection (the analysis unit)."""
+
+    conn_id: int
+    ts: float
+    country: str
+    asn: int
+    signature: SignatureId
+    stage: Stage
+    ip_version: int
+    server_port: int
+    protocol: Optional[str]
+    domain: Optional[str]
+    client_ip: str
+    possibly_tampered: bool
+    truth_tampered: Optional[bool] = None
+    truth_vendor: Optional[str] = None
+    truth_domain: Optional[str] = None
+    truth_client_kind: str = "browser"
+
+    @property
+    def tampered(self) -> bool:
+        """True when one of the 19 tampering signatures matched."""
+        return self.signature.is_tampering
+
+    @property
+    def wire_protocol(self) -> str:
+        """Protocol by destination port ('tls' for 443, else 'http')."""
+        return "tls" if self.server_port == 443 else "http"
+
+
+def analyze_results(
+    results: Iterable[ClassificationResult],
+    geodb: GeoDatabase,
+    timestamps: Optional[Mapping[int, float]] = None,
+) -> List[AnalyzedConnection]:
+    """Annotate classification results with geolocation and timing.
+
+    ``timestamps`` optionally maps ``conn_id`` to the connection start
+    time; when absent, each sample's earliest packet timestamp is used.
+    """
+    out: List[AnalyzedConnection] = []
+    for res in results:
+        sample = res.sample
+        record = geodb.lookup_or_none(sample.client_ip)
+        country = record.country if record else "??"
+        asn = record.asn if record else -1
+        if timestamps is not None and sample.conn_id in timestamps:
+            ts = timestamps[sample.conn_id]
+        else:
+            ts = min((p.ts for p in sample.packets), default=0.0)
+        out.append(
+            AnalyzedConnection(
+                conn_id=sample.conn_id,
+                ts=ts,
+                country=country,
+                asn=asn,
+                signature=res.signature,
+                stage=res.stage,
+                ip_version=sample.ip_version,
+                server_port=sample.server_port,
+                protocol=res.protocol,
+                domain=res.domain,
+                client_ip=sample.client_ip,
+                possibly_tampered=res.possibly_tampered,
+                truth_tampered=sample.truth_tampered,
+                truth_vendor=sample.truth_vendor,
+                truth_domain=sample.truth_domain,
+                truth_client_kind=sample.truth_client_kind,
+            )
+        )
+    return out
+
+
+def regression_slope(points: Sequence[Tuple[float, float]]) -> float:
+    """Least-squares slope through the origin of (x, y) points.
+
+    The paper quotes through-origin slopes for Figure 7 (IPv4 vs IPv6
+    tampering rates ≈ 0.92; TLS vs HTTP ≈ 0.3).
+    """
+    num = sum(x * y for x, y in points)
+    den = sum(x * x for x, _ in points)
+    return num / den if den else 0.0
+
+
+class AnalysisDataset:
+    """A batch of analyzed connections with per-artifact groupings."""
+
+    def __init__(self, connections: Sequence[AnalyzedConnection]) -> None:
+        self.connections = list(connections)
+
+    @classmethod
+    def from_results(
+        cls,
+        results: Iterable[ClassificationResult],
+        geodb: GeoDatabase,
+        timestamps: Optional[Mapping[int, float]] = None,
+    ) -> "AnalysisDataset":
+        return cls(analyze_results(results, geodb, timestamps))
+
+    def __len__(self) -> int:
+        return len(self.connections)
+
+    def __iter__(self):
+        return iter(self.connections)
+
+    # ------------------------------------------------------------------
+    # Basic filters
+    # ------------------------------------------------------------------
+    def filter(self, predicate) -> "AnalysisDataset":
+        """A new dataset of connections satisfying ``predicate``."""
+        return AnalysisDataset([c for c in self.connections if predicate(c)])
+
+    def in_countries(self, countries: Iterable[str]) -> "AnalysisDataset":
+        wanted = set(countries)
+        return self.filter(lambda c: c.country in wanted)
+
+    def post_ack_psh(self) -> "AnalysisDataset":
+        """Connections whose signature is in the Post-ACK/Post-PSH stages.
+
+        The paper restricts attack-sensitive results to these stages
+        because Post-SYN matches can be SYN floods or scanners (§4.2).
+        """
+        return self.filter(lambda c: c.tampered and c.stage in POST_ACK_PSH_STAGES)
+
+    @property
+    def countries(self) -> List[str]:
+        return sorted({c.country for c in self.connections})
+
+    # ------------------------------------------------------------------
+    # Table 1 companion statistics
+    # ------------------------------------------------------------------
+    def stage_statistics(self) -> Dict[str, object]:
+        """Possibly-tampered share, per-stage shares, per-stage coverage.
+
+        Mirrors §4.1's headline numbers: 25.7% possibly tampered; stage
+        shares 43.2 / 16.1 / 5.3 / 33.0 (+2.3 other); coverage within
+        stage 99.5 / 98.7 / 97.9 / 69.2; overall coverage 86.9%.
+        """
+        total = len(self.connections)
+        possibly = [c for c in self.connections if c.possibly_tampered]
+        n_possibly = len(possibly)
+
+        stage_counts: Counter = Counter()
+        stage_matched: Counter = Counter()
+        for c in possibly:
+            stage = c.stage if c.stage != Stage.NONE else None
+            key = stage.value if stage else "other"
+            stage_counts[key] += 1
+            if c.tampered:
+                stage_matched[key] += 1
+        matched_total = sum(1 for c in possibly if c.tampered)
+
+        def share(n: int, d: int) -> float:
+            return 100.0 * n / d if d else 0.0
+
+        return {
+            "total_connections": total,
+            "possibly_tampered": n_possibly,
+            "possibly_tampered_pct": share(n_possibly, total),
+            "stage_share_pct": {k: share(v, n_possibly) for k, v in sorted(stage_counts.items())},
+            "stage_coverage_pct": {
+                k: share(stage_matched.get(k, 0), v) for k, v in sorted(stage_counts.items())
+            },
+            "signature_coverage_pct": share(matched_total, n_possibly),
+            "signature_counts": Counter(c.signature for c in possibly if c.tampered),
+        }
+
+    # ------------------------------------------------------------------
+    # Figure 1: per-signature country distribution
+    # ------------------------------------------------------------------
+    def signature_country_matrix(self) -> Dict[SignatureId, Dict[str, float]]:
+        """For each signature, each country's share of its matches (%)"""
+        counts: Dict[SignatureId, Counter] = defaultdict(Counter)
+        for c in self.connections:
+            if c.tampered:
+                counts[c.signature][c.country] += 1
+        out: Dict[SignatureId, Dict[str, float]] = {}
+        for sig, counter in counts.items():
+            total = sum(counter.values())
+            out[sig] = {country: 100.0 * n / total for country, n in counter.most_common()}
+        return out
+
+    def baseline_country_distribution(self) -> Dict[str, float]:
+        """Each country's share of *all* connections (%) -- Figure 1's foil."""
+        counter = Counter(c.country for c in self.connections)
+        total = sum(counter.values())
+        return {country: 100.0 * n / total for country, n in counter.most_common()}
+
+    # ------------------------------------------------------------------
+    # Figure 4: per-country signature shares
+    # ------------------------------------------------------------------
+    def country_signature_shares(self) -> Dict[str, Dict[SignatureId, float]]:
+        """Per country: % of its connections matching each signature.
+
+        Includes a ``NOT_TAMPERING`` entry so each country's column sums
+        to ~100 (OTHER connections fold into NOT_TAMPERING, matching the
+        figure's 'Not Tampering' band).
+        """
+        by_country: Dict[str, Counter] = defaultdict(Counter)
+        totals: Counter = Counter()
+        for c in self.connections:
+            totals[c.country] += 1
+            key = c.signature if c.tampered else SignatureId.NOT_TAMPERING
+            by_country[c.country][key] += 1
+        return {
+            country: {
+                sig: 100.0 * n / totals[country] for sig, n in counter.items()
+            }
+            for country, counter in by_country.items()
+        }
+
+    def country_tampering_rate(self) -> Dict[str, float]:
+        """Per country: % of connections matching any tampering signature."""
+        shares = self.country_signature_shares()
+        return {
+            country: sum(pct for sig, pct in sigs.items() if sig.is_tampering)
+            for country, sigs in shares.items()
+        }
+
+    # ------------------------------------------------------------------
+    # Figure 5: per-AS match proportions
+    # ------------------------------------------------------------------
+    def asn_match_proportions(
+        self, top_share: float = 0.8, min_connections: int = 1
+    ) -> Dict[str, List[Tuple[int, float, float]]]:
+        """Per country: (asn, match %, share of country's connections).
+
+        Only the largest ASes that together originate ``top_share`` of a
+        country's connections are included, as in Figure 5;
+        ``min_connections`` additionally drops ASes whose sample is too
+        small for a stable proportion estimate.
+        """
+        per_asn: Dict[str, Counter] = defaultdict(Counter)
+        per_asn_matched: Dict[str, Counter] = defaultdict(Counter)
+        country_totals: Counter = Counter()
+        for c in self.connections:
+            per_asn[c.country][c.asn] += 1
+            country_totals[c.country] += 1
+            if c.tampered:
+                per_asn_matched[c.country][c.asn] += 1
+
+        out: Dict[str, List[Tuple[int, float, float]]] = {}
+        for country, counter in per_asn.items():
+            total = country_totals[country]
+            rows: List[Tuple[int, float, float]] = []
+            covered = 0
+            for asn, n in counter.most_common():
+                if covered >= top_share * total and rows:
+                    break
+                covered += n
+                if n < min_connections:
+                    continue
+                matched = per_asn_matched[country].get(asn, 0)
+                rows.append((asn, 100.0 * matched / n, 100.0 * n / total))
+            out[country] = rows
+        return out
+
+    def asn_spread(self, top_share: float = 0.8, min_connections: int = 1) -> Dict[str, float]:
+        """Per country: max-min spread of per-AS match proportions.
+
+        Low spread ⇒ centralized tampering (CN, IR); high spread ⇒
+        decentralized (RU, UA, PK) -- the Figure 5 observation.
+        """
+        out: Dict[str, float] = {}
+        for country, rows in self.asn_match_proportions(top_share, min_connections).items():
+            if len(rows) >= 2:
+                rates = [rate for _, rate, _ in rows]
+                out[country] = max(rates) - min(rates)
+            else:
+                out[country] = 0.0
+        return out
+
+    # ------------------------------------------------------------------
+    # Figures 6 / 8 / 9: timeseries
+    # ------------------------------------------------------------------
+    def timeseries(
+        self,
+        bucket_seconds: float = 3600.0,
+        countries: Optional[Sequence[str]] = None,
+        signatures: Optional[Set[SignatureId]] = None,
+        stages: Optional[Sequence[Stage]] = None,
+        per_signature: bool = False,
+    ) -> Dict[str, List[Tuple[float, float]]]:
+        """Match percentage over time.
+
+        Keyed by country (default) or by signature display string when
+        ``per_signature`` is set (Figures 8 and 9).  Each value is a list
+        of (bucket_start, percent) sorted by time; the denominator is
+        the bucket's total connection count within the filter scope.
+        """
+        scope = self.connections
+        if countries is not None:
+            wanted = set(countries)
+            scope = [c for c in scope if c.country in wanted]
+
+        def is_match(c: AnalyzedConnection) -> bool:
+            if not c.tampered:
+                return False
+            if signatures is not None and c.signature not in signatures:
+                return False
+            if stages is not None and c.stage not in stages:
+                return False
+            return True
+
+        totals: Dict[Tuple[str, float], int] = Counter()
+        matches: Dict[Tuple[str, float], int] = Counter()
+        all_buckets: Dict[str, Set[float]] = defaultdict(set)
+
+        for c in scope:
+            bucket = math.floor(c.ts / bucket_seconds) * bucket_seconds
+            if per_signature:
+                totals[("__all__", bucket)] += 1
+                all_buckets["__all__"].add(bucket)
+                if is_match(c):
+                    key = c.signature.display
+                    matches[(key, bucket)] += 1
+                    all_buckets[key].add(bucket)
+            else:
+                totals[(c.country, bucket)] += 1
+                all_buckets[c.country].add(bucket)
+                if is_match(c):
+                    matches[(c.country, bucket)] += 1
+
+        out: Dict[str, List[Tuple[float, float]]] = {}
+        if per_signature:
+            buckets = sorted(all_buckets.get("__all__", ()))
+            series_keys = sorted(k for k in all_buckets if k != "__all__")
+            for key in series_keys:
+                out[key] = [
+                    (
+                        b,
+                        100.0 * matches.get((key, b), 0) / totals.get(("__all__", b), 1),
+                    )
+                    for b in buckets
+                ]
+        else:
+            for key, buckets in all_buckets.items():
+                out[key] = [
+                    (b, 100.0 * matches.get((key, b), 0) / totals.get((key, b), 1))
+                    for b in sorted(buckets)
+                ]
+        return out
+
+    # ------------------------------------------------------------------
+    # Figure 7: IP version and protocol comparisons
+    # ------------------------------------------------------------------
+    def ip_version_rates(self, min_connections: int = 1) -> Dict[str, Tuple[float, float]]:
+        """Per country: (IPv4 %, IPv6 %) of Post-ACK/Post-PSH matches.
+
+        Countries with fewer than ``min_connections`` samples in either
+        address family are omitted: a rate estimated from a handful of
+        connections says nothing (Turkmenistan's 2% IPv6 share would
+        otherwise contribute pure noise to Figure 7a).
+        """
+        totals: Dict[Tuple[str, int], int] = Counter()
+        matched: Dict[Tuple[str, int], int] = Counter()
+        for c in self.connections:
+            totals[(c.country, c.ip_version)] += 1
+            if c.tampered and c.stage in POST_ACK_PSH_STAGES:
+                matched[(c.country, c.ip_version)] += 1
+        out: Dict[str, Tuple[float, float]] = {}
+        for country in {c for c, _ in totals}:
+            t4, t6 = totals.get((country, 4), 0), totals.get((country, 6), 0)
+            if t4 < min_connections or t6 < min_connections:
+                continue
+            out[country] = (
+                100.0 * matched.get((country, 4), 0) / t4,
+                100.0 * matched.get((country, 6), 0) / t6,
+            )
+        return out
+
+    def protocol_post_psh_rates(self) -> Dict[str, Tuple[float, float]]:
+        """Per country: (TLS %, HTTP %) of Post-PSH matches by wire protocol."""
+        totals: Dict[Tuple[str, str], int] = Counter()
+        matched: Dict[Tuple[str, str], int] = Counter()
+        for c in self.connections:
+            proto = c.wire_protocol
+            totals[(c.country, proto)] += 1
+            if c.tampered and c.stage == Stage.POST_PSH:
+                matched[(c.country, proto)] += 1
+        out: Dict[str, Tuple[float, float]] = {}
+        for country in {c for c, _ in totals}:
+            t_tls, t_http = totals.get((country, "tls"), 0), totals.get((country, "http"), 0)
+            if t_tls == 0 or t_http == 0:
+                continue
+            out[country] = (
+                100.0 * matched.get((country, "tls"), 0) / t_tls,
+                100.0 * matched.get((country, "http"), 0) / t_http,
+            )
+        return out
+
+    # ------------------------------------------------------------------
+    # Table 2: category analysis
+    # ------------------------------------------------------------------
+    def tampered_domains(
+        self,
+        country: Optional[str] = None,
+        threshold: int = 100,
+        window_seconds: float = 86400.0,
+    ) -> Set[str]:
+        """Domains with ≥ ``threshold`` Post-PSH matches in some window.
+
+        The paper counts a domain as tampered within a region only when
+        it exceeds 100 Post-PSH matches in a one-day period.
+        """
+        counts: Dict[Tuple[str, float], int] = Counter()
+        for c in self.connections:
+            if country is not None and c.country != country:
+                continue
+            if not (c.tampered and c.stage in (Stage.POST_PSH, Stage.POST_DATA) and c.domain):
+                continue
+            day = math.floor(c.ts / window_seconds)
+            counts[(c.domain, day)] += 1
+        return {domain for (domain, _), n in counts.items() if n >= threshold}
+
+    def domains_seen(self, country: Optional[str] = None) -> Set[str]:
+        """All domains observed in requests from ``country`` (or anywhere)."""
+        return {
+            c.domain
+            for c in self.connections
+            if c.domain and (country is None or c.country == country)
+        }
+
+    def category_table(
+        self,
+        categories: CategoryDB,
+        countries: Sequence[str],
+        threshold: int = 100,
+        top_n: int = 3,
+        include_global: bool = True,
+    ) -> Dict[str, List[Tuple[str, float, float]]]:
+        """Table 2: per region, top categories of tampered traffic.
+
+        Each row is (category, % of region's tampered connections in the
+        category, % of the region's seen domains in the category that are
+        tampered -- the paper's 'coverage').
+        """
+        regions: List[Optional[str]] = ([None] if include_global else []) + list(countries)
+        out: Dict[str, List[Tuple[str, float, float]]] = {}
+        for region in regions:
+            label = region or "Global"
+            tampered = self.tampered_domains(country=region, threshold=threshold)
+            conns = [
+                c
+                for c in self.connections
+                if (region is None or c.country == region)
+                and c.tampered
+                and c.stage in (Stage.POST_PSH, Stage.POST_DATA)
+                and c.domain
+            ]
+            if not conns:
+                out[label] = []
+                continue
+            cat_conn_counts: Counter = Counter()
+            for c in conns:
+                for cat in categories.categories_of(c.domain):
+                    cat_conn_counts[cat] += 1
+            total_tampered_conns = len(conns)
+
+            seen = self.domains_seen(country=region)
+            rows: List[Tuple[str, float, float]] = []
+            for cat, n in cat_conn_counts.most_common(top_n):
+                cat_domains_seen = {d for d in seen if cat in categories.categories_of(d)}
+                cat_domains_tampered = {d for d in tampered if cat in categories.categories_of(d)}
+                coverage = (
+                    100.0 * len(cat_domains_tampered) / len(cat_domains_seen)
+                    if cat_domains_seen
+                    else 0.0
+                )
+                rows.append((cat, 100.0 * n / total_tampered_conns, coverage))
+            out[label] = rows
+        return out
+
+    # ------------------------------------------------------------------
+    # Figure 10: signature overlap for IP-domain pairs
+    # ------------------------------------------------------------------
+    def overlap_matrix(self) -> Dict[Tuple[str, str], int]:
+        """Counts of (first signature, next signature) per IP-domain pair.
+
+        Consecutive Post-PSH-stage observations of the same (client IP,
+        domain) pair: for each adjacent pair in time, the earlier and the
+        later signature (display strings; NOT_TAMPERING included).
+        """
+        per_pair: Dict[Tuple[str, str], List[Tuple[float, SignatureId]]] = defaultdict(list)
+        for c in self.connections:
+            if not c.domain:
+                continue
+            if c.stage == Stage.POST_PSH or (not c.tampered):
+                sig = c.signature if c.tampered else SignatureId.NOT_TAMPERING
+                per_pair[(c.client_ip, c.domain)].append((c.ts, sig))
+
+        matrix: Dict[Tuple[str, str], int] = Counter()
+        for observations in per_pair.values():
+            if len(observations) < 2:
+                continue
+            observations.sort(key=lambda item: item[0])
+            for (_, first), (_, nxt) in zip(observations, observations[1:]):
+                first_name = first.display if first.is_tampering else "Not Tampering"
+                next_name = nxt.display if nxt.is_tampering else "Not Tampering"
+                matrix[(first_name, next_name)] += 1
+        return dict(matrix)
+
+    def overlap_consistency(self) -> float:
+        """Fraction of transitions where the signature repeats (diagonal)."""
+        matrix = self.overlap_matrix()
+        total = sum(matrix.values())
+        if not total:
+            return 0.0
+        diagonal = sum(n for (a, b), n in matrix.items() if a == b)
+        return diagonal / total

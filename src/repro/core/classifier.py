@@ -1,0 +1,110 @@
+"""The end-to-end classification pipeline.
+
+:class:`TamperingClassifier` turns a raw
+:class:`~repro.cdn.collector.ConnectionSample` into a
+:class:`ClassificationResult`: the matched signature, the connection
+stage, the protocol and domain extracted from the trigger payload when it
+reached the server (Post-PSH and later), plus the fields downstream
+aggregation needs.  This is the component a CDN would run in production;
+everything it reads is available in a genuine server-side capture.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+from repro.cdn.collector import ConnectionSample
+from repro.core.model import SignatureId, Stage
+from repro.core.signatures import INACTIVITY_SECONDS, SignatureMatch, match_signature
+from repro.errors import ClassificationError
+from repro.netstack.http import extract_host, is_http_request
+from repro.netstack.tls import extract_sni, is_tls_client_hello
+
+__all__ = ["ClassifierConfig", "ClassificationResult", "TamperingClassifier"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ClassifierConfig:
+    """Pipeline tunables (defaults = the paper's settings)."""
+
+    max_packets: int = 10
+    inactivity_seconds: float = INACTIVITY_SECONDS
+    reorder: bool = True  # reconstruct packet order before matching
+
+    def __post_init__(self) -> None:
+        if self.max_packets < 1:
+            raise ClassificationError("max_packets must be >= 1")
+        if self.inactivity_seconds <= 0:
+            raise ClassificationError("inactivity_seconds must be positive")
+
+
+@dataclasses.dataclass
+class ClassificationResult:
+    """One classified connection."""
+
+    sample: ConnectionSample
+    signature: SignatureId
+    stage: Stage
+    possibly_tampered: bool
+    protocol: Optional[str]  # "tls" | "http" | None
+    domain: Optional[str]  # extracted from the trigger payload, if any
+    silence_gap: float
+    n_data_segments: int
+
+    @property
+    def is_tampering(self) -> bool:
+        return self.signature.is_tampering
+
+    @property
+    def conn_id(self) -> int:
+        return self.sample.conn_id
+
+
+def _extract_protocol_domain(sample: ConnectionSample):
+    """Protocol and domain from the reassembled client payload."""
+    payload = sample.first_payload()
+    if not payload:
+        return None, None
+    if is_tls_client_hello(payload):
+        return "tls", extract_sni(payload)
+    if is_http_request(payload):
+        return "http", extract_host(payload)
+    return None, None
+
+
+class TamperingClassifier:
+    """Stateless classifier over connection samples."""
+
+    def __init__(self, config: Optional[ClassifierConfig] = None) -> None:
+        self.config = config or ClassifierConfig()
+
+    def classify(self, sample: ConnectionSample) -> ClassificationResult:
+        """Classify one sample."""
+        match: SignatureMatch = match_signature(
+            sample.packets,
+            window_end=sample.window_end,
+            max_packets=self.config.max_packets,
+            inactivity_seconds=self.config.inactivity_seconds,
+            reorder=self.config.reorder,
+        )
+        protocol, domain = _extract_protocol_domain(sample)
+        return ClassificationResult(
+            sample=sample,
+            signature=match.signature,
+            stage=match.stage,
+            possibly_tampered=match.possibly_tampered,
+            protocol=protocol,
+            domain=domain,
+            silence_gap=match.silence_gap,
+            n_data_segments=match.n_data_segments,
+        )
+
+    def classify_all(self, samples: Iterable[ConnectionSample]) -> List[ClassificationResult]:
+        """Classify a batch of samples."""
+        return [self.classify(s) for s in samples]
+
+    def iter_classify(self, samples: Iterable[ConnectionSample]) -> Iterator[ClassificationResult]:
+        """Streaming variant of :meth:`classify_all`."""
+        for sample in samples:
+            yield self.classify(sample)

@@ -1,0 +1,179 @@
+"""Injection evidence: IP-ID and TTL inconsistencies, scanner heuristics.
+
+The paper's §4.3 validates the signatures by showing that the suspected
+injected packets carry IP-IDs and TTLs inconsistent with the client's own
+packets: a client's consecutive packets differ by 0-1 in IP-ID and ~0 in
+arrival TTL, while a middlebox forging RSTs uses its own counters and its
+own initial TTL from a different path position.
+
+§4.2's scanner heuristics (Hiesgen et al.) are also implemented here:
+option-less SYNs, high arrival TTLs (≥200), fixed non-zero IP-IDs, and
+the ZMap-specific IP-ID constant 54321.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence
+
+from repro.cdn.collector import ConnectionSample
+from repro.core.sequence import reconstruct_order
+from repro.netstack.packet import Packet
+
+__all__ = [
+    "EvidenceSummary",
+    "max_ipid_delta",
+    "min_ipid_delta",
+    "max_ttl_delta",
+    "min_ttl_delta",
+    "looks_like_scanner",
+    "looks_like_zmap",
+    "evidence_for_sample",
+    "ZMAP_IP_ID",
+]
+
+#: The fixed Identification value ZMap writes into its probes.
+ZMAP_IP_ID = 54321
+
+#: Arrival TTL at or above this is "high" (scanner heuristic #2).
+HIGH_TTL_THRESHOLD = 200
+
+
+def _ordered(sample: ConnectionSample) -> List[Packet]:
+    return reconstruct_order(sample.packets)
+
+
+def max_ipid_delta(sample: ConnectionSample) -> Optional[int]:
+    """Maximum |ΔIP-ID| between each RST and its preceding non-RST packet.
+
+    This is Figure 2's metric.  Returns None when the sample is IPv6 (no
+    IP-ID), has no RSTs, or has no non-RST packet before any RST.
+    """
+    if sample.ip_version != 4:
+        return None
+    ordered = _ordered(sample)
+    best: Optional[int] = None
+    last_non_rst: Optional[Packet] = None
+    for pkt in ordered:
+        if pkt.flags.is_rst:
+            if last_non_rst is not None:
+                delta = abs(pkt.ip_id - last_non_rst.ip_id)
+                best = delta if best is None else max(best, delta)
+        else:
+            last_non_rst = pkt
+    return best
+
+
+def min_ipid_delta(sample: ConnectionSample) -> Optional[int]:
+    """Minimum |ΔIP-ID| between consecutive packets (baseline check).
+
+    The paper reports 93.4% of connections have a minimum difference of
+    0 or 1 -- the property that makes large deltas meaningful.
+    """
+    if sample.ip_version != 4:
+        return None
+    ordered = _ordered(sample)
+    if len(ordered) < 2:
+        return None
+    return min(abs(b.ip_id - a.ip_id) for a, b in zip(ordered, ordered[1:]))
+
+
+def max_ttl_delta(sample: ConnectionSample) -> Optional[int]:
+    """Signed TTL change between each RST and its preceding non-RST packet.
+
+    Figure 3's metric: the value with the largest magnitude is returned,
+    keeping its sign (injected packets may arrive with a higher *or*
+    lower TTL than the client's, depending on the injector's initial TTL
+    and path position).  Works for IPv4 and IPv6 (hop limit).
+    """
+    ordered = _ordered(sample)
+    best: Optional[int] = None
+    last_non_rst: Optional[Packet] = None
+    for pkt in ordered:
+        if pkt.flags.is_rst:
+            if last_non_rst is not None:
+                delta = pkt.ttl - last_non_rst.ttl
+                if best is None or abs(delta) > abs(best):
+                    best = delta
+        else:
+            last_non_rst = pkt
+    return best
+
+
+def min_ttl_delta(sample: ConnectionSample) -> Optional[int]:
+    """Minimum |ΔTTL| between consecutive packets (baseline check)."""
+    ordered = _ordered(sample)
+    if len(ordered) < 2:
+        return None
+    return min(abs(b.ttl - a.ttl) for a, b in zip(ordered, ordered[1:]))
+
+
+# ---------------------------------------------------------------------------
+# Scanner heuristics (§4.2)
+# ---------------------------------------------------------------------------
+
+def looks_like_scanner(sample: ConnectionSample) -> bool:
+    """True if the connection shows any Hiesgen-style scanner property.
+
+    (1) SYN without TCP options, (2) arrival TTL ≥ 200, or (3) a fixed
+    non-zero IP-ID across all packets.
+    """
+    syns = [p for p in sample.packets if p.flags.is_syn]
+    if syns and all(not p.options for p in syns):
+        return True
+    # High TTL applies to the prober's SYN only: injected tear-down
+    # packets also arrive with unusual TTLs, but that is injection
+    # evidence (Figure 3), not scanner evidence.
+    if any(p.ttl >= HIGH_TTL_THRESHOLD for p in syns):
+        return True
+    if sample.ip_version == 4 and len(sample.packets) >= 2:
+        non_injected_ids = {p.ip_id for p in sample.packets}
+        if len(non_injected_ids) == 1 and 0 not in non_injected_ids:
+            return True
+    return False
+
+
+def looks_like_zmap(sample: ConnectionSample) -> bool:
+    """True if the SYN carries ZMap's static fields (IP-ID 54321, no options)."""
+    for pkt in sample.packets:
+        if pkt.flags.is_syn and not pkt.flags.is_ack:
+            return pkt.ip_id == ZMAP_IP_ID and not pkt.options
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Combined summary
+# ---------------------------------------------------------------------------
+
+@dataclasses.dataclass(frozen=True)
+class EvidenceSummary:
+    """All evidence metrics for one sample."""
+
+    max_ipid_delta: Optional[int]
+    min_ipid_delta: Optional[int]
+    max_ttl_delta: Optional[int]
+    min_ttl_delta: Optional[int]
+    scanner: bool
+    zmap: bool
+
+    @property
+    def ipid_inconsistent(self) -> bool:
+        """Strong IP-ID injection indicator (paper uses delta > 1)."""
+        return self.max_ipid_delta is not None and self.max_ipid_delta > 1
+
+    @property
+    def ttl_inconsistent(self) -> bool:
+        """Strong TTL injection indicator (|delta| > 1)."""
+        return self.max_ttl_delta is not None and abs(self.max_ttl_delta) > 1
+
+
+def evidence_for_sample(sample: ConnectionSample) -> EvidenceSummary:
+    """Compute every evidence metric for one sample."""
+    return EvidenceSummary(
+        max_ipid_delta=max_ipid_delta(sample),
+        min_ipid_delta=min_ipid_delta(sample),
+        max_ttl_delta=max_ttl_delta(sample),
+        min_ttl_delta=min_ttl_delta(sample),
+        scanner=looks_like_scanner(sample),
+        zmap=looks_like_zmap(sample),
+    )

@@ -1,0 +1,234 @@
+"""Middlebox fingerprinting from tear-down header personalities.
+
+Weaver, Sommer and Paxson's NDSS'09 study (the paper's closest prior
+work, §2.3) went one step past detection: the *combination* of a
+signature with the forged packets' header quirks identifies the device
+that produced it.  This module implements that step over the pipeline's
+samples:
+
+* :func:`fingerprint_sample` reduces one tampered connection to a
+  :class:`Fingerprint` -- the matched signature plus the injected RSTs'
+  TTL behaviour (mimicking / fixed-distinct / randomised) and IP-ID
+  behaviour (copying / counter-like / randomised).
+* :class:`FingerprintIndex` clusters a study by fingerprint and labels
+  clusters against a small catalogue of known device behaviours,
+  exactly how operators turn signature matches into "that is a
+  GFW-style injector on this path".
+
+Everything here reads only observable fields; ground-truth vendor labels
+are used by tests and the benchmark to score cluster purity.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from collections import Counter, defaultdict
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.cdn.collector import ConnectionSample
+from repro.core.classifier import ClassificationResult
+from repro.core.model import SignatureId, Stage
+from repro.core.sequence import reconstruct_order
+
+__all__ = [
+    "TtlBehaviour",
+    "IpIdBehaviour",
+    "Fingerprint",
+    "fingerprint_sample",
+    "FingerprintCluster",
+    "FingerprintIndex",
+]
+
+
+class TtlBehaviour(enum.Enum):
+    """How the tear-down packets' TTLs relate to the client's."""
+
+    MIMIC = "mimic"  # within ±2 of the client's packets
+    FIXED_DISTINCT = "fixed-distinct"  # far from the client, consistent
+    RANDOMISED = "randomised"  # spread out across the burst
+    UNKNOWN = "unknown"  # no baseline or no RSTs
+
+
+class IpIdBehaviour(enum.Enum):
+    """How the tear-down packets' IP-IDs relate to the client's."""
+
+    CONSISTENT = "consistent"  # within ±2: copying or same stack
+    COUNTER = "counter"  # far from client, sequential among themselves
+    RANDOMISED = "randomised"  # far from client, scattered
+    UNKNOWN = "unknown"  # IPv6, or no RSTs
+
+
+@dataclasses.dataclass(frozen=True)
+class Fingerprint:
+    """The observable personality of one tampering event."""
+
+    signature: SignatureId
+    ttl: TtlBehaviour
+    ip_id: IpIdBehaviour
+
+    @property
+    def key(self) -> Tuple[str, str, str]:
+        return (self.signature.value, self.ttl.value, self.ip_id.value)
+
+    def describe(self) -> str:
+        return f"{self.signature.display} ttl={self.ttl.value} ipid={self.ip_id.value}"
+
+
+#: Catalogue of known device behaviours (the Weaver-style lookup table).
+KNOWN_DEVICES: Tuple[Tuple[str, SignatureId, Optional[TtlBehaviour], Optional[IpIdBehaviour]], ...] = (
+    ("GFW-style burst injector", SignatureId.PSH_RST_RSTACK, TtlBehaviour.FIXED_DISTINCT, None),
+    ("GFW-style HTTPS middlebox", SignatureId.PSH_RSTACK_RSTACK, TtlBehaviour.FIXED_DISTINCT, None),
+    ("zero-ack RST pair injector", SignatureId.PSH_RST_RST0, None, None),
+    ("ACK-guessing injector (randomised TTL)", SignatureId.PSH_RST_NEQ_RST, TtlBehaviour.RANDOMISED, None),
+    ("repeated-RST injector", SignatureId.PSH_RST_EQ_RST, None, None),
+    ("post-handshake RST dropper", SignatureId.ACK_RST, None, None),
+    ("post-handshake RST+ACK injector", SignatureId.ACK_RSTACK, None, None),
+    ("mid-handshake RST/RST+ACK injector", SignatureId.SYN_RST_RSTACK, None, None),
+    ("stealthy in-path firewall (header mimic)", SignatureId.PSH_RSTACK, TtlBehaviour.MIMIC, IpIdBehaviour.CONSISTENT),
+    # Not middleboxes at all: packets from the client's own stack mimic
+    # the client perfectly (same TTL, same IP-ID counter) -- scanners,
+    # Happy-Eyeballs cancellations, abortive closes.
+    ("client-generated RST (scanner / Happy Eyeballs)", SignatureId.SYN_RST, TtlBehaviour.MIMIC, IpIdBehaviour.CONSISTENT),
+    ("client-generated RST (abortive close)", SignatureId.DATA_RST, TtlBehaviour.MIMIC, IpIdBehaviour.CONSISTENT),
+)
+
+
+def _ttl_behaviour(client_ttls: Sequence[int], rst_ttls: Sequence[int]) -> TtlBehaviour:
+    if not client_ttls or not rst_ttls:
+        return TtlBehaviour.UNKNOWN
+    baseline = max(set(client_ttls), key=client_ttls.count)
+    deltas = [abs(t - baseline) for t in rst_ttls]
+    spread = max(rst_ttls) - min(rst_ttls)
+    if len(rst_ttls) >= 2 and spread > 16:
+        return TtlBehaviour.RANDOMISED
+    if max(deltas) <= 2:
+        return TtlBehaviour.MIMIC
+    return TtlBehaviour.FIXED_DISTINCT
+
+
+def _ipid_behaviour(sample_version: int, client_ids: Sequence[int], rst_ids: Sequence[int]) -> IpIdBehaviour:
+    if sample_version != 4 or not client_ids or not rst_ids:
+        return IpIdBehaviour.UNKNOWN
+    nearest = min(abs(r - c) for r in rst_ids for c in client_ids)
+    if nearest <= 2:
+        return IpIdBehaviour.CONSISTENT
+    if len(rst_ids) >= 2:
+        gaps = [abs(b - a) for a, b in zip(sorted(rst_ids), sorted(rst_ids)[1:])]
+        if max(gaps) <= 3:
+            return IpIdBehaviour.COUNTER
+        return IpIdBehaviour.RANDOMISED
+    return IpIdBehaviour.RANDOMISED
+
+
+def fingerprint_sample(
+    sample: ConnectionSample, result: ClassificationResult
+) -> Optional[Fingerprint]:
+    """Fingerprint one classified connection; None if not RST-tampering."""
+    if not result.is_tampering:
+        return None
+    ordered = reconstruct_order(sample.packets)
+    rsts = [p for p in ordered if p.flags.is_rst]
+    if not rsts:
+        return None  # drop signatures carry no forged headers to read
+    non_rst = [p for p in ordered if not p.flags.is_rst]
+    return Fingerprint(
+        signature=result.signature,
+        ttl=_ttl_behaviour([p.ttl for p in non_rst], [p.ttl for p in rsts]),
+        ip_id=_ipid_behaviour(sample.ip_version, [p.ip_id for p in non_rst], [p.ip_id for p in rsts]),
+    )
+
+
+@dataclasses.dataclass
+class FingerprintCluster:
+    """All events sharing one fingerprint."""
+
+    fingerprint: Fingerprint
+    count: int
+    countries: Counter
+    vendors: Counter  # ground truth, evaluation only
+
+    @property
+    def label(self) -> str:
+        """Best-effort device label from the catalogue."""
+        for name, signature, ttl, ip_id in KNOWN_DEVICES:
+            if signature != self.fingerprint.signature:
+                continue
+            if ttl is not None and ttl != self.fingerprint.ttl:
+                continue
+            if ip_id is not None and ip_id != self.fingerprint.ip_id:
+                continue
+            return name
+        return "unrecognised device"
+
+    @property
+    def purity(self) -> float:
+        """Share of the cluster from its most common true vendor."""
+        total = sum(self.vendors.values())
+        if not total:
+            return 0.0
+        return self.vendors.most_common(1)[0][1] / total
+
+    @property
+    def dominant_vendor(self) -> Optional[str]:
+        return self.vendors.most_common(1)[0][0] if self.vendors else None
+
+
+class FingerprintIndex:
+    """Cluster a study's tampering events by fingerprint."""
+
+    def __init__(self) -> None:
+        self._counts: Dict[Tuple[str, str, str], int] = Counter()
+        self._countries: Dict[Tuple[str, str, str], Counter] = defaultdict(Counter)
+        self._vendors: Dict[Tuple[str, str, str], Counter] = defaultdict(Counter)
+        self._fingerprints: Dict[Tuple[str, str, str], Fingerprint] = {}
+
+    def add(
+        self,
+        fingerprint: Fingerprint,
+        country: str = "??",
+        truth_vendor: Optional[str] = None,
+    ) -> None:
+        key = fingerprint.key
+        self._counts[key] += 1
+        self._countries[key][country] += 1
+        if truth_vendor:
+            self._vendors[key][truth_vendor] += 1
+        self._fingerprints[key] = fingerprint
+
+    @classmethod
+    def build(
+        cls,
+        samples: Iterable[ConnectionSample],
+        results: Iterable[ClassificationResult],
+        geodb=None,
+    ) -> "FingerprintIndex":
+        index = cls()
+        for sample, result in zip(samples, results):
+            fingerprint = fingerprint_sample(sample, result)
+            if fingerprint is None:
+                continue
+            country = "??"
+            if geodb is not None:
+                record = geodb.lookup_or_none(sample.client_ip)
+                country = record.country if record else "??"
+            index.add(fingerprint, country=country, truth_vendor=sample.truth_vendor)
+        return index
+
+    def clusters(self, min_count: int = 1) -> List[FingerprintCluster]:
+        """All clusters with at least ``min_count`` events, largest first."""
+        out = [
+            FingerprintCluster(
+                fingerprint=self._fingerprints[key],
+                count=count,
+                countries=self._countries[key],
+                vendors=self._vendors[key],
+            )
+            for key, count in self._counts.items()
+            if count >= min_count
+        ]
+        out.sort(key=lambda c: -c.count)
+        return out
+
+    def __len__(self) -> int:
+        return len(self._counts)

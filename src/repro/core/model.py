@@ -1,0 +1,188 @@
+"""The tampering-signature taxonomy (the paper's Table 1).
+
+Nineteen signatures, grouped by *stage* -- how far the connection got
+before the tampering event.  Signature names follow the paper's
+``⟨X → Y⟩`` convention, where X is what the server saw before the event
+and Y what it saw after (``∅`` meaning silence for three seconds or
+more).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, List, Tuple
+
+__all__ = ["Stage", "SignatureId", "SignatureInfo", "SIGNATURES", "signature_info"]
+
+
+class Stage(enum.Enum):
+    """How far the connection progressed before the tampering event."""
+
+    POST_SYN = "post-syn"  # mid-handshake: SYN seen, no handshake ACK
+    POST_ACK = "post-ack"  # handshake done, no client data seen
+    POST_PSH = "post-psh"  # exactly one client data packet seen
+    POST_DATA = "post-data"  # two or more client data packets seen
+    NONE = "none"  # graceful or unclassifiable stage
+
+    @property
+    def is_data_bearing(self) -> bool:
+        """True if the trigger content was visible to the server."""
+        return self in (Stage.POST_PSH, Stage.POST_DATA)
+
+
+class SignatureId(enum.Enum):
+    """The 19 tampering signatures plus the two non-match outcomes."""
+
+    # --- Post-SYN ---
+    SYN_NONE = "syn.none"
+    SYN_RST = "syn.rst"
+    SYN_RSTACK = "syn.rstack"
+    SYN_RST_RSTACK = "syn.rst_rstack"
+    # --- Post-ACK ---
+    ACK_NONE = "ack.none"
+    ACK_RST = "ack.rst"
+    ACK_RST_RST = "ack.rst_rst"
+    ACK_RSTACK = "ack.rstack"
+    ACK_RSTACK_RSTACK = "ack.rstack_rstack"
+    # --- Post-PSH ---
+    PSH_NONE = "psh.none"
+    PSH_RST = "psh.rst"
+    PSH_RSTACK = "psh.rstack"
+    PSH_RST_RSTACK = "psh.rst_rstack"
+    PSH_RSTACK_RSTACK = "psh.rstack_rstack"
+    PSH_RST_EQ_RST = "psh.rst_eq_rst"
+    PSH_RST_NEQ_RST = "psh.rst_neq_rst"
+    PSH_RST_RST0 = "psh.rst_rst0"
+    # --- Post-multiple-data ---
+    DATA_RST = "data.rst"
+    DATA_RSTACK = "data.rstack"
+    # --- Non-matches ---
+    NOT_TAMPERING = "not_tampering"
+    OTHER = "other"  # possibly tampered but matching no signature
+
+    @property
+    def is_tampering(self) -> bool:
+        """True for the 19 signatures (excludes NOT_TAMPERING and OTHER)."""
+        return self not in (SignatureId.NOT_TAMPERING, SignatureId.OTHER)
+
+    @property
+    def stage(self) -> Stage:
+        return SIGNATURES[self].stage if self in SIGNATURES else Stage.NONE
+
+    @property
+    def display(self) -> str:
+        """The paper's ⟨X → Y⟩ rendering."""
+        return SIGNATURES[self].display if self in SIGNATURES else self.value
+
+    @property
+    def is_drop(self) -> bool:
+        """True for the three packet-drop (∅) signatures."""
+        return self in (SignatureId.SYN_NONE, SignatureId.ACK_NONE, SignatureId.PSH_NONE)
+
+
+@dataclasses.dataclass(frozen=True)
+class SignatureInfo:
+    """Metadata for one signature row of Table 1."""
+
+    sig: SignatureId
+    stage: Stage
+    display: str
+    description: str
+    prior_work: str = ""
+
+
+SIGNATURES: Dict[SignatureId, SignatureInfo] = {
+    info.sig: info
+    for info in [
+        SignatureInfo(
+            SignatureId.SYN_NONE, Stage.POST_SYN, "⟨SYN → ∅⟩",
+            "No packets after a single SYN", "[16, 32, 62]",
+        ),
+        SignatureInfo(
+            SignatureId.SYN_RST, Stage.POST_SYN, "⟨SYN → RST⟩",
+            "One or more RSTs after a single SYN", "[84]*, [15, 62]",
+        ),
+        SignatureInfo(
+            SignatureId.SYN_RSTACK, Stage.POST_SYN, "⟨SYN → RST+ACK⟩",
+            "One or more RST+ACKs after the SYN", "[84]*, [15, 62]",
+        ),
+        SignatureInfo(
+            SignatureId.SYN_RST_RSTACK, Stage.POST_SYN, "⟨SYN → RST; RST+ACK⟩",
+            "One or more RST and RST+ACK after a single SYN", "[20]",
+        ),
+        SignatureInfo(
+            SignatureId.ACK_NONE, Stage.POST_ACK, "⟨SYN; ACK → ∅⟩",
+            "No packets received after a SYN and an ACK", "[10, 12, 15, 16, 75]",
+        ),
+        SignatureInfo(
+            SignatureId.ACK_RST, Stage.POST_ACK, "⟨SYN; ACK → RST⟩",
+            "Exactly one RST after a SYN and an ACK", "[84]*, [10, 12, 22]",
+        ),
+        SignatureInfo(
+            SignatureId.ACK_RST_RST, Stage.POST_ACK, "⟨SYN; ACK → RST; RST⟩",
+            "More than one RST after a SYN and an ACK", "[15, 22]",
+        ),
+        SignatureInfo(
+            SignatureId.ACK_RSTACK, Stage.POST_ACK, "⟨SYN; ACK → RST+ACK⟩",
+            "Exactly one RST+ACK after a SYN and an ACK", "[84]*",
+        ),
+        SignatureInfo(
+            SignatureId.ACK_RSTACK_RSTACK, Stage.POST_ACK, "⟨SYN; ACK → RST+ACK; RST+ACK⟩",
+            "More than one RST+ACK after a SYN and an ACK", "—",
+        ),
+        SignatureInfo(
+            SignatureId.PSH_NONE, Stage.POST_PSH, "⟨PSH+ACK → ∅⟩",
+            "No packets received after PSH+ACK packets", "[12, 19, 88]",
+        ),
+        SignatureInfo(
+            SignatureId.PSH_RST, Stage.POST_PSH, "⟨PSH+ACK → RST⟩",
+            "Exactly one RST", "[14, 48, 74, 82, 83]",
+        ),
+        SignatureInfo(
+            SignatureId.PSH_RSTACK, Stage.POST_PSH, "⟨PSH+ACK → RST+ACK⟩",
+            "Exactly one RST+ACK", "[14, 48, 74, 82, 83]",
+        ),
+        SignatureInfo(
+            SignatureId.PSH_RST_RSTACK, Stage.POST_PSH, "⟨PSH+ACK → RST; RST+ACK⟩",
+            "At least one RST and one RST+ACK", "[20]*, [82, 83]",
+        ),
+        SignatureInfo(
+            SignatureId.PSH_RSTACK_RSTACK, Stage.POST_PSH, "⟨PSH+ACK → RST+ACK; RST+ACK⟩",
+            "At least two RST+ACKs", "[20]*, [82]",
+        ),
+        SignatureInfo(
+            SignatureId.PSH_RST_EQ_RST, Stage.POST_PSH, "⟨PSH+ACK → RST = RST⟩",
+            "More than one RST; same ACK numbers", "—",
+        ),
+        SignatureInfo(
+            SignatureId.PSH_RST_NEQ_RST, Stage.POST_PSH, "⟨PSH+ACK → RST ≠ RST⟩",
+            "More than one RST; change in ACK numbers", "[84]*",
+        ),
+        SignatureInfo(
+            SignatureId.PSH_RST_RST0, Stage.POST_PSH, "⟨PSH+ACK → RST; RST₀⟩",
+            "More than one RST; one of the ACK numbers is zero", "—",
+        ),
+        SignatureInfo(
+            SignatureId.DATA_RST, Stage.POST_DATA, "⟨PSH+ACK; Data → RST⟩",
+            "One or more RSTs not immediately after first PSH+ACK", "—",
+        ),
+        SignatureInfo(
+            SignatureId.DATA_RSTACK, Stage.POST_DATA, "⟨PSH+ACK; Data → RST+ACK⟩",
+            "One or more RST+ACKs not immediately after first PSH+ACK", "—",
+        ),
+    ]
+}
+
+#: All tampering signatures in Table 1 order.
+TABLE1_ORDER: Tuple[SignatureId, ...] = tuple(SIGNATURES)
+
+
+def signature_info(sig: SignatureId) -> SignatureInfo:
+    """Metadata for a signature; raises KeyError for non-match outcomes."""
+    return SIGNATURES[sig]
+
+
+def signatures_in_stage(stage: Stage) -> List[SignatureId]:
+    """The Table 1 signatures belonging to one stage."""
+    return [sig for sig, info in SIGNATURES.items() if info.stage == stage]

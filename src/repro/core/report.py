@@ -1,0 +1,146 @@
+"""Plain-text rendering of tables, CDFs and timeseries.
+
+Every benchmark prints its artifact through these helpers so the rows the
+paper reports can be compared at a glance in terminal output and in
+``bench_output.txt``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "render_table",
+    "render_cdf",
+    "render_timeseries",
+    "render_matrix",
+    "percentile",
+    "cdf_points",
+]
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+    float_format: str = "{:.2f}",
+) -> str:
+    """Render an ASCII table with aligned columns."""
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return float_format.format(cell)
+        return str(cell)
+
+    str_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            if i < len(widths):
+                widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+        parts.append("=" * max(len(title), 8))
+    parts.append(line(list(headers)))
+    parts.append(line(["-" * w for w in widths]))
+    parts.extend(line(row) for row in str_rows)
+    return "\n".join(parts)
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The q-th percentile (0-100) of ``values`` (linear interpolation)."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0 <= q <= 100:
+        raise ValueError("q must be in [0, 100]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    pos = (len(ordered) - 1) * q / 100.0
+    lo = math.floor(pos)
+    hi = math.ceil(pos)
+    if lo == hi:
+        return float(ordered[lo])
+    frac = pos - lo
+    return ordered[lo] * (1 - frac) + ordered[hi] * frac
+
+
+def cdf_points(values: Sequence[float], n_points: int = 11) -> List[Tuple[float, float]]:
+    """(value, cumulative fraction) at evenly spaced quantiles."""
+    if not values:
+        return []
+    return [
+        (percentile(values, 100.0 * i / (n_points - 1)), i / (n_points - 1))
+        for i in range(n_points)
+    ]
+
+
+def render_cdf(
+    series: Mapping[str, Sequence[float]],
+    title: Optional[str] = None,
+    quantiles: Sequence[float] = (10, 25, 50, 75, 90, 95, 99, 100),
+    float_format: str = "{:.0f}",
+) -> str:
+    """Render one CDF per named series as a quantile table."""
+    headers = ["series", "n"] + [f"p{int(q)}" for q in quantiles]
+    rows = []
+    for name, values in series.items():
+        if not values:
+            rows.append([name, 0] + ["-"] * len(quantiles))
+            continue
+        rows.append(
+            [name, len(values)]
+            + [float_format.format(percentile(list(values), q)) for q in quantiles]
+        )
+    return render_table(headers, rows, title=title)
+
+
+def render_timeseries(
+    series: Mapping[str, Sequence[Tuple[float, float]]],
+    title: Optional[str] = None,
+    max_points: int = 14,
+    t0: Optional[float] = None,
+    time_unit: float = 86400.0,
+    unit_label: str = "day",
+) -> str:
+    """Render named (time, value) series, downsampled to ``max_points``."""
+    headers = ["series"] + []
+    # Determine common time axis from the union of points.
+    all_times = sorted({t for pts in series.values() for t, _ in pts})
+    if not all_times:
+        return render_table(["series"], [[name] for name in series], title=title)
+    base = t0 if t0 is not None else all_times[0]
+    step = max(1, len(all_times) // max_points)
+    shown_times = all_times[::step]
+    headers = ["series"] + [f"{unit_label} {((t - base) / time_unit):.1f}" for t in shown_times]
+    rows = []
+    for name, pts in series.items():
+        lookup = dict(pts)
+        rows.append([name] + [
+            ("{:.1f}".format(lookup[t]) if t in lookup else "-") for t in shown_times
+        ])
+    return render_table(headers, rows, title=title)
+
+
+def render_matrix(
+    matrix: Mapping[Tuple[str, str], float],
+    title: Optional[str] = None,
+    normalize_rows: bool = True,
+    float_format: str = "{:.2f}",
+) -> str:
+    """Render a (row label, column label) → value mapping as a grid."""
+    rows_labels = sorted({r for r, _ in matrix})
+    col_labels = sorted({c for _, c in matrix})
+    table_rows = []
+    for r in rows_labels:
+        values = [matrix.get((r, c), 0.0) for c in col_labels]
+        total = sum(values)
+        if normalize_rows and total > 0:
+            values = [v / total for v in values]
+        table_rows.append([r] + list(values))
+    return render_table(["first \\ next"] + col_labels, table_rows, title=title, float_format=float_format)

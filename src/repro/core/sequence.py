@@ -1,0 +1,76 @@
+"""Packet-order reconstruction.
+
+The collection pipeline timestamps packets at 1-second granularity, so
+packets within one second may be logged in arbitrary order (paper §3.2).
+The paper notes order can "typically [be reconstructed] with packet
+headers and sequence numbers (e.g., SYNs are followed by SYN+ACKs)";
+this module implements that reconstruction for the inbound-only view.
+
+Within one timestamp bucket, non-RST packets are ordered by:
+
+1. SYNs first (a connection starts with its SYN; duplicate SYNs keep
+   their relative order -- they are retransmissions of the same segment).
+2. The acknowledgment number.  A client's ACK field is monotone in what
+   it has seen from the server, so the handshake-completing ACK (ack =
+   server ISN + 1) precedes the request data (same ack), which precedes
+   the ACKs of the response (growing acks), which precede the FIN.
+3. Ties break by semantic class (bare ACK before data before FIN) and
+   then by sequence number (segments of one write, in order).
+
+Tear-down packets (RST / RST+ACK) sort after everything else in their
+bucket: a tampering event follows the traffic that triggered it, and
+forged ACK fields (zero, guessed) carry no ordering information.
+
+Across buckets, bucket time order is preserved.  The ranking is a
+heuristic, exactly as in the paper; the ablation bench measures how often
+it changes classification versus oracle arrival order.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.netstack.packet import Packet
+
+__all__ = ["reconstruct_order", "semantic_rank"]
+
+#: Ordering classes for tie-breaking at equal ack numbers.
+_CLASS_SYN = 0
+_CLASS_ACK = 1
+_CLASS_DATA = 2
+_CLASS_FIN = 3
+_CLASS_RST = 4
+
+
+def semantic_rank(pkt: Packet) -> Tuple[int, int, int, int, int, int, int]:
+    """Rank of one packet within its timestamp bucket; lower sorts earlier.
+
+    Returns ``(rst_group, ack, class, seq, payload_len, flag_bits, ip_id)``.
+    The trailing fields are pure tie-breakers: they make the ordering a
+    total order over observationally distinct packets, so reconstruction
+    is invariant to the arbitrary stored order of a shuffled capture
+    (only byte-identical packets remain interchangeable).
+    """
+    flags = pkt.flags
+    tail = (len(pkt.payload), int(flags), pkt.ip_id)
+    if flags.is_rst:
+        # RSTs last; order multiple RSTs stably by (seq, ack).
+        return (1, 0, _CLASS_RST, pkt.seq) + tail
+    if flags.is_syn:
+        return (0, 0, _CLASS_SYN, pkt.seq) + tail
+    if flags.is_fin:
+        cls = _CLASS_FIN
+    elif pkt.has_payload:
+        cls = _CLASS_DATA
+    else:
+        cls = _CLASS_ACK
+    return (0, pkt.ack, cls, pkt.seq) + tail
+
+
+def reconstruct_order(packets: Sequence[Packet]) -> List[Packet]:
+    """Return packets in reconstructed arrival order.
+
+    Stable: packets that compare equal keep their stored order, so the
+    function is idempotent and harmless on already-ordered input.
+    """
+    return sorted(packets, key=lambda p: (p.ts,) + semantic_rank(p))

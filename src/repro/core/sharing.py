@@ -1,0 +1,125 @@
+"""Privacy-preserving aggregate export (the paper's data-sharing plan).
+
+The authors commit to publishing *aggregated* tampering data on
+Cloudflare Radar: per-country, per-day signature shares -- never raw
+client IPs or customer domains (§1 "Data sharing", §3.3).  This module
+implements that export: it reduces an :class:`~repro.core.aggregate.AnalysisDataset`
+to JSON-safe aggregate records and enforces two privacy constraints:
+
+* **minimum cell size** -- any (country, day, signature) cell with fewer
+  than ``min_cell`` connections is suppressed, so no small population is
+  identifiable;
+* **no identifiers** -- records carry country codes, day indices,
+  signature names and percentages only; client addresses, ASNs below the
+  publication floor, and domain names never appear.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+from collections import Counter, defaultdict
+from typing import Dict, IO, Iterable, List, Optional, Tuple, Union
+
+from repro.core.aggregate import AnalysisDataset
+from repro.core.model import SignatureId
+
+__all__ = ["RadarRecord", "build_radar_export", "write_radar_json", "DEFAULT_MIN_CELL"]
+
+#: Minimum connections a published cell must aggregate over.
+DEFAULT_MIN_CELL = 20
+
+_DAY = 86400.0
+
+
+@dataclasses.dataclass(frozen=True)
+class RadarRecord:
+    """One published aggregate: a (country, day, signature) cell."""
+
+    country: str
+    day: int  # days since the export epoch (first day in the dataset)
+    signature: str  # display name, or "any" for the tampering total
+    connections: int  # denominator (all connections in the cell scope)
+    matches: int
+    share_pct: float
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+def build_radar_export(
+    dataset: AnalysisDataset,
+    min_cell: int = DEFAULT_MIN_CELL,
+    epoch: Optional[float] = None,
+) -> List[RadarRecord]:
+    """Reduce a dataset to publishable aggregate records.
+
+    Cells whose *denominator* (total connections from the country on the
+    day) is below ``min_cell`` are suppressed entirely; within published
+    cells, zero-match signatures are omitted for compactness.  A per-cell
+    ``signature="any"`` record carries the overall tampering share.
+    """
+    if min_cell < 1:
+        raise ValueError("min_cell must be >= 1")
+    connections = list(dataset)
+    if not connections:
+        return []
+    if epoch is None:
+        epoch = min(c.ts for c in connections)
+
+    totals: Counter = Counter()
+    matches: Dict[Tuple[str, int], Counter] = defaultdict(Counter)
+    for conn in connections:
+        day = int(math.floor((conn.ts - epoch) / _DAY))
+        key = (conn.country, day)
+        totals[key] += 1
+        if conn.tampered:
+            matches[key][conn.signature] += 1
+
+    records: List[RadarRecord] = []
+    for (country, day), denom in sorted(totals.items()):
+        if denom < min_cell:
+            continue  # privacy floor: suppress the whole cell
+        cell = matches.get((country, day), Counter())
+        total_matched = sum(cell.values())
+        records.append(
+            RadarRecord(
+                country=country,
+                day=day,
+                signature="any",
+                connections=denom,
+                matches=total_matched,
+                share_pct=100.0 * total_matched / denom,
+            )
+        )
+        for signature, count in sorted(cell.items(), key=lambda kv: kv[0].value):
+            records.append(
+                RadarRecord(
+                    country=country,
+                    day=day,
+                    signature=signature.display,
+                    connections=denom,
+                    matches=count,
+                    share_pct=100.0 * count / denom,
+                )
+            )
+    return records
+
+
+def write_radar_json(
+    path_or_file: Union[str, IO[str]],
+    records: Iterable[RadarRecord],
+    indent: Optional[int] = None,
+) -> int:
+    """Write records as a JSON array; returns the record count."""
+    records = list(records)
+    owned = isinstance(path_or_file, str)
+    fh = open(path_or_file, "w") if owned else path_or_file
+    try:
+        json.dump([r.to_dict() for r in records], fh, indent=indent)
+        fh.write("\n")
+    finally:
+        if owned:
+            fh.close()
+    return len(records)

@@ -1,0 +1,269 @@
+"""Signature matching: the decision logic behind Table 1.
+
+Given a connection sample's reconstructed inbound packets, this module
+decides (a) whether the connection is *possibly tampered* -- it contains a
+RST, or it went silent for three seconds without a FIN handshake -- and
+(b) which of the nineteen tampering signatures (if any) it matches.
+
+The stage split follows §4.1:
+
+* **Post-SYN** -- only SYN packets seen (no handshake-completing ACK).
+* **Post-ACK** -- handshake completed, but no client data arrived.
+* **Post-PSH** -- the event (tear-down or silence) follows *immediately*
+  after the first client data segment: nothing but RSTs (and
+  retransmissions of that same segment) arrived afterwards.  This is the
+  crisp censorship group -- blocking decisions fire on the packet that
+  carries the SNI / Host / GET.
+* **Post-Data** -- the event arrived only after further packets: more
+  data segments, or the client's ACKs/FIN that prove the server's
+  response got through.  The paper's ⟨PSH+ACK; Data → ...⟩ signatures
+  say "not immediately after first PSH+ACK" -- this group therefore
+  absorbs keyword-triggered commercial devices *and* organic noise
+  (abortive closes, idle keep-alives), which is why its signature
+  coverage is the taxonomy's weakest (69.2% in the paper).
+
+Connections that do not fall cleanly into a stage (the paper's 2.3%
+residue, e.g. a SYN followed by several bare ACKs and a RST) classify as
+``OTHER``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.model import SignatureId, Stage
+from repro.core.sequence import reconstruct_order
+from repro.netstack.packet import Packet
+
+__all__ = ["SignatureMatch", "match_signature", "INACTIVITY_SECONDS"]
+
+#: The paper's inactivity threshold for declaring silence (∅).
+INACTIVITY_SECONDS = 3.0
+
+
+@dataclasses.dataclass
+class SignatureMatch:
+    """Outcome of matching one connection against the signature set."""
+
+    signature: SignatureId
+    stage: Stage
+    possibly_tampered: bool
+    ordered: List[Packet]
+    rst_packets: List[Packet]
+    n_data_segments: int
+    saw_fin: bool
+    silence_gap: float
+
+    @property
+    def is_tampering(self) -> bool:
+        return self.signature.is_tampering
+
+
+def _distinct_data_segments(packets: Sequence[Packet]) -> List[Packet]:
+    """Client data segments, de-duplicated by starting sequence number.
+
+    Retransmissions of the same segment must not promote a connection
+    from Post-PSH to Post-Data: the client only ever *sent* one logical
+    data packet.
+    """
+    seen = set()
+    out: List[Packet] = []
+    for pkt in packets:
+        if pkt.has_payload and not pkt.flags.is_syn and not pkt.flags.is_rst:
+            if pkt.seq not in seen:
+                seen.add(pkt.seq)
+                out.append(pkt)
+    return out
+
+
+def _silence_gap(
+    ordered: Sequence[Packet],
+    window_end: float,
+    max_packets: int,
+) -> float:
+    """Longest observable quiet period, per the collection semantics.
+
+    Internal gaps between consecutive packets always count.  The trailing
+    gap (last packet to window close) counts only when the capture was
+    *not* truncated at ``max_packets`` -- a full buffer says nothing about
+    what followed.
+    """
+    gap = 0.0
+    for a, b in zip(ordered, ordered[1:]):
+        gap = max(gap, b.ts - a.ts)
+    if len(ordered) < max_packets and ordered:
+        gap = max(gap, window_end - ordered[-1].ts)
+    return gap
+
+
+def _split_rsts(packets: Sequence[Packet]) -> Tuple[List[Packet], List[Packet]]:
+    """(pure RSTs, RST+ACKs) among ``packets``."""
+    pure = [p for p in packets if p.flags.is_pure_rst]
+    withack = [p for p in packets if p.flags.is_rst_ack]
+    return pure, withack
+
+
+def _match_post_syn(pure: List[Packet], withack: List[Packet], silent: bool) -> SignatureId:
+    if pure and withack:
+        return SignatureId.SYN_RST_RSTACK
+    if pure:
+        return SignatureId.SYN_RST
+    if withack:
+        return SignatureId.SYN_RSTACK
+    if silent:
+        return SignatureId.SYN_NONE
+    return SignatureId.OTHER
+
+
+def _match_post_ack(pure: List[Packet], withack: List[Packet], silent: bool) -> SignatureId:
+    if pure and withack:
+        # Mixed teardown after the handshake is not in Table 1.
+        return SignatureId.OTHER
+    if pure:
+        return SignatureId.ACK_RST if len(pure) == 1 else SignatureId.ACK_RST_RST
+    if withack:
+        return SignatureId.ACK_RSTACK if len(withack) == 1 else SignatureId.ACK_RSTACK_RSTACK
+    if silent:
+        return SignatureId.ACK_NONE
+    return SignatureId.OTHER
+
+
+def _match_post_psh(pure: List[Packet], withack: List[Packet], silent: bool) -> SignatureId:
+    if pure and withack:
+        return SignatureId.PSH_RST_RSTACK
+    if withack:
+        return SignatureId.PSH_RSTACK if len(withack) == 1 else SignatureId.PSH_RSTACK_RSTACK
+    if pure:
+        if len(pure) == 1:
+            return SignatureId.PSH_RST
+        acks = [p.ack for p in pure]
+        zeros = [a for a in acks if a == 0]
+        if zeros and len(zeros) < len(acks):
+            return SignatureId.PSH_RST_RST0
+        if len(set(acks)) == 1:
+            return SignatureId.PSH_RST_EQ_RST
+        return SignatureId.PSH_RST_NEQ_RST
+    if silent:
+        return SignatureId.PSH_NONE
+    return SignatureId.OTHER
+
+
+def _match_post_data(pure: List[Packet], withack: List[Packet]) -> SignatureId:
+    if pure and withack:
+        return SignatureId.OTHER
+    if pure:
+        return SignatureId.DATA_RST
+    if withack:
+        return SignatureId.DATA_RSTACK
+    # Silence after multiple data packets has no Table 1 signature.
+    return SignatureId.OTHER
+
+
+def match_signature(
+    packets: Sequence[Packet],
+    window_end: float,
+    max_packets: int = 10,
+    inactivity_seconds: float = INACTIVITY_SECONDS,
+    reorder: bool = True,
+) -> SignatureMatch:
+    """Classify one connection's inbound packets.
+
+    ``window_end`` is when the capture window closed; ``max_packets`` the
+    pipeline's truncation limit (needed to interpret trailing silence).
+    ``reorder=False`` trusts the stored order (ablation use).
+    """
+    ordered = reconstruct_order(packets) if reorder else list(packets)
+    if not ordered:
+        return SignatureMatch(
+            signature=SignatureId.OTHER,
+            stage=Stage.NONE,
+            possibly_tampered=False,
+            ordered=[],
+            rst_packets=[],
+            n_data_segments=0,
+            saw_fin=False,
+            silence_gap=0.0,
+        )
+
+    rsts = [p for p in ordered if p.flags.is_rst]
+    saw_fin = any(p.flags.is_fin and not p.flags.is_rst for p in ordered)
+    gap = _silence_gap(ordered, window_end, max_packets)
+    silent = gap >= inactivity_seconds
+
+    possibly_tampered = bool(rsts) or (silent and not saw_fin)
+
+    non_rst = [p for p in ordered if not p.flags.is_rst]
+    data_segments = _distinct_data_segments(non_rst)
+    pure_acks = [
+        p
+        for p in non_rst
+        if p.flags.is_ack and not p.has_payload and not p.flags.is_syn and not p.flags.is_fin
+    ]
+    syns = [p for p in non_rst if p.flags.is_syn]
+
+    # Stage determination over the pre-event packets.  Post-PSH requires
+    # the event to follow the first data segment *immediately*: any
+    # non-RST packet after it (another segment, an ACK of the response,
+    # a FIN) pushes the connection into the post-data group, except bare
+    # retransmissions of the trigger segment itself.
+    if data_segments:
+        first_data = data_segments[0]
+        first_index = next(
+            i for i, p in enumerate(non_rst) if p.has_payload and p.seq == first_data.seq
+        )
+        extras = [
+            p
+            for p in non_rst[first_index + 1 :]
+            if not (p.has_payload and p.seq == first_data.seq)
+        ]
+        stage = Stage.POST_PSH if not extras else Stage.POST_DATA
+    elif pure_acks:
+        # The paper's residue example: a SYN and *two* ACKs without data
+        # does not fall cleanly into a stage.
+        stage = Stage.POST_ACK if len(pure_acks) == 1 and syns else Stage.NONE
+    elif syns:
+        stage = Stage.POST_SYN
+    else:
+        stage = Stage.NONE
+
+    if not possibly_tampered:
+        signature = SignatureId.NOT_TAMPERING
+    elif saw_fin and not rsts:
+        # FIN handshake present: gaps alone do not make it tampering.
+        signature = SignatureId.NOT_TAMPERING
+        possibly_tampered = False
+    elif saw_fin and rsts:
+        # RST alongside a FIN handshake.  Necessarily post-data (the FIN
+        # itself is a packet after the first data segment); the paper's
+        # post-data signatures do not exclude FIN-bearing connections --
+        # keyword-triggered devices and abortive client closes are
+        # indistinguishable there.  Elsewhere it matches nothing.
+        if stage == Stage.POST_DATA:
+            pure, withack = _split_rsts(rsts)
+            signature = _match_post_data(pure, withack)
+        else:
+            signature = SignatureId.OTHER
+    elif stage == Stage.NONE:
+        signature = SignatureId.OTHER
+    else:
+        pure, withack = _split_rsts(rsts)
+        if stage == Stage.POST_SYN:
+            signature = _match_post_syn(pure, withack, silent)
+        elif stage == Stage.POST_ACK:
+            signature = _match_post_ack(pure, withack, silent)
+        elif stage == Stage.POST_PSH:
+            signature = _match_post_psh(pure, withack, silent)
+        else:
+            signature = _match_post_data(pure, withack)
+
+    return SignatureMatch(
+        signature=signature,
+        stage=stage if signature.is_tampering or stage != Stage.NONE else Stage.NONE,
+        possibly_tampered=possibly_tampered,
+        ordered=list(ordered),
+        rst_packets=rsts,
+        n_data_segments=len(data_segments),
+        saw_fin=saw_fin,
+        silence_gap=gap,
+    )

@@ -1,0 +1,105 @@
+"""Statistics for sampled measurements: intervals and changepoints.
+
+The pipeline reports rates estimated from a 1-in-10,000 sample, so two
+statistical tools belong next to it:
+
+* :func:`wilson_interval` -- a confidence interval for a sampled
+  proportion that behaves at the extremes (0%, 100%, tiny n), fit for
+  the per-country rates of Figure 4.
+* :func:`detect_changepoints` -- a rolling mean-shift detector over a
+  match-rate timeseries, operationalising §5.6's claim that longitudinal
+  passive measurement surfaces noteworthy events: fed the Iranian series,
+  it finds the September 2022 escalation on its own.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import statistics
+from typing import List, Optional, Sequence, Tuple
+
+__all__ = ["wilson_interval", "Changepoint", "detect_changepoints"]
+
+
+def wilson_interval(successes: int, total: int, z: float = 1.96) -> Tuple[float, float]:
+    """Wilson score interval for a binomial proportion, as fractions.
+
+    Returns ``(low, high)`` with ``0 <= low <= high <= 1``.  ``z`` is the
+    normal quantile (1.96 ≈ 95%).
+    """
+    if total < 0 or successes < 0 or successes > total:
+        raise ValueError("need 0 <= successes <= total")
+    if total == 0:
+        return (0.0, 1.0)
+    p = successes / total
+    z2 = z * z
+    denom = 1.0 + z2 / total
+    centre = (p + z2 / (2 * total)) / denom
+    margin = (z / denom) * math.sqrt(p * (1 - p) / total + z2 / (4 * total * total))
+    return (max(0.0, centre - margin), min(1.0, centre + margin))
+
+
+@dataclasses.dataclass(frozen=True)
+class Changepoint:
+    """One detected level shift in a timeseries."""
+
+    ts: float  # bucket timestamp where the new level begins
+    before_mean: float
+    after_mean: float
+
+    @property
+    def delta(self) -> float:
+        return self.after_mean - self.before_mean
+
+    @property
+    def is_increase(self) -> bool:
+        return self.delta > 0
+
+
+def detect_changepoints(
+    series: Sequence[Tuple[float, float]],
+    window: int = 5,
+    threshold_sigma: float = 3.0,
+    min_delta: float = 5.0,
+) -> List[Changepoint]:
+    """Detect level shifts in a (timestamp, value) series.
+
+    Slides two adjacent windows of ``window`` points; a changepoint is
+    declared where the later window's mean departs from the earlier's by
+    more than ``threshold_sigma`` standard deviations of the earlier
+    window *and* by at least ``min_delta`` in absolute value (so flat,
+    quiet series do not fire on noise).  Overlapping detections collapse
+    to the strongest point of each run.
+    """
+    if window < 2:
+        raise ValueError("window must be >= 2")
+    points = list(series)
+    if len(points) < 2 * window:
+        return []
+
+    candidates: List[Tuple[int, float, Changepoint]] = []
+    for i in range(window, len(points) - window + 1):
+        before = [v for _, v in points[i - window : i]]
+        after = [v for _, v in points[i : i + window]]
+        mu_b = statistics.fmean(before)
+        mu_a = statistics.fmean(after)
+        sigma = statistics.pstdev(before)
+        floor = max(sigma, 1e-9)
+        score = abs(mu_a - mu_b) / floor
+        if score >= threshold_sigma and abs(mu_a - mu_b) >= min_delta:
+            candidates.append(
+                (i, score, Changepoint(ts=points[i][0], before_mean=mu_b, after_mean=mu_a))
+            )
+
+    # Collapse runs of adjacent candidates to their strongest member.
+    out: List[Changepoint] = []
+    run: List[Tuple[int, float, Changepoint]] = []
+    for item in candidates:
+        if run and item[0] > run[-1][0] + 1:
+            out.append(max(run, key=lambda t: t[1])[2])
+            run = []
+        run.append(item)
+    if run:
+        out.append(max(run, key=lambda t: t[1])[2])
+    return out

@@ -1,0 +1,143 @@
+"""Ground-truth validation of the classifier (simulation-only).
+
+The real deployment cannot score itself -- §4.3 resorts to indirect
+header evidence because nobody labels live traffic.  The simulator *can*
+label: every sample carries ``truth_tampered`` / ``truth_vendor``
+annotations, so this module computes the confusion matrix, per-vendor
+recall, and per-client-kind false-positive attribution that the paper's
+validation argues about qualitatively.
+
+Nothing here feeds back into classification; it exists for evaluation,
+regression tests, and calibration of the synthetic world.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import Counter, defaultdict
+from typing import Dict, Iterable, List, Tuple
+
+from repro.core.aggregate import AnalysisDataset, AnalyzedConnection
+from repro.core.model import SignatureId
+
+__all__ = ["ConfusionSummary", "VendorRecall", "ValidationReport", "score_dataset"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ConfusionSummary:
+    """Binary detection quality against simulator ground truth."""
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+    true_negatives: int
+
+    @property
+    def total(self) -> int:
+        return (
+            self.true_positives
+            + self.false_positives
+            + self.false_negatives
+            + self.true_negatives
+        )
+
+    @property
+    def precision(self) -> float:
+        denom = self.true_positives + self.false_positives
+        return self.true_positives / denom if denom else 0.0
+
+    @property
+    def recall(self) -> float:
+        denom = self.true_positives + self.false_negatives
+        return self.true_positives / denom if denom else 0.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+    @property
+    def false_positive_rate(self) -> float:
+        denom = self.false_positives + self.true_negatives
+        return self.false_positives / denom if denom else 0.0
+
+
+@dataclasses.dataclass(frozen=True)
+class VendorRecall:
+    """Detection quality for one middlebox vendor's tampering events."""
+
+    vendor: str
+    events: int
+    detected: int
+    signatures: Tuple[Tuple[SignatureId, int], ...]
+
+    @property
+    def recall(self) -> float:
+        return self.detected / self.events if self.events else 0.0
+
+    @property
+    def dominant_signature(self) -> SignatureId:
+        return self.signatures[0][0] if self.signatures else SignatureId.OTHER
+
+
+@dataclasses.dataclass(frozen=True)
+class ValidationReport:
+    """Full validation result for one analyzed dataset."""
+
+    confusion: ConfusionSummary
+    per_vendor: Tuple[VendorRecall, ...]
+    false_positive_kinds: Tuple[Tuple[str, int], ...]
+
+    def vendor(self, name: str) -> VendorRecall:
+        for row in self.per_vendor:
+            if row.vendor == name:
+                return row
+        raise KeyError(f"no tampering events from vendor {name!r}")
+
+
+def score_dataset(dataset: AnalysisDataset) -> ValidationReport:
+    """Score a dataset's classifications against its ground truth.
+
+    Connections without ground-truth annotations (``truth_tampered`` is
+    None) are skipped.
+    """
+    tp = fp = fn = tn = 0
+    vendor_events: Counter = Counter()
+    vendor_detected: Counter = Counter()
+    vendor_signatures: Dict[str, Counter] = defaultdict(Counter)
+    fp_kinds: Counter = Counter()
+
+    for conn in dataset:
+        if conn.truth_tampered is None:
+            continue
+        truth = bool(conn.truth_tampered)
+        detected = conn.tampered
+        if truth:
+            vendor = conn.truth_vendor or "unknown"
+            vendor_events[vendor] += 1
+            if detected:
+                tp += 1
+                vendor_detected[vendor] += 1
+                vendor_signatures[vendor][conn.signature] += 1
+            else:
+                fn += 1
+        elif detected:
+            fp += 1
+            fp_kinds[conn.truth_client_kind] += 1
+        else:
+            tn += 1
+
+    per_vendor = tuple(
+        VendorRecall(
+            vendor=vendor,
+            events=vendor_events[vendor],
+            detected=vendor_detected[vendor],
+            signatures=tuple(vendor_signatures[vendor].most_common()),
+        )
+        for vendor in sorted(vendor_events)
+    )
+    return ValidationReport(
+        confusion=ConfusionSummary(tp, fp, fn, tn),
+        per_vendor=per_vendor,
+        false_positive_kinds=tuple(fp_kinds.most_common()),
+    )

@@ -1,0 +1,56 @@
+"""DNS substrate: the connection stage the paper scopes out.
+
+Tampering can happen at DNS resolution before a TCP connection ever
+starts (paper §2.1 cites [42, 63]); the passive server-side methodology
+cannot see it, because a poisoned client never reaches the CDN.  This
+subpackage implements that stage so the blind spot can be measured:
+
+* :mod:`repro.dns.message` -- RFC 1035 wire format (header, questions,
+  A/AAAA/CNAME answers, name compression on decode).
+* :mod:`repro.dns.resolver` -- a stub resolver, the CDN's authoritative
+  answers, and policy-driven DNS censors (NXDOMAIN injection, forged
+  addresses GFW-style, and silent drops).
+* :mod:`repro.dns.pipeline` -- runs connection specs through a DNS
+  deployment first, partitioning traffic into "reaches the CDN" vs
+  "blocked before TCP" (what `benchmarks/bench_dns_blindspot.py`
+  quantifies).
+"""
+
+from repro.dns.message import (
+    DnsHeader,
+    DnsMessage,
+    DnsQuestion,
+    DnsRecord,
+    QType,
+    RCode,
+    decode_name,
+    encode_name,
+)
+from repro.dns.pipeline import DnsFilterResult, filter_specs_through_dns
+from repro.dns.resolver import (
+    AuthoritativeServer,
+    DnsCensor,
+    DnsTamperMode,
+    ResolutionOutcome,
+    ResolutionResult,
+    StubResolver,
+)
+
+__all__ = [
+    "DnsHeader",
+    "DnsQuestion",
+    "DnsRecord",
+    "DnsMessage",
+    "QType",
+    "RCode",
+    "encode_name",
+    "decode_name",
+    "StubResolver",
+    "AuthoritativeServer",
+    "DnsCensor",
+    "DnsTamperMode",
+    "ResolutionOutcome",
+    "ResolutionResult",
+    "DnsFilterResult",
+    "filter_specs_through_dns",
+]

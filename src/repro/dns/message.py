@@ -1,0 +1,275 @@
+"""DNS wire format (RFC 1035 subset).
+
+Implements the message encoding a resolver and censor actually exchange:
+the 12-byte header, question section, and answer records for A, AAAA and
+CNAME types.  Decoding handles name-compression pointers (real responses
+use them); encoding writes uncompressed names, which is always legal.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import ipaddress
+import struct
+from typing import List, Optional, Tuple
+
+from repro.errors import PacketDecodeError
+
+__all__ = [
+    "QType",
+    "RCode",
+    "DnsHeader",
+    "DnsQuestion",
+    "DnsRecord",
+    "DnsMessage",
+    "encode_name",
+    "decode_name",
+]
+
+_MAX_NAME_LENGTH = 255
+_MAX_LABEL_LENGTH = 63
+_POINTER_MASK = 0xC0
+
+
+class QType(enum.IntEnum):
+    """Query/record types this substrate understands."""
+
+    A = 1
+    CNAME = 5
+    AAAA = 28
+
+
+class RCode(enum.IntEnum):
+    """Response codes (subset)."""
+
+    NOERROR = 0
+    FORMERR = 1
+    SERVFAIL = 2
+    NXDOMAIN = 3
+    REFUSED = 5
+
+
+def encode_name(name: str) -> bytes:
+    """Encode a domain name as length-prefixed labels."""
+    name = name.strip(".")
+    if not name:
+        return b"\x00"
+    out = bytearray()
+    for label in name.split("."):
+        raw = label.encode("idna") if any(ord(c) > 127 for c in label) else label.encode("ascii")
+        if not 0 < len(raw) <= _MAX_LABEL_LENGTH:
+            raise ValueError(f"bad DNS label: {label!r}")
+        out.append(len(raw))
+        out.extend(raw)
+    out.append(0)
+    if len(out) > _MAX_NAME_LENGTH:
+        raise ValueError(f"encoded name too long: {name!r}")
+    return bytes(out)
+
+
+def decode_name(data: bytes, offset: int) -> Tuple[str, int]:
+    """Decode a (possibly compressed) name; returns (name, next offset).
+
+    Follows compression pointers with a hop bound so malformed loops
+    raise instead of spinning.
+    """
+    labels: List[str] = []
+    jumps = 0
+    next_offset: Optional[int] = None
+    pos = offset
+    while True:
+        if pos >= len(data):
+            raise PacketDecodeError("DNS name runs past end of message")
+        length = data[pos]
+        if length & _POINTER_MASK == _POINTER_MASK:
+            if pos + 1 >= len(data):
+                raise PacketDecodeError("truncated DNS compression pointer")
+            target = ((length & 0x3F) << 8) | data[pos + 1]
+            if next_offset is None:
+                next_offset = pos + 2
+            jumps += 1
+            if jumps > 32:
+                raise PacketDecodeError("DNS compression pointer loop")
+            pos = target
+            continue
+        if length & _POINTER_MASK:
+            raise PacketDecodeError(f"reserved DNS label type: {length:#x}")
+        pos += 1
+        if length == 0:
+            break
+        if pos + length > len(data):
+            raise PacketDecodeError("DNS label runs past end of message")
+        labels.append(data[pos : pos + length].decode("ascii", "replace"))
+        pos += length
+    return ".".join(labels), (next_offset if next_offset is not None else pos)
+
+
+@dataclasses.dataclass(frozen=True)
+class DnsHeader:
+    """The fixed 12-byte header."""
+
+    txid: int
+    is_response: bool = False
+    rcode: RCode = RCode.NOERROR
+    recursion_desired: bool = True
+    recursion_available: bool = False
+    authoritative: bool = False
+    qdcount: int = 0
+    ancount: int = 0
+
+    def encode(self) -> bytes:
+        flags = 0
+        if self.is_response:
+            flags |= 0x8000
+        if self.authoritative:
+            flags |= 0x0400
+        if self.recursion_desired:
+            flags |= 0x0100
+        if self.recursion_available:
+            flags |= 0x0080
+        flags |= int(self.rcode) & 0x0F
+        return struct.pack("!HHHHHH", self.txid & 0xFFFF, flags, self.qdcount, self.ancount, 0, 0)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "DnsHeader":
+        if len(data) < 12:
+            raise PacketDecodeError("truncated DNS header")
+        txid, flags, qdcount, ancount, _ns, _ar = struct.unpack("!HHHHHH", data[:12])
+        return cls(
+            txid=txid,
+            is_response=bool(flags & 0x8000),
+            authoritative=bool(flags & 0x0400),
+            recursion_desired=bool(flags & 0x0100),
+            recursion_available=bool(flags & 0x0080),
+            rcode=RCode(flags & 0x0F) if (flags & 0x0F) in RCode._value2member_map_ else RCode.SERVFAIL,
+            qdcount=qdcount,
+            ancount=ancount,
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class DnsQuestion:
+    """One question: name, type, class IN."""
+
+    name: str
+    qtype: QType = QType.A
+
+    def encode(self) -> bytes:
+        return encode_name(self.name) + struct.pack("!HH", int(self.qtype), 1)
+
+
+@dataclasses.dataclass(frozen=True)
+class DnsRecord:
+    """One answer record (A / AAAA / CNAME)."""
+
+    name: str
+    rtype: QType
+    ttl: int
+    data: str  # address text, or target name for CNAME
+
+    def encode(self) -> bytes:
+        if self.rtype == QType.A:
+            rdata = ipaddress.IPv4Address(self.data).packed
+        elif self.rtype == QType.AAAA:
+            rdata = ipaddress.IPv6Address(self.data).packed
+        elif self.rtype == QType.CNAME:
+            rdata = encode_name(self.data)
+        else:  # pragma: no cover - constructor restricts types
+            raise ValueError(f"unsupported record type {self.rtype}")
+        return (
+            encode_name(self.name)
+            + struct.pack("!HHIH", int(self.rtype), 1, self.ttl & 0xFFFFFFFF, len(rdata))
+            + rdata
+        )
+
+
+@dataclasses.dataclass
+class DnsMessage:
+    """A query or response: header + questions + answers."""
+
+    header: DnsHeader
+    questions: List[DnsQuestion] = dataclasses.field(default_factory=list)
+    answers: List[DnsRecord] = dataclasses.field(default_factory=list)
+
+    @classmethod
+    def query(cls, name: str, qtype: QType = QType.A, txid: int = 0) -> "DnsMessage":
+        return cls(
+            header=DnsHeader(txid=txid, qdcount=1),
+            questions=[DnsQuestion(name=name, qtype=qtype)],
+        )
+
+    def respond(
+        self,
+        answers: List[DnsRecord],
+        rcode: RCode = RCode.NOERROR,
+        authoritative: bool = True,
+    ) -> "DnsMessage":
+        """Build a response to this query."""
+        return DnsMessage(
+            header=DnsHeader(
+                txid=self.header.txid,
+                is_response=True,
+                rcode=rcode,
+                recursion_desired=self.header.recursion_desired,
+                recursion_available=True,
+                authoritative=authoritative,
+                qdcount=len(self.questions),
+                ancount=len(answers),
+            ),
+            questions=list(self.questions),
+            answers=list(answers),
+        )
+
+    @property
+    def question_name(self) -> Optional[str]:
+        return self.questions[0].name if self.questions else None
+
+    def addresses(self) -> List[str]:
+        """All A/AAAA answer addresses."""
+        return [r.data for r in self.answers if r.rtype in (QType.A, QType.AAAA)]
+
+    # ------------------------------------------------------------------
+    def encode(self) -> bytes:
+        header = dataclasses.replace(
+            self.header, qdcount=len(self.questions), ancount=len(self.answers)
+        )
+        out = bytearray(header.encode())
+        for q in self.questions:
+            out.extend(q.encode())
+        for a in self.answers:
+            out.extend(a.encode())
+        return bytes(out)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "DnsMessage":
+        header = DnsHeader.decode(data)
+        offset = 12
+        questions: List[DnsQuestion] = []
+        for _ in range(header.qdcount):
+            name, offset = decode_name(data, offset)
+            if offset + 4 > len(data):
+                raise PacketDecodeError("truncated DNS question")
+            qtype, qclass = struct.unpack("!HH", data[offset : offset + 4])
+            offset += 4
+            if qtype in QType._value2member_map_:
+                questions.append(DnsQuestion(name=name, qtype=QType(qtype)))
+        answers: List[DnsRecord] = []
+        for _ in range(header.ancount):
+            name, offset = decode_name(data, offset)
+            if offset + 10 > len(data):
+                raise PacketDecodeError("truncated DNS record header")
+            rtype, rclass, ttl, rdlength = struct.unpack("!HHIH", data[offset : offset + 10])
+            offset += 10
+            if offset + rdlength > len(data):
+                raise PacketDecodeError("truncated DNS rdata")
+            rdata = data[offset : offset + rdlength]
+            if rtype == QType.A and rdlength == 4:
+                answers.append(DnsRecord(name, QType.A, ttl, str(ipaddress.IPv4Address(rdata))))
+            elif rtype == QType.AAAA and rdlength == 16:
+                answers.append(DnsRecord(name, QType.AAAA, ttl, str(ipaddress.IPv6Address(rdata))))
+            elif rtype == QType.CNAME:
+                target, _ = decode_name(data, offset)
+                answers.append(DnsRecord(name, QType.CNAME, ttl, target))
+            offset += rdlength
+        return cls(header=header, questions=questions, answers=answers)

@@ -1,0 +1,87 @@
+"""Running connection specs through a DNS deployment first.
+
+A censor that poisons resolution stops connections *before* TCP: those
+clients never reach the CDN, so the passive pipeline never records them.
+:func:`filter_specs_through_dns` partitions a workload accordingly,
+letting benchmarks quantify how much censorship moves out of the passive
+pipeline's sight when a country shifts from TCP tear-downs to DNS
+poisoning (the blind spot the paper scopes out in §2.1).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.dns.message import QType
+from repro.dns.resolver import (
+    AuthoritativeServer,
+    DnsCensor,
+    ResolutionOutcome,
+    ResolutionResult,
+    StubResolver,
+)
+from repro.workloads.traffic import ConnectionSpec
+
+__all__ = ["DnsFilterResult", "filter_specs_through_dns"]
+
+
+@dataclasses.dataclass
+class DnsFilterResult:
+    """Partition of a workload by resolution outcome."""
+
+    surviving: List[ConnectionSpec]
+    dns_blocked: List[Tuple[ConnectionSpec, ResolutionResult]]
+
+    @property
+    def blocked_count(self) -> int:
+        return len(self.dns_blocked)
+
+    @property
+    def blocked_share(self) -> float:
+        total = len(self.surviving) + len(self.dns_blocked)
+        return len(self.dns_blocked) / total if total else 0.0
+
+    def blocked_domains(self) -> set:
+        return {spec.domain for spec, _ in self.dns_blocked}
+
+
+def filter_specs_through_dns(
+    world,
+    specs: Sequence[ConnectionSpec],
+    censors_by_country: Mapping[str, Sequence[DnsCensor]],
+    seed: int = 0,
+) -> DnsFilterResult:
+    """Resolve every spec's hostname through its country's DNS censors.
+
+    Connections whose resolution is poisoned (timeout, NXDOMAIN, or a
+    forged address that is not a CDN edge) are removed from the
+    workload; the rest proceed to TCP untouched.  Resolution results are
+    cached per (country, hostname), like real resolver caches.
+    """
+    authoritative = AuthoritativeServer.for_world(world)
+    resolvers: Dict[str, StubResolver] = {}
+    cache: Dict[Tuple[str, str, int], ResolutionResult] = {}
+
+    surviving: List[ConnectionSpec] = []
+    blocked: List[Tuple[ConnectionSpec, ResolutionResult]] = []
+    for spec in specs:
+        censors = censors_by_country.get(spec.country, ())
+        if not censors:
+            surviving.append(spec)
+            continue
+        resolver = resolvers.get(spec.country)
+        if resolver is None:
+            resolver = StubResolver(authoritative, censors=censors, seed=seed)
+            resolvers[spec.country] = resolver
+        qtype = QType.AAAA if spec.ip_version == 6 else QType.A
+        key = (spec.country, spec.host, spec.ip_version)
+        result = cache.get(key)
+        if result is None:
+            result = resolver.resolve(spec.host, qtype=qtype)
+            cache[key] = result
+        if result.outcome.reaches_cdn:
+            surviving.append(spec)
+        else:
+            blocked.append((spec, result))
+    return DnsFilterResult(surviving=surviving, dns_blocked=blocked)

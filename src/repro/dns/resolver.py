@@ -1,0 +1,189 @@
+"""Resolution path: stub resolver → censors → authoritative server.
+
+Mirrors the TCP-layer architecture one level down: an authoritative
+server answers with the CDN's anycast addresses (the same
+domain → edge-IP mapping the TCP workload uses); zero or more
+:class:`DnsCensor` devices sit on the query path and may inject
+NXDOMAIN, forge an address (the GFW's classic move), or silently drop
+the query; a :class:`StubResolver` drives the exchange and reports what
+a client would observe.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro._util import derive_rng
+from repro.dns.message import DnsMessage, DnsRecord, QType, RCode
+from repro.middlebox.policy import BlockPolicy, FlowContext
+
+__all__ = [
+    "ResolutionOutcome",
+    "ResolutionResult",
+    "AuthoritativeServer",
+    "DnsTamperMode",
+    "DnsCensor",
+    "StubResolver",
+]
+
+#: Addresses GFW-style forgers hand out (observed-in-the-wild style).
+_FORGED_POOL = ("203.98.7.65", "8.7.198.45", "159.106.121.75")
+
+
+class ResolutionOutcome(enum.Enum):
+    """What the stub resolver experienced."""
+
+    OK = "ok"
+    NXDOMAIN = "nxdomain"
+    TIMEOUT = "timeout"
+    FORGED = "forged"  # an answer arrived, but not the CDN's (detectable post-hoc)
+
+    @property
+    def reaches_cdn(self) -> bool:
+        """True if the client ends up connecting to a real edge address."""
+        return self is ResolutionOutcome.OK
+
+
+@dataclasses.dataclass(frozen=True)
+class ResolutionResult:
+    """Outcome of one resolution."""
+
+    domain: str
+    outcome: ResolutionOutcome
+    addresses: Tuple[str, ...] = ()
+    injected: bool = False  # ground truth: a censor produced the response
+
+
+class AuthoritativeServer:
+    """The CDN's authoritative view: every hosted domain → its edge IPs."""
+
+    def __init__(self, edge_ip_for: Callable[[str, int], str], hosted: Callable[[str], bool]) -> None:
+        self._edge_ip_for = edge_ip_for
+        self._hosted = hosted
+
+    @classmethod
+    def for_world(cls, world) -> "AuthoritativeServer":
+        return cls(
+            edge_ip_for=world.edge_ip_for,
+            hosted=lambda name: world.universe.get(_registered(name)) is not None,
+        )
+
+    def respond(self, query: DnsMessage) -> DnsMessage:
+        name = query.question_name or ""
+        base = _registered(name)
+        if not self._hosted(base):
+            return query.respond([], rcode=RCode.NXDOMAIN)
+        qtype = query.questions[0].qtype
+        version = 6 if qtype == QType.AAAA else 4
+        address = self._edge_ip_for(base, version)
+        rtype = QType.AAAA if version == 6 else QType.A
+        return query.respond([DnsRecord(name=name, rtype=rtype, ttl=300, data=address)])
+
+
+def _registered(name: str) -> str:
+    """Strip the synthetic-world www./cdn. prefixes back to the apex."""
+    for prefix in ("www.", "cdn."):
+        if name.startswith(prefix):
+            return name[len(prefix):]
+    return name
+
+
+class DnsTamperMode(enum.Enum):
+    """How a DNS censor answers a blocked query."""
+
+    NXDOMAIN = "nxdomain"  # inject a name-error
+    FORGE = "forge"  # inject a wrong address (GFW style)
+    DROP = "drop"  # swallow the query: the client times out
+
+
+class DnsCensor:
+    """A policy-driven on-path DNS tamperer.
+
+    ``observe_query`` returns the injected response (racing ahead of the
+    authoritative answer, as real injectors do) or None to let the query
+    through.
+    """
+
+    def __init__(
+        self,
+        policy: BlockPolicy,
+        mode: DnsTamperMode = DnsTamperMode.FORGE,
+        name: str = "dns-censor",
+        seed: int = 0,
+    ) -> None:
+        self.policy = policy
+        self.mode = mode
+        self.name = name
+        self._rng = derive_rng(seed, f"dns-censor:{name}")
+        self.triggers = 0
+
+    def matches(self, domain: str) -> bool:
+        ctx = FlowContext(server_ip="0.0.0.0", server_port=53, domain=domain)
+        return self.policy.matches(ctx)
+
+    def observe_query(self, query: DnsMessage) -> Optional[DnsMessage]:
+        name = query.question_name
+        if not name or not self.matches(name):
+            return None
+        self.triggers += 1
+        if self.mode == DnsTamperMode.DROP:
+            return DnsMessage(header=query.header)  # sentinel: swallowed (see resolver)
+        if self.mode == DnsTamperMode.NXDOMAIN:
+            return query.respond([], rcode=RCode.NXDOMAIN, authoritative=False)
+        forged = self._rng.choice(_FORGED_POOL)
+        qtype = query.questions[0].qtype if query.questions else QType.A
+        rtype = QType.AAAA if qtype == QType.AAAA else QType.A
+        data = forged if rtype == QType.A else "2001:db8:dead::1"
+        return query.respond(
+            [DnsRecord(name=name, rtype=rtype, ttl=300, data=data)],
+            authoritative=False,
+        )
+
+
+class StubResolver:
+    """A client-side resolver running queries through a censor chain."""
+
+    def __init__(
+        self,
+        authoritative: AuthoritativeServer,
+        censors: Sequence[DnsCensor] = (),
+        seed: int = 0,
+    ) -> None:
+        self.authoritative = authoritative
+        self.censors = list(censors)
+        self._rng = derive_rng(seed, "stub-resolver")
+        self._txid = self._rng.randrange(0, 0x10000)
+
+    def resolve(self, domain: str, qtype: QType = QType.A) -> ResolutionResult:
+        """Resolve ``domain``, subject to the censor chain."""
+        self._txid = (self._txid + 1) & 0xFFFF
+        # Round-trip through the real wire format: what the censor and
+        # server see is bytes, exactly as deployed.
+        query = DnsMessage.decode(DnsMessage.query(domain, qtype=qtype, txid=self._txid).encode())
+
+        for censor in self.censors:
+            injected = censor.observe_query(query)
+            if injected is None:
+                continue
+            if censor.mode == DnsTamperMode.DROP:
+                return ResolutionResult(domain=domain, outcome=ResolutionOutcome.TIMEOUT, injected=True)
+            response = DnsMessage.decode(injected.encode())
+            if response.header.rcode == RCode.NXDOMAIN:
+                return ResolutionResult(domain=domain, outcome=ResolutionOutcome.NXDOMAIN, injected=True)
+            return ResolutionResult(
+                domain=domain,
+                outcome=ResolutionOutcome.FORGED,
+                addresses=tuple(response.addresses()),
+                injected=True,
+            )
+
+        response = DnsMessage.decode(self.authoritative.respond(query).encode())
+        if response.header.rcode == RCode.NXDOMAIN:
+            return ResolutionResult(domain=domain, outcome=ResolutionOutcome.NXDOMAIN)
+        return ResolutionResult(
+            domain=domain,
+            outcome=ResolutionOutcome.OK,
+            addresses=tuple(response.addresses()),
+        )

@@ -1,0 +1,97 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class at API boundaries.  Subclasses are
+organised by subsystem (packet parsing, simulation, classification,
+workload construction) to allow targeted handling in tests and tools.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "PacketError",
+    "PacketDecodeError",
+    "PacketEncodeError",
+    "ChecksumError",
+    "OptionDecodeError",
+    "ProtocolError",
+    "TlsParseError",
+    "HttpParseError",
+    "PcapError",
+    "SimulationError",
+    "StateMachineError",
+    "ClassificationError",
+    "WorldError",
+    "GeoError",
+    "ConfigError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class PacketError(ReproError):
+    """Base class for packet-layer problems."""
+
+
+class PacketDecodeError(PacketError):
+    """Raised when raw bytes cannot be decoded into a :class:`Packet`."""
+
+
+class PacketEncodeError(PacketError):
+    """Raised when a :class:`Packet` cannot be serialised to bytes."""
+
+
+class ChecksumError(PacketDecodeError):
+    """Raised when a strict decode encounters a bad checksum."""
+
+
+class OptionDecodeError(PacketDecodeError):
+    """Raised when the TCP options area is malformed."""
+
+
+class ProtocolError(ReproError):
+    """Base class for application-layer (TLS/HTTP) parse errors."""
+
+
+class TlsParseError(ProtocolError):
+    """Raised when bytes do not contain a parseable TLS ClientHello."""
+
+
+class HttpParseError(ProtocolError):
+    """Raised when bytes do not contain a parseable HTTP/1.x request."""
+
+
+class PcapError(ReproError):
+    """Raised on malformed pcap files or unsupported link types."""
+
+
+class SimulationError(ReproError):
+    """Base class for errors inside the path simulator."""
+
+
+class StateMachineError(SimulationError):
+    """Raised when a TCP endpoint receives an event invalid for its state."""
+
+
+class ClassificationError(ReproError):
+    """Raised when a connection sample cannot be classified at all.
+
+    Note that *unmatched* samples are not errors -- they classify as
+    ``SignatureId.OTHER`` -- this exception marks malformed inputs such as
+    empty samples or samples containing outbound packets.
+    """
+
+
+class WorldError(ReproError):
+    """Raised for inconsistent world-model configuration."""
+
+
+class GeoError(WorldError):
+    """Raised when an address cannot be attributed to a (country, ASN)."""
+
+
+class ConfigError(ReproError):
+    """Raised for invalid user-facing configuration values."""

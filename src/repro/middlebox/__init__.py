@@ -1,0 +1,63 @@
+"""Tampering middlebox models.
+
+This subpackage simulates the in-network devices the paper detects:
+deep-packet-inspection engines that extract SNI / Host / keywords from
+client traffic (:mod:`repro.middlebox.dpi`), blocking policies over
+domains, keywords, IPs and categories (:mod:`repro.middlebox.policy`),
+forged-packet factories with configurable header personalities
+(:mod:`repro.middlebox.injector`), the stateful device itself
+(:mod:`repro.middlebox.device`), and presets reproducing published censor
+fingerprints -- the GFW, Iran's DPI, Turkmenistan, Russia's TSPU, a South
+Korean ISP, enterprise firewalls, and more (:mod:`repro.middlebox.vendors`).
+"""
+
+from repro.middlebox.actions import BlackholeMode, Verdict
+from repro.middlebox.policy import (
+    BlockPolicy,
+    CategoryRule,
+    DomainRule,
+    ExactIpRule,
+    IpRule,
+    KeywordRule,
+    PortRule,
+    SubstringRule,
+)
+from repro.middlebox.dpi import DpiEngine, FlowInspection
+from repro.middlebox.injector import (
+    AckStrategy,
+    ForgedHeaderProfile,
+    InjectionSpec,
+    IpIdStrategy,
+    RstBurst,
+    SeqStrategy,
+    TtlStrategy,
+)
+from repro.middlebox.device import Middlebox, TamperBehavior, TamperingMiddlebox, TriggerStage
+from repro.middlebox import vendors
+
+__all__ = [
+    "BlackholeMode",
+    "Verdict",
+    "BlockPolicy",
+    "DomainRule",
+    "SubstringRule",
+    "KeywordRule",
+    "IpRule",
+    "ExactIpRule",
+    "PortRule",
+    "CategoryRule",
+    "DpiEngine",
+    "FlowInspection",
+    "InjectionSpec",
+    "RstBurst",
+    "AckStrategy",
+    "SeqStrategy",
+    "IpIdStrategy",
+    "TtlStrategy",
+    "ForgedHeaderProfile",
+    "Middlebox",
+    "TamperingMiddlebox",
+    "TamperBehavior",
+    "TriggerStage",
+    "vendors",
+]

@@ -1,0 +1,69 @@
+"""Middlebox verdicts: what a device decides to do with one packet.
+
+The path simulator hands every transiting packet to each middlebox on the
+path and obeys the returned :class:`Verdict`: forward or drop the original
+packet, transmit any forged packets the device produced (toward either
+endpoint), and install a flow blackhole for subsequent packets.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import List, Tuple
+
+from repro.netstack.packet import Packet
+
+__all__ = ["BlackholeMode", "Verdict"]
+
+
+class BlackholeMode(enum.Flag):
+    """Which direction(s) of a flow a device silently discards.
+
+    ``CLIENT_TO_SERVER`` models in-path censors that stop forwarding the
+    client's packets (the server observes silence -- the paper's ``∅``
+    outcomes); ``SERVER_TO_CLIENT`` models response suppression; ``BOTH``
+    is a full bidirectional blackhole.
+    """
+
+    NONE = 0
+    CLIENT_TO_SERVER = enum.auto()
+    SERVER_TO_CLIENT = enum.auto()
+    BOTH = CLIENT_TO_SERVER | SERVER_TO_CLIENT
+
+
+@dataclasses.dataclass
+class Verdict:
+    """Outcome of a middlebox inspecting one packet.
+
+    ``forward`` -- whether the original packet continues along the path.
+    ``to_server`` / ``to_client`` -- forged packets to transmit from the
+    middlebox's position on the path (they traverse only the remaining
+    path legs, so their TTLs arrive *less* decremented than end-to-end
+    packets -- exactly the artefact Figure 3 measures).
+    ``blackhole`` -- directions to discard for the rest of the flow.
+    """
+
+    forward: bool = True
+    to_server: List[Packet] = dataclasses.field(default_factory=list)
+    to_client: List[Packet] = dataclasses.field(default_factory=list)
+    blackhole: BlackholeMode = BlackholeMode.NONE
+
+    @classmethod
+    def allow(cls) -> "Verdict":
+        """Pass the packet through untouched."""
+        return cls()
+
+    @classmethod
+    def drop(cls, blackhole: BlackholeMode = BlackholeMode.NONE) -> "Verdict":
+        """Silently discard the packet (optionally blackhole the flow)."""
+        return cls(forward=False, blackhole=blackhole)
+
+    @property
+    def injects(self) -> bool:
+        """True if the verdict carries forged packets."""
+        return bool(self.to_server or self.to_client)
+
+    def summary(self) -> Tuple[bool, int, int, str]:
+        """Compact tuple used in debug logs and tests."""
+        return (self.forward, len(self.to_server), len(self.to_client), self.blackhole.name or "NONE")

@@ -1,0 +1,311 @@
+"""The stateful tampering middlebox.
+
+:class:`TamperingMiddlebox` combines a :class:`~repro.middlebox.policy.BlockPolicy`
+(*what* to block) with a :class:`TamperBehavior` (*how* to block) and
+tracks per-flow state: DPI reassembly, sequence numbers of both
+endpoints, installed blackholes, and residual-censorship timers.
+
+The path simulator calls :meth:`process` for every packet crossing the
+device, in either direction, and obeys the returned
+:class:`~repro.middlebox.actions.Verdict`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import random
+from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
+
+from repro.middlebox.actions import BlackholeMode, Verdict
+from repro.middlebox.dpi import DpiEngine, FlowInspection
+from repro.middlebox.injector import FlowSnapshot, InjectionSpec, forge_packets, _IpIdCounter
+from repro.middlebox.policy import BlockPolicy, FlowContext
+from repro.netstack.flags import TCPFlags
+from repro.netstack.packet import Packet, PacketDirection
+
+__all__ = ["TriggerStage", "TamperBehavior", "Middlebox", "TamperingMiddlebox"]
+
+
+class TriggerStage(enum.Enum):
+    """When in the connection lifetime a device evaluates its policy."""
+
+    ON_SYN = "on_syn"  # IP/port blocking before any data
+    ON_FIRST_DATA = "on_first_data"  # the usual SNI / Host / GET trigger
+    ON_ANY_DATA = "on_any_data"  # late classification: fires on data packets after the first
+
+
+@dataclasses.dataclass
+class TamperBehavior:
+    """*How* a device tampers once its policy matches.
+
+    ``drop_trigger`` -- discard the offending packet itself (in-path
+    devices); when False the trigger reaches the server (off-path
+    injectors), which is what lets the paper observe trigger domains.
+
+    ``inject_to_server`` / ``inject_to_client`` -- forged tear-down
+    personalities for each direction (None = no injection that way).
+
+    ``blackhole`` -- directions to silently discard after triggering.
+
+    ``residual_seconds`` -- how long the (client IP, server IP) pair
+    stays blocked after a trigger, *regardless of content*: the residual
+    censorship documented for the GFW, where even innocent requests from
+    the same client to the same server die for tens of seconds after one
+    forbidden one.
+    """
+
+    trigger_stage: TriggerStage = TriggerStage.ON_FIRST_DATA
+    drop_trigger: bool = False
+    inject_to_server: Optional[InjectionSpec] = None
+    inject_to_client: Optional[InjectionSpec] = None
+    blackhole: BlackholeMode = BlackholeMode.NONE
+    residual_seconds: float = 0.0
+    #: Forged response content (e.g. an HTTP block page) injected toward
+    #: the client, spoofed from the server, before any tear-down packets.
+    #: The paper notes such devices exist but are invisible to the
+    #: server-side methodology (footnote 2); modelling them lets tests
+    #: confirm that invisibility.
+    blockpage: Optional[bytes] = None
+
+    @property
+    def is_pure_drop(self) -> bool:
+        """True when the behaviour injects nothing (drop-only censor)."""
+        return self.inject_to_server is None and self.inject_to_client is None
+
+
+@dataclasses.dataclass
+class _FlowState:
+    """Device-side bookkeeping for one flow."""
+
+    blackhole: BlackholeMode = BlackholeMode.NONE
+    triggered: bool = False
+    client_next_seq: int = 0
+    server_next_seq: int = 0
+    client_ip: str = ""
+    client_port: int = 0
+    server_ip: str = ""
+    server_port: int = 0
+    client_last_ip_id: int = 0
+    client_ttl_at_device: int = 64
+    ip_version: int = 4
+
+
+class Middlebox:
+    """Base class: a transparent device that forwards everything."""
+
+    name = "transparent"
+
+    def process(self, pkt: Packet, now: float) -> Verdict:
+        """Inspect one transiting packet and decide its fate."""
+        return Verdict.allow()
+
+    def reset(self) -> None:
+        """Clear all per-flow state (new simulation epoch)."""
+
+    def forget_flow(self, conn_key) -> None:
+        """Release per-flow state for one finished connection.
+
+        Long-lived devices are reused across millions of simulated
+        connections; the driver calls this after each one so memory does
+        not grow.  Residual-censorship state (keyed by client and domain,
+        not by flow) deliberately survives.
+        """
+
+
+class TamperingMiddlebox(Middlebox):
+    """A policy-driven tampering device.
+
+    ``categorizer`` optionally maps a domain to its content categories so
+    that :class:`~repro.middlebox.policy.CategoryRule` rules can fire.
+    ``seed`` fixes the device's private randomness (forged IP-IDs, TTLs).
+    """
+
+    def __init__(
+        self,
+        policy: BlockPolicy,
+        behavior: TamperBehavior,
+        name: str = "tampering-device",
+        seed: int = 0,
+        categorizer: Optional[Callable[[str], FrozenSet[str]]] = None,
+    ) -> None:
+        self.policy = policy
+        self.behavior = behavior
+        self.name = name
+        self._rng = random.Random(seed)
+        self._dpi = DpiEngine()
+        self._flows: Dict[Tuple[str, int, str, int], _FlowState] = {}
+        self._residual: Dict[Tuple[str, Optional[str]], float] = {}
+        self._ip_id_counter = _IpIdCounter(self._rng.randrange(0, 0x10000))
+        self._categorizer = categorizer
+        self.triggers = 0
+
+    def reset(self) -> None:
+        self._dpi = DpiEngine()
+        self._flows.clear()
+        self._residual.clear()
+
+    def forget_flow(self, conn_key) -> None:
+        self._flows.pop(conn_key, None)
+        self._dpi.forget_key(conn_key)
+
+    # ------------------------------------------------------------------
+    def _flow_state(self, pkt: Packet) -> _FlowState:
+        state = self._flows.get(pkt.conn_key)
+        if state is None:
+            state = _FlowState(ip_version=pkt.ip_version)
+            self._flows[pkt.conn_key] = state
+        return state
+
+    def _update_seq_tracking(self, pkt: Packet, state: _FlowState) -> None:
+        """Track both endpoints' next sequence numbers from observation."""
+        advance = len(pkt.payload) + (1 if (pkt.flags.is_syn or pkt.flags.is_fin) else 0)
+        nxt = (pkt.seq + advance) % (1 << 32)
+        if pkt.direction == PacketDirection.TO_SERVER:
+            state.client_ip, state.client_port = pkt.src, pkt.sport
+            state.server_ip, state.server_port = pkt.dst, pkt.dport
+            state.client_next_seq = nxt
+            state.client_last_ip_id = pkt.ip_id
+            state.client_ttl_at_device = pkt.ttl
+        else:
+            state.server_next_seq = nxt
+
+    def _context(self, pkt: Packet, state: _FlowState, inspection: FlowInspection) -> FlowContext:
+        categories: FrozenSet[str] = frozenset()
+        if inspection.domain and self._categorizer is not None:
+            categories = self._categorizer(inspection.domain)
+        return FlowContext(
+            server_ip=state.server_ip or pkt.dst,
+            server_port=state.server_port or pkt.dport,
+            client_ip=state.client_ip or pkt.src,
+            domain=inspection.domain,
+            payload=bytes(inspection.payload),
+            categories=categories,
+        )
+
+    def _should_trigger(self, pkt: Packet, state: _FlowState, inspection: FlowInspection) -> bool:
+        if state.triggered:
+            return False
+        if pkt.direction != PacketDirection.TO_SERVER:
+            return False
+        stage = self.behavior.trigger_stage
+        if stage == TriggerStage.ON_SYN:
+            if not pkt.flags.is_syn:
+                return False
+        elif stage == TriggerStage.ON_FIRST_DATA:
+            if not pkt.has_payload or inspection.client_data_packets != 1:
+                return False
+        else:  # ON_ANY_DATA: commercial devices that classify late -- the
+            # verdict lands on a data packet after the first, so the
+            # server has already seen multiple data segments (Post-Data).
+            if not pkt.has_payload or inspection.client_data_packets < 2:
+                return False
+        ctx = self._context(pkt, state, inspection)
+        if stage == TriggerStage.ON_SYN:
+            return self.policy.matches_pre_data(ctx)
+        return self.policy.matches(ctx)
+
+    def _residual_key(self, state: _FlowState) -> Tuple[str, str]:
+        return (state.client_ip, state.server_ip)
+
+    def _fire(self, pkt: Packet, state: _FlowState, now: float) -> Verdict:
+        """Apply the tampering behaviour to a triggering packet."""
+        self.triggers += 1
+        state.triggered = True
+        behavior = self.behavior
+        snapshot = FlowSnapshot(
+            client_ip=state.client_ip or pkt.src,
+            client_port=state.client_port or pkt.sport,
+            server_ip=state.server_ip or pkt.dst,
+            server_port=state.server_port or pkt.dport,
+            # If the trigger is dropped, the forged seq must match what the
+            # server actually expects (the trigger never advanced it).
+            client_next_seq=(pkt.seq if behavior.drop_trigger and pkt.has_payload else state.client_next_seq),
+            server_next_seq=state.server_next_seq,
+            client_ip_id=state.client_last_ip_id,
+            client_initial_ttl=state.client_ttl_at_device,
+            ip_version=state.ip_version,
+        )
+        verdict = Verdict(forward=not behavior.drop_trigger)
+        if behavior.blockpage is not None:
+            # A forged data packet spoofed from the server, carrying the
+            # block page; the client ACKs it like genuine content.
+            verdict.to_client.append(
+                Packet(
+                    ts=now,
+                    src=state.server_ip or pkt.dst,
+                    dst=state.client_ip or pkt.src,
+                    sport=state.server_port or pkt.dport,
+                    dport=state.client_port or pkt.sport,
+                    ttl=64,
+                    ip_id=self._ip_id_counter.next() if state.ip_version == 4 else 0,
+                    ip_version=state.ip_version,
+                    seq=state.server_next_seq,
+                    ack=snapshot.client_next_seq,
+                    flags=TCPFlags.PSHACK,
+                    payload=behavior.blockpage,
+                    direction=PacketDirection.TO_CLIENT,
+                    injected=True,
+                )
+            )
+        if behavior.inject_to_server is not None:
+            verdict.to_server = forge_packets(
+                behavior.inject_to_server,
+                snapshot,
+                now,
+                self._rng,
+                counter=self._ip_id_counter,
+                toward=PacketDirection.TO_SERVER,
+            )
+        if behavior.inject_to_client is not None:
+            verdict.to_client = forge_packets(
+                behavior.inject_to_client,
+                snapshot,
+                now,
+                self._rng,
+                counter=self._ip_id_counter,
+                toward=PacketDirection.TO_CLIENT,
+            )
+        if behavior.blackhole != BlackholeMode.NONE:
+            state.blackhole = behavior.blackhole
+            verdict.blackhole = behavior.blackhole
+        return verdict
+
+    # ------------------------------------------------------------------
+    def process(self, pkt: Packet, now: float) -> Verdict:
+        state = self._flow_state(pkt)
+
+        # Installed blackhole: discard matching-direction packets.
+        if state.blackhole != BlackholeMode.NONE:
+            inbound = pkt.direction == PacketDirection.TO_SERVER
+            if inbound and state.blackhole & BlackholeMode.CLIENT_TO_SERVER:
+                return Verdict.drop()
+            if not inbound and state.blackhole & BlackholeMode.SERVER_TO_CLIENT:
+                return Verdict.drop()
+
+        inspection = self._dpi.observe(pkt)
+        self._update_seq_tracking(pkt, state)
+
+        # Residual censorship: an earlier trigger for this (client,
+        # server) pair still applies -- repeat the behaviour without
+        # re-matching, whatever the new request asks for.
+        if (
+            not state.triggered
+            and self.behavior.residual_seconds > 0
+            and pkt.direction == PacketDirection.TO_SERVER
+            and pkt.has_payload
+        ):
+            key = self._residual_key(state)
+            expiry = self._residual.get(key)
+            if expiry is not None and now <= expiry:
+                # The window is fixed from the triggering event (it does
+                # not refresh on residually-blocked traffic), which is
+                # what makes it measurable by timed probing.
+                return self._fire(pkt, state, now)
+
+        if self._should_trigger(pkt, state, inspection):
+            if self.behavior.residual_seconds > 0:
+                self._residual[self._residual_key(state)] = now + self.behavior.residual_seconds
+            return self._fire(pkt, state, now)
+
+        return Verdict.allow()

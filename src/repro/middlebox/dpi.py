@@ -1,0 +1,128 @@
+"""Deep-packet inspection: per-flow reassembly and domain extraction.
+
+A real DPI box keeps a small amount of per-flow state: the client payload
+bytes seen so far (bounded), and whether a domain has been extracted yet.
+:class:`DpiEngine` implements exactly that, delegating protocol parsing to
+:func:`repro.netstack.tls.extract_sni` and
+:func:`repro.netstack.http.extract_host`.
+
+Inspection is *inbound-biased by design*: the engine only accumulates
+client-to-server payload, because that is where the SNI / Host / GET
+keywords live (paper §2.1).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Tuple
+
+from repro.netstack.http import extract_host, is_http_request
+from repro.netstack.packet import Packet, PacketDirection
+from repro.netstack.tls import extract_sni, is_tls_client_hello
+
+__all__ = ["FlowInspection", "DpiEngine"]
+
+#: Bound on reassembled bytes per flow -- real DPI engines inspect a prefix.
+_MAX_INSPECT_BYTES = 8192
+
+
+@dataclasses.dataclass
+class FlowInspection:
+    """Accumulated DPI knowledge about one flow.
+
+    Client payload is reassembled *by sequence number*, not arrival
+    order: real DPI engines do the same, and it makes the inspection
+    robust to retransmissions (same seq twice contributes once) and to
+    segments arriving out of order.
+    """
+
+    segments: Dict[int, bytes] = dataclasses.field(default_factory=dict)
+    _payload_bytes: int = 0
+    domain: Optional[str] = None
+    protocol: Optional[str] = None  # "tls" | "http" | None
+    client_data_packets: int = 0
+    saw_syn: bool = False
+    saw_client_ack: bool = False
+
+    @property
+    def has_domain(self) -> bool:
+        return self.domain is not None
+
+    @property
+    def payload(self) -> bytes:
+        """The reassembled client payload prefix, in sequence order."""
+        return b"".join(self.segments[seq] for seq in sorted(self.segments))
+
+    def add_segment(self, seq: int, data: bytes, budget: int) -> bool:
+        """Record one data segment; returns True if it was new."""
+        if seq in self.segments:
+            return False  # retransmission: already inspected
+        if self._payload_bytes >= budget:
+            return False  # inspection prefix full
+        room = budget - self._payload_bytes
+        self.segments[seq] = data[:room]
+        self._payload_bytes += min(len(data), room)
+        return True
+
+
+class DpiEngine:
+    """Stateful inspection over many concurrent flows.
+
+    ``observe`` ingests one packet and returns the (possibly updated)
+    :class:`FlowInspection` for its flow.  Flows are keyed by the
+    direction-independent connection tuple, so the engine also sees
+    server packets (it needs them only to know handshake progress).
+    """
+
+    def __init__(self, max_inspect_bytes: int = _MAX_INSPECT_BYTES) -> None:
+        self._flows: Dict[Tuple[str, int, str, int], FlowInspection] = {}
+        self._max_bytes = max_inspect_bytes
+
+    def __len__(self) -> int:
+        return len(self._flows)
+
+    def flow(self, pkt: Packet) -> FlowInspection:
+        """Return (creating if needed) the inspection state for ``pkt``."""
+        return self._flows.setdefault(pkt.conn_key, FlowInspection())
+
+    def forget(self, pkt: Packet) -> None:
+        """Drop per-flow state (device observed flow teardown)."""
+        self._flows.pop(pkt.conn_key, None)
+
+    def forget_key(self, conn_key: Tuple[str, int, str, int]) -> None:
+        """Drop per-flow state by connection key."""
+        self._flows.pop(conn_key, None)
+
+    def observe(self, pkt: Packet) -> FlowInspection:
+        """Ingest one packet; returns the flow's updated inspection state."""
+        state = self.flow(pkt)
+        if pkt.direction != PacketDirection.TO_SERVER:
+            return state
+
+        if pkt.flags.is_syn:
+            state.saw_syn = True
+            # TCP Fast-Open-style SYNs can carry data; fall through.
+        elif pkt.flags.is_ack and not pkt.has_payload:
+            state.saw_client_ack = True
+
+        if pkt.has_payload:
+            if pkt.seq not in state.segments:
+                state.client_data_packets += 1
+            state.add_segment(pkt.seq, bytes(pkt.payload), self._max_bytes)
+            if not state.has_domain:
+                self._try_extract(state)
+        return state
+
+    def _try_extract(self, state: FlowInspection) -> None:
+        """Attempt domain extraction from the reassembled prefix."""
+        data = bytes(state.payload)
+        if is_tls_client_hello(data):
+            state.protocol = "tls"
+            sni = extract_sni(data)
+            if sni:
+                state.domain = sni
+        elif is_http_request(data):
+            state.protocol = "http"
+            host = extract_host(data)
+            if host:
+                state.domain = host

@@ -1,0 +1,247 @@
+"""Forged-packet factories: how an injector builds its RSTs.
+
+Every RST-injection censor studied by prior work has a recognisable
+"header personality": how many tear-down packets it sends and with which
+flags (the GFW's RST / RST+ACK bursts), how it picks acknowledgment
+numbers (correct, zero, or guessed -- producing the paper's
+``RST=RST`` / ``RST≠RST`` / ``RST;RST₀`` distinctions), and how it fills
+the IP-ID and TTL fields of the forged IP headers (the side channels
+Figures 2 and 3 exploit).
+
+:class:`InjectionSpec` captures a personality declaratively;
+:func:`forge_packets` renders it into concrete :class:`Packet` objects
+spoofed from the appropriate endpoint.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from repro.netstack.flags import TCPFlags
+from repro.netstack.packet import Packet, PacketDirection
+
+__all__ = [
+    "AckStrategy",
+    "SeqStrategy",
+    "IpIdStrategy",
+    "TtlStrategy",
+    "RstBurst",
+    "ForgedHeaderProfile",
+    "InjectionSpec",
+    "FlowSnapshot",
+    "forge_packets",
+]
+
+
+class AckStrategy(enum.Enum):
+    """How the injector fills the ACK number of forged tear-downs."""
+
+    CORRECT = "correct"  # the true next expected sequence number
+    ZERO = "zero"  # hard-coded zero (seen from some devices)
+    GUESS = "guess"  # sweep of guesses around the true value
+    SAME_WRONG = "same_wrong"  # one wrong value repeated on every packet
+    MIX_ZERO = "mix_zero"  # first packet correct, a later one zero
+
+
+class SeqStrategy(enum.Enum):
+    """How the injector fills the SEQ number of forged tear-downs."""
+
+    CORRECT = "correct"  # the victim's next in-window sequence number
+    OFFSET = "offset"  # slightly off (still accepted by lenient stacks)
+
+
+class IpIdStrategy(enum.Enum):
+    """How the injector fills the IPv4 Identification field."""
+
+    ZERO = "zero"
+    COPY = "copy"  # copy from the triggering packet (stealthy censors)
+    RANDOM = "random"
+    COUNTER = "counter"  # injector's own global counter
+
+
+class TtlStrategy(enum.Enum):
+    """How the injector initialises the TTL of forged packets."""
+
+    CONSTANT = "constant"  # a fixed initial TTL (64 / 128 / 255 / other)
+    MATCH_CLIENT = "match_client"  # mimic the victim's initial TTL
+    RANDOM = "random"  # fresh random TTL per packet (observed in KR)
+
+
+@dataclasses.dataclass(frozen=True)
+class RstBurst:
+    """One group of identical-flag forged packets within an injection."""
+
+    flags: TCPFlags
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.flags.is_rst:
+            raise ValueError("injection bursts must carry the RST bit")
+        if self.count < 1:
+            raise ValueError("burst count must be >= 1")
+
+
+@dataclasses.dataclass(frozen=True)
+class ForgedHeaderProfile:
+    """IP-header personality of forged packets."""
+
+    ip_id: IpIdStrategy = IpIdStrategy.RANDOM
+    ttl: TtlStrategy = TtlStrategy.CONSTANT
+    ttl_value: int = 255
+    window: int = 0
+
+
+@dataclasses.dataclass(frozen=True)
+class InjectionSpec:
+    """A complete injector personality.
+
+    ``bursts`` lists the forged packets in transmission order;
+    ``ack``/``seq`` pick the strategies for sequence spaces; ``headers``
+    the IP-header personality; ``jitter`` an optional per-packet spacing
+    in seconds (forged packets of one event arrive within the same
+    1-second capture bucket in practice).
+    """
+
+    bursts: Tuple[RstBurst, ...]
+    ack: AckStrategy = AckStrategy.CORRECT
+    seq: SeqStrategy = SeqStrategy.CORRECT
+    headers: ForgedHeaderProfile = ForgedHeaderProfile()
+    jitter: float = 0.002
+
+    def __post_init__(self) -> None:
+        if not self.bursts:
+            raise ValueError("InjectionSpec needs at least one burst")
+
+    @property
+    def total_packets(self) -> int:
+        return sum(b.count for b in self.bursts)
+
+    @classmethod
+    def single(cls, flags: TCPFlags = TCPFlags.RST, **kwargs: object) -> "InjectionSpec":
+        """Convenience: one forged packet."""
+        return cls(bursts=(RstBurst(flags, 1),), **kwargs)  # type: ignore[arg-type]
+
+
+@dataclasses.dataclass
+class FlowSnapshot:
+    """What the middlebox knows about a flow when it decides to inject.
+
+    Captured from the device's passive observation of both directions:
+    the endpoints' addresses and the next sequence numbers each side
+    would use.  ``client_initial_ttl`` feeds TTL mimicry.
+    """
+
+    client_ip: str
+    client_port: int
+    server_ip: str
+    server_port: int
+    client_next_seq: int
+    server_next_seq: int
+    client_ip_id: int = 0
+    client_initial_ttl: int = 64
+    ip_version: int = 4
+
+
+class _IpIdCounter:
+    """Process-wide injector IP-ID counters, keyed per device."""
+
+    def __init__(self, start: int) -> None:
+        self.value = start & 0xFFFF
+
+    def next(self) -> int:
+        v = self.value
+        self.value = (self.value + 1) & 0xFFFF
+        return v
+
+
+def _pick_ip_id(strategy: IpIdStrategy, flow: FlowSnapshot, counter: _IpIdCounter, rng: random.Random) -> int:
+    if strategy == IpIdStrategy.ZERO:
+        return 0
+    if strategy == IpIdStrategy.COPY:
+        return flow.client_ip_id
+    if strategy == IpIdStrategy.RANDOM:
+        return rng.randrange(0, 0x10000)
+    return counter.next()
+
+
+def _pick_ttl(profile: ForgedHeaderProfile, flow: FlowSnapshot, rng: random.Random) -> int:
+    if profile.ttl == TtlStrategy.CONSTANT:
+        return profile.ttl_value
+    if profile.ttl == TtlStrategy.MATCH_CLIENT:
+        return flow.client_initial_ttl
+    return rng.randrange(32, 256)
+
+
+def forge_packets(
+    spec: InjectionSpec,
+    flow: FlowSnapshot,
+    now: float,
+    rng: random.Random,
+    counter: Optional[_IpIdCounter] = None,
+    toward: PacketDirection = PacketDirection.TO_SERVER,
+) -> List[Packet]:
+    """Render an :class:`InjectionSpec` into concrete forged packets.
+
+    ``toward=TO_SERVER`` spoofs the client (tearing down the server's
+    connection state); ``toward=TO_CLIENT`` spoofs the server.  The ACK
+    strategy applies to the *receiving* endpoint's sequence space.
+    """
+    if counter is None:
+        counter = _IpIdCounter(rng.randrange(0, 0x10000))
+
+    if toward == PacketDirection.TO_SERVER:
+        src, sport = flow.client_ip, flow.client_port
+        dst, dport = flow.server_ip, flow.server_port
+        base_seq = flow.client_next_seq
+        correct_ack = flow.server_next_seq
+    else:
+        src, sport = flow.server_ip, flow.server_port
+        dst, dport = flow.client_ip, flow.client_port
+        base_seq = flow.server_next_seq
+        correct_ack = flow.client_next_seq
+
+    if spec.seq == SeqStrategy.OFFSET:
+        base_seq = (base_seq + 1460) % (1 << 32)
+
+    same_wrong_ack = (correct_ack + rng.randrange(1, 4) * 1460) % (1 << 32)
+
+    packets: List[Packet] = []
+    index = 0
+    ts = now
+    for burst in spec.bursts:
+        for _ in range(burst.count):
+            if spec.ack == AckStrategy.CORRECT:
+                ack = correct_ack if burst.flags.is_ack else 0
+            elif spec.ack == AckStrategy.ZERO:
+                ack = 0
+            elif spec.ack == AckStrategy.SAME_WRONG:
+                ack = same_wrong_ack
+            elif spec.ack == AckStrategy.MIX_ZERO:
+                ack = 0 if index == spec.total_packets - 1 else correct_ack
+            else:  # GUESS: sweep around the correct value
+                ack = (correct_ack + index * 1460) % (1 << 32)
+            packets.append(
+                Packet(
+                    ts=ts,
+                    src=src,
+                    dst=dst,
+                    sport=sport,
+                    dport=dport,
+                    ttl=_pick_ttl(spec.headers, flow, rng),
+                    ip_id=_pick_ip_id(spec.headers.ip_id, flow, counter, rng) if flow.ip_version == 4 else 0,
+                    ip_version=flow.ip_version,
+                    seq=base_seq,
+                    ack=ack,
+                    flags=burst.flags,
+                    window=spec.headers.window,
+                    payload=b"",
+                    direction=toward,
+                    injected=True,
+                )
+            )
+            index += 1
+            ts += spec.jitter
+    return packets

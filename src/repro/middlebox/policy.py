@@ -1,0 +1,293 @@
+"""Blocking policies: the rules that decide *what* gets tampered with.
+
+A :class:`BlockPolicy` is an ordered rule list evaluated against a
+:class:`FlowContext` -- the facts a DPI engine has established about a
+flow (destination address/port, extracted domain, raw client payload).
+Rule types mirror the trigger classes documented in censorship
+measurement literature and the paper:
+
+* exact domain lists (block-list entries),
+* substring rules (the over-blocking the paper cites, e.g. Turkmenistan
+  blocking every domain containing ``wn.com``),
+* raw payload keywords (HTTP GET keyword censorship),
+* destination IP prefixes (mid-handshake blocking, where no
+  application-layer data exists yet),
+* destination ports, and
+* content categories (policy expressed against a category database).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import ipaddress
+from typing import Callable, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "FlowContext",
+    "Rule",
+    "DomainRule",
+    "SubstringRule",
+    "KeywordRule",
+    "EncryptedSniRule",
+    "IpRule",
+    "ExactIpRule",
+    "PortRule",
+    "CategoryRule",
+    "BlockPolicy",
+]
+
+
+@dataclasses.dataclass
+class FlowContext:
+    """Everything a policy may inspect about one flow.
+
+    ``domain`` is the SNI or Host name once DPI has extracted it (None
+    before any data packet, or when extraction failed).  ``categories``
+    are filled in by deployments that subscribe to a category database.
+    """
+
+    server_ip: str
+    server_port: int
+    client_ip: str = ""
+    domain: Optional[str] = None
+    payload: bytes = b""
+    categories: FrozenSet[str] = frozenset()
+
+    @property
+    def is_tls(self) -> bool:
+        """Heuristic protocol split used by port-scoped rules."""
+        return self.server_port == 443
+
+
+class Rule:
+    """Base class: a predicate over :class:`FlowContext`."""
+
+    #: True if the rule can fire before any client payload is seen.
+    pre_data: bool = False
+
+    def matches(self, ctx: FlowContext) -> bool:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+@dataclasses.dataclass(init=False)
+class DomainRule(Rule):
+    """Exact-match block-list over eTLD+1-or-full domain names.
+
+    Matching is suffix-aware: blocking ``example.com`` also blocks
+    ``www.example.com`` (censors block registered domains, and users
+    request subdomains).
+    """
+
+    domains: FrozenSet[str]
+
+    def __init__(self, domains: Iterable[str]) -> None:
+        self.domains = frozenset(d.lower().strip(".") for d in domains)
+
+    def matches(self, ctx: FlowContext) -> bool:
+        if not ctx.domain:
+            return False
+        name = ctx.domain.lower().strip(".")
+        while name:
+            if name in self.domains:
+                return True
+            _, _, name = name.partition(".")
+        return False
+
+    def describe(self) -> str:
+        return f"DomainRule({len(self.domains)} domains)"
+
+
+@dataclasses.dataclass(init=False)
+class SubstringRule(Rule):
+    """Block any domain *containing* one of the fragments.
+
+    Models the over-blocking behaviour of sloppy regex-based censors.
+    """
+
+    fragments: Tuple[str, ...]
+
+    def __init__(self, fragments: Iterable[str]) -> None:
+        self.fragments = tuple(f.lower() for f in fragments)
+
+    def matches(self, ctx: FlowContext) -> bool:
+        if not ctx.domain:
+            return False
+        name = ctx.domain.lower()
+        return any(frag in name for frag in self.fragments)
+
+    def describe(self) -> str:
+        return f"SubstringRule({len(self.fragments)} fragments)"
+
+
+@dataclasses.dataclass(init=False)
+class KeywordRule(Rule):
+    """Block flows whose raw client payload contains a byte keyword."""
+
+    keywords: Tuple[bytes, ...]
+
+    def __init__(self, keywords: Iterable[bytes]) -> None:
+        self.keywords = tuple(bytes(k) for k in keywords)
+
+    def matches(self, ctx: FlowContext) -> bool:
+        if not ctx.payload:
+            return False
+        return any(kw in ctx.payload for kw in self.keywords)
+
+    def describe(self) -> str:
+        return f"KeywordRule({len(self.keywords)} keywords)"
+
+
+class EncryptedSniRule(Rule):
+    """Block TLS handshakes that hide their SNI (ESNI/ECH).
+
+    Models China's wholesale blocking of encrypted-SNI handshakes (paper
+    footnote 1): the censor cannot read the name, so it blocks the
+    mechanism itself, regardless of destination.
+    """
+
+    def matches(self, ctx: FlowContext) -> bool:
+        if not ctx.payload:
+            return False
+        from repro.netstack.tls import has_encrypted_sni
+
+        return has_encrypted_sni(bytes(ctx.payload))
+
+    def describe(self) -> str:
+        return "EncryptedSniRule()"
+
+
+@dataclasses.dataclass(init=False)
+class IpRule(Rule):
+    """Block destination IP prefixes (fires at SYN time)."""
+
+    networks: Tuple[object, ...]
+    pre_data = True
+
+    def __init__(self, prefixes: Iterable[str]) -> None:
+        self.networks = tuple(ipaddress.ip_network(p, strict=False) for p in prefixes)
+
+    def matches(self, ctx: FlowContext) -> bool:
+        try:
+            addr = ipaddress.ip_address(ctx.server_ip)
+        except ValueError:
+            return False
+        return any(addr.version == net.version and addr in net for net in self.networks)  # type: ignore[attr-defined]
+
+    def describe(self) -> str:
+        return f"IpRule({len(self.networks)} prefixes)"
+
+
+@dataclasses.dataclass(init=False)
+class ExactIpRule(Rule):
+    """Block an exact set of destination addresses (O(1) lookup).
+
+    The scalable variant of :class:`IpRule` for censors that block the
+    known addresses of specific services -- at a CDN this produces
+    collateral blocking of every domain sharing the address.
+    """
+
+    addresses: FrozenSet[str]
+    pre_data = True
+
+    def __init__(self, addresses: Iterable[str]) -> None:
+        self.addresses = frozenset(addresses)
+
+    def matches(self, ctx: FlowContext) -> bool:
+        return ctx.server_ip in self.addresses
+
+    def describe(self) -> str:
+        return f"ExactIpRule({len(self.addresses)} addresses)"
+
+
+@dataclasses.dataclass(frozen=True)
+class PortRule(Rule):
+    """Restrict another rule to specific destination ports.
+
+    Used e.g. for Turkmenistan-style HTTP-only tampering (port 80 yes,
+    port 443 no).
+    """
+
+    inner: Rule
+    ports: FrozenSet[int]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "ports", frozenset(self.ports))
+
+    @property
+    def pre_data(self) -> bool:  # type: ignore[override]
+        return self.inner.pre_data
+
+    def matches(self, ctx: FlowContext) -> bool:
+        return ctx.server_port in self.ports and self.inner.matches(ctx)
+
+    def describe(self) -> str:
+        return f"PortRule(ports={sorted(self.ports)}, inner={self.inner.describe()})"
+
+
+@dataclasses.dataclass(init=False)
+class CategoryRule(Rule):
+    """Block flows whose domain belongs to one of the given categories.
+
+    The deployment must populate ``FlowContext.categories`` (the world
+    model wires this to the synthetic category database).
+    """
+
+    categories: FrozenSet[str]
+
+    def __init__(self, categories: Iterable[str]) -> None:
+        self.categories = frozenset(categories)
+
+    def matches(self, ctx: FlowContext) -> bool:
+        return bool(self.categories & ctx.categories)
+
+    def describe(self) -> str:
+        return f"CategoryRule({sorted(self.categories)})"
+
+
+class BlockPolicy:
+    """An ordered list of rules; the policy matches if any rule matches."""
+
+    def __init__(self, rules: Sequence[Rule] = (), name: str = "policy") -> None:
+        self.rules: List[Rule] = list(rules)
+        self.name = name
+
+    def add(self, rule: Rule) -> "BlockPolicy":
+        """Append a rule; returns self for chaining."""
+        self.rules.append(rule)
+        return self
+
+    def matches(self, ctx: FlowContext) -> bool:
+        """True if any rule matches the flow context."""
+        return any(rule.matches(ctx) for rule in self.rules)
+
+    def matches_pre_data(self, ctx: FlowContext) -> bool:
+        """True if any *pre-data* rule (IP-based) matches -- SYN-time check."""
+        return any(rule.matches(ctx) for rule in self.rules if rule.pre_data)
+
+    @property
+    def has_pre_data_rules(self) -> bool:
+        return any(rule.pre_data for rule in self.rules)
+
+    def describe(self) -> str:
+        inner = ", ".join(rule.describe() for rule in self.rules)
+        return f"BlockPolicy({self.name}: [{inner}])"
+
+    @classmethod
+    def nothing(cls) -> "BlockPolicy":
+        """A policy that never matches (transparent device)."""
+        return cls((), name="nothing")
+
+    @classmethod
+    def everything(cls) -> "BlockPolicy":
+        """A policy that matches every flow with a known domain or SYN."""
+
+        class _All(Rule):
+            pre_data = True
+
+            def matches(self, ctx: FlowContext) -> bool:
+                return True
+
+        return cls((_All(),), name="everything")

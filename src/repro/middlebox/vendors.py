@@ -1,0 +1,512 @@
+"""Vendor presets: middlebox personalities matching published fingerprints.
+
+Each factory builds a :class:`~repro.middlebox.device.TamperingMiddlebox`
+whose observable effect at the *server* matches one of the paper's
+tampering signatures (Table 1).  The mapping below is the ground truth
+used by integration tests: simulate a censored connection through the
+preset and assert the classifier reports the expected signature.
+
+==========================  =========================================
+Preset                      Expected server-side signature
+==========================  =========================================
+syn_blackhole               ⟨SYN → ∅⟩
+syn_rst_injector            ⟨SYN → RST⟩
+syn_rstack_injector         ⟨SYN → RST+ACK⟩
+gfw_syn                     ⟨SYN → RST; RST+ACK⟩
+iran_drop                   ⟨SYN; ACK → ∅⟩
+tm_http                     ⟨SYN; ACK → RST⟩ (port 80 only)
+iran_double_rst             ⟨SYN; ACK → RST; RST⟩
+iran_rstack                 ⟨SYN; ACK → RST+ACK⟩
+iran_double_rstack          ⟨SYN; ACK → RST+ACK; RST+ACK⟩
+psh_blackhole               ⟨PSH+ACK → ∅⟩
+single_rst                  ⟨PSH+ACK → RST⟩
+single_rstack               ⟨PSH+ACK → RST+ACK⟩
+gfw                         ⟨PSH+ACK → RST; RST+ACK⟩
+gfw_double_rstack           ⟨PSH+ACK → RST+ACK; RST+ACK⟩
+same_ack_injector           ⟨PSH+ACK → RST = RST⟩
+korea_guesser               ⟨PSH+ACK → RST ≠ RST⟩
+zero_ack_injector           ⟨PSH+ACK → RST; RST₀⟩
+enterprise_rst              ⟨PSH+ACK; Data → RST⟩
+enterprise_firewall         ⟨PSH+ACK; Data → RST+ACK⟩
+==========================  =========================================
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Optional
+
+from repro.middlebox.actions import BlackholeMode
+from repro.middlebox.device import TamperBehavior, TamperingMiddlebox, TriggerStage
+from repro.middlebox.injector import (
+    AckStrategy,
+    ForgedHeaderProfile,
+    InjectionSpec,
+    IpIdStrategy,
+    RstBurst,
+    TtlStrategy,
+)
+from repro.middlebox.actions import Verdict
+from repro.middlebox.policy import BlockPolicy
+from repro.netstack.flags import TCPFlags
+from repro.netstack.packet import Packet, PacketDirection
+
+__all__ = ["VENDOR_PRESETS", "make_preset", "preset_names"]
+
+Categorizer = Optional[Callable[[str], FrozenSet[str]]]
+
+
+def _device(
+    name: str,
+    policy: BlockPolicy,
+    behavior: TamperBehavior,
+    seed: int,
+    categorizer: Categorizer,
+) -> TamperingMiddlebox:
+    return TamperingMiddlebox(policy, behavior, name=name, seed=seed, categorizer=categorizer)
+
+
+# ---------------------------------------------------------------------------
+# Post-SYN personalities (IP/port-based blocking, no application data yet)
+# ---------------------------------------------------------------------------
+
+def syn_blackhole(policy: BlockPolicy, seed: int = 0, categorizer: Categorizer = None) -> TamperingMiddlebox:
+    """Let the SYN reach the server, then blackhole the flow → ⟨SYN → ∅⟩."""
+    behavior = TamperBehavior(
+        trigger_stage=TriggerStage.ON_SYN,
+        drop_trigger=False,
+        blackhole=BlackholeMode.BOTH,
+    )
+    return _device("syn-blackhole", policy, behavior, seed, categorizer)
+
+
+def syn_rst_injector(policy: BlockPolicy, seed: int = 0, categorizer: Categorizer = None) -> TamperingMiddlebox:
+    """Answer blocked SYNs with a forged RST to each side → ⟨SYN → RST⟩."""
+    spec = InjectionSpec(
+        bursts=(RstBurst(TCPFlags.RST, 1),),
+        headers=ForgedHeaderProfile(ip_id=IpIdStrategy.COUNTER, ttl=TtlStrategy.CONSTANT, ttl_value=255),
+    )
+    behavior = TamperBehavior(
+        trigger_stage=TriggerStage.ON_SYN,
+        inject_to_server=spec,
+        inject_to_client=spec,
+        blackhole=BlackholeMode.BOTH,
+    )
+    return _device("syn-rst-injector", policy, behavior, seed, categorizer)
+
+
+def syn_rstack_injector(policy: BlockPolicy, seed: int = 0, categorizer: Categorizer = None) -> TamperingMiddlebox:
+    """Forged RST+ACKs after the SYN → ⟨SYN → RST+ACK⟩."""
+    spec = InjectionSpec(
+        bursts=(RstBurst(TCPFlags.RSTACK, 1),),
+        headers=ForgedHeaderProfile(ip_id=IpIdStrategy.RANDOM, ttl=TtlStrategy.CONSTANT, ttl_value=128),
+    )
+    behavior = TamperBehavior(
+        trigger_stage=TriggerStage.ON_SYN,
+        inject_to_server=spec,
+        inject_to_client=spec,
+        blackhole=BlackholeMode.BOTH,
+    )
+    return _device("syn-rstack-injector", policy, behavior, seed, categorizer)
+
+
+def gfw_syn(policy: BlockPolicy, seed: int = 0, categorizer: Categorizer = None) -> TamperingMiddlebox:
+    """GFW-style mid-handshake blocking → ⟨SYN → RST; RST+ACK⟩."""
+    spec = InjectionSpec(
+        bursts=(RstBurst(TCPFlags.RST, 1), RstBurst(TCPFlags.RSTACK, 1)),
+        headers=ForgedHeaderProfile(ip_id=IpIdStrategy.RANDOM, ttl=TtlStrategy.CONSTANT, ttl_value=110),
+    )
+    behavior = TamperBehavior(
+        trigger_stage=TriggerStage.ON_SYN,
+        inject_to_server=spec,
+        inject_to_client=spec,
+        blackhole=BlackholeMode.BOTH,
+    )
+    return _device("gfw-syn", policy, behavior, seed, categorizer)
+
+
+# ---------------------------------------------------------------------------
+# Post-ACK personalities (first data packet suppressed in-path)
+# ---------------------------------------------------------------------------
+
+def iran_drop(policy: BlockPolicy, seed: int = 0, categorizer: Categorizer = None) -> TamperingMiddlebox:
+    """Drop the offending ClientHello and everything after → ⟨SYN; ACK → ∅⟩.
+
+    Matches the behaviour Basso observed in Iran in 2020: the client's
+    first data packet never reaches the server, which saw only the
+    handshake.
+    """
+    behavior = TamperBehavior(
+        trigger_stage=TriggerStage.ON_FIRST_DATA,
+        drop_trigger=True,
+        blackhole=BlackholeMode.CLIENT_TO_SERVER,
+        residual_seconds=30.0,
+    )
+    return _device("iran-drop", policy, behavior, seed, categorizer)
+
+
+def _post_ack_injector(
+    name: str,
+    flags: TCPFlags,
+    count: int,
+    ttl_value: int,
+    policy: BlockPolicy,
+    seed: int,
+    categorizer: Categorizer,
+) -> TamperingMiddlebox:
+    spec = InjectionSpec(
+        bursts=(RstBurst(flags, count),),
+        ack=AckStrategy.CORRECT,
+        headers=ForgedHeaderProfile(ip_id=IpIdStrategy.COUNTER, ttl=TtlStrategy.CONSTANT, ttl_value=ttl_value),
+    )
+    behavior = TamperBehavior(
+        trigger_stage=TriggerStage.ON_FIRST_DATA,
+        drop_trigger=True,  # the offending request never reaches the server
+        inject_to_server=spec,
+        inject_to_client=spec,
+        blackhole=BlackholeMode.CLIENT_TO_SERVER,
+        residual_seconds=30.0,
+    )
+    return _device(name, policy, behavior, seed, categorizer)
+
+
+def tm_http(policy: BlockPolicy, seed: int = 0, categorizer: Categorizer = None) -> TamperingMiddlebox:
+    """Turkmenistan-style HTTP blocking → ⟨SYN; ACK → RST⟩.
+
+    The policy passed in should be port-scoped to 80 (see
+    :class:`~repro.middlebox.policy.PortRule`); TLS flows pass untouched.
+    """
+    return _post_ack_injector("tm-http", TCPFlags.RST, 1, 64, policy, seed, categorizer)
+
+
+#: The forged response an Iranian-style block-page injector serves.
+BLOCKPAGE_BODY: bytes = (
+    b"HTTP/1.1 403 Forbidden\r\n"
+    b"Content-Type: text/html\r\n"
+    b"Content-Length: 62\r\n\r\n"
+    b"<html><body><h1>Access to this site is denied</h1></body></html>"[:62]
+)
+
+
+def iran_blockpage(policy: BlockPolicy, seed: int = 0, categorizer: Categorizer = None) -> TamperingMiddlebox:
+    """Drop the request, serve a block page, RST the server → ⟨SYN; ACK → RST⟩.
+
+    Models the behaviour Aryan et al. observed in Iran in 2013: the
+    offending request is dropped, the *client* receives a forged block
+    page, and the *server* receives injected tear-down packets.  The
+    block page itself is invisible to the server-side methodology
+    (paper footnote 2) -- only the RST arrives at the edge.
+    """
+    spec = InjectionSpec(
+        bursts=(RstBurst(TCPFlags.RST, 1),),
+        headers=ForgedHeaderProfile(ip_id=IpIdStrategy.COUNTER, ttl=TtlStrategy.CONSTANT, ttl_value=255),
+    )
+    behavior = TamperBehavior(
+        trigger_stage=TriggerStage.ON_FIRST_DATA,
+        drop_trigger=True,
+        inject_to_server=spec,
+        blackhole=BlackholeMode.CLIENT_TO_SERVER,
+        residual_seconds=30.0,
+        blockpage=BLOCKPAGE_BODY,
+    )
+    return _device("iran-blockpage", policy, behavior, seed, categorizer)
+
+
+def iran_double_rst(policy: BlockPolicy, seed: int = 0, categorizer: Categorizer = None) -> TamperingMiddlebox:
+    """Drop the request, inject two RSTs → ⟨SYN; ACK → RST; RST⟩."""
+    return _post_ack_injector("iran-double-rst", TCPFlags.RST, 2, 200, policy, seed, categorizer)
+
+
+def iran_rstack(policy: BlockPolicy, seed: int = 0, categorizer: Categorizer = None) -> TamperingMiddlebox:
+    """Drop the request, inject one RST+ACK → ⟨SYN; ACK → RST+ACK⟩."""
+    return _post_ack_injector("iran-rstack", TCPFlags.RSTACK, 1, 255, policy, seed, categorizer)
+
+
+def iran_double_rstack(policy: BlockPolicy, seed: int = 0, categorizer: Categorizer = None) -> TamperingMiddlebox:
+    """Drop the request, inject RST+ACKs → ⟨SYN; ACK → RST+ACK; RST+ACK⟩."""
+    return _post_ack_injector("iran-double-rstack", TCPFlags.RSTACK, 2, 255, policy, seed, categorizer)
+
+
+# ---------------------------------------------------------------------------
+# Post-PSH personalities (trigger reaches the server; off-path injection)
+# ---------------------------------------------------------------------------
+
+def psh_blackhole(policy: BlockPolicy, seed: int = 0, categorizer: Categorizer = None) -> TamperingMiddlebox:
+    """Blackhole the flow after the first data packet → ⟨PSH+ACK → ∅⟩."""
+    behavior = TamperBehavior(
+        trigger_stage=TriggerStage.ON_FIRST_DATA,
+        drop_trigger=False,
+        blackhole=BlackholeMode.BOTH,
+        residual_seconds=30.0,
+    )
+    return _device("psh-blackhole", policy, behavior, seed, categorizer)
+
+
+def _post_psh_injector(
+    name: str,
+    spec: InjectionSpec,
+    policy: BlockPolicy,
+    seed: int,
+    categorizer: Categorizer,
+    residual: float = 60.0,
+) -> TamperingMiddlebox:
+    behavior = TamperBehavior(
+        trigger_stage=TriggerStage.ON_FIRST_DATA,
+        drop_trigger=False,
+        inject_to_server=spec,
+        inject_to_client=spec,
+        blackhole=BlackholeMode.NONE,
+        residual_seconds=residual,
+    )
+    return _device(name, policy, behavior, seed, categorizer)
+
+
+def single_rst(policy: BlockPolicy, seed: int = 0, categorizer: Categorizer = None) -> TamperingMiddlebox:
+    """One forged RST after the request → ⟨PSH+ACK → RST⟩."""
+    spec = InjectionSpec(
+        bursts=(RstBurst(TCPFlags.RST, 1),),
+        headers=ForgedHeaderProfile(ip_id=IpIdStrategy.RANDOM, ttl=TtlStrategy.CONSTANT, ttl_value=128),
+    )
+    return _post_psh_injector("single-rst", spec, policy, seed, categorizer)
+
+
+def single_rstack(policy: BlockPolicy, seed: int = 0, categorizer: Categorizer = None) -> TamperingMiddlebox:
+    """One forged RST+ACK after the request → ⟨PSH+ACK → RST+ACK⟩."""
+    spec = InjectionSpec(
+        bursts=(RstBurst(TCPFlags.RSTACK, 1),),
+        headers=ForgedHeaderProfile(ip_id=IpIdStrategy.COPY, ttl=TtlStrategy.MATCH_CLIENT),
+    )
+    return _post_psh_injector("single-rstack", spec, policy, seed, categorizer)
+
+
+def gfw(policy: BlockPolicy, seed: int = 0, categorizer: Categorizer = None) -> TamperingMiddlebox:
+    """The Great Firewall's classic burst → ⟨PSH+ACK → RST; RST+ACK⟩.
+
+    One RST plus RST+ACKs, random IP-IDs, distinctive initial TTL, and
+    ~90 s of residual censorship for the (client, domain) pair.
+    """
+    spec = InjectionSpec(
+        bursts=(RstBurst(TCPFlags.RST, 1), RstBurst(TCPFlags.RSTACK, 2)),
+        headers=ForgedHeaderProfile(ip_id=IpIdStrategy.RANDOM, ttl=TtlStrategy.CONSTANT, ttl_value=110),
+    )
+    return _post_psh_injector("gfw", spec, policy, seed, categorizer, residual=90.0)
+
+
+def gfw_double_rstack(policy: BlockPolicy, seed: int = 0, categorizer: Categorizer = None) -> TamperingMiddlebox:
+    """China's secondary HTTPS middlebox → ⟨PSH+ACK → RST+ACK; RST+ACK⟩."""
+    spec = InjectionSpec(
+        bursts=(RstBurst(TCPFlags.RSTACK, 3),),
+        headers=ForgedHeaderProfile(ip_id=IpIdStrategy.RANDOM, ttl=TtlStrategy.CONSTANT, ttl_value=99),
+    )
+    return _post_psh_injector("gfw-double-rstack", spec, policy, seed, categorizer, residual=90.0)
+
+
+def same_ack_injector(policy: BlockPolicy, seed: int = 0, categorizer: Categorizer = None) -> TamperingMiddlebox:
+    """Repeated identical RSTs → ⟨PSH+ACK → RST = RST⟩."""
+    spec = InjectionSpec(
+        bursts=(RstBurst(TCPFlags.RST, 2),),
+        ack=AckStrategy.SAME_WRONG,
+        headers=ForgedHeaderProfile(ip_id=IpIdStrategy.COUNTER, ttl=TtlStrategy.CONSTANT, ttl_value=64),
+    )
+    return _post_psh_injector("same-ack-injector", spec, policy, seed, categorizer)
+
+
+def korea_guesser(policy: BlockPolicy, seed: int = 0, categorizer: Categorizer = None) -> TamperingMiddlebox:
+    """ACK-guessing injector with random TTLs → ⟨PSH+ACK → RST ≠ RST⟩.
+
+    Reproduces the South Korean ISP behaviour the paper highlights:
+    multiple RSTs whose acknowledgment numbers sweep forward and whose
+    TTLs look random.
+    """
+    spec = InjectionSpec(
+        bursts=(RstBurst(TCPFlags.RST, 3),),
+        ack=AckStrategy.GUESS,
+        headers=ForgedHeaderProfile(ip_id=IpIdStrategy.RANDOM, ttl=TtlStrategy.RANDOM),
+    )
+    return _post_psh_injector("korea-guesser", spec, policy, seed, categorizer)
+
+
+def zero_ack_injector(policy: BlockPolicy, seed: int = 0, categorizer: Categorizer = None) -> TamperingMiddlebox:
+    """RST pair where one ACK number is zero → ⟨PSH+ACK → RST; RST₀⟩."""
+    spec = InjectionSpec(
+        bursts=(RstBurst(TCPFlags.RST, 2),),
+        ack=AckStrategy.MIX_ZERO,
+        headers=ForgedHeaderProfile(ip_id=IpIdStrategy.RANDOM, ttl=TtlStrategy.CONSTANT, ttl_value=44),
+    )
+    return _post_psh_injector("zero-ack-injector", spec, policy, seed, categorizer)
+
+
+def gfw_ech(policy: BlockPolicy, seed: int = 0, categorizer: Categorizer = None) -> TamperingMiddlebox:
+    """China's wholesale encrypted-SNI blocking → ⟨PSH+ACK → RST; RST+ACK⟩.
+
+    Ignores the supplied policy's domain rules entirely: *any* TLS
+    handshake carrying an ESNI/ECH extension is torn down with the GFW
+    burst, because the censor cannot read the name it would otherwise
+    match (paper footnote 1, reference [19]).
+    """
+    from repro.middlebox.policy import EncryptedSniRule
+
+    ech_policy = BlockPolicy([EncryptedSniRule()], name="gfw-ech")
+    spec = InjectionSpec(
+        bursts=(RstBurst(TCPFlags.RST, 1), RstBurst(TCPFlags.RSTACK, 2)),
+        headers=ForgedHeaderProfile(ip_id=IpIdStrategy.RANDOM, ttl=TtlStrategy.CONSTANT, ttl_value=110),
+    )
+    behavior = TamperBehavior(
+        trigger_stage=TriggerStage.ON_FIRST_DATA,
+        drop_trigger=False,
+        inject_to_server=spec,
+        inject_to_client=spec,
+        residual_seconds=90.0,
+    )
+    return _device("gfw-ech", ech_policy, behavior, seed, categorizer)
+
+
+# ---------------------------------------------------------------------------
+# Post-multiple-data personalities (keyword scanning, enterprise devices)
+# ---------------------------------------------------------------------------
+
+def _post_data_injector(
+    name: str,
+    flags: TCPFlags,
+    policy: BlockPolicy,
+    seed: int,
+    categorizer: Categorizer,
+) -> TamperingMiddlebox:
+    spec = InjectionSpec(
+        bursts=(RstBurst(flags, 1),),
+        headers=ForgedHeaderProfile(ip_id=IpIdStrategy.COPY, ttl=TtlStrategy.MATCH_CLIENT),
+    )
+    behavior = TamperBehavior(
+        trigger_stage=TriggerStage.ON_ANY_DATA,
+        drop_trigger=False,
+        inject_to_server=spec,
+        inject_to_client=spec,
+        blackhole=BlackholeMode.NONE,
+    )
+    return _device(name, policy, behavior, seed, categorizer)
+
+
+def enterprise_rst(policy: BlockPolicy, seed: int = 0, categorizer: Categorizer = None) -> TamperingMiddlebox:
+    """Keyword-scanning firewall, RST teardown → ⟨PSH+ACK; Data → RST⟩."""
+    return _post_data_injector("enterprise-rst", TCPFlags.RST, policy, seed, categorizer)
+
+
+def enterprise_firewall(policy: BlockPolicy, seed: int = 0, categorizer: Categorizer = None) -> TamperingMiddlebox:
+    """Commercial firewall, RST+ACK teardown → ⟨PSH+ACK; Data → RST+ACK⟩."""
+    return _post_data_injector("enterprise-firewall", TCPFlags.RSTACK, policy, seed, categorizer)
+
+
+# ---------------------------------------------------------------------------
+# The paper's §6 evasion thought experiment
+# ---------------------------------------------------------------------------
+
+class _EvasiveCensor(TamperingMiddlebox):
+    """The paper's "ideal tampering strategy" (§6, concluding remarks).
+
+    Blocks content from the server to the client (so the client gets
+    nothing objectionable) while *continuing the connection to the
+    server as if it were the client*: it ACKs the server's response data
+    and completes a graceful FIN handshake, all spoofed from the client.
+    The server-side capture is indistinguishable from a healthy
+    connection, so the passive methodology detects nothing.
+
+    The paper notes this requires an in-path (packet-dropping) censor,
+    which is uncommon in practice -- this class exists to demonstrate the
+    methodology's stated blind spot, and is deliberately not part of any
+    country profile.
+    """
+
+    def process(self, pkt: Packet, now: float) -> Verdict:  # type: ignore[override]
+        from repro.middlebox.actions import Verdict as _V
+
+        state = self._flow_state(pkt)
+        if state.triggered:
+            if pkt.direction == PacketDirection.TO_SERVER:
+                # Drop the real client's packets; we speak for it now.
+                return _V.drop()
+            # Server-to-client traffic: suppress it, and impersonate the
+            # client back toward the server.
+            forged: list = []
+            advance = len(pkt.payload) + (1 if (pkt.flags.is_syn or pkt.flags.is_fin) else 0)
+            if advance:
+                ack = (pkt.seq + advance) % (1 << 32)
+                flags = TCPFlags.FINACK if pkt.flags.is_fin else TCPFlags.ACK
+                seq = state.client_next_seq
+                if pkt.flags.is_fin:
+                    state.client_next_seq = (state.client_next_seq + 1) % (1 << 32)
+                forged.append(
+                    Packet(
+                        ts=now,
+                        src=state.client_ip,
+                        dst=state.server_ip,
+                        sport=state.client_port,
+                        dport=state.server_port,
+                        ttl=64,
+                        ip_id=self._ip_id_counter.next() if state.ip_version == 4 else 0,
+                        ip_version=state.ip_version,
+                        seq=seq,
+                        ack=ack,
+                        flags=flags,
+                        direction=PacketDirection.TO_SERVER,
+                        injected=True,
+                    )
+                )
+            return _V(forward=False, to_server=forged)
+        return super().process(pkt, now)
+
+
+def evasive_censor(policy: BlockPolicy, seed: int = 0, categorizer: Categorizer = None) -> TamperingMiddlebox:
+    """§6's passive-detection-proof censor (drop-capable, in-path)."""
+    behavior = TamperBehavior(
+        trigger_stage=TriggerStage.ON_FIRST_DATA,
+        drop_trigger=False,  # the trigger must reach the server to elicit a response
+        residual_seconds=30.0,
+    )
+    device = _EvasiveCensor(policy, behavior, name="evasive-censor", seed=seed,
+                            categorizer=categorizer)
+    return device
+
+
+#: Registry used by world-model configuration files.
+VENDOR_PRESETS: Dict[str, Callable[..., TamperingMiddlebox]] = {
+    "syn_blackhole": syn_blackhole,
+    "syn_rst_injector": syn_rst_injector,
+    "syn_rstack_injector": syn_rstack_injector,
+    "gfw_syn": gfw_syn,
+    "iran_drop": iran_drop,
+    "iran_blockpage": iran_blockpage,
+    "tm_http": tm_http,
+    "iran_double_rst": iran_double_rst,
+    "iran_rstack": iran_rstack,
+    "iran_double_rstack": iran_double_rstack,
+    "psh_blackhole": psh_blackhole,
+    "single_rst": single_rst,
+    "single_rstack": single_rstack,
+    "gfw": gfw,
+    "gfw_ech": gfw_ech,
+    "gfw_double_rstack": gfw_double_rstack,
+    "same_ack_injector": same_ack_injector,
+    "korea_guesser": korea_guesser,
+    "zero_ack_injector": zero_ack_injector,
+    "enterprise_rst": enterprise_rst,
+    "enterprise_firewall": enterprise_firewall,
+    "evasive_censor": evasive_censor,
+}
+
+
+def preset_names() -> list:
+    """Sorted names of all vendor presets."""
+    return sorted(VENDOR_PRESETS)
+
+
+def make_preset(
+    name: str,
+    policy: BlockPolicy,
+    seed: int = 0,
+    categorizer: Categorizer = None,
+) -> TamperingMiddlebox:
+    """Instantiate a vendor preset by name."""
+    try:
+        factory = VENDOR_PRESETS[name]
+    except KeyError:
+        raise KeyError(f"unknown vendor preset {name!r}; choose from {preset_names()}") from None
+    return factory(policy, seed=seed, categorizer=categorizer)

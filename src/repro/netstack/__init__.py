@@ -1,0 +1,70 @@
+"""Packet-level network substrate.
+
+This subpackage implements everything below the measurement pipeline:
+TCP flags and options, an IPv4/IPv6+TCP packet model with real wire
+encoding, internet checksums, minimal-but-correct TCP endpoint state
+machines, TLS ClientHello and HTTP/1.1 request builders/parsers (enough
+for SNI / Host extraction, which is what DPI middleboxes key on), and a
+classic-pcap reader/writer for persisting captures.
+"""
+
+from repro.netstack.flags import TCPFlags, flags_from_str, flags_to_str
+from repro.netstack.options import (
+    TCPOption,
+    OptionKind,
+    decode_options,
+    encode_options,
+    mss_option,
+    nop_option,
+    sack_permitted_option,
+    timestamp_option,
+    window_scale_option,
+)
+from repro.netstack.packet import Packet, PacketDirection
+from repro.netstack.checksum import internet_checksum, tcp_checksum
+from repro.netstack.tcp import TcpClient, TcpServer, TcpState
+from repro.netstack.tls import (
+    ClientHello,
+    build_client_hello,
+    extract_sni,
+    parse_client_hello,
+)
+from repro.netstack.http import (
+    HttpRequest,
+    build_http_request,
+    extract_host,
+    parse_http_request,
+)
+from repro.netstack.pcap import read_pcap, write_pcap
+
+__all__ = [
+    "TCPFlags",
+    "flags_from_str",
+    "flags_to_str",
+    "TCPOption",
+    "OptionKind",
+    "decode_options",
+    "encode_options",
+    "mss_option",
+    "nop_option",
+    "sack_permitted_option",
+    "timestamp_option",
+    "window_scale_option",
+    "Packet",
+    "PacketDirection",
+    "internet_checksum",
+    "tcp_checksum",
+    "TcpClient",
+    "TcpServer",
+    "TcpState",
+    "ClientHello",
+    "build_client_hello",
+    "extract_sni",
+    "parse_client_hello",
+    "HttpRequest",
+    "build_http_request",
+    "extract_host",
+    "parse_http_request",
+    "read_pcap",
+    "write_pcap",
+]

@@ -1,0 +1,66 @@
+"""Internet (ones-complement) checksums for IPv4 and TCP.
+
+Implemented from RFC 1071.  The simulator encodes packets to real wire
+bytes (see :mod:`repro.netstack.packet`), and middlebox-forged packets are
+checksummed exactly like genuine ones -- real-world injectors produce valid
+checksums, otherwise endpoints would discard the forgeries.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro._util import ipv4_to_int, ipv6_to_int
+
+__all__ = ["internet_checksum", "tcp_checksum", "verify_tcp_checksum"]
+
+
+def internet_checksum(data: bytes) -> int:
+    """Compute the 16-bit ones-complement checksum of ``data``.
+
+    Odd-length input is virtually padded with a trailing zero byte, per
+    RFC 1071 section 4.1.
+    """
+    if len(data) % 2:
+        data = data + b"\x00"
+    total = 0
+    for (word,) in struct.iter_unpack("!H", data):
+        total += word
+    # Fold carries back into the low 16 bits.
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
+def _pseudo_header(src: str, dst: str, version: int, tcp_length: int) -> bytes:
+    """Build the IPv4/IPv6 pseudo-header used in the TCP checksum."""
+    if version == 4:
+        return struct.pack(
+            "!IIBBH",
+            ipv4_to_int(src),
+            ipv4_to_int(dst),
+            0,
+            6,  # protocol = TCP
+            tcp_length,
+        )
+    if version == 6:
+        return (
+            ipv6_to_int(src).to_bytes(16, "big")
+            + ipv6_to_int(dst).to_bytes(16, "big")
+            + struct.pack("!IHBB", tcp_length, 0, 0, 6)
+        )
+    raise ValueError(f"unsupported IP version: {version}")
+
+
+def tcp_checksum(src: str, dst: str, version: int, segment: bytes) -> int:
+    """Checksum a TCP ``segment`` (header+payload, checksum field zeroed)."""
+    return internet_checksum(_pseudo_header(src, dst, version, len(segment)) + segment)
+
+
+def verify_tcp_checksum(src: str, dst: str, version: int, segment: bytes) -> bool:
+    """Return True if ``segment`` (with its checksum in place) verifies.
+
+    Summing a segment that includes a correct checksum yields zero.
+    """
+    total = internet_checksum(_pseudo_header(src, dst, version, len(segment)) + segment)
+    return total == 0

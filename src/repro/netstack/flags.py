@@ -1,0 +1,112 @@
+"""TCP control flags.
+
+The tampering signatures of the paper are defined entirely over sequences
+of TCP flag combinations (``SYN``, ``ACK``, ``PSH+ACK``, ``RST``,
+``RST+ACK``, ``FIN`` ...), so this module is the vocabulary for the whole
+library.  Flag bit values follow RFC 793 / RFC 3168.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["TCPFlags", "flags_to_str", "flags_from_str", "CANONICAL_ORDER"]
+
+
+class TCPFlags(enum.IntFlag):
+    """TCP header flag bits (low byte of offset/flags word)."""
+
+    NONE = 0x00
+    FIN = 0x01
+    SYN = 0x02
+    RST = 0x04
+    PSH = 0x08
+    ACK = 0x10
+    URG = 0x20
+    ECE = 0x40
+    CWR = 0x80
+
+    # Common combinations, named for readability at call sites.
+    SYNACK = SYN | ACK
+    PSHACK = PSH | ACK
+    RSTACK = RST | ACK
+    FINACK = FIN | ACK
+
+    @property
+    def is_rst(self) -> bool:
+        """True if the RST bit is set (with or without ACK)."""
+        return bool(self & TCPFlags.RST)
+
+    @property
+    def is_pure_rst(self) -> bool:
+        """True for RST without ACK -- one of the two teardown variants."""
+        return bool(self & TCPFlags.RST) and not bool(self & TCPFlags.ACK)
+
+    @property
+    def is_rst_ack(self) -> bool:
+        """True for RST+ACK -- the other teardown variant."""
+        return bool(self & TCPFlags.RST) and bool(self & TCPFlags.ACK)
+
+    @property
+    def is_syn(self) -> bool:
+        """True if the SYN bit is set."""
+        return bool(self & TCPFlags.SYN)
+
+    @property
+    def is_fin(self) -> bool:
+        """True if the FIN bit is set."""
+        return bool(self & TCPFlags.FIN)
+
+    @property
+    def is_ack(self) -> bool:
+        """True if the ACK bit is set."""
+        return bool(self & TCPFlags.ACK)
+
+    @property
+    def is_psh(self) -> bool:
+        """True if the PSH bit is set."""
+        return bool(self & TCPFlags.PSH)
+
+
+#: Rendering order used by :func:`flags_to_str`; matches tcpdump-ish style.
+CANONICAL_ORDER = (
+    (TCPFlags.SYN, "SYN"),
+    (TCPFlags.FIN, "FIN"),
+    (TCPFlags.RST, "RST"),
+    (TCPFlags.PSH, "PSH"),
+    (TCPFlags.ACK, "ACK"),
+    (TCPFlags.URG, "URG"),
+    (TCPFlags.ECE, "ECE"),
+    (TCPFlags.CWR, "CWR"),
+)
+
+_NAME_TO_FLAG = {name: flag for flag, name in CANONICAL_ORDER}
+
+
+def flags_to_str(flags: TCPFlags) -> str:
+    """Render flags as a ``+``-joined string, e.g. ``"SYN+ACK"``.
+
+    The empty flag set renders as ``"NONE"``.
+    """
+    names = [name for flag, name in CANONICAL_ORDER if flags & flag]
+    return "+".join(names) if names else "NONE"
+
+
+def flags_from_str(text: str) -> TCPFlags:
+    """Parse a ``+``-joined flag string back into :class:`TCPFlags`.
+
+    Accepts the output of :func:`flags_to_str` case-insensitively.
+
+    >>> flags_from_str("syn+ack") == TCPFlags.SYNACK
+    True
+    """
+    text = text.strip()
+    if not text or text.upper() == "NONE":
+        return TCPFlags.NONE
+    flags = TCPFlags.NONE
+    for part in text.split("+"):
+        name = part.strip().upper()
+        if name not in _NAME_TO_FLAG:
+            raise ValueError(f"unknown TCP flag name: {part!r}")
+        flags |= _NAME_TO_FLAG[name]
+    return flags

@@ -1,0 +1,125 @@
+"""Minimal HTTP/1.1: request construction and Host/keyword extraction.
+
+On port 80, DPI middleboxes look for forbidden domain names in the
+``Host`` header and keywords in the request line (paper §2.1).  This
+module produces the cleartext request bytes our simulated clients send
+as their first data segment, and the parsing primitives the DPI model
+uses to inspect them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Tuple
+
+from repro.errors import HttpParseError
+
+__all__ = [
+    "HttpRequest",
+    "build_http_request",
+    "parse_http_request",
+    "extract_host",
+    "is_http_request",
+]
+
+_METHODS = ("GET", "POST", "HEAD", "PUT", "DELETE", "OPTIONS", "PATCH", "CONNECT")
+
+
+@dataclasses.dataclass(frozen=True)
+class HttpRequest:
+    """Parsed view of an HTTP/1.x request head."""
+
+    method: str
+    target: str
+    version: str
+    headers: Tuple[Tuple[str, str], ...]
+
+    def header(self, name: str) -> Optional[str]:
+        """Case-insensitive single-header lookup (first match wins)."""
+        lowered = name.lower()
+        for key, value in self.headers:
+            if key.lower() == lowered:
+                return value
+        return None
+
+    @property
+    def host(self) -> Optional[str]:
+        """The Host header value with any :port suffix stripped."""
+        raw = self.header("host")
+        if raw is None:
+            return None
+        return raw.rsplit(":", 1)[0] if ":" in raw and not raw.endswith("]") else raw
+
+
+def build_http_request(
+    host: str,
+    path: str = "/",
+    method: str = "GET",
+    user_agent: str = "Mozilla/5.0 (X11; Linux x86_64) repro/1.0",
+    extra_headers: Optional[Dict[str, str]] = None,
+) -> bytes:
+    """Serialise an HTTP/1.1 request head to wire bytes.
+
+    The header order (Host first) matches common browsers, which matters
+    for keyword-matching middleboxes that only scan a bounded prefix.
+    """
+    if method not in _METHODS:
+        raise ValueError(f"unsupported HTTP method: {method}")
+    if not path.startswith("/"):
+        raise ValueError("path must start with '/'")
+    lines = [f"{method} {path} HTTP/1.1", f"Host: {host}", f"User-Agent: {user_agent}", "Accept: */*"]
+    for key, value in (extra_headers or {}).items():
+        lines.append(f"{key}: {value}")
+    lines.append("Connection: keep-alive")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("ascii", "replace")
+
+
+def is_http_request(data: bytes) -> bool:
+    """Cheap test: does ``data`` start like an HTTP/1.x request line?"""
+    head = data[:8]
+    return any(head.startswith(m.encode() + b" ") for m in _METHODS)
+
+
+def parse_http_request(data: bytes) -> HttpRequest:
+    """Parse the request head out of ``data``.
+
+    Tolerates a truncated body but requires a complete request line and
+    raises :class:`~repro.errors.HttpParseError` on garbage, mirroring a
+    DPI engine that bails out on non-HTTP traffic.
+    """
+    try:
+        text = data.split(b"\r\n\r\n", 1)[0].decode("iso-8859-1")
+    except Exception as exc:  # pragma: no cover - iso-8859-1 never fails
+        raise HttpParseError("undecodable request bytes") from exc
+    lines = text.split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3:
+        raise HttpParseError(f"malformed request line: {lines[0]!r}")
+    method, target, version = parts
+    if method not in _METHODS:
+        raise HttpParseError(f"unknown method: {method!r}")
+    if not version.startswith("HTTP/"):
+        raise HttpParseError(f"bad HTTP version: {version!r}")
+    headers = []
+    for line in lines[1:]:
+        if not line:
+            continue
+        if ":" not in line:
+            raise HttpParseError(f"malformed header line: {line!r}")
+        key, _, value = line.partition(":")
+        headers.append((key.strip(), value.strip()))
+    return HttpRequest(method=method, target=target, version=version, headers=tuple(headers))
+
+
+def extract_host(data: bytes) -> Optional[str]:
+    """Best-effort Host extraction: None when absent or unparseable.
+
+    Never raises on arbitrary bytes -- the DPI primitive for port-80
+    flows, paired with :func:`repro.netstack.tls.extract_sni` for 443.
+    """
+    if not is_http_request(data):
+        return None
+    try:
+        return parse_http_request(data).host
+    except HttpParseError:
+        return None

@@ -1,0 +1,174 @@
+"""TCP options: encoding, decoding, and convenience constructors.
+
+Options matter to this reproduction for two reasons:
+
+* Scanner detection (paper §4.2) keys on connections **without TCP
+  options** -- ZMap-style SYN probes carry none, while every mainstream OS
+  stack sends at least MSS.  :mod:`repro.core.evidence` implements that
+  heuristic over these structures.
+* Injected packets forged by middleboxes typically carry *no* options,
+  which is one more header-level inconsistency with the client's packets.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import struct
+from typing import Iterable, List, Optional, Tuple
+
+from repro.errors import OptionDecodeError
+
+__all__ = [
+    "OptionKind",
+    "TCPOption",
+    "encode_options",
+    "decode_options",
+    "mss_option",
+    "window_scale_option",
+    "sack_permitted_option",
+    "timestamp_option",
+    "nop_option",
+    "DEFAULT_CLIENT_OPTIONS",
+]
+
+
+class OptionKind(enum.IntEnum):
+    """Assigned TCP option kind numbers (subset; see IANA registry)."""
+
+    EOL = 0
+    NOP = 1
+    MSS = 2
+    WINDOW_SCALE = 3
+    SACK_PERMITTED = 4
+    SACK = 5
+    TIMESTAMP = 8
+
+
+@dataclasses.dataclass(frozen=True)
+class TCPOption:
+    """One TCP option: a kind byte and its raw data bytes.
+
+    ``data`` excludes the kind and length octets.  EOL and NOP carry no
+    length octet on the wire and must have empty ``data``.
+    """
+
+    kind: int
+    data: bytes = b""
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.kind <= 255:
+            raise ValueError(f"option kind out of range: {self.kind}")
+        if self.kind in (OptionKind.EOL, OptionKind.NOP) and self.data:
+            raise ValueError("EOL/NOP options cannot carry data")
+        if len(self.data) > 38:  # 40-byte option area minus kind+len
+            raise ValueError("option data too long for TCP header")
+
+    @property
+    def wire_length(self) -> int:
+        """Number of bytes this option occupies on the wire."""
+        if self.kind in (OptionKind.EOL, OptionKind.NOP):
+            return 1
+        return 2 + len(self.data)
+
+
+def mss_option(mss: int = 1460) -> TCPOption:
+    """Maximum Segment Size option (kind 2)."""
+    if not 0 < mss <= 0xFFFF:
+        raise ValueError(f"mss out of range: {mss}")
+    return TCPOption(OptionKind.MSS, struct.pack("!H", mss))
+
+
+def window_scale_option(shift: int = 7) -> TCPOption:
+    """Window Scale option (kind 3)."""
+    if not 0 <= shift <= 14:
+        raise ValueError(f"window scale shift out of range: {shift}")
+    return TCPOption(OptionKind.WINDOW_SCALE, struct.pack("!B", shift))
+
+
+def sack_permitted_option() -> TCPOption:
+    """SACK-Permitted option (kind 4)."""
+    return TCPOption(OptionKind.SACK_PERMITTED)
+
+
+def timestamp_option(tsval: int, tsecr: int = 0) -> TCPOption:
+    """Timestamps option (kind 8)."""
+    return TCPOption(OptionKind.TIMESTAMP, struct.pack("!II", tsval & 0xFFFFFFFF, tsecr & 0xFFFFFFFF))
+
+
+def nop_option() -> TCPOption:
+    """No-Operation padding option (kind 1)."""
+    return TCPOption(OptionKind.NOP)
+
+
+#: The option set a typical OS client stack puts on its SYN.
+DEFAULT_CLIENT_OPTIONS: Tuple[TCPOption, ...] = (
+    mss_option(1460),
+    sack_permitted_option(),
+    window_scale_option(7),
+)
+
+
+def encode_options(options: Iterable[TCPOption]) -> bytes:
+    """Serialise options and pad to a 4-byte boundary with NOPs+EOL.
+
+    Raises :class:`ValueError` if the encoded area exceeds the 40 bytes
+    available in a TCP header.
+    """
+    out = bytearray()
+    for opt in options:
+        if opt.kind in (OptionKind.EOL, OptionKind.NOP):
+            out.append(opt.kind)
+        else:
+            out.append(opt.kind)
+            out.append(2 + len(opt.data))
+            out.extend(opt.data)
+    while len(out) % 4:
+        out.append(OptionKind.NOP if len(out) % 4 != 3 else OptionKind.EOL)
+    if len(out) > 40:
+        raise ValueError(f"encoded TCP options exceed 40 bytes: {len(out)}")
+    return bytes(out)
+
+
+def decode_options(data: bytes) -> List[TCPOption]:
+    """Parse a TCP option area back into a list of :class:`TCPOption`.
+
+    Padding (NOP) and the terminating EOL are *not* returned, so a
+    round-trip through :func:`encode_options` preserves the semantic
+    option list rather than the padding layout.
+    """
+    options: List[TCPOption] = []
+    i = 0
+    while i < len(data):
+        kind = data[i]
+        if kind == OptionKind.EOL:
+            break
+        if kind == OptionKind.NOP:
+            i += 1
+            continue
+        if i + 1 >= len(data):
+            raise OptionDecodeError("option truncated: missing length octet")
+        length = data[i + 1]
+        if length < 2:
+            raise OptionDecodeError(f"option length {length} < 2 for kind {kind}")
+        if i + length > len(data):
+            raise OptionDecodeError("option data runs past end of option area")
+        options.append(TCPOption(kind, bytes(data[i + 2 : i + length])))
+        i += length
+    return options
+
+
+def find_option(options: Iterable[TCPOption], kind: int) -> Optional[TCPOption]:
+    """Return the first option of ``kind`` or None."""
+    for opt in options:
+        if opt.kind == kind:
+            return opt
+    return None
+
+
+def get_mss(options: Iterable[TCPOption]) -> Optional[int]:
+    """Extract the MSS value if present."""
+    opt = find_option(options, OptionKind.MSS)
+    if opt is None or len(opt.data) != 2:
+        return None
+    return struct.unpack("!H", opt.data)[0]

@@ -1,0 +1,108 @@
+"""Classic pcap (libpcap) file reading and writing.
+
+Captured samples can be persisted as standard pcap files (linktype RAW,
+i.e. bare IP packets) so that external tools -- tcpdump, Wireshark, or a
+colleague's scripts -- can inspect the simulated traffic.  Both byte
+orders and both microsecond/nanosecond magics are accepted on read.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import BinaryIO, Iterable, Iterator, List, Tuple, Union
+
+from repro.errors import PcapError
+from repro.netstack.packet import Packet
+
+__all__ = ["write_pcap", "read_pcap", "LINKTYPE_RAW"]
+
+#: DLT_RAW: packets begin directly with the IP header.
+LINKTYPE_RAW = 101
+
+_MAGIC_US = 0xA1B2C3D4
+_MAGIC_NS = 0xA1B23C4D
+_SNAPLEN = 262144
+
+
+def _open(path_or_file: Union[str, BinaryIO], mode: str):
+    if isinstance(path_or_file, str):
+        return open(path_or_file, mode), True
+    return path_or_file, False
+
+
+def write_pcap(path_or_file: Union[str, BinaryIO], packets: Iterable[Packet]) -> int:
+    """Write packets to a classic pcap file; returns the packet count.
+
+    Packets are encoded to real wire bytes (checksums included) and
+    stamped with their simulated timestamps at microsecond precision.
+    """
+    fh, owned = _open(path_or_file, "wb")
+    count = 0
+    try:
+        fh.write(
+            struct.pack(
+                "!IHHiIII",
+                _MAGIC_US,
+                2,  # major
+                4,  # minor
+                0,  # thiszone
+                0,  # sigfigs
+                _SNAPLEN,
+                LINKTYPE_RAW,
+            )
+        )
+        for pkt in packets:
+            data = pkt.encode()
+            ts_sec = int(pkt.ts)
+            ts_usec = int(round((pkt.ts - ts_sec) * 1_000_000))
+            if ts_usec >= 1_000_000:
+                ts_sec, ts_usec = ts_sec + 1, ts_usec - 1_000_000
+            fh.write(struct.pack("!IIII", ts_sec, ts_usec, len(data), len(data)))
+            fh.write(data)
+            count += 1
+    finally:
+        if owned:
+            fh.close()
+    return count
+
+
+def read_pcap(path_or_file: Union[str, BinaryIO]) -> List[Packet]:
+    """Read a classic pcap file of raw-IP packets into :class:`Packet` s."""
+    return list(iter_pcap(path_or_file))
+
+
+def iter_pcap(path_or_file: Union[str, BinaryIO]) -> Iterator[Packet]:
+    """Stream packets from a classic pcap file of raw-IP packets."""
+    fh, owned = _open(path_or_file, "rb")
+    try:
+        header = fh.read(24)
+        if len(header) != 24:
+            raise PcapError("truncated pcap global header")
+        magic_be = struct.unpack("!I", header[:4])[0]
+        magic_le = struct.unpack("<I", header[:4])[0]
+        if magic_be in (_MAGIC_US, _MAGIC_NS):
+            endian, magic = "!", magic_be
+        elif magic_le in (_MAGIC_US, _MAGIC_NS):
+            endian, magic = "<", magic_le
+        else:
+            raise PcapError(f"bad pcap magic: {header[:4].hex()}")
+        ts_divisor = 1_000_000 if magic == _MAGIC_US else 1_000_000_000
+        linktype = struct.unpack(endian + "IHHiIII", header)[6]
+        if linktype != LINKTYPE_RAW:
+            raise PcapError(f"unsupported linktype {linktype}; expected RAW ({LINKTYPE_RAW})")
+        while True:
+            rec = fh.read(16)
+            if not rec:
+                return
+            if len(rec) != 16:
+                raise PcapError("truncated pcap record header")
+            ts_sec, ts_frac, caplen, origlen = struct.unpack(endian + "IIII", rec)
+            data = fh.read(caplen)
+            if len(data) != caplen:
+                raise PcapError("truncated pcap record body")
+            if caplen < origlen:
+                raise PcapError("snapped packets are not supported")
+            yield Packet.decode(data, ts=ts_sec + ts_frac / ts_divisor)
+    finally:
+        if owned:
+            fh.close()

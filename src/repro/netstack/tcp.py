@@ -1,0 +1,457 @@
+"""Minimal-but-correct TCP endpoint state machines.
+
+These endpoints implement the parts of TCP that matter to server-side
+tampering detection: the three-way handshake, sequenced data transfer
+with cumulative ACKs, graceful FIN teardown, RST abort handling, and
+client-side retransmission timers (whose visible effect -- duplicate SYNs
+and duplicate data segments at the server -- the classifier must tolerate).
+
+They deliberately omit congestion control, window management, SACK
+processing and urgent data: none of those change the first ten inbound
+packet *headers* the paper's pipeline records.
+
+The endpoints are driven by :mod:`repro.network.sim`: the simulator calls
+:meth:`on_packet` when a packet arrives and :meth:`on_timer` when the
+endpoint's retransmission clock fires, and transmits whatever packets the
+endpoint returns.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import random
+from typing import List, Optional, Tuple
+
+from repro._util import chunk_payload
+from repro.errors import StateMachineError
+from repro.netstack.flags import TCPFlags
+from repro.netstack.options import DEFAULT_CLIENT_OPTIONS, TCPOption, mss_option
+from repro.netstack.packet import Packet, PacketDirection
+
+__all__ = ["TcpState", "IpIdMode", "HostConfig", "TcpClient", "TcpServer"]
+
+_MAX_SEQ = 1 << 32
+
+
+class TcpState(enum.Enum):
+    """Connection states (reduced RFC 793 set)."""
+
+    CLOSED = "closed"
+    LISTEN = "listen"
+    SYN_SENT = "syn_sent"
+    SYN_RECEIVED = "syn_received"
+    ESTABLISHED = "established"
+    FIN_WAIT = "fin_wait"
+    CLOSE_WAIT = "close_wait"
+    LAST_ACK = "last_ack"
+    TIME_WAIT = "time_wait"
+    RESET = "reset"
+    ABORTED = "aborted"  # gave up after retransmission timeout
+
+
+class IpIdMode(enum.Enum):
+    """How a host stack assigns the IPv4 Identification field.
+
+    Mirrors the behaviours catalogued in the paper's §4.3: most modern
+    stacks use zero, a per-connection counter, or a global counter, so
+    consecutive packets of one connection differ by 0 or 1 -- which is what
+    makes wildly different IP-IDs on injected packets detectable.
+    """
+
+    ZERO = "zero"
+    COUNTER = "counter"
+    RANDOM = "random"  # pathological stack: new random value each packet
+
+
+@dataclasses.dataclass
+class HostConfig:
+    """Per-host network-stack personality shared by client and server."""
+
+    ip: str
+    port: int
+    initial_ttl: int = 64
+    ip_id_mode: IpIdMode = IpIdMode.COUNTER
+    ip_id_start: int = 0
+    isn: int = 0
+    mss: int = 1460
+    options: Tuple[TCPOption, ...] = DEFAULT_CLIENT_OPTIONS
+    rto: float = 1.0
+    max_retries: int = 2
+
+
+class _TcpEndpoint:
+    """Shared machinery between :class:`TcpClient` and :class:`TcpServer`."""
+
+    def __init__(self, config: HostConfig, peer_ip: str, peer_port: int) -> None:
+        self.config = config
+        self.peer_ip = peer_ip
+        self.peer_port = peer_port
+        self.state = TcpState.CLOSED
+        self.snd_nxt = config.isn
+        self.snd_una = config.isn
+        self.rcv_nxt = 0
+        self._ip_id = config.ip_id_start & 0xFFFF
+        self._rng = random.Random(config.isn ^ 0x5EED)
+        self._timer_at: Optional[float] = None
+        self._retries = 0
+        self.packets_sent = 0
+        self.fin_received = False
+        self.fin_sent = False
+
+    # ------------------------------------------------------------------
+    def _next_ip_id(self) -> int:
+        mode = self.config.ip_id_mode
+        if mode == IpIdMode.ZERO:
+            return 0
+        if mode == IpIdMode.RANDOM:
+            return self._rng.randrange(0, 0x10000)
+        value = self._ip_id
+        self._ip_id = (self._ip_id + 1) & 0xFFFF
+        return value
+
+    def _make(
+        self,
+        ts: float,
+        flags: TCPFlags,
+        seq: int,
+        ack: int = 0,
+        payload: bytes = b"",
+        options: Tuple[TCPOption, ...] = (),
+    ) -> Packet:
+        self.packets_sent += 1
+        direction = (
+            PacketDirection.TO_SERVER if isinstance(self, TcpClient) else PacketDirection.TO_CLIENT
+        )
+        return Packet(
+            ts=ts,
+            src=self.config.ip,
+            dst=self.peer_ip,
+            sport=self.config.port,
+            dport=self.peer_port,
+            ttl=self.config.initial_ttl,
+            ip_id=self._next_ip_id(),
+            seq=seq % _MAX_SEQ,
+            ack=ack % _MAX_SEQ,
+            flags=flags,
+            options=options,
+            payload=payload,
+            direction=direction,
+        )
+
+    # -- timer plumbing -------------------------------------------------
+    def next_timer(self) -> Optional[float]:
+        """When the endpoint next wants :meth:`on_timer` called, if ever."""
+        return self._timer_at
+
+    def _arm_timer(self, now: float) -> None:
+        # Exponential backoff like a real stack: rto, 2*rto, 4*rto ...
+        self._timer_at = now + self.config.rto * (2 ** self._retries)
+
+    def _cancel_timer(self) -> None:
+        self._timer_at = None
+
+    def _handle_rst(self) -> None:
+        self.state = TcpState.RESET
+        self._cancel_timer()
+
+    @property
+    def done(self) -> bool:
+        """True once the endpoint will emit no further packets."""
+        return self.state in (TcpState.CLOSED, TcpState.TIME_WAIT, TcpState.RESET, TcpState.ABORTED)
+
+
+class TcpClient(_TcpEndpoint):
+    """A client that connects, sends a request, reads the response, closes.
+
+    ``request_segments`` is the application payload pre-split into the
+    byte chunks the client will send as individual PSH+ACK segments (the
+    first usually a TLS ClientHello or HTTP request head).
+    """
+
+    def __init__(
+        self,
+        config: HostConfig,
+        server_ip: str,
+        server_port: int,
+        request_segments: Optional[List[bytes]] = None,
+        request_payload: bytes = b"",
+        syn_payload: bytes = b"",
+    ) -> None:
+        super().__init__(config, server_ip, server_port)
+        if request_segments is None:
+            request_segments = chunk_payload(request_payload, config.mss)
+        self.request_segments = list(request_segments)
+        self.syn_payload = syn_payload
+        self._segments_acked = 0
+        self._request_bytes = sum(len(s) for s in self.request_segments)
+
+    # ------------------------------------------------------------------
+    def begin(self, now: float) -> List[Packet]:
+        """Initiate the connection: emit the SYN and arm the SYN timer."""
+        if self.state != TcpState.CLOSED:
+            raise StateMachineError(f"begin() in state {self.state}")
+        self.state = TcpState.SYN_SENT
+        syn = self._make(
+            now,
+            TCPFlags.SYN,
+            seq=self.snd_nxt,
+            options=self.config.options,
+            payload=self.syn_payload,
+        )
+        self.snd_nxt = (self.snd_nxt + 1 + len(self.syn_payload)) % _MAX_SEQ
+        self._arm_timer(now)
+        return [syn]
+
+    def on_timer(self, now: float) -> List[Packet]:
+        """Retransmission timeout: re-send SYN or unacked request data."""
+        if self.done or self._timer_at is None or now + 1e-9 < self._timer_at:
+            return []
+        self._retries += 1
+        if self._retries > self.config.max_retries:
+            self.state = TcpState.ABORTED
+            self._cancel_timer()
+            return []
+        if self.state == TcpState.SYN_SENT:
+            self._arm_timer(now)
+            return [
+                self._make(
+                    now,
+                    TCPFlags.SYN,
+                    seq=self.config.isn,
+                    options=self.config.options,
+                    payload=self.syn_payload,
+                )
+            ]
+        if self.state == TcpState.ESTABLISHED and self.snd_una != self.snd_nxt:
+            self._arm_timer(now)
+            return self._emit_request(now, start_at=self._segments_acked, retransmit=True)
+        self._cancel_timer()
+        return []
+
+    def _emit_request(self, now: float, start_at: int = 0, retransmit: bool = False) -> List[Packet]:
+        """Emit request segments from index ``start_at`` onward."""
+        out: List[Packet] = []
+        seq = self.snd_una if retransmit else self.snd_nxt
+        for segment in self.request_segments[start_at:]:
+            out.append(
+                self._make(now, TCPFlags.PSHACK, seq=seq, ack=self.rcv_nxt, payload=segment)
+            )
+            seq = (seq + len(segment)) % _MAX_SEQ
+        if not retransmit:
+            self.snd_nxt = seq
+        return out
+
+    def on_packet(self, pkt: Packet, now: float) -> List[Packet]:
+        """Process one packet from the network, returning replies."""
+        if self.done:
+            return []
+        flags = pkt.flags
+        if flags.is_rst:
+            self._handle_rst()
+            return []
+
+        if self.state == TcpState.SYN_SENT:
+            if flags.is_syn and flags.is_ack:
+                self.rcv_nxt = (pkt.seq + 1) % _MAX_SEQ
+                self.snd_una = self.snd_nxt
+                self.state = TcpState.ESTABLISHED
+                self._retries = 0
+                ack = self._make(now, TCPFlags.ACK, seq=self.snd_nxt, ack=self.rcv_nxt)
+                data = self._emit_request(now)
+                if data:
+                    self._arm_timer(now)
+                else:
+                    self._cancel_timer()
+                return [ack] + data
+            return []  # ignore strays while connecting
+
+        if self.state in (TcpState.ESTABLISHED, TcpState.FIN_WAIT, TcpState.CLOSE_WAIT):
+            replies: List[Packet] = []
+            if flags.is_ack:
+                acked = (pkt.ack - self.snd_una) % _MAX_SEQ
+                outstanding = (self.snd_nxt - self.snd_una) % _MAX_SEQ
+                if 0 < acked <= outstanding:
+                    self.snd_una = pkt.ack
+                    consumed = 0
+                    advanced = 0
+                    for segment in self.request_segments[self._segments_acked :]:
+                        consumed += len(segment)
+                        if consumed <= acked:
+                            advanced += 1
+                    self._segments_acked += advanced
+                    if self.snd_una == self.snd_nxt:
+                        self._retries = 0
+                        self._cancel_timer()
+            if pkt.has_payload:
+                expected = self.rcv_nxt
+                if pkt.seq == expected:
+                    self.rcv_nxt = (pkt.seq + len(pkt.payload)) % _MAX_SEQ
+                # ACK data (dup-ACK for out-of-order, like a real stack)
+                replies.append(self._make(now, TCPFlags.ACK, seq=self.snd_nxt, ack=self.rcv_nxt))
+            if flags.is_fin and not self.fin_received:
+                self.fin_received = True
+                self.rcv_nxt = (max(self.rcv_nxt, (pkt.seq + len(pkt.payload)) % _MAX_SEQ) + 1) % _MAX_SEQ
+                # Respond with our own FIN+ACK (close in both directions).
+                fin = self._make(now, TCPFlags.FINACK, seq=self.snd_nxt, ack=self.rcv_nxt)
+                self.snd_nxt = (self.snd_nxt + 1) % _MAX_SEQ
+                self.fin_sent = True
+                self.state = TcpState.LAST_ACK
+                replies.append(fin)
+            return replies
+
+        if self.state == TcpState.LAST_ACK:
+            if flags.is_ack and pkt.ack == self.snd_nxt:
+                self.state = TcpState.TIME_WAIT
+                self._cancel_timer()
+            return []
+
+        return []
+
+
+class TcpServer(_TcpEndpoint):
+    """A single-connection server endpoint (the CDN edge wraps this).
+
+    The server accepts one handshake, ACKs incoming data, and -- once at
+    least ``request_threshold`` payload bytes have arrived -- sends
+    ``response_segments`` followed by a FIN, then completes teardown.
+    """
+
+    def __init__(
+        self,
+        config: HostConfig,
+        response_segments: Optional[List[bytes]] = None,
+        response_payload: bytes = b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nok",
+        request_threshold: int = 1,
+    ) -> None:
+        super().__init__(config, peer_ip="0.0.0.0", peer_port=0)
+        self.state = TcpState.LISTEN
+        if response_segments is None:
+            response_segments = chunk_payload(response_payload, config.mss)
+        self.response_segments = list(response_segments)
+        self.request_threshold = request_threshold
+        self.bytes_received = 0
+        self.request_data = bytearray()
+        self._responded = False
+        #: Out-of-order reassembly buffer: seq -> payload.
+        self._ooo: dict = {}
+
+    def on_timer(self, now: float) -> List[Packet]:
+        """Servers do not retransmit in this model."""
+        return []
+
+    def _ingest_payload(self, pkt: Packet) -> None:
+        """Consume in-order data; buffer out-of-order segments.
+
+        Future segments (seq beyond rcv_nxt) wait in a reassembly buffer
+        and are drained as soon as the gap fills -- so a retransmitted
+        first segment arriving after its successors still yields the
+        complete request, exactly like a real stack's receive queue.
+        """
+        offset = (pkt.seq - self.rcv_nxt) % _MAX_SEQ
+        if offset == 0:
+            self._consume(pkt.payload)
+        elif offset < (1 << 30):  # a future segment (not an old duplicate)
+            self._ooo.setdefault(pkt.seq, bytes(pkt.payload))
+        # Drain anything now contiguous.
+        while self.rcv_nxt in self._ooo:
+            self._consume(self._ooo.pop(self.rcv_nxt))
+
+    def _consume(self, payload: bytes) -> None:
+        self.rcv_nxt = (self.rcv_nxt + len(payload)) % _MAX_SEQ
+        self.request_data.extend(payload)
+        self.bytes_received += len(payload)
+
+    def on_packet(self, pkt: Packet, now: float) -> List[Packet]:
+        """Process one packet from the network, returning replies."""
+        if self.done:
+            return []
+        flags = pkt.flags
+
+        if flags.is_rst:
+            self._handle_rst()
+            return []
+
+        if self.state == TcpState.LISTEN:
+            if flags.is_syn and not flags.is_ack:
+                self.peer_ip, self.peer_port = pkt.src, pkt.sport
+                self.rcv_nxt = (pkt.seq + 1 + len(pkt.payload)) % _MAX_SEQ
+                if pkt.has_payload:
+                    self.request_data.extend(pkt.payload)
+                    self.bytes_received += len(pkt.payload)
+                self.state = TcpState.SYN_RECEIVED
+                synack = self._make(
+                    now,
+                    TCPFlags.SYNACK,
+                    seq=self.snd_nxt,
+                    ack=self.rcv_nxt,
+                    options=(mss_option(self.config.mss),) + tuple(
+                        o for o in self.config.options if o.kind != 2
+                    ),
+                )
+                self.snd_nxt = (self.snd_nxt + 1) % _MAX_SEQ
+                return [synack]
+            # Unsolicited non-SYN to a closed port: RST+ACK, per RFC 793.
+            rst = self._make(
+                now,
+                TCPFlags.RSTACK,
+                seq=0,
+                ack=(pkt.seq + len(pkt.payload) + (1 if flags.is_syn or flags.is_fin else 0)) % _MAX_SEQ,
+            )
+            return [rst]
+
+        if self.state == TcpState.SYN_RECEIVED:
+            if flags.is_ack and pkt.ack == self.snd_nxt:
+                self.state = TcpState.ESTABLISHED
+                self.snd_una = self.snd_nxt
+                # fall through: the ACK may carry data (client piggyback)
+            else:
+                return []
+
+        if self.state in (TcpState.ESTABLISHED, TcpState.CLOSE_WAIT):
+            replies: List[Packet] = []
+            if pkt.has_payload:
+                self._ingest_payload(pkt)
+                replies.append(self._make(now, TCPFlags.ACK, seq=self.snd_nxt, ack=self.rcv_nxt))
+            if flags.is_fin:
+                self.fin_received = True
+                self.rcv_nxt = (self.rcv_nxt + 1) % _MAX_SEQ
+                if not self._responded:
+                    # Client closed before a full request: just FIN back.
+                    fin = self._make(now, TCPFlags.FINACK, seq=self.snd_nxt, ack=self.rcv_nxt)
+                    self.snd_nxt = (self.snd_nxt + 1) % _MAX_SEQ
+                    self.fin_sent = True
+                    self.state = TcpState.LAST_ACK
+                    replies.append(fin)
+                else:
+                    replies.append(self._make(now, TCPFlags.ACK, seq=self.snd_nxt, ack=self.rcv_nxt))
+                    self.state = TcpState.TIME_WAIT
+                return replies
+            if (
+                not self._responded
+                and self.bytes_received >= self.request_threshold
+                and self.state == TcpState.ESTABLISHED
+            ):
+                self._responded = True
+                seq = self.snd_nxt
+                for segment in self.response_segments:
+                    replies.append(
+                        self._make(now, TCPFlags.PSHACK, seq=seq, ack=self.rcv_nxt, payload=segment)
+                    )
+                    seq = (seq + len(segment)) % _MAX_SEQ
+                fin = self._make(now, TCPFlags.FINACK, seq=seq, ack=self.rcv_nxt)
+                seq = (seq + 1) % _MAX_SEQ
+                self.snd_nxt = seq
+                self.fin_sent = True
+                replies.append(fin)
+            return replies
+
+        if self.state == TcpState.LAST_ACK:
+            if flags.is_ack and pkt.ack == self.snd_nxt:
+                self.state = TcpState.TIME_WAIT
+            return []
+
+        if self.state == TcpState.TIME_WAIT:
+            return []
+
+        return []

@@ -1,0 +1,267 @@
+"""Minimal TLS: ClientHello construction and SNI extraction.
+
+Tampering middleboxes key on the cleartext Server Name Indication in the
+TLS ClientHello (paper §2.1).  This module builds byte-accurate
+ClientHello records (TLS 1.2-style outer record, as sent by TLS 1.3
+clients for middlebox compatibility) and parses them back, which is the
+exact capability a DPI box needs and the exact payload our simulated
+clients place in their first data segment on port 443.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import struct
+from typing import List, Optional, Tuple
+
+from repro._util import derive_rng
+from repro.errors import TlsParseError
+
+__all__ = [
+    "ClientHello",
+    "build_client_hello",
+    "parse_client_hello",
+    "extract_sni",
+    "has_encrypted_sni",
+    "is_tls_client_hello",
+]
+
+_RECORD_HANDSHAKE = 0x16
+_HANDSHAKE_CLIENT_HELLO = 0x01
+_EXT_SERVER_NAME = 0x0000
+_EXT_SUPPORTED_VERSIONS = 0x002B
+_EXT_ALPN = 0x0010
+_EXT_ECH = 0xFE0D  # encrypted_client_hello (draft codepoint)
+_EXT_ESNI = 0xFFCE  # the older encrypted_server_name draft
+
+#: A plausible modern cipher-suite offer (values from the IANA registry).
+_DEFAULT_CIPHER_SUITES: Tuple[int, ...] = (
+    0x1301,  # TLS_AES_128_GCM_SHA256
+    0x1302,  # TLS_AES_256_GCM_SHA384
+    0x1303,  # TLS_CHACHA20_POLY1305_SHA256
+    0xC02B,  # ECDHE-ECDSA-AES128-GCM-SHA256
+    0xC02F,  # ECDHE-RSA-AES128-GCM-SHA256
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class ClientHello:
+    """Parsed view of a TLS ClientHello."""
+
+    legacy_version: int
+    random: bytes
+    session_id: bytes
+    cipher_suites: Tuple[int, ...]
+    sni: Optional[str]
+    alpn: Tuple[str, ...] = ()
+    #: True when an encrypted-SNI extension (ESNI or ECH) is present --
+    #: the very thing China's GFW keyed on to block such handshakes
+    #: wholesale (paper footnote 1 and reference [19]).
+    encrypted_sni: bool = False
+
+
+def _extension(ext_type: int, body: bytes) -> bytes:
+    return struct.pack("!HH", ext_type, len(body)) + body
+
+
+def _sni_extension(hostname: str) -> bytes:
+    name = hostname.encode("idna") if any(ord(c) > 127 for c in hostname) else hostname.encode("ascii")
+    entry = struct.pack("!BH", 0, len(name)) + name  # type 0 = host_name
+    server_name_list = struct.pack("!H", len(entry)) + entry
+    return _extension(_EXT_SERVER_NAME, server_name_list)
+
+
+def _alpn_extension(protocols: Tuple[str, ...]) -> bytes:
+    body = b"".join(struct.pack("!B", len(p)) + p.encode("ascii") for p in protocols)
+    return _extension(_EXT_ALPN, struct.pack("!H", len(body)) + body)
+
+
+def build_client_hello(
+    hostname: Optional[str],
+    seed: int = 0,
+    alpn: Tuple[str, ...] = ("h2", "http/1.1"),
+    cipher_suites: Tuple[int, ...] = _DEFAULT_CIPHER_SUITES,
+    ech: bool = False,
+    outer_sni: Optional[str] = None,
+) -> bytes:
+    """Return the wire bytes of a TLS record containing a ClientHello.
+
+    ``hostname=None`` omits the SNI extension (an SNI-less hello, as sent
+    by some tooling -- useful for testing DPI behaviour on missing SNI).
+    ``seed`` makes the 32-byte random and session id deterministic.
+
+    ``ech=True`` adds an encrypted_client_hello extension whose payload
+    hides the real name; the visible SNI becomes ``outer_sni`` (ECH's
+    cleartext outer name, typically the provider's shared name) or is
+    omitted entirely (old-style ESNI).  Either way a DPI box cannot read
+    ``hostname`` -- but it *can* see that encryption is in use, which is
+    exactly what China's ESNI blocking keyed on.
+    """
+    rng = derive_rng(seed, f"client-hello:{hostname}")
+    client_random = bytes(rng.getrandbits(8) for _ in range(32))
+    session_id = bytes(rng.getrandbits(8) for _ in range(32))
+
+    extensions = bytearray()
+    if ech:
+        if outer_sni is not None:
+            extensions += _sni_extension(outer_sni)
+        payload = bytes(rng.getrandbits(8) for _ in range(64))
+        extensions += _extension(_EXT_ECH, b"\x00" + payload)
+    elif hostname is not None:
+        extensions += _sni_extension(hostname)
+    if alpn:
+        extensions += _alpn_extension(alpn)
+    # supported_versions advertising TLS 1.3 + 1.2
+    extensions += _extension(_EXT_SUPPORTED_VERSIONS, b"\x04\x03\x04\x03\x03")
+
+    body = bytearray()
+    body += struct.pack("!H", 0x0303)  # legacy_version TLS 1.2
+    body += client_random
+    body += struct.pack("!B", len(session_id)) + session_id
+    body += struct.pack("!H", 2 * len(cipher_suites))
+    for suite in cipher_suites:
+        body += struct.pack("!H", suite)
+    body += b"\x01\x00"  # compression methods: null only
+    body += struct.pack("!H", len(extensions)) + extensions
+
+    handshake = struct.pack("!B", _HANDSHAKE_CLIENT_HELLO) + len(body).to_bytes(3, "big") + body
+    record = struct.pack("!BHH", _RECORD_HANDSHAKE, 0x0301, len(handshake)) + handshake
+    return bytes(record)
+
+
+def is_tls_client_hello(data: bytes) -> bool:
+    """Cheap test: does ``data`` begin with a ClientHello record?"""
+    return (
+        len(data) >= 6
+        and data[0] == _RECORD_HANDSHAKE
+        and data[1] == 0x03
+        and data[5] == _HANDSHAKE_CLIENT_HELLO
+    )
+
+
+class _Cursor:
+    """Bounds-checked byte reader for the TLS parser."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0
+
+    def take(self, n: int) -> bytes:
+        if self._pos + n > len(self._data):
+            raise TlsParseError(f"truncated TLS data: wanted {n} bytes at offset {self._pos}")
+        chunk = self._data[self._pos : self._pos + n]
+        self._pos += n
+        return chunk
+
+    def u8(self) -> int:
+        return self.take(1)[0]
+
+    def u16(self) -> int:
+        return struct.unpack("!H", self.take(2))[0]
+
+    def u24(self) -> int:
+        return int.from_bytes(self.take(3), "big")
+
+    @property
+    def remaining(self) -> int:
+        return len(self._data) - self._pos
+
+
+def parse_client_hello(data: bytes) -> ClientHello:
+    """Parse a TLS record containing a ClientHello.
+
+    Raises :class:`~repro.errors.TlsParseError` for anything that is not a
+    well-formed ClientHello (middleboxes typically just give up and let
+    such traffic through, which our DPI model mirrors).
+    """
+    cur = _Cursor(data)
+    record_type = cur.u8()
+    if record_type != _RECORD_HANDSHAKE:
+        raise TlsParseError(f"not a handshake record (type {record_type})")
+    cur.u16()  # record legacy version
+    record_len = cur.u16()
+    if record_len > cur.remaining:
+        raise TlsParseError("record length exceeds data")
+    hs_type = cur.u8()
+    if hs_type != _HANDSHAKE_CLIENT_HELLO:
+        raise TlsParseError(f"not a ClientHello (handshake type {hs_type})")
+    cur.u24()  # handshake length
+    legacy_version = cur.u16()
+    client_random = cur.take(32)
+    session_id = cur.take(cur.u8())
+    suites_len = cur.u16()
+    if suites_len % 2:
+        raise TlsParseError("odd cipher-suites length")
+    suites = tuple(struct.unpack(f"!{suites_len // 2}H", cur.take(suites_len)))
+    cur.take(cur.u8())  # compression methods
+
+    sni: Optional[str] = None
+    alpn: List[str] = []
+    encrypted_sni = False
+    if cur.remaining >= 2:
+        ext_total = cur.u16()
+        ext_end = min(ext_total, cur.remaining)
+        consumed = 0
+        while consumed + 4 <= ext_end:
+            ext_type = cur.u16()
+            ext_len = cur.u16()
+            ext_body = cur.take(ext_len)
+            consumed += 4 + ext_len
+            if ext_type == _EXT_SERVER_NAME and len(ext_body) >= 5:
+                inner = _Cursor(ext_body)
+                inner.u16()  # server_name_list length
+                name_type = inner.u8()
+                name_len = inner.u16()
+                if name_type == 0:
+                    try:
+                        sni = inner.take(name_len).decode("ascii")
+                    except (TlsParseError, UnicodeDecodeError) as exc:
+                        raise TlsParseError("bad SNI host_name") from exc
+            elif ext_type in (_EXT_ECH, _EXT_ESNI):
+                encrypted_sni = True
+            elif ext_type == _EXT_ALPN and len(ext_body) >= 2:
+                inner = _Cursor(ext_body)
+                list_len = inner.u16()
+                read = 0
+                while read < list_len and inner.remaining:
+                    plen = inner.u8()
+                    alpn.append(inner.take(plen).decode("ascii", "replace"))
+                    read += 1 + plen
+
+    return ClientHello(
+        legacy_version=legacy_version,
+        random=client_random,
+        session_id=session_id,
+        cipher_suites=suites,
+        sni=sni,
+        alpn=tuple(alpn),
+        encrypted_sni=encrypted_sni,
+    )
+
+
+def has_encrypted_sni(data: bytes) -> bool:
+    """True if ``data`` is a ClientHello carrying an ESNI/ECH extension.
+
+    Never raises on arbitrary bytes -- the primitive China's wholesale
+    ESNI blocking needs.
+    """
+    if not is_tls_client_hello(data):
+        return False
+    try:
+        return parse_client_hello(data).encrypted_sni
+    except TlsParseError:
+        return False
+
+
+def extract_sni(data: bytes) -> Optional[str]:
+    """Best-effort SNI extraction: None when absent or unparseable.
+
+    This is the primitive a DPI middlebox runs on the first data packet of
+    every port-443 flow; it must never raise on arbitrary bytes.
+    """
+    if not is_tls_client_hello(data):
+        return None
+    try:
+        return parse_client_hello(data).sni
+    except TlsParseError:
+        return None

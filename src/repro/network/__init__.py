@@ -1,0 +1,34 @@
+"""Path simulation: clients, middleboxes and servers exchanging packets.
+
+:mod:`repro.network.sim` provides the event-driven simulator that moves
+packets between a client, an ordered chain of middleboxes, and a server,
+modelling per-leg latency, hop counts (TTL decrement), and loss.
+:mod:`repro.network.endpoints` provides non-standard client
+personalities -- scanners, Happy-Eyeballs cancellers, impatient clients --
+that generate the benign look-alike traffic the paper's §4.2 validation
+worries about.
+"""
+
+from repro.network.conditions import LegConditions, NetworkConditions
+from repro.network.endpoints import (
+    AbortiveCloseClient,
+    HappyEyeballsCanceller,
+    ImpatientClient,
+    NeverCloseClient,
+    SilentSynClient,
+    ZMapScanner,
+)
+from repro.network.sim import PathSimulator, SimResult
+
+__all__ = [
+    "LegConditions",
+    "NetworkConditions",
+    "PathSimulator",
+    "SimResult",
+    "ZMapScanner",
+    "HappyEyeballsCanceller",
+    "ImpatientClient",
+    "SilentSynClient",
+    "AbortiveCloseClient",
+    "NeverCloseClient",
+]

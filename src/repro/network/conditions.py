@@ -1,0 +1,112 @@
+"""Per-leg network conditions: latency, hop counts, loss.
+
+A path between a client and the CDN edge is divided into *legs* by the
+middleboxes sitting on it.  Each leg contributes propagation latency and
+an IP hop count (each hop decrements TTL by one, which is what makes the
+TTL-based injection evidence of Figure 3 work: packets forged mid-path
+arrive having crossed fewer hops than end-to-end packets).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import List, Sequence, Tuple
+
+from repro.errors import ConfigError
+
+__all__ = ["LegConditions", "NetworkConditions"]
+
+
+@dataclasses.dataclass(frozen=True)
+class LegConditions:
+    """One path leg: latency (one-way seconds), hop count, loss rate."""
+
+    latency: float = 0.02
+    hops: int = 5
+    loss: float = 0.0
+    jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.latency < 0:
+            raise ConfigError("leg latency must be non-negative")
+        if self.hops < 1:
+            raise ConfigError("leg hop count must be >= 1")
+        if not 0.0 <= self.loss < 1.0:
+            raise ConfigError("leg loss must be in [0, 1)")
+        if self.jitter < 0:
+            raise ConfigError("leg jitter must be non-negative")
+
+    def sample_latency(self, rng: random.Random) -> float:
+        """Draw this traversal's latency (base plus uniform jitter)."""
+        if self.jitter <= 0:
+            return self.latency
+        return self.latency + rng.uniform(0.0, self.jitter)
+
+    def drops_packet(self, rng: random.Random) -> bool:
+        """Draw whether this traversal loses the packet."""
+        return self.loss > 0 and rng.random() < self.loss
+
+
+@dataclasses.dataclass(frozen=True)
+class NetworkConditions:
+    """Conditions for a full path with ``n_middleboxes`` devices on it.
+
+    ``legs`` must contain exactly ``n_middleboxes + 1`` entries, ordered
+    client-side first.
+    """
+
+    legs: Tuple[LegConditions, ...]
+
+    def __post_init__(self) -> None:
+        if not self.legs:
+            raise ConfigError("a path needs at least one leg")
+
+    @property
+    def n_middleboxes(self) -> int:
+        return len(self.legs) - 1
+
+    @property
+    def total_latency(self) -> float:
+        """Base one-way latency of the full path."""
+        return sum(leg.latency for leg in self.legs)
+
+    @property
+    def total_hops(self) -> int:
+        """End-to-end IP hop count of the full path."""
+        return sum(leg.hops for leg in self.legs)
+
+    @classmethod
+    def simple(
+        cls,
+        n_middleboxes: int = 1,
+        latency: float = 0.04,
+        hops: int = 14,
+        loss: float = 0.0,
+    ) -> "NetworkConditions":
+        """Evenly divide a path among ``n_middleboxes + 1`` legs."""
+        n_legs = n_middleboxes + 1
+        base_hops = max(1, hops // n_legs)
+        leg_hops = [base_hops] * n_legs
+        leg_hops[-1] += max(0, hops - base_hops * n_legs)
+        legs = tuple(
+            LegConditions(latency=latency / n_legs, hops=h, loss=loss) for h in leg_hops
+        )
+        return cls(legs)
+
+    @classmethod
+    def random_path(
+        cls,
+        rng: random.Random,
+        n_middleboxes: int = 1,
+        loss: float = 0.0,
+    ) -> "NetworkConditions":
+        """Draw a plausible path: 8-22 total hops, 10-120 ms one-way."""
+        total_hops = rng.randint(8, 22)
+        total_latency = rng.uniform(0.010, 0.120)
+        return cls.simple(
+            n_middleboxes=n_middleboxes,
+            latency=total_latency,
+            hops=total_hops,
+            loss=loss,
+        )

@@ -1,0 +1,280 @@
+"""Non-standard client personalities.
+
+The paper's §4.2 validation enumerates benign behaviours that *look* like
+tampering from the server side: Internet scanners answering SYN+ACKs with
+RSTs, Happy-Eyeballs clients abandoning the losing address family, SYN
+floods, and plain impatient clients.  These endpoint classes generate
+that traffic so the pipeline's false-positive pathways are exercised and
+the scanner-detection heuristics (no TCP options, high TTL, fixed IP-ID)
+have something to find.
+
+All classes implement the simulator's endpoint protocol:
+``begin(now)``, ``on_packet(pkt, now)``, ``on_timer(now)``,
+``next_timer()``, and ``done``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.netstack.flags import TCPFlags
+from repro.netstack.packet import Packet, PacketDirection
+from repro.netstack.tcp import HostConfig, IpIdMode, TcpClient, TcpState
+
+__all__ = [
+    "ZMapScanner",
+    "SilentSynClient",
+    "HappyEyeballsCanceller",
+    "ImpatientClient",
+    "AbortiveCloseClient",
+    "NeverCloseClient",
+]
+
+#: The fixed IP-ID value ZMap stamps on its probes (Hiesgen et al.).
+ZMAP_IP_ID = 54321
+
+
+class ZMapScanner:
+    """A stateless ZMap-style scanner.
+
+    Sends one option-less SYN with IP-ID 54321 and a high TTL; if the
+    target answers SYN+ACK, replies with a bare RST and forgets the
+    connection.  At the server this matches ⟨SYN → RST⟩ -- a known
+    false-positive source the evidence module must be able to flag.
+    """
+
+    def __init__(self, ip: str, port: int, server_ip: str, server_port: int, isn: int = 0) -> None:
+        self.config = HostConfig(
+            ip=ip,
+            port=port,
+            initial_ttl=255,
+            ip_id_mode=IpIdMode.ZERO,  # overridden: fixed value below
+            isn=isn,
+            options=(),
+        )
+        self.server_ip = server_ip
+        self.server_port = server_port
+        self._sent_rst = False
+        self._started = False
+
+    @property
+    def done(self) -> bool:
+        return self._sent_rst
+
+    def next_timer(self) -> Optional[float]:
+        return None
+
+    def on_timer(self, now: float) -> List[Packet]:
+        return []
+
+    def _packet(self, now: float, flags: TCPFlags, seq: int, ack: int = 0) -> Packet:
+        return Packet(
+            ts=now,
+            src=self.config.ip,
+            dst=self.server_ip,
+            sport=self.config.port,
+            dport=self.server_port,
+            ttl=self.config.initial_ttl,
+            ip_id=ZMAP_IP_ID,
+            seq=seq,
+            ack=ack,
+            flags=flags,
+            options=(),
+            direction=PacketDirection.TO_SERVER,
+        )
+
+    def begin(self, now: float) -> List[Packet]:
+        self._started = True
+        return [self._packet(now, TCPFlags.SYN, seq=self.config.isn)]
+
+    def on_packet(self, pkt: Packet, now: float) -> List[Packet]:
+        if self._sent_rst or not self._started:
+            return []
+        if pkt.flags.is_syn and pkt.flags.is_ack:
+            self._sent_rst = True
+            return [self._packet(now, TCPFlags.RST, seq=self.config.isn + 1)]
+        return []
+
+
+class SilentSynClient:
+    """Sends a single SYN and never responds to anything.
+
+    Models spoofed-source SYN-flood residue that leaked past DDoS
+    filtering, and curl-style Happy-Eyeballs losers that simply abandon
+    the connection.  At the server: ⟨SYN → ∅⟩.
+    """
+
+    def __init__(self, ip: str, port: int, server_ip: str, server_port: int, isn: int = 0) -> None:
+        self.client = TcpClient(
+            HostConfig(ip=ip, port=port, isn=isn, max_retries=0),
+            server_ip,
+            server_port,
+        )
+        self._begun = False
+
+    @property
+    def done(self) -> bool:
+        return self._begun
+
+    def next_timer(self) -> Optional[float]:
+        return None
+
+    def on_timer(self, now: float) -> List[Packet]:
+        return []
+
+    def begin(self, now: float) -> List[Packet]:
+        self._begun = True
+        return self.client.begin(now)
+
+    def on_packet(self, pkt: Packet, now: float) -> List[Packet]:
+        return []
+
+
+class HappyEyeballsCanceller:
+    """A dual-stack client cancelling the losing connection attempt.
+
+    Per RFC 8305 (Chromium behaviour) the unused connection is reset:
+    the client answers the SYN+ACK with a bare RST.  At the server this
+    matches ⟨SYN → RST⟩.  (curl-style RFC 6555 behaviour -- silently
+    dropping the attempt -- is :class:`SilentSynClient`.)
+    """
+
+    def __init__(self, ip: str, port: int, server_ip: str, server_port: int, isn: int = 0) -> None:
+        self.config = HostConfig(ip=ip, port=port, isn=isn)
+        self.server_ip = server_ip
+        self.server_port = server_port
+        self._ip_id = (isn * 7 + 11) & 0xFFFF
+        self._cancelled = False
+
+    @property
+    def done(self) -> bool:
+        return self._cancelled
+
+    def next_timer(self) -> Optional[float]:
+        return None
+
+    def on_timer(self, now: float) -> List[Packet]:
+        return []
+
+    def begin(self, now: float) -> List[Packet]:
+        self._ip_id = (self._ip_id + 1) & 0xFFFF
+        return [
+            Packet(
+                ts=now,
+                src=self.config.ip,
+                dst=self.server_ip,
+                sport=self.config.port,
+                dport=self.server_port,
+                ttl=self.config.initial_ttl,
+                ip_id=self._ip_id,
+                seq=self.config.isn,
+                flags=TCPFlags.SYN,
+                options=self.config.options,
+                direction=PacketDirection.TO_SERVER,
+            )
+        ]
+
+    def on_packet(self, pkt: Packet, now: float) -> List[Packet]:
+        if self._cancelled:
+            return []
+        if pkt.flags.is_syn and pkt.flags.is_ack:
+            self._cancelled = True
+            self._ip_id = (self._ip_id + 1) & 0xFFFF
+            return [
+                Packet(
+                    ts=now,
+                    src=self.config.ip,
+                    dst=self.server_ip,
+                    sport=self.config.port,
+                    dport=self.server_port,
+                    ttl=self.config.initial_ttl,
+                    ip_id=self._ip_id,
+                    seq=self.config.isn + 1,
+                    flags=TCPFlags.RST,
+                    direction=PacketDirection.TO_SERVER,
+                )
+            ]
+        return []
+
+
+class AbortiveCloseClient(TcpClient):
+    """A client that RSTs right after completing the FIN handshake.
+
+    Linux applications that close with unread data (or SO_LINGER games)
+    produce exactly this: a graceful exchange followed by a gratuitous
+    RST.  Arlitt & Williamson measured ~15% of campus connections ending
+    in RSTs; at the server this lands in the paper's *possibly tampered*
+    pool but matches no signature (FIN present ⇒ OTHER).
+    """
+
+    def on_packet(self, pkt: Packet, now: float) -> List[Packet]:
+        replies = super().on_packet(pkt, now)
+        if self.state == TcpState.LAST_ACK and any(p.flags.is_fin for p in replies):
+            # Queue the abortive RST right behind our FIN+ACK.
+            replies.append(self._make(now, TCPFlags.RST, seq=self.snd_nxt, ack=0))
+        return replies
+
+
+class NeverCloseClient(TcpClient):
+    """A client that reads the response but never closes the connection.
+
+    Models long-lived keep-alive connections (and buggy stacks) whose
+    server-side capture shows data followed by silence without a FIN
+    handshake -- the paper's uncovered possibly-tampered residue in the
+    post-multiple-data stage.
+    """
+
+    def on_packet(self, pkt: Packet, now: float) -> List[Packet]:
+        if pkt.flags.is_fin and not pkt.flags.is_rst:
+            # ACK the server's FIN but never send our own.
+            if not self.done:
+                self.rcv_nxt = (pkt.seq + len(pkt.payload) + 1) % (1 << 32)
+                self.fin_received = True
+                return [self._make(now, TCPFlags.ACK, seq=self.snd_nxt, ack=self.rcv_nxt)]
+            return []
+        return super().on_packet(pkt, now)
+
+
+class ImpatientClient(TcpClient):
+    """A normal client that RST-aborts if the response stalls.
+
+    After sending its request it waits ``patience`` seconds; if the full
+    response has not arrived it tears the connection down with a RST --
+    an organic (non-middlebox) source of post-request RSTs.
+    """
+
+    def __init__(self, *args, patience: float = 0.5, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.patience = patience
+        self._abort_at: Optional[float] = None
+        self._aborted = False
+
+    def begin(self, now: float) -> List[Packet]:
+        packets = super().begin(now)
+        self._abort_at = now + self.patience
+        return packets
+
+    def next_timer(self) -> Optional[float]:
+        base = super().next_timer()
+        if self._aborted or self.done:
+            return base
+        if self._abort_at is None:
+            return base
+        if base is None:
+            return self._abort_at
+        return min(base, self._abort_at)
+
+    def on_timer(self, now: float) -> List[Packet]:
+        if (
+            not self._aborted
+            and self._abort_at is not None
+            and now + 1e-9 >= self._abort_at
+        ):
+            # Consume the deadline unconditionally so the timer cannot
+            # re-fire forever; only actually abort from live states.
+            self._aborted = True
+            if not self.done and self.state in (TcpState.ESTABLISHED, TcpState.SYN_SENT):
+                self.state = TcpState.RESET
+                self._cancel_timer()
+                return [self._make(now, TCPFlags.RST, seq=self.snd_nxt, ack=0)]
+        return super().on_timer(now)

@@ -1,0 +1,49 @@
+"""The synthetic world: domains, countries, traffic, scenarios.
+
+The real study observed two weeks of traffic from 247 countries to a
+global CDN.  That dataset is proprietary, so this subpackage constructs
+its closest synthetic equivalent (see DESIGN.md §2):
+
+* :mod:`repro.workloads.domains` -- a categorized, Zipf-popular domain
+  universe with deterministic edge-IP assignment.
+* :mod:`repro.workloads.profiles` -- ~45 country profiles: traffic
+  weight, ASN structure, client mix, blocking policy, middlebox
+  deployments tuned to published censor fingerprints.
+* :mod:`repro.workloads.world` -- assembles geo database, category
+  database, per-ASN middlebox chains and per-country blocklists, and
+  simulates individual connections end to end.
+* :mod:`repro.workloads.traffic` -- the connection generator: arrivals
+  with diurnal/weekly structure, client personalities, and batch runs.
+* :mod:`repro.workloads.testlist_gen` -- synthetic Tranco/Majestic/
+  Citizen Lab/GreatFire test lists with controlled coverage.
+* :mod:`repro.workloads.scenarios` -- canned experiment setups (the
+  two-week global study; the Iran September-2022 protest window).
+"""
+
+from repro.workloads.domains import Domain, DomainUniverse
+from repro.workloads.profiles import (
+    CountryProfile,
+    DeploymentSpec,
+    default_profiles,
+    profile_for,
+)
+from repro.workloads.world import World
+from repro.workloads.traffic import ConnectionSpec, TrafficGenerator
+from repro.workloads.testlist_gen import build_test_lists
+from repro.workloads.scenarios import StudyRun, iran_protest_study, two_week_study
+
+__all__ = [
+    "Domain",
+    "DomainUniverse",
+    "CountryProfile",
+    "DeploymentSpec",
+    "default_profiles",
+    "profile_for",
+    "World",
+    "ConnectionSpec",
+    "TrafficGenerator",
+    "build_test_lists",
+    "StudyRun",
+    "two_week_study",
+    "iran_protest_study",
+]

@@ -1,0 +1,87 @@
+"""Country-profile (de)serialization: custom worlds from config files.
+
+A study's world is fully described by its country profiles, so profiles
+round-trip to JSON: researchers can version their calibrations, share
+them alongside results, and run ``repro-tamper simulate --profiles
+my-world.json`` without touching Python.  The format is a direct field
+mapping of :class:`~repro.workloads.profiles.CountryProfile`; unknown
+keys are rejected so typos fail loudly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any, Dict, IO, List, Mapping, Sequence, Union
+
+from repro.errors import ConfigError
+from repro.workloads.profiles import CountryProfile, DeploymentSpec
+
+__all__ = ["profile_to_dict", "profile_from_dict", "dump_profiles", "load_profiles"]
+
+_PROFILE_FIELDS = {f.name for f in dataclasses.fields(CountryProfile)}
+_DEPLOYMENT_FIELDS = {f.name for f in dataclasses.fields(DeploymentSpec)}
+
+
+def profile_to_dict(profile: CountryProfile) -> Dict[str, Any]:
+    """JSON-safe dictionary form of one profile."""
+    out = dataclasses.asdict(profile)
+    out["deployments"] = [dataclasses.asdict(d) for d in profile.deployments]
+    out["blocked_categories"] = [list(pair) for pair in profile.blocked_categories]
+    out["substring_fragments"] = list(profile.substring_fragments)
+    return out
+
+
+def profile_from_dict(data: Mapping[str, Any]) -> CountryProfile:
+    """Inverse of :func:`profile_to_dict`; validates field names."""
+    unknown = set(data) - _PROFILE_FIELDS
+    if unknown:
+        raise ConfigError(f"unknown profile fields: {sorted(unknown)}")
+    kwargs = dict(data)
+    deployments = []
+    for entry in kwargs.pop("deployments", []):
+        bad = set(entry) - _DEPLOYMENT_FIELDS
+        if bad:
+            raise ConfigError(f"unknown deployment fields: {sorted(bad)}")
+        deployments.append(DeploymentSpec(**entry))
+    kwargs["deployments"] = tuple(deployments)
+    kwargs["blocked_categories"] = tuple(
+        (category, float(coverage))
+        for category, coverage in kwargs.pop("blocked_categories", [])
+    )
+    kwargs["substring_fragments"] = tuple(kwargs.pop("substring_fragments", []))
+    try:
+        return CountryProfile(**kwargs)
+    except TypeError as exc:
+        raise ConfigError(f"invalid profile: {exc}") from exc
+
+
+def dump_profiles(
+    path_or_file: Union[str, IO[str]],
+    profiles: Sequence[CountryProfile],
+    indent: int = 2,
+) -> int:
+    """Write profiles as a JSON array; returns the profile count."""
+    owned = isinstance(path_or_file, str)
+    fh = open(path_or_file, "w") if owned else path_or_file
+    try:
+        json.dump([profile_to_dict(p) for p in profiles], fh, indent=indent)
+        fh.write("\n")
+    finally:
+        if owned:
+            fh.close()
+    return len(profiles)
+
+
+def load_profiles(path_or_file: Union[str, IO[str]]) -> List[CountryProfile]:
+    """Read a JSON array of profiles (inverse of :func:`dump_profiles`)."""
+    owned = isinstance(path_or_file, str)
+    fh = open(path_or_file, "r") if owned else path_or_file
+    try:
+        data = json.load(fh)
+    finally:
+        if owned:
+            fh.close()
+    if not isinstance(data, list):
+        raise ConfigError("profiles file must contain a JSON array")
+    return [profile_from_dict(entry) for entry in data]

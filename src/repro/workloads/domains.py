@@ -1,0 +1,216 @@
+"""The synthetic domain universe.
+
+Generates a categorized population of domains with Zipf-distributed
+global popularity, per-country popularity tilts, and a deterministic
+domain → edge-IP assignment (clients "resolve" a domain to a stable CDN
+anycast address, which lets IP-based censors block specific services and
+incur collateral damage on co-hosted names -- as in the real world).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro._util import derive_rng, stable_hash, zipf_weights
+from repro.cdn.categorize import CategoryDB, STANDARD_CATEGORIES
+from repro.cdn.geo import GeoDatabase
+from repro.errors import WorldError
+
+__all__ = ["Domain", "DomainUniverse"]
+
+#: Name fragments for plausible-looking synthetic domains.
+_WORDS = (
+    "alpha", "breeze", "cobalt", "delta", "ember", "flux", "gale", "harbor",
+    "iris", "jade", "krypton", "lumen", "mist", "nectar", "onyx", "pylon",
+    "quartz", "ridge", "sable", "torrent", "umbra", "vertex", "willow",
+    "xenon", "yonder", "zephyr", "argon", "basalt", "cinder", "drift",
+)
+
+_TLDS = (
+    "com", "net", "org", "io", "info", "biz",
+    "co.uk", "com.cn", "com.br", "co.kr", "co.in", "com.tr", "com.ua",
+    "de", "fr", "ru", "ir", "cn", "in", "mx", "pe",
+)
+
+#: Relative share of domains per category (Content Servers and
+#: Technology are large; Login Screens small), roughly web-like.
+_CATEGORY_SHARES: Mapping[str, float] = {
+    "Adult Themes": 0.08,
+    "Advertisements": 0.07,
+    "Business": 0.14,
+    "Chat": 0.05,
+    "Content Servers": 0.12,
+    "Education": 0.06,
+    "Gaming": 0.06,
+    "Hobbies & Interests": 0.07,
+    "Login Screens": 0.03,
+    "News": 0.08,
+    "Shopping": 0.07,
+    "Social Networks": 0.05,
+    "Streaming": 0.05,
+    "Technology": 0.07,
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class Domain:
+    """One domain: name, categories, and global popularity rank (0 = top)."""
+
+    name: str
+    categories: FrozenSet[str]
+    rank: int
+
+    @property
+    def primary_category(self) -> str:
+        return sorted(self.categories)[0]
+
+
+class DomainUniverse:
+    """A deterministic, categorized domain population.
+
+    ``generate`` builds ``n_domains`` domains; popularity follows a Zipf
+    law over a seed-specific rank permutation.  Per-country demand mixes
+    the global ranking with a country-salted permutation so that every
+    country has some local favourites (and so per-country blocklists do
+    not all hit the same names).
+    """
+
+    def __init__(self, domains: Sequence[Domain], seed: int) -> None:
+        if not domains:
+            raise WorldError("domain universe cannot be empty")
+        self.domains: List[Domain] = sorted(domains, key=lambda d: d.rank)
+        self.seed = seed
+        self._by_name: Dict[str, Domain] = {d.name: d for d in self.domains}
+        self._weights = zipf_weights(len(self.domains), exponent=1.05)
+        self._country_order_cache: Dict[str, List[int]] = {}
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def generate(
+        cls,
+        seed: int = 0,
+        n_domains: int = 3000,
+        categories: Sequence[str] = STANDARD_CATEGORIES,
+        multi_category_rate: float = 0.15,
+    ) -> "DomainUniverse":
+        """Build the universe deterministically from ``seed``."""
+        if n_domains < len(categories):
+            raise WorldError("need at least one domain per category")
+        rng = derive_rng(seed, "domain-universe")
+        shares = [( _CATEGORY_SHARES.get(cat, 0.05)) for cat in categories]
+        total_share = sum(shares)
+        counts = [max(1, int(round(n_domains * s / total_share))) for s in shares]
+
+        names_seen = set()
+        domains: List[Domain] = []
+        serial = 0
+        for cat, count in zip(categories, counts):
+            slug = "".join(ch for ch in cat.lower() if ch.isalnum())[:6]
+            for _ in range(count):
+                while True:
+                    word = rng.choice(_WORDS)
+                    word2 = rng.choice(_WORDS)
+                    tld = rng.choice(_TLDS)
+                    name = f"{word}{word2}-{slug}{serial}.{tld}"
+                    serial += 1
+                    if name not in names_seen:
+                        names_seen.add(name)
+                        break
+                cats = {cat}
+                if rng.random() < multi_category_rate:
+                    cats.add(rng.choice(list(categories)))
+                domains.append(Domain(name=name, categories=frozenset(cats), rank=0))
+
+        # Assign popularity ranks by a seed-specific shuffle.
+        rng.shuffle(domains)
+        ranked = [
+            Domain(name=d.name, categories=d.categories, rank=i)
+            for i, d in enumerate(domains)
+        ]
+        return cls(ranked, seed=seed)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.domains)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def get(self, name: str) -> Optional[Domain]:
+        return self._by_name.get(name)
+
+    @property
+    def names(self) -> List[str]:
+        """All domain names in global rank order."""
+        return [d.name for d in self.domains]
+
+    def top(self, n: int) -> List[Domain]:
+        """The ``n`` globally most popular domains."""
+        return self.domains[:n]
+
+    def in_category(self, category: str) -> List[Domain]:
+        """All domains carrying ``category``."""
+        return [d for d in self.domains if category in d.categories]
+
+    def category_db(self) -> CategoryDB:
+        """Materialise the category database for the CDN pipeline."""
+        return CategoryDB({d.name: d.categories for d in self.domains})
+
+    # ------------------------------------------------------------------
+    def _country_order(self, country: str) -> List[int]:
+        """Country-specific popularity order (indices into self.domains)."""
+        cached = self._country_order_cache.get(country)
+        if cached is None:
+            rng = derive_rng(self.seed, f"country-order:{country}")
+            cached = list(range(len(self.domains)))
+            rng.shuffle(cached)
+            self._country_order_cache[country] = cached
+        return cached
+
+    def sample(
+        self,
+        rng: random.Random,
+        country: Optional[str] = None,
+        local_mix: float = 0.25,
+        from_set: Optional[Sequence[str]] = None,
+    ) -> Domain:
+        """Draw one domain by popularity.
+
+        With probability ``local_mix`` the draw uses the country-specific
+        ranking; otherwise the global one.  ``from_set`` restricts the
+        draw to the given names (uniform choice) -- used to pick blocked
+        domains deliberately.
+        """
+        if from_set is not None:
+            if not from_set:
+                raise WorldError("cannot sample from an empty domain set")
+            name = from_set[rng.randrange(len(from_set))]
+            domain = self._by_name.get(name)
+            if domain is None:
+                raise WorldError(f"unknown domain {name!r}")
+            return domain
+        index = rng.choices(range(len(self.domains)), weights=self._weights, k=1)[0]
+        if country is not None and rng.random() < local_mix:
+            return self.domains[self._country_order(country)[index]]
+        return self.domains[index]
+
+    # ------------------------------------------------------------------
+    def edge_ip_for(self, name: str, version: int = 4) -> str:
+        """The stable CDN anycast address ``name`` resolves to.
+
+        Many domains share each address (the universe maps thousands of
+        names onto a /16), so IP-based blocking over-blocks -- by design.
+        """
+        rng = random.Random(stable_hash(self.seed, "edge-ip", name, version))
+        return GeoDatabase.edge_address(rng, version=version)
+
+    def request_host(self, rng: random.Random, name: str) -> str:
+        """The hostname a client actually requests (sometimes a subdomain)."""
+        roll = rng.random()
+        if roll < 0.30:
+            return f"www.{name}"
+        if roll < 0.38:
+            return f"cdn.{name}"
+        return name

@@ -1,0 +1,613 @@
+"""Country profiles: who connects, from where, and who tampers.
+
+Each :class:`CountryProfile` encodes the traffic and tampering structure
+of one country: traffic weight, ASN count and concentration, IPv6 and
+TLS shares, client-personality mix, how often users request blocked
+content (with diurnal and weekend modulation), which content categories
+the country blocks and how completely, and the middlebox *deployments* --
+(vendor preset, share of the blocklist, share of ASNs covered) triples.
+
+The parameter values are tuned so the reproduction matches the *shape*
+of the paper's results (Figures 1, 4-7, Tables 2-3): Turkmenistan's
+near-blanket HTTP blocking, China's centralized GFW burst signatures,
+Iran's ClientHello drops, Russia's decentralized heterogeneity, South
+Korea's ACK-guessing injector, the Western countries' sparse enterprise
+filtering, and so on.  Absolute percentages are calibration, not claims.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigError
+
+__all__ = ["DeploymentSpec", "CountryProfile", "default_profiles", "profile_for", "PAPER_FIGURE4_COUNTRIES"]
+
+
+@dataclasses.dataclass(frozen=True)
+class DeploymentSpec:
+    """One middlebox deployment within a country.
+
+    ``vendor``
+        A preset name from :data:`repro.middlebox.vendors.VENDOR_PRESETS`.
+    ``blocked_share``
+        Fraction of the country's blocklist this device enforces (the
+        world model partitions blocked domains among deployments; shares
+        are normalised).
+    ``asn_share``
+        Fraction of the country's ASNs where the device sits on-path;
+        1.0 models a centralized national system, <1 a patchwork.
+    """
+
+    vendor: str
+    blocked_share: float
+    asn_share: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.blocked_share <= 0:
+            raise ConfigError("blocked_share must be positive")
+        if not 0 < self.asn_share <= 1:
+            raise ConfigError("asn_share must be in (0, 1]")
+
+
+@dataclasses.dataclass(frozen=True)
+class CountryProfile:
+    """Everything the generator needs to know about one country."""
+
+    code: str
+    name: str
+    weight: float  # share of global connections
+    tz_offset: float = 0.0  # hours east of UTC
+    n_asns: int = 6
+    asn_skew: float = 1.0  # Zipf exponent over ASN sizes
+    ipv6_share: float = 0.25
+    tls_share: float = 0.80
+    # Demand for blocked content and its temporal modulation.
+    p_blocked: float = 0.0
+    night_boost: float = 1.6  # multiplier on p_blocked, local 00:00-08:00
+    weekend_factor: float = 0.8  # multiplier on p_blocked on Sat/Sun
+    local_mix: float = 0.25  # share of demand using the local ranking
+    #: Extra probability that a blocked-content request uses TLS (users
+    #: reaching for sensitive content prefer HTTPS); drives the paper's
+    #: Figure 7(b) observation that TLS is tampered more than HTTP.
+    blocked_tls_boost: float = 0.5
+    # Blocking policy.
+    blocked_categories: Tuple[Tuple[str, float], ...] = ()  # (category, coverage)
+    blocked_top_share: float = 0.0  # also block this share of global top-200
+    substring_fragments: Tuple[str, ...] = ()
+    http_only_blocking: bool = False  # TM-style: policies scoped to port 80
+    deployments: Tuple[DeploymentSpec, ...] = ()
+    # Client-mix rates (fractions of connections).
+    scanner_rate: float = 0.001
+    silent_syn_rate: float = 0.015  # SYN-flood residue, HE losers (§4.2)
+    happy_rst_rate: float = 0.006
+    impatient_rate: float = 0.002
+    abortive_close_rate: float = 0.03  # graceful close followed by a RST
+    never_close_rate: float = 0.012  # keep-alive: data then silence, no FIN
+    keyword_rate: float = 0.004  # requests carrying an enterprise-blocked keyword
+    split_request_rate: float = 0.12  # requests sent as 2+ data segments
+    enterprise_flow_share: float = 0.05  # connections behind a corporate firewall
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ConfigError(f"{self.code}: weight must be positive")
+        if not 0 <= self.p_blocked <= 1:
+            raise ConfigError(f"{self.code}: p_blocked must be in [0, 1]")
+        if self.n_asns < 1:
+            raise ConfigError(f"{self.code}: need at least one ASN")
+        rates = (
+            self.scanner_rate,
+            self.silent_syn_rate,
+            self.happy_rst_rate,
+            self.impatient_rate,
+            self.abortive_close_rate,
+            self.never_close_rate,
+        )
+        if sum(rates) > 0.5:
+            raise ConfigError(f"{self.code}: anomalous client mix exceeds 50%")
+
+    @property
+    def has_tampering(self) -> bool:
+        return bool(self.deployments) and self.p_blocked > 0
+
+
+def _d(vendor: str, blocked_share: float, asn_share: float = 1.0) -> DeploymentSpec:
+    return DeploymentSpec(vendor=vendor, blocked_share=blocked_share, asn_share=asn_share)
+
+
+#: Figure 4's x-axis, for report ordering.
+PAPER_FIGURE4_COUNTRIES: Tuple[str, ...] = (
+    "TM", "PE", "UZ", "CU", "SA", "KZ", "RU", "PK", "NI", "UA", "BD", "MX",
+    "IR", "OM", "AZ", "AE", "SD", "CN", "BY", "EG", "YE", "AF", "MM", "IQ",
+    "KW", "TR", "BH", "ET", "IN", "HN", "MY", "TH", "KR", "VN", "VE", "GB",
+    "SY", "US", "DE",
+)
+
+
+def default_profiles() -> List[CountryProfile]:
+    """The built-in world: ~45 countries tuned to the paper's shape."""
+    profiles: List[CountryProfile] = [
+        # ------------------------------------------------------------------
+        # Heavy, centralized censors
+        # ------------------------------------------------------------------
+        CountryProfile(
+            code="TM", name="Turkmenistan", weight=0.45, tz_offset=5, n_asns=2,
+            ipv6_share=0.02, tls_share=0.12, p_blocked=0.95, night_boost=1.2,
+            blocked_tls_boost=0.0,
+            blocked_categories=(
+                ("News", 0.9), ("Social Networks", 0.9), ("Chat", 0.85),
+                ("Streaming", 0.8), ("Adult Themes", 0.9), ("Technology", 0.5),
+                ("Business", 0.4), ("Content Servers", 0.5),
+            ),
+            blocked_top_share=0.5,
+            substring_fragments=("wn.com",),
+            http_only_blocking=True,
+            deployments=(
+                # In-path drops of the offending HTTP request (post-ACK
+                # RST at the server) alongside off-path injection after
+                # the request (post-PSH RST), both HTTP-scoped.
+                _d("tm_http", 0.45),
+                _d("single_rst", 0.45),
+                _d("syn_blackhole", 0.10),
+            ),
+        ),
+        CountryProfile(
+            code="IR", name="Iran", weight=1.6, tz_offset=3.5, n_asns=8,
+            ipv6_share=0.12, tls_share=0.85, p_blocked=0.42, night_boost=1.9,
+            weekend_factor=0.65,
+            blocked_categories=(
+                ("Content Servers", 0.6), ("Technology", 0.35),
+                ("Social Networks", 0.8), ("News", 0.6), ("Business", 0.12),
+            ),
+            blocked_top_share=0.25,
+            deployments=(
+                _d("iran_drop", 0.38),
+                _d("iran_rstack", 0.18),
+                _d("iran_double_rstack", 0.12),
+                _d("syn_blackhole", 0.10),
+                _d("syn_rst_injector", 0.10),
+                # A minority of networks inject after the request, which
+                # is what makes any Iranian trigger domains visible to the
+                # pipeline (the paper notes this visibility is limited).
+                _d("single_rstack", 0.12),
+            ),
+        ),
+        CountryProfile(
+            code="CN", name="China", weight=8.0, tz_offset=8, n_asns=16,
+            ipv6_share=0.30, tls_share=0.80, p_blocked=0.26, night_boost=1.7,
+            blocked_categories=(
+                ("Adult Themes", 0.55), ("Content Servers", 0.25),
+                ("Education", 0.22), ("News", 0.5), ("Social Networks", 0.7),
+            ),
+            blocked_top_share=0.30,
+            deployments=(
+                _d("gfw", 0.38),
+                _d("gfw_double_rstack", 0.20),
+                _d("zero_ack_injector", 0.14),
+                _d("gfw_syn", 0.12),
+                _d("psh_blackhole", 0.08),
+                _d("single_rst", 0.08),
+            ),
+        ),
+        CountryProfile(
+            code="CU", name="Cuba", weight=0.25, tz_offset=-5, n_asns=2,
+            ipv6_share=0.05, tls_share=0.7, p_blocked=0.5,
+            blocked_categories=(("News", 0.7), ("Social Networks", 0.6), ("Technology", 0.3)),
+            blocked_top_share=0.2,
+            deployments=(_d("syn_blackhole", 0.4), _d("iran_drop", 0.35), _d("single_rstack", 0.25)),
+        ),
+        CountryProfile(
+            code="KP", name="North Korea", weight=0.01, tz_offset=9, n_asns=1,
+            ipv6_share=0.0, tls_share=0.5, p_blocked=0.95, night_boost=1.0,
+            blocked_categories=tuple((c, 0.95) for c in (
+                "News", "Social Networks", "Chat", "Streaming", "Technology",
+                "Business", "Content Servers", "Adult Themes",
+            )),
+            blocked_top_share=0.9,
+            deployments=(_d("syn_blackhole", 0.7), _d("syn_rst_injector", 0.3)),
+        ),
+        # ------------------------------------------------------------------
+        # Central-Asian neighbours (post-ACK RST+ACK style)
+        # ------------------------------------------------------------------
+        CountryProfile(
+            code="UZ", name="Uzbekistan", weight=0.5, tz_offset=5, n_asns=4,
+            ipv6_share=0.08, tls_share=0.8, p_blocked=0.32,
+            blocked_categories=(("News", 0.6), ("Social Networks", 0.5), ("Adult Themes", 0.5)),
+            blocked_top_share=0.15,
+            deployments=(_d("iran_rstack", 0.75), _d("syn_blackhole", 0.25)),
+        ),
+        CountryProfile(
+            code="KZ", name="Kazakhstan", weight=0.7, tz_offset=6, n_asns=6,
+            ipv6_share=0.15, tls_share=0.82, p_blocked=0.22,
+            blocked_categories=(("News", 0.5), ("Social Networks", 0.4), ("Adult Themes", 0.5)),
+            blocked_top_share=0.12,
+            deployments=(_d("iran_rstack", 0.7, asn_share=0.9), _d("psh_blackhole", 0.3, asn_share=0.6)),
+        ),
+        CountryProfile(
+            code="AZ", name="Azerbaijan", weight=0.3, tz_offset=4, n_asns=4,
+            p_blocked=0.2,
+            blocked_categories=(("News", 0.5), ("Social Networks", 0.35)),
+            deployments=(_d("iran_drop", 0.6), _d("single_rst", 0.4)),
+        ),
+        CountryProfile(
+            code="TJ", name="Tajikistan", weight=0.1, tz_offset=5, n_asns=2,
+            p_blocked=0.25,
+            blocked_categories=(("News", 0.5), ("Social Networks", 0.5)),
+            deployments=(_d("iran_drop", 0.6), _d("syn_blackhole", 0.4)),
+        ),
+        # ------------------------------------------------------------------
+        # Decentralized regimes
+        # ------------------------------------------------------------------
+        CountryProfile(
+            code="RU", name="Russia", weight=4.5, tz_offset=3, n_asns=20,
+            asn_skew=0.7, ipv6_share=0.28, tls_share=0.85, p_blocked=0.2,
+            blocked_categories=(
+                ("Hobbies & Interests", 0.35), ("Business", 0.12),
+                ("Advertisements", 0.18), ("News", 0.4), ("Social Networks", 0.3),
+            ),
+            blocked_top_share=0.18,
+            deployments=(
+                _d("single_rst", 0.25, asn_share=0.55),
+                _d("psh_blackhole", 0.2, asn_share=0.5),
+                _d("single_rstack", 0.2, asn_share=0.45),
+                _d("enterprise_rst", 0.12, asn_share=0.5),
+                _d("syn_rst_injector", 0.13, asn_share=0.4),
+                _d("same_ack_injector", 0.1, asn_share=0.35),
+            ),
+        ),
+        CountryProfile(
+            code="UA", name="Ukraine", weight=1.2, tz_offset=2, n_asns=14,
+            asn_skew=0.6, ipv6_share=0.22, tls_share=0.85, p_blocked=0.24,
+            split_request_rate=0.5,
+            blocked_categories=(("News", 0.35), ("Hobbies & Interests", 0.2), ("Business", 0.1)),
+            deployments=(
+                _d("enterprise_firewall", 0.6, asn_share=0.6),
+                _d("single_rstack", 0.25, asn_share=0.45),
+                _d("psh_blackhole", 0.15, asn_share=0.4),
+            ),
+        ),
+        CountryProfile(
+            code="PK", name="Pakistan", weight=1.1, tz_offset=5, n_asns=9,
+            asn_skew=0.8, ipv6_share=0.1, tls_share=0.78, p_blocked=0.26,
+            blocked_categories=(("Adult Themes", 0.6), ("News", 0.3), ("Streaming", 0.25)),
+            blocked_top_share=0.1,
+            deployments=(
+                _d("iran_drop", 0.35, asn_share=0.7),
+                _d("single_rst", 0.35, asn_share=0.55),
+                _d("syn_blackhole", 0.3, asn_share=0.5),
+            ),
+        ),
+        CountryProfile(
+            code="BY", name="Belarus", weight=0.35, tz_offset=3, n_asns=4,
+            p_blocked=0.18,
+            blocked_categories=(("News", 0.5), ("Social Networks", 0.4)),
+            deployments=(_d("single_rst", 0.6, asn_share=0.8), _d("psh_blackhole", 0.4, asn_share=0.6)),
+        ),
+        # ------------------------------------------------------------------
+        # Middle East & North Africa
+        # ------------------------------------------------------------------
+        CountryProfile(
+            code="SA", name="Saudi Arabia", weight=0.9, tz_offset=3, n_asns=5,
+            ipv6_share=0.35, p_blocked=0.3,
+            blocked_categories=(("Adult Themes", 0.85), ("Gaming", 0.2), ("Streaming", 0.25)),
+            deployments=(_d("single_rstack", 0.6), _d("psh_blackhole", 0.4)),
+        ),
+        CountryProfile(
+            code="EG", name="Egypt", weight=1.0, tz_offset=2, n_asns=6,
+            p_blocked=0.18,
+            blocked_categories=(("News", 0.5), ("Adult Themes", 0.6)),
+            deployments=(_d("syn_blackhole", 0.5, asn_share=0.9), _d("psh_blackhole", 0.5, asn_share=0.8)),
+        ),
+        CountryProfile(
+            code="AE", name="United Arab Emirates", weight=0.6, tz_offset=4, n_asns=3,
+            ipv6_share=0.4, p_blocked=0.22,
+            blocked_categories=(("Adult Themes", 0.9), ("Chat", 0.45), ("Gaming", 0.2)),
+            deployments=(_d("single_rstack", 0.7), _d("iran_drop", 0.3)),
+        ),
+        CountryProfile(
+            code="IQ", name="Iraq", weight=0.5, tz_offset=3, n_asns=6,
+            p_blocked=0.16,
+            blocked_categories=(("Adult Themes", 0.5), ("News", 0.3)),
+            deployments=(_d("single_rst", 0.5, asn_share=0.7), _d("syn_blackhole", 0.5, asn_share=0.6)),
+        ),
+        CountryProfile(
+            code="SY", name="Syria", weight=0.2, tz_offset=2, n_asns=2,
+            p_blocked=0.3,
+            blocked_categories=(("News", 0.6), ("Social Networks", 0.5), ("Chat", 0.4)),
+            deployments=(_d("iran_drop", 0.5), _d("single_rst", 0.5)),
+        ),
+        CountryProfile(
+            code="YE", name="Yemen", weight=0.15, tz_offset=3, n_asns=2,
+            p_blocked=0.22,
+            blocked_categories=(("Adult Themes", 0.6), ("News", 0.4)),
+            deployments=(_d("psh_blackhole", 0.6), _d("single_rstack", 0.4)),
+        ),
+        CountryProfile(
+            code="OM", name="Oman", weight=0.2, tz_offset=4, n_asns=2,
+            p_blocked=0.2,
+            blocked_categories=(("Adult Themes", 0.8), ("Chat", 0.3)),
+            deployments=(_d("single_rstack", 0.7), _d("syn_blackhole", 0.3)),
+        ),
+        CountryProfile(
+            code="KW", name="Kuwait", weight=0.25, tz_offset=3, n_asns=3,
+            ipv6_share=0.5, p_blocked=0.15,
+            blocked_categories=(("Adult Themes", 0.8),),
+            deployments=(_d("single_rstack", 1.0),),
+        ),
+        CountryProfile(
+            code="BH", name="Bahrain", weight=0.12, tz_offset=3, n_asns=2,
+            p_blocked=0.14,
+            blocked_categories=(("Adult Themes", 0.7), ("News", 0.3)),
+            deployments=(_d("single_rstack", 0.6), _d("psh_blackhole", 0.4)),
+        ),
+        CountryProfile(
+            code="SD", name="Sudan", weight=0.2, tz_offset=2, n_asns=2,
+            p_blocked=0.2,
+            blocked_categories=(("News", 0.4), ("Adult Themes", 0.5)),
+            deployments=(_d("syn_blackhole", 0.5), _d("single_rst", 0.5)),
+        ),
+        CountryProfile(
+            code="TR", name="Turkey", weight=1.8, tz_offset=3, n_asns=10,
+            asn_skew=0.8, p_blocked=0.14,
+            blocked_categories=(("News", 0.35), ("Adult Themes", 0.45), ("Social Networks", 0.25)),
+            deployments=(
+                _d("single_rst", 0.5, asn_share=0.8),
+                _d("iran_drop", 0.3, asn_share=0.6),
+                _d("enterprise_rst", 0.2, asn_share=0.5),
+            ),
+        ),
+        CountryProfile(
+            code="DZ", name="Algeria", weight=0.4, tz_offset=1, n_asns=3,
+            p_blocked=0.12,
+            blocked_categories=(("Adult Themes", 0.5), ("News", 0.25)),
+            deployments=(_d("psh_blackhole", 0.6), _d("single_rst", 0.4)),
+        ),
+        # ------------------------------------------------------------------
+        # South & Southeast Asia
+        # ------------------------------------------------------------------
+        CountryProfile(
+            code="IN", name="India", weight=7.0, tz_offset=5.5, n_asns=18,
+            asn_skew=0.9, ipv6_share=0.45, p_blocked=0.22, night_boost=2.0,
+            blocked_categories=(
+                ("Adult Themes", 0.45), ("Chat", 0.25), ("Content Servers", 0.18),
+                ("Gaming", 0.12),
+            ),
+            blocked_top_share=0.12,
+            deployments=(
+                _d("single_rst", 0.4, asn_share=0.8),
+                _d("psh_blackhole", 0.3, asn_share=0.7),
+                _d("iran_drop", 0.15, asn_share=0.5),
+                _d("syn_blackhole", 0.15, asn_share=0.5),
+            ),
+        ),
+        CountryProfile(
+            code="BD", name="Bangladesh", weight=0.9, tz_offset=6, n_asns=7,
+            p_blocked=0.24,
+            blocked_categories=(("Adult Themes", 0.5), ("News", 0.3), ("Gaming", 0.25)),
+            deployments=(_d("single_rst", 0.5, asn_share=0.8), _d("iran_drop", 0.5, asn_share=0.7)),
+        ),
+        CountryProfile(
+            code="MM", name="Myanmar", weight=0.3, tz_offset=6.5, n_asns=4,
+            p_blocked=0.3,
+            blocked_categories=(("News", 0.6), ("Social Networks", 0.6)),
+            deployments=(_d("syn_blackhole", 0.5), _d("psh_blackhole", 0.5)),
+        ),
+        CountryProfile(
+            code="TH", name="Thailand", weight=1.0, tz_offset=7, n_asns=8,
+            p_blocked=0.12,
+            blocked_categories=(("Adult Themes", 0.4), ("News", 0.3)),
+            deployments=(_d("single_rst", 0.6, asn_share=0.75), _d("enterprise_rst", 0.4, asn_share=0.4)),
+        ),
+        CountryProfile(
+            code="VN", name="Vietnam", weight=1.4, tz_offset=7, n_asns=8,
+            p_blocked=0.1,
+            blocked_categories=(("News", 0.35), ("Social Networks", 0.2)),
+            deployments=(_d("psh_blackhole", 0.5, asn_share=0.7), _d("single_rst", 0.5, asn_share=0.6)),
+        ),
+        CountryProfile(
+            code="MY", name="Malaysia", weight=0.8, tz_offset=8, n_asns=6,
+            p_blocked=0.1,
+            blocked_categories=(("Adult Themes", 0.45), ("Gaming", 0.15)),
+            deployments=(_d("iran_drop", 0.5, asn_share=0.7), _d("single_rstack", 0.5, asn_share=0.6)),
+        ),
+        CountryProfile(
+            code="ID", name="Indonesia", weight=2.2, tz_offset=7, n_asns=12,
+            asn_skew=0.8, p_blocked=0.12,
+            blocked_categories=(("Adult Themes", 0.55), ("Gaming", 0.2)),
+            deployments=(_d("single_rstack", 0.5, asn_share=0.7), _d("psh_blackhole", 0.5, asn_share=0.6)),
+        ),
+        CountryProfile(
+            code="LK", name="Sri Lanka", weight=0.25, tz_offset=5.5, n_asns=3,
+            ipv6_share=0.3, p_blocked=0.45,
+            blocked_categories=(("News", 0.5), ("Social Networks", 0.5), ("Adult Themes", 0.5)),
+            deployments=(_d("iran_drop", 0.7), _d("iran_rstack", 0.3)),
+        ),
+        CountryProfile(
+            code="AF", name="Afghanistan", weight=0.15, tz_offset=4.5, n_asns=2,
+            p_blocked=0.25,
+            blocked_categories=(("Adult Themes", 0.7), ("News", 0.4), ("Streaming", 0.3)),
+            deployments=(_d("syn_blackhole", 0.5), _d("iran_drop", 0.5)),
+        ),
+        CountryProfile(
+            code="LA", name="Laos", weight=0.08, tz_offset=7, n_asns=2,
+            p_blocked=0.18,
+            blocked_categories=(("News", 0.4), ("Social Networks", 0.3)),
+            deployments=(_d("psh_blackhole", 1.0),),
+        ),
+        # ------------------------------------------------------------------
+        # East Asia
+        # ------------------------------------------------------------------
+        CountryProfile(
+            code="KR", name="South Korea", weight=2.0, tz_offset=9, n_asns=5,
+            asn_skew=1.4, ipv6_share=0.2, p_blocked=0.11, night_boost=2.2,
+            blocked_categories=(
+                ("Adult Themes", 0.6), ("Gaming", 0.18), ("Login Screens", 0.4),
+            ),
+            deployments=(
+                _d("korea_guesser", 0.65),
+                _d("zero_ack_injector", 0.2),
+                _d("single_rst", 0.15),
+            ),
+        ),
+        CountryProfile(
+            code="JP", name="Japan", weight=3.0, tz_offset=9, n_asns=12,
+            ipv6_share=0.45, p_blocked=0.015,
+            blocked_categories=(("Adult Themes", 0.05),),
+            deployments=(_d("enterprise_firewall", 1.0, asn_share=0.3),),
+        ),
+        CountryProfile(
+            code="TW", name="Taiwan", weight=0.9, tz_offset=8, n_asns=6,
+            ipv6_share=0.4, p_blocked=0.01,
+            blocked_categories=(("Adult Themes", 0.05),),
+            deployments=(_d("enterprise_rst", 1.0, asn_share=0.3),),
+        ),
+        # ------------------------------------------------------------------
+        # Americas
+        # ------------------------------------------------------------------
+        CountryProfile(
+            code="PE", name="Peru", weight=0.6, tz_offset=-5, n_asns=5,
+            asn_skew=1.2, p_blocked=0.58, night_boost=1.3,
+            blocked_categories=(
+                ("Advertisements", 0.65), ("Business", 0.07), ("Technology", 0.1),
+            ),
+            blocked_top_share=0.15,
+            deployments=(
+                _d("syn_rstack_injector", 0.35),
+                _d("single_rstack", 0.4),
+                _d("psh_blackhole", 0.25),
+            ),
+        ),
+        CountryProfile(
+            code="MX", name="Mexico", weight=1.8, tz_offset=-6, n_asns=10,
+            asn_skew=0.7, p_blocked=0.33,
+            blocked_categories=(
+                ("Advertisements", 0.5), ("Technology", 0.12), ("Business", 0.1),
+            ),
+            deployments=(
+                _d("single_rst", 0.4, asn_share=0.6),
+                _d("enterprise_firewall", 0.3, asn_share=0.5),
+                _d("syn_blackhole", 0.3, asn_share=0.45),
+            ),
+        ),
+        CountryProfile(
+            code="NI", name="Nicaragua", weight=0.1, tz_offset=-6, n_asns=2,
+            p_blocked=0.28,
+            blocked_categories=(("News", 0.5), ("Advertisements", 0.4)),
+            deployments=(_d("single_rstack", 0.6), _d("iran_drop", 0.4)),
+        ),
+        CountryProfile(
+            code="HN", name="Honduras", weight=0.1, tz_offset=-6, n_asns=2,
+            p_blocked=0.12,
+            blocked_categories=(("Advertisements", 0.35),),
+            deployments=(_d("single_rst", 1.0),),
+        ),
+        CountryProfile(
+            code="VE", name="Venezuela", weight=0.4, tz_offset=-4, n_asns=4,
+            p_blocked=0.1,
+            blocked_categories=(("News", 0.45), ("Streaming", 0.2)),
+            deployments=(_d("syn_blackhole", 0.5, asn_share=0.8), _d("single_rst", 0.5, asn_share=0.6)),
+        ),
+        CountryProfile(
+            code="BR", name="Brazil", weight=3.5, tz_offset=-3, n_asns=16,
+            asn_skew=0.6, p_blocked=0.02,
+            blocked_categories=(("Streaming", 0.08), ("Gaming", 0.04)),
+            deployments=(_d("enterprise_rst", 0.6, asn_share=0.3), _d("single_rst", 0.4, asn_share=0.2)),
+        ),
+        # ------------------------------------------------------------------
+        # The Western comparison set (sparse enterprise filtering)
+        # ------------------------------------------------------------------
+        CountryProfile(
+            code="US", name="United States", weight=16.0, tz_offset=-5, n_asns=17,
+            asn_skew=0.6, ipv6_share=0.45, p_blocked=0.02, night_boost=1.2,
+            keyword_rate=0.01, enterprise_flow_share=0.12, split_request_rate=0.2,
+            blocked_categories=(
+                ("Content Servers", 0.006), ("Technology", 0.004), ("Business", 0.003),
+            ),
+            deployments=(
+                _d("enterprise_firewall", 0.5, asn_share=0.4),
+                _d("enterprise_rst", 0.3, asn_share=0.35),
+                _d("single_rst", 0.2, asn_share=0.15),
+            ),
+        ),
+        CountryProfile(
+            code="GB", name="United Kingdom", weight=3.5, tz_offset=0, n_asns=10,
+            asn_skew=0.7, ipv6_share=0.4, p_blocked=0.03,
+            keyword_rate=0.009, enterprise_flow_share=0.1, split_request_rate=0.2,
+            blocked_categories=(
+                ("Content Servers", 0.005), ("Business", 0.003), ("Technology", 0.003),
+                ("Streaming", 0.02),
+            ),
+            deployments=(
+                _d("enterprise_firewall", 0.5, asn_share=0.45),
+                _d("single_rst", 0.25, asn_share=0.2),
+                _d("enterprise_rst", 0.25, asn_share=0.3),
+            ),
+        ),
+        CountryProfile(
+            code="DE", name="Germany", weight=4.0, tz_offset=1, n_asns=12,
+            asn_skew=0.7, ipv6_share=0.5, p_blocked=0.025,
+            keyword_rate=0.008, enterprise_flow_share=0.1, split_request_rate=0.2,
+            blocked_categories=(
+                ("Content Servers", 0.005), ("Business", 0.004), ("Technology", 0.002),
+            ),
+            deployments=(
+                _d("enterprise_firewall", 0.55, asn_share=0.4),
+                _d("enterprise_rst", 0.25, asn_share=0.3),
+                _d("single_rstack", 0.2, asn_share=0.15),
+            ),
+        ),
+        CountryProfile(
+            code="FR", name="France", weight=3.0, tz_offset=1, n_asns=10,
+            ipv6_share=0.5, p_blocked=0.02,
+            blocked_categories=(("Streaming", 0.03), ("Content Servers", 0.004)),
+            deployments=(_d("enterprise_firewall", 0.6, asn_share=0.35), _d("single_rst", 0.4, asn_share=0.15)),
+        ),
+        CountryProfile(
+            code="NL", name="Netherlands", weight=1.5, tz_offset=1, n_asns=8,
+            ipv6_share=0.5, p_blocked=0.012,
+            blocked_categories=(("Content Servers", 0.003),),
+            deployments=(_d("enterprise_firewall", 1.0, asn_share=0.3),),
+        ),
+        CountryProfile(
+            code="CA", name="Canada", weight=2.0, tz_offset=-5, n_asns=8,
+            ipv6_share=0.4, p_blocked=0.012,
+            blocked_categories=(("Content Servers", 0.003), ("Business", 0.002)),
+            deployments=(_d("enterprise_firewall", 1.0, asn_share=0.3),),
+        ),
+        CountryProfile(
+            code="AU", name="Australia", weight=1.5, tz_offset=10, n_asns=8,
+            ipv6_share=0.35, p_blocked=0.015,
+            blocked_categories=(("Streaming", 0.03), ("Content Servers", 0.003)),
+            deployments=(_d("enterprise_rst", 1.0, asn_share=0.3),),
+        ),
+        # Countries with essentially no tampering (baseline mass).
+        CountryProfile(code="ET", name="Ethiopia", weight=0.2, tz_offset=3, n_asns=2, p_blocked=0.08,
+                       blocked_categories=(("News", 0.3),),
+                       deployments=(_d("syn_blackhole", 1.0),)),
+        CountryProfile(code="ER", name="Eritrea", weight=0.02, tz_offset=3, n_asns=1, p_blocked=0.2,
+                       blocked_categories=(("News", 0.5),),
+                       deployments=(_d("syn_blackhole", 1.0),)),
+        CountryProfile(code="PS", name="Palestine", weight=0.1, tz_offset=2, n_asns=2, p_blocked=0.1,
+                       blocked_categories=(("News", 0.3),),
+                       deployments=(_d("single_rst", 1.0),)),
+        CountryProfile(code="RW", name="Rwanda", weight=0.05, tz_offset=2, n_asns=2, p_blocked=0.1,
+                       blocked_categories=(("News", 0.3),),
+                       deployments=(_d("psh_blackhole", 1.0),)),
+        CountryProfile(code="DJ", name="Djibouti", weight=0.02, tz_offset=3, n_asns=1, p_blocked=0.2,
+                       blocked_categories=(("News", 0.4),),
+                       deployments=(_d("iran_drop", 1.0),)),
+        CountryProfile(code="KE", name="Kenya", weight=0.4, tz_offset=3, n_asns=4, ipv6_share=0.35,
+                       p_blocked=0.04,
+                       blocked_categories=(("Adult Themes", 0.1),),
+                       deployments=(_d("single_rst", 1.0, asn_share=0.5),)),
+    ]
+    return profiles
+
+
+def profile_for(code: str, profiles: Optional[Sequence[CountryProfile]] = None) -> CountryProfile:
+    """Look up a profile by country code."""
+    for profile in profiles or default_profiles():
+        if profile.code == code:
+            return profile
+    raise KeyError(f"no profile for country {code!r}")

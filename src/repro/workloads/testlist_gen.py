@@ -1,0 +1,131 @@
+"""Synthetic test lists: Tranco, Majestic, Citizen Lab, GreatFire.
+
+Table 3 compares the tampered domains the passive pipeline finds against
+the lists an active scanner would have tested.  The synthetic lists have
+the same *structural* properties as their namesakes:
+
+* **Tranco_N** -- the top N domains by global popularity with mild rank
+  noise (popularity lists track real demand closely).
+* **Majestic_N** -- top N under a noisier, link-graph-flavoured ranking
+  (systematically worse at matching what users request).
+* **GreatFire / Citizen Lab** -- curated censorship lists: they sample
+  from *sensitive* categories only, with partial coverage and some stale
+  entries that no longer exist, which is exactly why curated lists miss
+  tampered domains in the paper.
+* **Citizenlab_country** -- small per-country lists drawn from each
+  country's actual blocklist (best curated coverage, tiny size).
+
+List sizes scale with the universe: the paper's 1K/10K/100K/1M tiers map
+to fixed fractions of the synthetic population.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro._util import derive_rng
+from repro.core.testlists import TestList
+from repro.workloads.domains import DomainUniverse
+
+__all__ = ["build_test_lists", "TRANCO_TIERS", "SENSITIVE_CATEGORIES"]
+
+#: Tier name → fraction of the universe the tier covers.
+TRANCO_TIERS: Tuple[Tuple[str, float], ...] = (
+    ("1K", 0.02),
+    ("10K", 0.08),
+    ("100K", 0.30),
+    ("1M", 0.80),
+)
+
+#: Categories curated censorship lists concentrate on.
+SENSITIVE_CATEGORIES: Tuple[str, ...] = (
+    "News",
+    "Social Networks",
+    "Chat",
+    "Adult Themes",
+    "Streaming",
+)
+
+
+def _noisy_top(
+    universe: DomainUniverse, fraction: float, rng: random.Random, noise: float
+) -> List[str]:
+    """Top ``fraction`` of the universe under a noisy re-ranking."""
+    n = max(1, int(round(fraction * len(universe))))
+    scored = [
+        (domain.rank + rng.gauss(0.0, noise * len(universe)), domain.name)
+        for domain in universe.domains
+    ]
+    scored.sort()
+    return [name for _, name in scored[:n]]
+
+
+def _curated(
+    universe: DomainUniverse,
+    rng: random.Random,
+    coverage: float,
+    stale_entries: int,
+    categories: Sequence[str] = SENSITIVE_CATEGORIES,
+) -> List[str]:
+    """A curated list: partial coverage of sensitive categories + staleness."""
+    entries: List[str] = []
+    for category in categories:
+        members = [d.name for d in universe.in_category(category)]
+        count = int(round(coverage * len(members)))
+        entries.extend(rng.sample(members, min(count, len(members))))
+    entries.extend(f"stale-entry-{i}.example" for i in range(stale_entries))
+    return entries
+
+
+def build_test_lists(
+    universe: DomainUniverse,
+    seed: int = 0,
+    country_blocklists: Optional[Mapping[str, Sequence[str]]] = None,
+) -> Dict[str, TestList]:
+    """Build the full Table 3 list battery for a universe.
+
+    ``country_blocklists`` (country code → blocked domains) enables the
+    per-country Citizen Lab lists; pass ``world.blocklist(code)`` values.
+    """
+    lists: Dict[str, TestList] = {}
+
+    rng_tranco = derive_rng(seed, "tranco")
+    for tier, fraction in TRANCO_TIERS:
+        lists[f"Tranco_{tier}"] = TestList.from_domains(
+            f"Tranco_{tier}", _noisy_top(universe, fraction, rng_tranco, noise=0.02)
+        )
+
+    rng_majestic = derive_rng(seed, "majestic")
+    for tier, fraction in TRANCO_TIERS:
+        lists[f"Majestic_{tier}"] = TestList.from_domains(
+            f"Majestic_{tier}",
+            _noisy_top(universe, fraction * 0.5, rng_majestic, noise=0.25),
+        )
+
+    rng_gf = derive_rng(seed, "greatfire")
+    lists["Greatfire_all"] = TestList.from_domains(
+        "Greatfire_all", _curated(universe, rng_gf, coverage=0.30, stale_entries=40)
+    )
+    lists["Greatfire_30d"] = TestList.from_domains(
+        "Greatfire_30d", _curated(universe, rng_gf, coverage=0.10, stale_entries=10)
+    )
+
+    rng_cl = derive_rng(seed, "citizenlab")
+    lists["Citizenlab"] = TestList.from_domains(
+        "Citizenlab", _curated(universe, rng_cl, coverage=0.12, stale_entries=25)
+    )
+    lists["Citizenlab_global"] = TestList.from_domains(
+        "Citizenlab_global", _curated(universe, rng_cl, coverage=0.04, stale_entries=5)
+    )
+
+    if country_blocklists:
+        rng_cc = derive_rng(seed, "citizenlab-country")
+        entries: List[str] = []
+        for code in sorted(country_blocklists):
+            blocked = sorted(country_blocklists[code])
+            count = max(1, int(round(0.05 * len(blocked)))) if blocked else 0
+            entries.extend(rng_cc.sample(blocked, min(count, len(blocked))))
+        lists["Citizenlab_country"] = TestList.from_domains("Citizenlab_country", entries)
+
+    return lists

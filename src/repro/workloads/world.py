@@ -1,0 +1,458 @@
+"""The assembled world: geography, domains, blocklists, middleboxes.
+
+:class:`World` wires every substrate together:
+
+* registers each country's ASNs in the :class:`~repro.cdn.geo.GeoDatabase`
+  and mints persistent client populations per ASN;
+* derives each country's **blocklist** from its profile (category
+  coverage plus a share of globally popular domains) and partitions it
+  among the country's middlebox deployments;
+* instantiates one stateful :class:`~repro.middlebox.device.TamperingMiddlebox`
+  per (deployment, covered ASN), plus per-country enterprise keyword
+  firewalls that a fraction of connections pass through;
+* simulates individual connections end to end
+  (:meth:`World.simulate_connection`), producing the
+  :class:`~repro.cdn.collector.ConnectionSample` records the analysis
+  pipeline consumes.
+
+Everything is derived deterministically from ``seed``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro._util import chunk_payload, derive_rng, stable_hash, zipf_weights
+from repro.cdn.categorize import CategoryDB
+from repro.cdn.collector import ConnectionSample
+from repro.cdn.edge import EdgeConfig, make_edge_server
+from repro.cdn.geo import GeoDatabase
+from repro.cdn.sampler import CaptureConfig, capture_sample
+from repro.errors import WorldError
+from repro.middlebox.device import TamperingMiddlebox
+from repro.middlebox.policy import (
+    BlockPolicy,
+    DomainRule,
+    ExactIpRule,
+    KeywordRule,
+    PortRule,
+    SubstringRule,
+)
+from repro.middlebox.vendors import VENDOR_PRESETS, make_preset
+from repro.netstack.http import build_http_request
+from repro.netstack.tcp import HostConfig, IpIdMode, TcpClient
+from repro.netstack.tls import build_client_hello
+from repro.network.conditions import NetworkConditions
+from repro.network.endpoints import (
+    AbortiveCloseClient,
+    HappyEyeballsCanceller,
+    ImpatientClient,
+    NeverCloseClient,
+    SilentSynClient,
+    ZMapScanner,
+)
+from repro.network.sim import PathSimulator
+from repro.workloads.domains import DomainUniverse
+from repro.workloads.profiles import CountryProfile, DeploymentSpec, default_profiles
+
+__all__ = ["World", "ENTERPRISE_KEYWORDS"]
+
+#: Keywords enterprise firewalls hunt for in request payloads.
+ENTERPRISE_KEYWORDS: Tuple[bytes, ...] = (b"confidential-export", b"proxy-autoconfig")
+
+#: Vendor presets whose trigger is the SYN (they need IP rules, not domains).
+_SYN_STAGE_VENDORS = frozenset(
+    {"syn_blackhole", "syn_rst_injector", "syn_rstack_injector", "gfw_syn"}
+)
+_ENTERPRISE_VENDORS = frozenset({"enterprise_firewall", "enterprise_rst"})
+
+#: First ASN number handed out (purely cosmetic).
+_ASN_BASE = 1000
+
+
+@dataclasses.dataclass
+class _Deployment:
+    """One instantiated deployment: spec, policy inputs, device per ASN."""
+
+    spec: DeploymentSpec
+    blocked_domains: FrozenSet[str]
+    covered_asns: FrozenSet[int]
+    devices: Dict[int, TamperingMiddlebox]
+
+
+@dataclasses.dataclass
+class _CountryState:
+    """Everything built for one country."""
+
+    profile: CountryProfile
+    asns: List[int]
+    asn_weights: List[float]
+    blocklist: FrozenSet[str]
+    deployments: List[_Deployment]
+    enterprise_devices: List[TamperingMiddlebox]
+    clients_v4: Dict[int, List[str]]
+    clients_v6: Dict[int, List[str]]
+
+
+class World:
+    """The synthetic global study environment."""
+
+    def __init__(
+        self,
+        profiles: Optional[Sequence[CountryProfile]] = None,
+        seed: int = 0,
+        n_domains: int = 3000,
+        clients_per_asn: int = 20,
+        capture: Optional[CaptureConfig] = None,
+    ) -> None:
+        if clients_per_asn < 1:
+            raise WorldError("clients_per_asn must be >= 1")
+        self.seed = seed
+        self.profiles: List[CountryProfile] = list(profiles) if profiles is not None else default_profiles()
+        if not self.profiles:
+            raise WorldError("world needs at least one country profile")
+        codes = [p.code for p in self.profiles]
+        if len(set(codes)) != len(codes):
+            raise WorldError("duplicate country codes in profiles")
+
+        self.universe = DomainUniverse.generate(seed=seed, n_domains=n_domains)
+        self.categories: CategoryDB = self.universe.category_db()
+        self.geo = GeoDatabase()
+        self.capture = capture or CaptureConfig()
+        self._clients_per_asn = clients_per_asn
+        self._countries: Dict[str, _CountryState] = {}
+        self._edge_ip_cache: Dict[Tuple[str, int], str] = {}
+        self._next_asn = _ASN_BASE
+        for profile in self.profiles:
+            self._countries[profile.code] = self._build_country(profile)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _build_country(self, profile: CountryProfile) -> _CountryState:
+        rng = derive_rng(self.seed, f"country:{profile.code}")
+
+        asns = []
+        for _ in range(profile.n_asns):
+            asn = self._next_asn
+            self._next_asn += 1
+            self.geo.register_asn(profile.code, asn)
+            asns.append(asn)
+        asn_weights = zipf_weights(len(asns), exponent=profile.asn_skew)
+
+        blocklist = self._build_blocklist(profile, rng)
+        partitions = self._partition_blocklist(profile, blocklist, rng)
+
+        deployments: List[_Deployment] = []
+        for index, (spec, domains) in enumerate(zip(profile.deployments, partitions)):
+            covered = self._cover_asns(asns, spec.asn_share, rng)
+            policy = self._build_policy(profile, spec, domains, first=index == 0)
+            devices = {
+                asn: make_preset(
+                    spec.vendor,
+                    policy,
+                    seed=stable_hash(self.seed, "device", profile.code, spec.vendor, index, asn),
+                    categorizer=self.categories.as_lookup(),
+                )
+                for asn in covered
+            }
+            deployments.append(
+                _Deployment(
+                    spec=spec,
+                    blocked_domains=frozenset(domains),
+                    covered_asns=frozenset(covered),
+                    devices=devices,
+                )
+            )
+
+        enterprise_devices: List[TamperingMiddlebox] = []
+        if profile.enterprise_flow_share > 0:
+            keyword_policy = BlockPolicy([KeywordRule(ENTERPRISE_KEYWORDS)], name="enterprise-keywords")
+            for i, vendor in enumerate(("enterprise_firewall", "enterprise_rst")):
+                enterprise_devices.append(
+                    make_preset(
+                        vendor,
+                        keyword_policy,
+                        seed=stable_hash(self.seed, "enterprise", profile.code, i),
+                    )
+                )
+
+        # Pool sizes scale with each family's traffic share so the
+        # connections-per-client rate (and with it repeat-visit and
+        # residual-collateral behaviour) is version-neutral.
+        n_v4 = max(4, round(self._clients_per_asn * (1.0 - profile.ipv6_share)))
+        n_v6 = max(4, round(self._clients_per_asn * profile.ipv6_share))
+        clients_v4 = {
+            asn: [self.geo.client_address(rng, asn, version=4) for _ in range(n_v4)]
+            for asn in asns
+        }
+        clients_v6 = {
+            asn: [self.geo.client_address(rng, asn, version=6) for _ in range(n_v6)]
+            for asn in asns
+        }
+
+        return _CountryState(
+            profile=profile,
+            asns=asns,
+            asn_weights=asn_weights,
+            blocklist=frozenset(blocklist),
+            deployments=deployments,
+            enterprise_devices=enterprise_devices,
+            clients_v4=clients_v4,
+            clients_v6=clients_v6,
+        )
+
+    def _build_blocklist(self, profile: CountryProfile, rng: random.Random) -> Set[str]:
+        """Derive the country's blocked-domain set from its profile."""
+        blocked: Set[str] = set()
+        for category, coverage in profile.blocked_categories:
+            members = self.universe.in_category(category)
+            if not members:
+                continue
+            count = max(1, int(round(coverage * len(members)))) if coverage > 0 else 0
+            picked = rng.sample(members, min(count, len(members)))
+            blocked.update(d.name for d in picked)
+        if profile.blocked_top_share > 0:
+            top = self.universe.top(200)
+            count = max(1, int(round(profile.blocked_top_share * len(top))))
+            blocked.update(d.name for d in rng.sample(top, min(count, len(top))))
+        return blocked
+
+    def _partition_blocklist(
+        self, profile: CountryProfile, blocklist: Set[str], rng: random.Random
+    ) -> List[Set[str]]:
+        """Assign each blocked domain to exactly one deployment.
+
+        Deficit round-robin in global popularity order: demand for
+        blocked content concentrates on the most popular blocked
+        domains, so interleaving by rank gives every deployment its
+        ``blocked_share`` of the *demand*, not merely of the domain
+        count (a random assignment would make the effective vendor mix
+        a per-seed lottery over a handful of hot names).
+        """
+        specs = profile.deployments
+        parts: List[Set[str]] = [set() for _ in specs]
+        if not specs or not blocklist:
+            return parts
+        total = sum(s.blocked_share for s in specs)
+        shares = [s.blocked_share / total for s in specs]
+        ranked = sorted(blocklist, key=lambda name: self.universe.get(name).rank)
+        credits = [0.0] * len(specs)
+        for domain in ranked:
+            credits = [c + share for c, share in zip(credits, shares)]
+            index = max(range(len(specs)), key=lambda i: credits[i])
+            credits[index] -= 1.0
+            parts[index].add(domain)
+        return parts
+
+    @staticmethod
+    def _cover_asns(asns: Sequence[int], share: float, rng: random.Random) -> List[int]:
+        if share >= 1.0:
+            return list(asns)
+        count = max(1, int(round(share * len(asns))))
+        return sorted(rng.sample(list(asns), min(count, len(asns))))
+
+    def _build_policy(
+        self,
+        profile: CountryProfile,
+        spec: DeploymentSpec,
+        domains: Set[str],
+        first: bool,
+    ) -> BlockPolicy:
+        """Build the device policy for one deployment's domain partition."""
+        rules = []
+        if spec.vendor in _SYN_STAGE_VENDORS:
+            addresses = set()
+            for name in domains:
+                addresses.add(self.edge_ip_for(name, 4))
+                addresses.add(self.edge_ip_for(name, 6))
+            rules.append(ExactIpRule(addresses))
+        else:
+            rules.append(DomainRule(domains))
+            if first and profile.substring_fragments:
+                rules.append(SubstringRule(profile.substring_fragments))
+            if spec.vendor in _ENTERPRISE_VENDORS:
+                rules.append(KeywordRule(ENTERPRISE_KEYWORDS))
+        if profile.http_only_blocking:
+            rules = [PortRule(rule, frozenset({80})) for rule in rules]
+        return BlockPolicy(rules, name=f"{profile.code}:{spec.vendor}")
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+    def country(self, code: str) -> _CountryState:
+        try:
+            return self._countries[code]
+        except KeyError:
+            raise WorldError(f"unknown country {code!r}") from None
+
+    @property
+    def country_codes(self) -> List[str]:
+        return list(self._countries)
+
+    def blocklist(self, code: str) -> FrozenSet[str]:
+        """The blocked-domain set of one country."""
+        return self.country(code).blocklist
+
+    def edge_ip_for(self, domain: str, version: int = 4) -> str:
+        """Cached deterministic domain → edge address resolution."""
+        key = (domain, version)
+        cached = self._edge_ip_cache.get(key)
+        if cached is None:
+            cached = self.universe.edge_ip_for(domain, version)
+            self._edge_ip_cache[key] = cached
+        return cached
+
+    def is_blocked(self, code: str, domain: str) -> bool:
+        """Ground truth: is ``domain`` on ``code``'s blocklist?
+
+        Includes substring over-blocking.
+        """
+        state = self.country(code)
+        if domain in state.blocklist:
+            return True
+        return any(frag in domain for frag in state.profile.substring_fragments)
+
+    def middlebox_chain(self, code: str, asn: int, include_enterprise: bool = False) -> List[TamperingMiddlebox]:
+        """The devices on-path for connections from (country, ASN)."""
+        state = self.country(code)
+        chain = [
+            deployment.devices[asn]
+            for deployment in state.deployments
+            if asn in deployment.covered_asns
+        ]
+        if include_enterprise and state.enterprise_devices:
+            chain = chain + [state.enterprise_devices[asn % len(state.enterprise_devices)]]
+        return chain
+
+    # ------------------------------------------------------------------
+    # Connection simulation
+    # ------------------------------------------------------------------
+    def run_connection(self, spec):
+        """Simulate one connection end to end.
+
+        Returns ``(result, client, fired_vendor)``: the full
+        :class:`~repro.network.sim.SimResult` (both directions -- the
+        active-measurement comparator reads the client side), the client
+        endpoint (terminal state), and the name of the device that fired,
+        if any.  ``spec`` is a
+        :class:`repro.workloads.traffic.ConnectionSpec`.
+        """
+        rng = derive_rng(self.seed, f"conn:{spec.conn_id}")
+        edge_ip = self.edge_ip_for(spec.domain, spec.ip_version)
+        port = 443 if spec.protocol == "tls" else 80
+        server = make_edge_server(
+            edge_ip,
+            EdgeConfig(port=port),
+            seed=stable_hash(self.seed, "edge", spec.conn_id),
+        )
+
+        client = self._build_client(spec, edge_ip, port, rng)
+        chain = self.middlebox_chain(spec.country, spec.asn, include_enterprise=spec.behind_enterprise)
+        triggers_before = [d.triggers for d in chain]
+
+        # A touch of real-world loss: occasionally one packet of a forged
+        # burst vanishes, blurring single-RST vs multi-RST signatures for
+        # the same censor -- the Appendix B observation.
+        conditions = NetworkConditions.random_path(rng, n_middleboxes=len(chain), loss=0.001)
+        sim = PathSimulator(
+            client,
+            server,
+            middleboxes=chain,
+            conditions=conditions,
+            seed=stable_hash(self.seed, "path", spec.conn_id),
+        )
+        result = sim.run(start=spec.ts, deadline=15.0)
+
+        fired_vendor: Optional[str] = None
+        for device, before in zip(chain, triggers_before):
+            if device.triggers > before:
+                fired_vendor = device.name
+                break
+        conn_key = _conn_key(spec.client_ip, spec.client_port, edge_ip, port)
+        for device in chain:
+            device.forget_flow(conn_key)
+        return result, client, fired_vendor
+
+    def simulate_connection(self, spec) -> Optional[ConnectionSample]:
+        """Simulate one connection and return its server-side sample.
+
+        ``spec`` is a :class:`repro.workloads.traffic.ConnectionSpec`.
+        Returns None when the server received nothing (unobservable).
+        """
+        result, _client, fired_vendor = self.run_connection(spec)
+        return capture_sample(
+            result,
+            conn_id=spec.conn_id,
+            config=self.capture,
+            seed=stable_hash(self.seed, "capture", spec.conn_id),
+            truth_tampered=fired_vendor is not None,
+            truth_vendor=fired_vendor,
+            truth_domain=spec.domain,
+            truth_client_kind=spec.client_kind,
+        )
+
+    def _build_client(self, spec, edge_ip: str, port: int, rng: random.Random):
+        """Construct the client endpoint for one connection spec."""
+        kind = spec.client_kind
+        isn = rng.randrange(0, 1 << 32)
+        if kind == "zmap":
+            return ZMapScanner(spec.client_ip, spec.client_port, edge_ip, port, isn=isn)
+        if kind == "silent_syn":
+            return SilentSynClient(spec.client_ip, spec.client_port, edge_ip, port, isn=isn)
+        if kind == "happy_rst":
+            return HappyEyeballsCanceller(spec.client_ip, spec.client_port, edge_ip, port, isn=isn)
+
+        initial_ttl = 64 if rng.random() < 0.7 else 128
+        ip_id_mode = IpIdMode.ZERO if rng.random() < 0.15 else IpIdMode.COUNTER
+        config = HostConfig(
+            ip=spec.client_ip,
+            port=spec.client_port,
+            initial_ttl=initial_ttl,
+            ip_id_mode=ip_id_mode,
+            ip_id_start=rng.randrange(0, 0x10000),
+            isn=isn,
+        )
+        segments = self._request_segments(spec, rng)
+        if kind == "impatient":
+            return ImpatientClient(config, edge_ip, port, request_segments=segments, patience=0.4)
+        if kind == "abortive_close":
+            return AbortiveCloseClient(config, edge_ip, port, request_segments=segments)
+        if kind == "never_close":
+            return NeverCloseClient(config, edge_ip, port, request_segments=segments)
+        return TcpClient(config, edge_ip, port, request_segments=segments)
+
+    def _request_segments(self, spec, rng: random.Random) -> List[bytes]:
+        """The application payload, pre-split into TCP segments."""
+        host = spec.host
+        if spec.protocol == "tls":
+            payload = build_client_hello(host, seed=stable_hash(self.seed, "ch", spec.conn_id))
+            if spec.split_segments > 1:
+                # Large ClientHello split across segments (e.g. big ALPN /
+                # key-share lists); DPI reassembles before extracting SNI.
+                half = max(1, len(payload) // spec.split_segments)
+                return chunk_payload(payload, half)
+            return [payload]
+        # HTTP: request head in the first segment; any body (where the
+        # enterprise keyword hides) in subsequent segments.
+        if spec.keyword or spec.split_segments > 1:
+            body = b"data=" + (b"x" * 120)
+            if spec.keyword:
+                body += b"&token=" + ENTERPRISE_KEYWORDS[0]
+            body += b"&pad=" + bytes(rng.randrange(97, 123) for _ in range(64))
+            head = build_http_request(
+                host,
+                path="/submit",
+                method="POST",
+                extra_headers={"Content-Length": str(len(body))},
+            )
+            return [head, body]
+        path = "/" if rng.random() < 0.6 else f"/page/{rng.randrange(1000)}"
+        return [build_http_request(host, path=path)]
+
+
+def _conn_key(a_ip: str, a_port: int, b_ip: str, b_port: int) -> Tuple[str, int, str, int]:
+    lo, hi = sorted(((a_ip, a_port), (b_ip, b_port)))
+    return (lo[0], lo[1], hi[0], hi[1])

@@ -1,0 +1,115 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import pytest
+
+from repro.cdn.collector import ConnectionSample
+from repro.cdn.edge import EdgeConfig, make_edge_server
+from repro.cdn.sampler import CaptureConfig, capture_sample
+from repro.core.classifier import ClassificationResult, TamperingClassifier
+from repro.middlebox.policy import BlockPolicy, DomainRule, ExactIpRule, PortRule
+from repro.middlebox.vendors import make_preset
+from repro.netstack.http import build_http_request
+from repro.netstack.tcp import HostConfig, TcpClient
+from repro.netstack.tls import build_client_hello
+from repro.network.conditions import NetworkConditions
+from repro.network.sim import PathSimulator, SimResult
+
+#: Server and client addresses used by single-connection helpers.
+SERVER_IP = "198.41.7.7"
+CLIENT_IP = "11.0.0.99"
+
+_SYN_STAGE = {"syn_blackhole", "syn_rst_injector", "syn_rstack_injector", "gfw_syn"}
+
+
+def make_client(
+    domain: str = "blocked.example",
+    protocol: str = "tls",
+    client_ip: str = CLIENT_IP,
+    port: int = 40000,
+    seed: int = 3,
+    segments: Optional[List[bytes]] = None,
+    server_ip: str = SERVER_IP,
+    server_port: Optional[int] = None,
+) -> TcpClient:
+    """A plain browser client requesting ``domain``."""
+    if server_port is None:
+        server_port = 443 if protocol == "tls" else 80
+    if segments is None:
+        if protocol == "tls":
+            segments = [build_client_hello(domain, seed=seed)]
+        else:
+            segments = [build_http_request(domain)]
+    config = HostConfig(ip=client_ip, port=port, isn=1000 + seed, ip_id_start=700 + seed)
+    return TcpClient(config, server_ip, server_port, request_segments=segments)
+
+
+def run_connection(
+    client,
+    middleboxes=(),
+    server_ip: str = SERVER_IP,
+    server_port: Optional[int] = None,
+    start: float = 1000.0,
+    seed: int = 5,
+) -> SimResult:
+    """Simulate one connection through a middlebox chain."""
+    if server_port is None:
+        server_port = getattr(client, "peer_port", None) or getattr(client, "server_port", 443)
+    server = make_edge_server(server_ip, EdgeConfig(port=server_port), seed=seed)
+    conditions = NetworkConditions.simple(n_middleboxes=len(middleboxes))
+    sim = PathSimulator(client, server, middleboxes=list(middleboxes), conditions=conditions, seed=seed)
+    return sim.run(start=start)
+
+
+def capture(result: SimResult, conn_id: int = 1, seed: int = 9) -> Optional[ConnectionSample]:
+    """Capture a simulation result with default pipeline settings."""
+    return capture_sample(result, conn_id=conn_id, config=CaptureConfig(), seed=seed)
+
+
+def run_vendor(
+    vendor: str,
+    domain: str = "blocked.example",
+    protocol: str = "tls",
+    blocked: bool = True,
+    seed: int = 3,
+    segments: Optional[List[bytes]] = None,
+    http_only: bool = False,
+) -> ClassificationResult:
+    """End-to-end: one connection through one vendor preset, classified.
+
+    ``blocked=False`` makes the policy target a different domain so the
+    device never fires (negative control).
+    """
+    target = domain if blocked else "other-domain.example"
+    if vendor in _SYN_STAGE:
+        rule = ExactIpRule([SERVER_IP])
+        if not blocked:
+            rule = ExactIpRule(["203.0.113.1"])
+    else:
+        rule = DomainRule([target])
+    if http_only:
+        rule = PortRule(rule, frozenset({80}))
+    policy = BlockPolicy([rule], name="test")
+    device = make_preset(vendor, policy, seed=seed)
+    client = make_client(domain=domain, protocol=protocol, seed=seed, segments=segments)
+    result = run_connection(client, middleboxes=[device], server_port=client.peer_port, seed=seed)
+    sample = capture(result, conn_id=seed)
+    assert sample is not None, f"{vendor}: server saw no packets"
+    return TamperingClassifier().classify(sample)
+
+
+@pytest.fixture(scope="session")
+def small_study():
+    """A small but full two-week study, shared across test modules."""
+    from repro.workloads.scenarios import two_week_study
+
+    return two_week_study(n_connections=1500, seed=11, n_domains=1200)
+
+
+@pytest.fixture(scope="session")
+def small_dataset(small_study):
+    """The analyzed dataset of :func:`small_study`."""
+    return small_study.analyze()

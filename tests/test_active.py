@@ -1,0 +1,149 @@
+"""Tests for the active measurement comparator."""
+
+import pytest
+
+from repro.active.compare import compare_coverage
+from repro.active.prober import ActiveProber, ProbeOutcome, Vantage
+from repro.errors import ConfigError
+from repro.workloads.profiles import CountryProfile, DeploymentSpec
+from repro.workloads.world import World
+
+
+def profiles():
+    return [
+        CountryProfile(
+            code="AA", name="Censorland", weight=1.0, n_asns=3, p_blocked=0.5,
+            scanner_rate=0, silent_syn_rate=0, happy_rst_rate=0, impatient_rate=0,
+            abortive_close_rate=0, never_close_rate=0,
+            blocked_categories=(("News", 0.6), ("Chat", 0.5)),
+            deployments=(
+                DeploymentSpec(vendor="gfw", blocked_share=0.5),
+                DeploymentSpec(vendor="iran_drop", blocked_share=0.5),
+            ),
+        ),
+        CountryProfile(
+            code="BB", name="Freeland", weight=1.0, n_asns=2,
+            scanner_rate=0, silent_syn_rate=0, happy_rst_rate=0, impatient_rate=0,
+            abortive_close_rate=0, never_close_rate=0,
+        ),
+    ]
+
+
+@pytest.fixture(scope="module")
+def world():
+    return World(profiles=profiles(), seed=11, n_domains=400, clients_per_asn=8)
+
+
+@pytest.fixture(scope="module")
+def prober(world):
+    return ActiveProber(world, seed=11)
+
+
+class TestVantages:
+    def test_spread_over_asns(self, world, prober):
+        vantages = prober.vantages("AA", count=3)
+        assert len(vantages) == 3
+        assert {v.asn for v in vantages} == set(world.country("AA").asns)
+        for v in vantages:
+            assert world.geo.lookup(v.client_ip).country == "AA"
+
+    def test_count_validation(self, prober):
+        with pytest.raises(ConfigError):
+            prober.vantages("AA", count=0)
+
+
+class TestProbe:
+    def test_blocked_domain_anomalous(self, world, prober):
+        blocked = sorted(world.blocklist("AA"))[0]
+        vantage = prober.vantages("AA", 1)[0]
+        result = prober.probe(vantage, blocked)
+        assert result.blocked
+        assert result.outcome in (ProbeOutcome.RESET, ProbeOutcome.TIMEOUT)
+
+    def test_clean_domain_ok(self, world, prober):
+        clean = next(n for n in world.universe.names if n not in world.blocklist("AA"))
+        vantage = prober.vantages("AA", 1)[0]
+        result = prober.probe(vantage, clean)
+        assert result.outcome == ProbeOutcome.OK
+
+    def test_free_country_all_ok(self, world, prober):
+        blocked = sorted(world.blocklist("AA"))[0]
+        vantage = prober.vantages("BB", 1)[0]
+        assert prober.probe(vantage, blocked).outcome == ProbeOutcome.OK
+
+    def test_vendor_outcomes_differ(self, world, prober):
+        """Drop-based censorship times out; injection-based resets."""
+        state = world.country("AA")
+        vantage = prober.vantages("AA", 1)[0]
+        outcomes = {}
+        for dep in state.deployments:
+            domain = sorted(dep.blocked_domains)[0]
+            outcomes[dep.spec.vendor] = prober.probe(vantage, domain).outcome
+        assert outcomes["gfw"] == ProbeOutcome.RESET
+        assert outcomes["iran_drop"] == ProbeOutcome.TIMEOUT
+
+    def test_blockpage_outcome(self):
+        from repro.middlebox.policy import BlockPolicy, DomainRule
+        from repro.middlebox.vendors import iran_blockpage
+        from repro.core.classifier import TamperingClassifier
+        from tests.conftest import make_client, run_connection
+
+        # Direct check of the client-side classifier on a blockpage flow.
+        device = iran_blockpage(BlockPolicy([DomainRule(["blocked.example"])]), seed=2)
+        client = make_client()
+        result = run_connection(client, middleboxes=[device], server_port=client.peer_port)
+        outcome = ActiveProber._classify_client_side(result, client)
+        assert outcome == ProbeOutcome.BLOCKPAGE
+
+
+class TestScan:
+    def test_scan_partitions_domains(self, world, prober):
+        blocked = sorted(world.blocklist("AA"))[:4]
+        clean = [n for n in world.universe.names if n not in world.blocklist("AA")][:4]
+        report = prober.scan(blocked + clean, countries=["AA", "BB"], vantages_per_country=1)
+        assert len(report) == 2 * 8
+        assert set(blocked) <= report.blocked_domains("AA")
+        assert set(clean) <= report.reachable_domains("AA")
+        assert report.blocked_domains("BB") == set()
+        assert report.countries == ["AA", "BB"]
+
+
+class TestCompare:
+    def test_partition_logic(self, world, prober):
+        blocked = sorted(world.blocklist("AA"))
+        listed = blocked[: len(blocked) // 2]  # the "test list" half
+        scan = prober.scan(listed, countries=["AA"], vantages_per_country=1)
+
+        # Fake a passive dataset that saw tampering on a different slice.
+        from repro.core.aggregate import AnalysisDataset, AnalyzedConnection
+        from repro.core.model import SignatureId, Stage
+
+        passive_slice = blocked[len(blocked) // 3 :]
+        conns = [
+            AnalyzedConnection(
+                conn_id=i, ts=0.0, country="AA", asn=1000,
+                signature=SignatureId.PSH_RST, stage=Stage.POST_PSH,
+                ip_version=4, server_port=443, protocol="tls",
+                domain=name, client_ip="11.0.0.1", possibly_tampered=True,
+            )
+            for i, name in enumerate(passive_slice)
+        ]
+        passive = AnalysisDataset(conns)
+
+        report = compare_coverage(world, scan, passive, countries=["AA"])
+        cmp = report["AA"]
+        assert cmp.truth_blocked == frozenset(blocked)
+        assert cmp.active_detected == frozenset(listed)
+        assert cmp.passive_detected == frozenset(passive_slice)
+        assert cmp.both == frozenset(listed) & frozenset(passive_slice)
+        assert cmp.active_only == frozenset(listed) - frozenset(passive_slice)
+        assert cmp.passive_only == frozenset(passive_slice) - frozenset(listed)
+        assert cmp.invisible == frozenset(blocked) - frozenset(listed) - frozenset(passive_slice)
+        assert cmp.union_recall >= max(cmp.active_recall, cmp.passive_recall)
+
+    def test_empty_truth_recall_zero(self, world, prober):
+        from repro.core.aggregate import AnalysisDataset
+
+        scan = prober.scan([], countries=["BB"], vantages_per_country=1)
+        report = compare_coverage(world, scan, AnalysisDataset([]), countries=["BB"])
+        assert report["BB"].active_recall == 0.0

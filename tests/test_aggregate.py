@@ -1,0 +1,269 @@
+"""Unit tests for the analysis aggregations behind Figures 1, 4-10 and
+Table 2.
+
+Uses hand-built :class:`AnalyzedConnection` records so each grouping's
+arithmetic is pinned down without simulation noise; dataset-level shape
+tests live in test_integration.py.
+"""
+
+import pytest
+
+from repro.core.aggregate import AnalysisDataset, AnalyzedConnection, regression_slope
+from repro.core.model import SignatureId, Stage
+from repro.cdn.categorize import CategoryDB
+
+
+def conn(
+    country="CN",
+    signature=SignatureId.PSH_RST,
+    stage=None,
+    ts=0.0,
+    asn=1,
+    version=4,
+    port=443,
+    domain=None,
+    client_ip="11.0.0.1",
+    conn_id=0,
+):
+    if stage is None:
+        stage = signature.stage
+    return AnalyzedConnection(
+        conn_id=conn_id,
+        ts=ts,
+        country=country,
+        asn=asn,
+        signature=signature,
+        stage=stage,
+        ip_version=version,
+        server_port=port,
+        protocol="tls" if port == 443 else "http",
+        domain=domain,
+        client_ip=client_ip,
+        possibly_tampered=signature != SignatureId.NOT_TAMPERING,
+    )
+
+
+NT = SignatureId.NOT_TAMPERING
+
+
+class TestStageStatistics:
+    def test_shares_and_coverage(self):
+        data = AnalysisDataset([
+            conn(signature=NT, stage=Stage.NONE),
+            conn(signature=NT, stage=Stage.NONE),
+            conn(signature=SignatureId.SYN_RST),
+            conn(signature=SignatureId.PSH_RST),
+            conn(signature=SignatureId.OTHER, stage=Stage.POST_DATA),
+        ])
+        stats = data.stage_statistics()
+        assert stats["total_connections"] == 5
+        assert stats["possibly_tampered"] == 3
+        assert stats["possibly_tampered_pct"] == pytest.approx(60.0)
+        assert stats["signature_coverage_pct"] == pytest.approx(100 * 2 / 3)
+        assert stats["stage_share_pct"]["post-syn"] == pytest.approx(100 / 3)
+
+    def test_empty_dataset(self):
+        stats = AnalysisDataset([]).stage_statistics()
+        assert stats["possibly_tampered_pct"] == 0.0
+
+
+class TestCountryShares:
+    def make(self):
+        return AnalysisDataset([
+            conn(country="CN", signature=SignatureId.PSH_RST),
+            conn(country="CN", signature=NT, stage=Stage.NONE),
+            conn(country="CN", signature=NT, stage=Stage.NONE),
+            conn(country="US", signature=NT, stage=Stage.NONE),
+        ])
+
+    def test_country_signature_shares(self):
+        shares = self.make().country_signature_shares()
+        assert shares["CN"][SignatureId.PSH_RST] == pytest.approx(100 / 3)
+        assert shares["CN"][NT] == pytest.approx(200 / 3)
+        assert shares["US"][NT] == pytest.approx(100.0)
+
+    def test_country_tampering_rate(self):
+        rates = self.make().country_tampering_rate()
+        assert rates["CN"] == pytest.approx(100 / 3)
+        assert rates["US"] == 0.0
+
+    def test_signature_country_matrix(self):
+        matrix = self.make().signature_country_matrix()
+        assert matrix[SignatureId.PSH_RST]["CN"] == pytest.approx(100.0)
+
+    def test_baseline_distribution(self):
+        base = self.make().baseline_country_distribution()
+        assert base["CN"] == pytest.approx(75.0)
+        assert base["US"] == pytest.approx(25.0)
+
+
+class TestAsnViews:
+    def make(self):
+        rows = []
+        # AS 1: 4 conns, 2 tampered; AS 2: 4 conns, 0 tampered.
+        for i in range(4):
+            rows.append(conn(asn=1, conn_id=i,
+                             signature=SignatureId.PSH_RST if i < 2 else NT,
+                             stage=Stage.POST_PSH if i < 2 else Stage.NONE))
+        for i in range(4):
+            rows.append(conn(asn=2, conn_id=10 + i, signature=NT, stage=Stage.NONE))
+        return AnalysisDataset(rows)
+
+    def test_match_proportions(self):
+        rows = self.make().asn_match_proportions(top_share=1.0)["CN"]
+        by_asn = {asn: rate for asn, rate, _ in rows}
+        assert by_asn[1] == pytest.approx(50.0)
+        assert by_asn[2] == pytest.approx(0.0)
+
+    def test_top_share_cuts_tail(self):
+        rows = self.make().asn_match_proportions(top_share=0.4)["CN"]
+        assert len(rows) == 1
+
+    def test_spread(self):
+        spread = self.make().asn_spread(top_share=1.0)
+        assert spread["CN"] == pytest.approx(50.0)
+
+
+class TestTimeseries:
+    def make(self):
+        rows = []
+        for hour in range(4):
+            ts = hour * 3600.0
+            rows.append(conn(ts=ts, signature=SignatureId.ACK_RST, conn_id=hour))
+            rows.append(conn(ts=ts, signature=NT, stage=Stage.NONE, conn_id=100 + hour))
+        return AnalysisDataset(rows)
+
+    def test_by_country(self):
+        series = self.make().timeseries(bucket_seconds=3600.0)["CN"]
+        assert len(series) == 4
+        assert all(pct == pytest.approx(50.0) for _, pct in series)
+
+    def test_stage_filter(self):
+        series = self.make().timeseries(bucket_seconds=3600.0, stages=(Stage.POST_SYN,))
+        assert all(pct == 0.0 for _, pct in series["CN"])
+
+    def test_per_signature(self):
+        series = self.make().timeseries(bucket_seconds=3600.0, per_signature=True)
+        assert SignatureId.ACK_RST.display in series
+        values = [pct for _, pct in series[SignatureId.ACK_RST.display]]
+        assert all(v == pytest.approx(50.0) for v in values)
+
+    def test_country_filter(self):
+        series = self.make().timeseries(countries=["US"])
+        assert "CN" not in series
+
+
+class TestIpVersionAndProtocol:
+    def test_ip_version_rates(self):
+        rows = [
+            conn(version=4, signature=SignatureId.ACK_RST, conn_id=1),
+            conn(version=4, signature=NT, stage=Stage.NONE, conn_id=2),
+            conn(version=6, signature=SignatureId.ACK_RST, conn_id=3),
+            conn(version=6, signature=SignatureId.ACK_RST, conn_id=4),
+        ]
+        rates = AnalysisDataset(rows).ip_version_rates()
+        assert rates["CN"] == (pytest.approx(50.0), pytest.approx(100.0))
+
+    def test_country_without_both_versions_skipped(self):
+        rates = AnalysisDataset([conn(version=4)]).ip_version_rates()
+        assert rates == {}
+
+    def test_protocol_rates_post_psh_only(self):
+        rows = [
+            conn(port=443, signature=SignatureId.PSH_RST, conn_id=1),
+            conn(port=443, signature=NT, stage=Stage.NONE, conn_id=2),
+            conn(port=80, signature=SignatureId.ACK_RST, conn_id=3),  # post-ACK: excluded
+            conn(port=80, signature=NT, stage=Stage.NONE, conn_id=4),
+        ]
+        rates = AnalysisDataset(rows).protocol_post_psh_rates()
+        tls_pct, http_pct = rates["CN"]
+        assert tls_pct == pytest.approx(50.0)
+        assert http_pct == pytest.approx(0.0)
+
+    def test_regression_slope(self):
+        assert regression_slope([(1, 2), (2, 4)]) == pytest.approx(2.0)
+        assert regression_slope([]) == 0.0
+
+
+class TestDomainsAndCategories:
+    def make(self):
+        rows = []
+        cid = 0
+        # 150 tampered hits on blocked-a.com (above threshold), 3 on rare.com.
+        for _ in range(150):
+            rows.append(conn(domain="blocked-a.com", signature=SignatureId.PSH_RST, conn_id=cid))
+            cid += 1
+        for _ in range(3):
+            rows.append(conn(domain="rare.com", signature=SignatureId.PSH_RST, conn_id=cid))
+            cid += 1
+        for _ in range(10):
+            rows.append(conn(domain="clean.com", signature=NT, stage=Stage.NONE, conn_id=cid))
+            cid += 1
+        return AnalysisDataset(rows)
+
+    def test_tampered_domains_threshold(self):
+        data = self.make()
+        assert data.tampered_domains(threshold=100) == {"blocked-a.com"}
+        assert data.tampered_domains(threshold=2) == {"blocked-a.com", "rare.com"}
+
+    def test_domains_seen(self):
+        assert self.make().domains_seen() == {"blocked-a.com", "rare.com", "clean.com"}
+
+    def test_category_table(self):
+        db = CategoryDB({
+            "blocked-a.com": ["Adult Themes"],
+            "rare.com": ["News"],
+            "clean.com": ["Adult Themes"],
+        })
+        table = self.make().category_table(db, countries=["CN"], threshold=100)
+        rows = dict((cat, (share, cov)) for cat, share, cov in table["CN"])
+        share, coverage = rows["Adult Themes"]
+        assert share == pytest.approx(100 * 150 / 153)
+        # 1 of 2 seen Adult Themes domains is tampered.
+        assert coverage == pytest.approx(50.0)
+
+
+class TestOverlapMatrix:
+    def test_consistent_pairs_dominate_diagonal(self):
+        rows = []
+        for i in range(3):
+            rows.append(conn(ts=float(i), domain="d.com", client_ip="11.0.0.1",
+                             signature=SignatureId.PSH_RST, conn_id=i))
+        data = AnalysisDataset(rows)
+        matrix = data.overlap_matrix()
+        assert matrix[(SignatureId.PSH_RST.display, SignatureId.PSH_RST.display)] == 2
+        assert data.overlap_consistency() == pytest.approx(1.0)
+
+    def test_transition_recorded(self):
+        rows = [
+            conn(ts=0.0, domain="d.com", signature=SignatureId.PSH_RST, conn_id=1),
+            conn(ts=1.0, domain="d.com", signature=SignatureId.PSH_RST_EQ_RST, conn_id=2),
+        ]
+        matrix = AnalysisDataset(rows).overlap_matrix()
+        key = (SignatureId.PSH_RST.display, SignatureId.PSH_RST_EQ_RST.display)
+        assert matrix[key] == 1
+
+    def test_single_visit_ignored(self):
+        rows = [conn(domain="d.com", signature=SignatureId.PSH_RST)]
+        assert AnalysisDataset(rows).overlap_matrix() == {}
+        assert AnalysisDataset(rows).overlap_consistency() == 0.0
+
+
+class TestFilters:
+    def test_in_countries(self):
+        data = AnalysisDataset([conn(country="CN"), conn(country="US", conn_id=1)])
+        assert len(data.in_countries(["CN"])) == 1
+
+    def test_post_ack_psh(self):
+        data = AnalysisDataset([
+            conn(signature=SignatureId.SYN_RST, conn_id=1),
+            conn(signature=SignatureId.ACK_RST, conn_id=2),
+            conn(signature=SignatureId.PSH_RST, conn_id=3),
+            conn(signature=SignatureId.DATA_RST, conn_id=4),
+        ])
+        kept = data.post_ack_psh()
+        assert {c.signature for c in kept} == {SignatureId.ACK_RST, SignatureId.PSH_RST}
+
+    def test_countries_property(self):
+        data = AnalysisDataset([conn(country="CN"), conn(country="AE", conn_id=1)])
+        assert data.countries == ["AE", "CN"]

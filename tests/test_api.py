@@ -1,0 +1,91 @@
+"""Public API surface checks.
+
+Guards the package's importable contract: everything advertised in
+``__all__`` exists, subpackage exports resolve, and the version is sane.
+"""
+
+import importlib
+
+import pytest
+
+import repro
+
+SUBPACKAGES = [
+    "repro.netstack",
+    "repro.middlebox",
+    "repro.network",
+    "repro.cdn",
+    "repro.core",
+    "repro.workloads",
+    "repro.active",
+    "repro.dns",
+]
+
+
+class TestRootPackage:
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_all_resolvable(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_key_entry_points(self):
+        assert callable(repro.two_week_study)
+        assert callable(repro.TamperingClassifier)
+        assert len(repro.SIGNATURES) == 19
+
+
+@pytest.mark.parametrize("module_name", SUBPACKAGES)
+def test_subpackage_all_resolvable(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__, f"{module_name} needs a docstring"
+    for name in getattr(module, "__all__", []):
+        assert hasattr(module, name), f"{module_name}.{name}"
+
+
+class TestVerdictHelpers:
+    def test_allow_and_drop(self):
+        from repro.middlebox.actions import BlackholeMode, Verdict
+
+        allow = Verdict.allow()
+        assert allow.forward and not allow.injects
+        drop = Verdict.drop(blackhole=BlackholeMode.BOTH)
+        assert not drop.forward
+        assert drop.blackhole == BlackholeMode.BOTH
+
+    def test_summary_tuple(self):
+        from repro.middlebox.actions import Verdict
+        from repro.netstack.flags import TCPFlags
+        from repro.netstack.packet import Packet
+
+        pkt = Packet(src="1.1.1.1", dst="2.2.2.2", sport=1, dport=2, flags=TCPFlags.RST)
+        verdict = Verdict(forward=True, to_server=[pkt])
+        forward, n_server, n_client, blackhole = verdict.summary()
+        assert (forward, n_server, n_client) == (True, 1, 0)
+        assert verdict.injects
+
+
+class TestBaseMiddlebox:
+    def test_transparent_device_noop(self):
+        from repro.middlebox.device import Middlebox
+        from repro.netstack.flags import TCPFlags
+        from repro.netstack.packet import Packet
+
+        device = Middlebox()
+        pkt = Packet(src="1.1.1.1", dst="2.2.2.2", sport=1, dport=2, flags=TCPFlags.SYN)
+        assert device.process(pkt, 0.0).forward
+        device.reset()
+        device.forget_flow(pkt.conn_key)  # no-ops must not raise
+
+
+class TestVendorTableDocs:
+    def test_docstring_covers_every_table1_vendor(self):
+        """The vendors module docstring table must mention each preset
+        that maps to a Table 1 signature."""
+        import repro.middlebox.vendors as vendors
+
+        doc = vendors.__doc__
+        for name in ("gfw", "iran_drop", "tm_http", "korea_guesser",
+                     "zero_ack_injector", "enterprise_firewall"):
+            assert name in doc, name

@@ -1,0 +1,70 @@
+"""Tests for block-page content injection (paper footnote 2 extension)."""
+
+from repro.core.classifier import TamperingClassifier
+from repro.core.model import SignatureId
+from repro.middlebox.device import TamperBehavior, TamperingMiddlebox
+from repro.middlebox.injector import InjectionSpec
+from repro.middlebox.policy import BlockPolicy, DomainRule
+from repro.middlebox.vendors import BLOCKPAGE_BODY, iran_blockpage
+from repro.netstack.flags import TCPFlags
+from tests.conftest import capture, make_client, run_connection
+
+
+def make_device(**behavior_kwargs):
+    behavior = TamperBehavior(
+        drop_trigger=True,
+        inject_to_server=InjectionSpec.single(TCPFlags.RSTACK),
+        blockpage=b"HTTP/1.1 403 Forbidden\r\n\r\nblocked",
+        **behavior_kwargs,
+    )
+    return TamperingMiddlebox(BlockPolicy([DomainRule(["blocked.example"])]), behavior)
+
+
+class TestBlockpageInjection:
+    def test_client_receives_forged_page(self):
+        device = make_device()
+        client = make_client()
+        result = run_connection(client, middleboxes=[device], server_port=client.peer_port)
+        pages = [p for p in result.client_received if p.injected and p.has_payload]
+        assert len(pages) == 1
+        assert pages[0].payload.startswith(b"HTTP/1.1 403")
+        # Spoofed from the server's address.
+        assert pages[0].src == result.server_inbound[0].dst
+
+    def test_server_never_sees_the_page(self):
+        device = make_device()
+        client = make_client()
+        result = run_connection(client, middleboxes=[device], server_port=client.peer_port)
+        assert all(not (p.injected and p.has_payload) for p in result.server_inbound)
+
+    def test_server_side_verdict_unchanged(self):
+        """The page is invisible to the methodology: the signature is the
+        same as without it (footnote 2)."""
+        with_page = make_device()
+        without_page = TamperingMiddlebox(
+            BlockPolicy([DomainRule(["blocked.example"])]),
+            TamperBehavior(drop_trigger=True, inject_to_server=InjectionSpec.single(TCPFlags.RSTACK)),
+        )
+        verdicts = []
+        for device in (with_page, without_page):
+            client = make_client()
+            result = run_connection(client, middleboxes=[device], server_port=client.peer_port)
+            verdicts.append(TamperingClassifier().classify(capture(result)).signature)
+        assert verdicts[0] == verdicts[1]
+
+
+class TestIranBlockpagePreset:
+    def test_signature_is_post_ack_rst(self):
+        policy = BlockPolicy([DomainRule(["blocked.example"])])
+        device = iran_blockpage(policy, seed=5)
+        client = make_client()
+        result = run_connection(client, middleboxes=[device], server_port=client.peer_port)
+        verdict = TamperingClassifier().classify(capture(result))
+        assert verdict.signature == SignatureId.ACK_RST
+        pages = [p for p in result.client_received if p.injected and p.has_payload]
+        assert pages and pages[0].payload == BLOCKPAGE_BODY
+
+    def test_preset_registered(self):
+        from repro.middlebox.vendors import VENDOR_PRESETS
+
+        assert "iran_blockpage" in VENDOR_PRESETS

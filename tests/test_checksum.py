@@ -1,0 +1,57 @@
+"""Unit tests for internet and TCP checksums."""
+
+import pytest
+
+from repro.netstack.checksum import internet_checksum, tcp_checksum, verify_tcp_checksum
+
+
+class TestInternetChecksum:
+    def test_rfc1071_worked_example(self):
+        # Classic example: 0x0001 0xf203 0xf4f5 0xf6f7 -> checksum 0x220d
+        data = bytes.fromhex("0001f203f4f5f6f7")
+        assert internet_checksum(data) == 0x220D
+
+    def test_zero_data(self):
+        assert internet_checksum(b"\x00\x00") == 0xFFFF
+
+    def test_odd_length_padding(self):
+        # Trailing odd byte is padded with zero.
+        assert internet_checksum(b"\xab") == internet_checksum(b"\xab\x00")
+
+    def test_empty(self):
+        assert internet_checksum(b"") == 0xFFFF
+
+    def test_carry_folding(self):
+        # Many 0xffff words force repeated carry folds.
+        assert internet_checksum(b"\xff\xff" * 1000) == 0
+
+
+class TestTcpChecksum:
+    def test_verify_accepts_correct_checksum(self):
+        segment = bytearray(20)
+        segment[0:2] = (1234).to_bytes(2, "big")
+        csum = tcp_checksum("10.0.0.1", "10.0.0.2", 4, bytes(segment))
+        segment[16:18] = csum.to_bytes(2, "big")
+        assert verify_tcp_checksum("10.0.0.1", "10.0.0.2", 4, bytes(segment))
+
+    def test_verify_rejects_corruption(self):
+        segment = bytearray(20)
+        csum = tcp_checksum("10.0.0.1", "10.0.0.2", 4, bytes(segment))
+        segment[16:18] = csum.to_bytes(2, "big")
+        segment[4] ^= 0xFF
+        assert not verify_tcp_checksum("10.0.0.1", "10.0.0.2", 4, bytes(segment))
+
+    def test_checksum_depends_on_addresses(self):
+        segment = bytes(20)
+        a = tcp_checksum("10.0.0.1", "10.0.0.2", 4, segment)
+        b = tcp_checksum("10.0.0.1", "10.0.0.3", 4, segment)
+        assert a != b
+
+    def test_ipv6_pseudo_header(self):
+        segment = bytes(20)
+        csum = tcp_checksum("2001:db8::1", "2001:db8::2", 6, segment)
+        assert 0 <= csum <= 0xFFFF
+
+    def test_bad_version_raises(self):
+        with pytest.raises(ValueError):
+            tcp_checksum("10.0.0.1", "10.0.0.2", 5, bytes(20))

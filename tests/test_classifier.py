@@ -1,0 +1,78 @@
+"""Unit tests for the end-to-end classification pipeline."""
+
+import pytest
+
+from repro.core.classifier import ClassifierConfig, TamperingClassifier
+from repro.core.model import SignatureId, Stage
+from repro.errors import ClassificationError
+from tests.conftest import capture, make_client, run_connection, run_vendor
+
+
+class TestConfig:
+    def test_defaults_match_paper(self):
+        config = ClassifierConfig()
+        assert config.max_packets == 10
+        assert config.inactivity_seconds == 3.0
+        assert config.reorder
+
+    def test_validation(self):
+        with pytest.raises(ClassificationError):
+            ClassifierConfig(max_packets=0)
+        with pytest.raises(ClassificationError):
+            ClassifierConfig(inactivity_seconds=0)
+
+
+class TestClassification:
+    def test_clean_connection(self):
+        sample = capture(run_connection(make_client()), conn_id=1)
+        result = TamperingClassifier().classify(sample)
+        assert result.signature == SignatureId.NOT_TAMPERING
+        assert not result.possibly_tampered
+        assert not result.is_tampering
+        assert result.conn_id == 1
+
+    def test_protocol_and_domain_extraction_tls(self):
+        sample = capture(run_connection(make_client(domain="visible.example")), conn_id=2)
+        result = TamperingClassifier().classify(sample)
+        assert result.protocol == "tls"
+        assert result.domain == "visible.example"
+
+    def test_protocol_and_domain_extraction_http(self):
+        client = make_client(domain="plain.example", protocol="http")
+        sample = capture(run_connection(client, server_port=80), conn_id=3)
+        result = TamperingClassifier().classify(sample)
+        assert result.protocol == "http"
+        assert result.domain == "plain.example"
+
+    def test_no_payload_no_protocol(self):
+        result = run_vendor("iran_drop")
+        assert result.protocol is None
+        assert result.domain is None
+        assert result.stage == Stage.POST_ACK
+
+    def test_batch_and_stream_agree(self):
+        samples = [capture(run_connection(make_client(seed=s)), conn_id=s) for s in range(4)]
+        classifier = TamperingClassifier()
+        batch = classifier.classify_all(samples)
+        stream = list(classifier.iter_classify(samples))
+        assert [r.signature for r in batch] == [r.signature for r in stream]
+
+    def test_classifier_never_reads_ground_truth(self):
+        sample = capture(run_connection(make_client()), conn_id=9)
+        lied = sample
+        lied.truth_tampered = True
+        lied.truth_vendor = "gfw"
+        result = TamperingClassifier().classify(lied)
+        assert result.signature == SignatureId.NOT_TAMPERING  # unaffected
+
+
+class TestInactivityKnob:
+    def test_stricter_threshold_flags_more(self):
+        # iran_drop causes ~10 s of silence after the handshake; with a
+        # huge threshold the silence is not enough evidence.
+        result = run_vendor("iran_drop")
+        assert result.signature == SignatureId.ACK_NONE
+
+        lax = TamperingClassifier(ClassifierConfig(inactivity_seconds=60.0))
+        relaxed = lax.classify(result.sample)
+        assert relaxed.signature == SignatureId.NOT_TAMPERING

@@ -1,0 +1,93 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_args(self):
+        args = build_parser().parse_args(["simulate", "-n", "10", "-o", "x.jsonl"])
+        assert args.connections == 10
+        assert args.scenario == "two-week"
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestCommands:
+    def test_signatures_lists_all_nineteen(self, capsys):
+        assert main(["signatures"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("post-syn") == 4
+        assert out.count("post-ack") == 5
+        assert out.count("post-psh") == 8
+        assert out.count("post-data") == 2
+
+    def test_simulate_then_classify(self, tmp_path, capsys):
+        out_path = str(tmp_path / "samples.jsonl")
+        assert main(["simulate", "-n", "40", "--seed", "3", "-o", out_path]) == 0
+        text = capsys.readouterr().out
+        assert "wrote" in text
+
+        assert main(["classify", out_path]) == 0
+        text = capsys.readouterr().out
+        assert "not_tampering" in text
+        assert "connections" in text
+
+    def test_simulate_with_pcap(self, tmp_path, capsys):
+        out_path = str(tmp_path / "s.jsonl")
+        pcap_path = str(tmp_path / "s.pcap")
+        assert main(["simulate", "-n", "15", "-o", out_path, "--pcap", pcap_path]) == 0
+        from repro.netstack.pcap import read_pcap
+
+        assert len(read_pcap(pcap_path)) > 0
+
+    def test_report(self, capsys):
+        assert main(["report", "-n", "150", "--seed", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "possibly tampered" in out
+        assert "Top tampered countries" in out
+
+    def test_iran_scenario(self, tmp_path, capsys):
+        out_path = str(tmp_path / "iran.jsonl")
+        assert main(["simulate", "-n", "30", "--scenario", "iran", "-o", out_path]) == 0
+
+    def test_evidence(self, tmp_path, capsys):
+        out_path = str(tmp_path / "e.jsonl")
+        assert main(["simulate", "-n", "60", "--seed", "5", "-o", out_path]) == 0
+        capsys.readouterr()
+        assert main(["evidence", out_path]) == 0
+        out = capsys.readouterr().out
+        assert "injection evidence" in out
+
+    def test_profiles_roundtrip_through_simulate(self, tmp_path, capsys):
+        profiles_path = str(tmp_path / "profiles.json")
+        assert main(["profiles", "-o", profiles_path]) == 0
+        out_path = str(tmp_path / "sim.jsonl")
+        assert main(["simulate", "-n", "20", "--profiles", profiles_path,
+                     "-o", out_path]) == 0
+
+    def test_fingerprints(self, tmp_path, capsys):
+        out_path = str(tmp_path / "f.jsonl")
+        assert main(["simulate", "-n", "80", "--seed", "9", "-o", out_path]) == 0
+        capsys.readouterr()
+        assert main(["fingerprints", out_path, "--min-count", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "fingerprint clusters" in out
+
+    def test_radar_export(self, tmp_path, capsys):
+        import json
+
+        out_path = str(tmp_path / "radar.json")
+        assert main(["radar", "-n", "400", "--seed", "3", "--min-cell", "2",
+                     "-o", out_path]) == 0
+        with open(out_path) as fh:
+            records = json.load(fh)
+        assert records, "low floor should publish at least one cell"
+        assert all(r["connections"] >= 2 for r in records)

@@ -1,0 +1,74 @@
+"""Unit tests for path conditions."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.network.conditions import LegConditions, NetworkConditions
+
+
+class TestLegConditions:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            LegConditions(latency=-1)
+        with pytest.raises(ConfigError):
+            LegConditions(hops=0)
+        with pytest.raises(ConfigError):
+            LegConditions(loss=1.0)
+        with pytest.raises(ConfigError):
+            LegConditions(jitter=-0.1)
+
+    def test_latency_without_jitter_is_constant(self):
+        leg = LegConditions(latency=0.05, jitter=0.0)
+        rng = random.Random(0)
+        assert leg.sample_latency(rng) == 0.05
+
+    def test_latency_with_jitter_bounded(self):
+        leg = LegConditions(latency=0.05, jitter=0.01)
+        rng = random.Random(0)
+        for _ in range(100):
+            lat = leg.sample_latency(rng)
+            assert 0.05 <= lat <= 0.06
+
+    def test_loss_zero_never_drops(self):
+        leg = LegConditions(loss=0.0)
+        rng = random.Random(0)
+        assert not any(leg.drops_packet(rng) for _ in range(100))
+
+    def test_loss_probability_roughly_respected(self):
+        leg = LegConditions(loss=0.3)
+        rng = random.Random(42)
+        drops = sum(leg.drops_packet(rng) for _ in range(2000))
+        assert 450 < drops < 750
+
+
+class TestNetworkConditions:
+    def test_needs_a_leg(self):
+        with pytest.raises(ConfigError):
+            NetworkConditions(())
+
+    def test_simple_divides_hops(self):
+        cond = NetworkConditions.simple(n_middleboxes=2, hops=14, latency=0.06)
+        assert cond.n_middleboxes == 2
+        assert len(cond.legs) == 3
+        assert cond.total_hops == 14
+        assert cond.total_latency == pytest.approx(0.06)
+
+    def test_simple_single_leg(self):
+        cond = NetworkConditions.simple(n_middleboxes=0, hops=9)
+        assert len(cond.legs) == 1
+        assert cond.total_hops == 9
+
+    def test_random_path_plausible(self):
+        rng = random.Random(3)
+        for _ in range(50):
+            cond = NetworkConditions.random_path(rng, n_middleboxes=1)
+            assert 8 <= cond.total_hops <= 22
+            assert 0.010 <= cond.total_latency <= 0.121
+            assert cond.n_middleboxes == 1
+
+    def test_random_path_deterministic_per_seed(self):
+        a = NetworkConditions.random_path(random.Random(9), n_middleboxes=2)
+        b = NetworkConditions.random_path(random.Random(9), n_middleboxes=2)
+        assert a == b

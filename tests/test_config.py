@@ -1,0 +1,103 @@
+"""Tests for profile serialization and custom-world configs."""
+
+import io
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.workloads.config import (
+    dump_profiles,
+    load_profiles,
+    profile_from_dict,
+    profile_to_dict,
+)
+from repro.workloads.profiles import CountryProfile, DeploymentSpec, default_profiles
+
+
+class TestRoundtrip:
+    def test_single_profile(self):
+        original = CountryProfile(
+            code="XX", name="Testland", weight=2.5, tz_offset=3.5, n_asns=4,
+            p_blocked=0.3,
+            blocked_categories=(("News", 0.5), ("Chat", 0.2)),
+            substring_fragments=("wn.com",),
+            deployments=(
+                DeploymentSpec(vendor="gfw", blocked_share=0.6, asn_share=0.5),
+                DeploymentSpec(vendor="iran_drop", blocked_share=0.4),
+            ),
+        )
+        assert profile_from_dict(profile_to_dict(original)) == original
+
+    def test_all_default_profiles(self):
+        for profile in default_profiles():
+            assert profile_from_dict(profile_to_dict(profile)) == profile
+
+    def test_file_roundtrip(self, tmp_path):
+        path = str(tmp_path / "profiles.json")
+        originals = default_profiles()
+        assert dump_profiles(path, originals) == len(originals)
+        loaded = load_profiles(path)
+        assert loaded == originals
+
+    def test_buffer_roundtrip(self):
+        buf = io.StringIO()
+        dump_profiles(buf, default_profiles()[:3])
+        buf.seek(0)
+        assert len(load_profiles(buf)) == 3
+
+    def test_json_is_plain_data(self):
+        blob = json.dumps(profile_to_dict(default_profiles()[0]))
+        assert "DeploymentSpec" not in blob
+
+
+class TestValidation:
+    def test_unknown_profile_field(self):
+        data = profile_to_dict(default_profiles()[0])
+        data["typo_field"] = 1
+        with pytest.raises(ConfigError):
+            profile_from_dict(data)
+
+    def test_unknown_deployment_field(self):
+        data = profile_to_dict(default_profiles()[0])
+        data["deployments"] = [{"vendor": "gfw", "blocked_share": 1.0, "oops": 2}]
+        with pytest.raises(ConfigError):
+            profile_from_dict(data)
+
+    def test_missing_required_field(self):
+        with pytest.raises(ConfigError):
+            profile_from_dict({"code": "XX"})
+
+    def test_profile_invariants_still_enforced(self):
+        data = profile_to_dict(default_profiles()[0])
+        data["p_blocked"] = 2.0  # CountryProfile rejects this itself
+        with pytest.raises(ConfigError):
+            profile_from_dict(data)
+
+    def test_non_array_file(self, tmp_path):
+        path = str(tmp_path / "bad.json")
+        with open(path, "w") as fh:
+            json.dump({"not": "a list"}, fh)
+        with pytest.raises(ConfigError):
+            load_profiles(path)
+
+
+class TestWorldFromConfig:
+    def test_custom_world_runs(self, tmp_path):
+        from repro.workloads.scenarios import two_week_study
+
+        path = str(tmp_path / "tiny.json")
+        tiny = [
+            profile_to_dict(CountryProfile(
+                code="AA", name="A", weight=1.0, n_asns=2, p_blocked=0.4,
+                blocked_categories=(("News", 0.5),),
+                deployments=(DeploymentSpec(vendor="single_rst", blocked_share=1.0),),
+            )),
+            profile_to_dict(CountryProfile(code="BB", name="B", weight=1.0, n_asns=1)),
+        ]
+        with open(path, "w") as fh:
+            json.dump(tiny, fh)
+        study = two_week_study(n_connections=60, seed=3,
+                               profiles=load_profiles(path), n_domains=300)
+        data = study.analyze()
+        assert set(data.countries) <= {"AA", "BB"}

@@ -1,0 +1,221 @@
+"""Tests for the DNS substrate: wire format, resolution, censorship."""
+
+import pytest
+
+from repro.dns.message import (
+    DnsHeader,
+    DnsMessage,
+    DnsQuestion,
+    DnsRecord,
+    QType,
+    RCode,
+    decode_name,
+    encode_name,
+)
+from repro.dns.pipeline import filter_specs_through_dns
+from repro.dns.resolver import (
+    AuthoritativeServer,
+    DnsCensor,
+    DnsTamperMode,
+    ResolutionOutcome,
+    StubResolver,
+)
+from repro.errors import PacketDecodeError
+from repro.middlebox.policy import BlockPolicy, DomainRule, SubstringRule
+
+
+class TestNames:
+    def test_roundtrip(self):
+        for name in ("example.com", "a.b.c.d.example.co.uk", "x.io"):
+            encoded = encode_name(name)
+            decoded, offset = decode_name(encoded, 0)
+            assert decoded == name
+            assert offset == len(encoded)
+
+    def test_root(self):
+        assert encode_name("") == b"\x00"
+        assert decode_name(b"\x00", 0) == ("", 1)
+
+    def test_label_too_long(self):
+        with pytest.raises(ValueError):
+            encode_name("a" * 64 + ".com")
+
+    def test_compression_pointer(self):
+        # "example.com" at offset 0; a pointer to it at the end.
+        base = encode_name("example.com")
+        data = base + b"\x03www" + b"\xc0\x00"
+        name, offset = decode_name(data, len(base))
+        assert name == "www.example.com"
+        assert offset == len(data)
+
+    def test_pointer_loop_rejected(self):
+        with pytest.raises(PacketDecodeError):
+            decode_name(b"\xc0\x00", 0)
+
+    def test_truncated(self):
+        with pytest.raises(PacketDecodeError):
+            decode_name(b"\x05ab", 0)
+
+
+class TestMessageRoundtrip:
+    def test_query(self):
+        msg = DnsMessage.query("blocked.example", txid=77)
+        back = DnsMessage.decode(msg.encode())
+        assert back.header.txid == 77
+        assert not back.header.is_response
+        assert back.question_name == "blocked.example"
+        assert back.questions[0].qtype == QType.A
+
+    def test_response_with_a_record(self):
+        query = DnsMessage.query("x.example", txid=5)
+        response = query.respond([DnsRecord("x.example", QType.A, 300, "198.41.0.9")])
+        back = DnsMessage.decode(response.encode())
+        assert back.header.is_response
+        assert back.header.rcode == RCode.NOERROR
+        assert back.addresses() == ["198.41.0.9"]
+        assert back.header.txid == 5
+
+    def test_aaaa_and_cname(self):
+        query = DnsMessage.query("x.example", qtype=QType.AAAA, txid=1)
+        response = query.respond([
+            DnsRecord("x.example", QType.CNAME, 60, "edge.cdn.example"),
+            DnsRecord("edge.cdn.example", QType.AAAA, 60, "2606:4700::9"),
+        ])
+        back = DnsMessage.decode(response.encode())
+        assert back.answers[0].rtype == QType.CNAME
+        assert back.answers[0].data == "edge.cdn.example"
+        assert back.addresses() == ["2606:4700::9"]
+
+    def test_nxdomain(self):
+        query = DnsMessage.query("missing.example", txid=2)
+        back = DnsMessage.decode(query.respond([], rcode=RCode.NXDOMAIN).encode())
+        assert back.header.rcode == RCode.NXDOMAIN
+        assert back.addresses() == []
+
+    def test_header_flags(self):
+        header = DnsHeader(txid=9, is_response=True, recursion_desired=True,
+                           recursion_available=True, authoritative=True)
+        back = DnsHeader.decode(header.encode())
+        assert back.is_response and back.recursion_desired
+        assert back.recursion_available and back.authoritative
+
+    def test_truncated_header(self):
+        with pytest.raises(PacketDecodeError):
+            DnsMessage.decode(b"\x00\x01")
+
+
+@pytest.fixture(scope="module")
+def world():
+    from repro.workloads.profiles import CountryProfile, DeploymentSpec
+    from repro.workloads.world import World
+
+    profiles = [
+        CountryProfile(
+            code="AA", name="Censorland", weight=1.0, n_asns=2, p_blocked=0.5,
+            blocked_categories=(("News", 0.5),),
+            deployments=(DeploymentSpec(vendor="gfw", blocked_share=1.0),),
+        ),
+        CountryProfile(code="BB", name="Freeland", weight=1.0, n_asns=1),
+    ]
+    return World(profiles=profiles, seed=5, n_domains=300, clients_per_asn=6)
+
+
+class TestAuthoritative:
+    def test_hosted_domain_resolves_to_edge(self, world):
+        server = AuthoritativeServer.for_world(world)
+        name = world.universe.names[0]
+        result = StubResolver(server).resolve(name)
+        assert result.outcome == ResolutionOutcome.OK
+        assert result.addresses == (world.edge_ip_for(name, 4),)
+        assert not result.injected
+
+    def test_www_prefix_resolves(self, world):
+        server = AuthoritativeServer.for_world(world)
+        name = world.universe.names[0]
+        result = StubResolver(server).resolve(f"www.{name}")
+        assert result.outcome == ResolutionOutcome.OK
+
+    def test_aaaa(self, world):
+        server = AuthoritativeServer.for_world(world)
+        name = world.universe.names[0]
+        result = StubResolver(server).resolve(name, qtype=QType.AAAA)
+        assert result.addresses == (world.edge_ip_for(name, 6),)
+
+    def test_unhosted_nxdomain(self, world):
+        server = AuthoritativeServer.for_world(world)
+        result = StubResolver(server).resolve("not-hosted.invalid")
+        assert result.outcome == ResolutionOutcome.NXDOMAIN
+
+
+class TestDnsCensor:
+    def make_resolver(self, world, mode):
+        server = AuthoritativeServer.for_world(world)
+        censor = DnsCensor(BlockPolicy([DomainRule(["blocked.example"])]), mode=mode)
+        return StubResolver(server, censors=[censor]), censor
+
+    def test_nxdomain_injection(self, world):
+        resolver, censor = self.make_resolver(world, DnsTamperMode.NXDOMAIN)
+        result = resolver.resolve("blocked.example")
+        assert result.outcome == ResolutionOutcome.NXDOMAIN
+        assert result.injected
+        assert censor.triggers == 1
+
+    def test_forged_answer(self, world):
+        resolver, _ = self.make_resolver(world, DnsTamperMode.FORGE)
+        result = resolver.resolve("blocked.example")
+        assert result.outcome == ResolutionOutcome.FORGED
+        assert result.addresses
+        from repro.cdn.geo import GeoDatabase
+
+        assert not GeoDatabase.is_edge_address(result.addresses[0])
+
+    def test_drop(self, world):
+        resolver, _ = self.make_resolver(world, DnsTamperMode.DROP)
+        result = resolver.resolve("blocked.example")
+        assert result.outcome == ResolutionOutcome.TIMEOUT
+
+    def test_subdomains_blocked(self, world):
+        resolver, _ = self.make_resolver(world, DnsTamperMode.NXDOMAIN)
+        assert resolver.resolve("www.blocked.example").injected
+
+    def test_substring_overblocking(self, world):
+        server = AuthoritativeServer.for_world(world)
+        censor = DnsCensor(BlockPolicy([SubstringRule(["wn.com"])]), mode=DnsTamperMode.FORGE)
+        resolver = StubResolver(server, censors=[censor])
+        assert resolver.resolve("dawn.common.example").injected
+
+    def test_clean_domain_untouched(self, world):
+        resolver, censor = self.make_resolver(world, DnsTamperMode.FORGE)
+        name = world.universe.names[0]
+        result = resolver.resolve(name)
+        assert result.outcome == ResolutionOutcome.OK
+        assert censor.triggers == 0
+
+
+class TestPipelineFilter:
+    def test_partition(self, world):
+        from repro.workloads.traffic import TrafficGenerator
+
+        generator = TrafficGenerator(world, seed=5)
+        specs = generator.specs(300, start_ts=0.0, duration=86400.0)
+        blocked_names = sorted(world.blocklist("AA"))
+        censor = DnsCensor(BlockPolicy([DomainRule(blocked_names)]), mode=DnsTamperMode.NXDOMAIN)
+        result = filter_specs_through_dns(world, specs, {"AA": [censor]})
+
+        assert len(result.surviving) + result.blocked_count == len(specs)
+        assert result.blocked_count > 0
+        for spec, res in result.dns_blocked:
+            assert spec.country == "AA"
+            assert world.is_blocked("AA", spec.domain)
+            assert not res.outcome.reaches_cdn
+        # Free-country traffic never touches the censor.
+        assert all(spec.country == "BB" or spec.domain not in result.blocked_domains()
+                   for spec in result.surviving if spec.country == "BB")
+
+    def test_no_censors_pass_through(self, world):
+        from repro.workloads.traffic import TrafficGenerator
+
+        specs = TrafficGenerator(world, seed=6).specs(40, 0.0, 3600.0)
+        result = filter_specs_through_dns(world, specs, {})
+        assert result.blocked_count == 0
+        assert len(result.surviving) == 40

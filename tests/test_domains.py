@@ -1,0 +1,110 @@
+"""Unit tests for the synthetic domain universe."""
+
+import random
+
+import pytest
+
+from repro.cdn.geo import GeoDatabase
+from repro.errors import WorldError
+from repro.workloads.domains import DomainUniverse
+
+
+@pytest.fixture(scope="module")
+def universe():
+    return DomainUniverse.generate(seed=5, n_domains=500)
+
+
+class TestGeneration:
+    def test_size_close_to_requested(self, universe):
+        assert 450 <= len(universe) <= 550
+
+    def test_names_unique(self, universe):
+        assert len(set(universe.names)) == len(universe)
+
+    def test_deterministic(self):
+        a = DomainUniverse.generate(seed=5, n_domains=200)
+        b = DomainUniverse.generate(seed=5, n_domains=200)
+        assert a.names == b.names
+        c = DomainUniverse.generate(seed=6, n_domains=200)
+        assert a.names != c.names
+
+    def test_ranks_dense(self, universe):
+        ranks = sorted(d.rank for d in universe.domains)
+        assert ranks == list(range(len(universe)))
+
+    def test_every_category_populated(self, universe):
+        for cat in ("Adult Themes", "News", "Technology", "Login Screens"):
+            assert universe.in_category(cat), cat
+
+    def test_multi_category_share(self, universe):
+        multi = [d for d in universe.domains if len(d.categories) > 1]
+        assert 0 < len(multi) < len(universe) // 2
+
+    def test_too_few_domains_rejected(self):
+        with pytest.raises(WorldError):
+            DomainUniverse.generate(n_domains=3)
+
+
+class TestSampling:
+    def test_popularity_skew(self, universe):
+        rng = random.Random(0)
+        top_names = {d.name for d in universe.top(50)}
+        draws = [universe.sample(rng).name for _ in range(2000)]
+        top_hits = sum(1 for name in draws if name in top_names)
+        # Top-10% of domains should dominate well beyond uniform share.
+        assert top_hits > 400
+
+    def test_from_set_restriction(self, universe):
+        rng = random.Random(1)
+        pool = universe.names[:3]
+        for _ in range(20):
+            assert universe.sample(rng, from_set=pool).name in pool
+
+    def test_from_set_empty_raises(self, universe):
+        with pytest.raises(WorldError):
+            universe.sample(random.Random(0), from_set=[])
+
+    def test_from_set_unknown_domain_raises(self, universe):
+        with pytest.raises(WorldError):
+            universe.sample(random.Random(0), from_set=["not-in-universe.com"])
+
+    def test_country_orders_differ(self, universe):
+        assert universe._country_order("IR") != universe._country_order("CN")
+
+    def test_request_host_variants(self, universe):
+        rng = random.Random(2)
+        name = universe.names[0]
+        hosts = {universe.request_host(rng, name) for _ in range(200)}
+        assert name in hosts
+        assert f"www.{name}" in hosts
+
+
+class TestEdgeIps:
+    def test_stable_assignment(self, universe):
+        name = universe.names[0]
+        assert universe.edge_ip_for(name) == universe.edge_ip_for(name)
+        assert universe.edge_ip_for(name, 6) == universe.edge_ip_for(name, 6)
+
+    def test_in_cdn_space(self, universe):
+        for name in universe.names[:20]:
+            assert GeoDatabase.is_edge_address(universe.edge_ip_for(name, 4))
+            assert GeoDatabase.is_edge_address(universe.edge_ip_for(name, 6))
+
+    def test_many_domains_share_addresses(self, universe):
+        # The /16 holds 64k hosts; with enough domains collisions exist
+        # eventually, but at 500 domains we at least verify the space is
+        # bounded (all within one /16).
+        ips = {universe.edge_ip_for(name) for name in universe.names}
+        assert all(ip.startswith("198.41.") for ip in ips)
+
+
+class TestCategoryDb:
+    def test_matches_universe(self, universe):
+        db = universe.category_db()
+        for domain in universe.domains[:30]:
+            assert db.categories_of(domain.name) == domain.categories
+
+    def test_lookup_helpers(self, universe):
+        assert universe.get(universe.names[0]) is not None
+        assert universe.get("missing.example") is None
+        assert universe.names[0] in universe

@@ -1,0 +1,109 @@
+"""Unit tests for the DPI engine."""
+
+from repro.middlebox.dpi import DpiEngine
+from repro.netstack.flags import TCPFlags
+from repro.netstack.http import build_http_request
+from repro.netstack.packet import Packet, PacketDirection
+from repro.netstack.tls import build_client_hello
+
+
+def pkt(payload=b"", flags=TCPFlags.PSHACK, direction=PacketDirection.TO_SERVER,
+        sport=40000, seq=100):
+    return Packet(src="11.0.0.1", dst="198.41.0.1", sport=sport, dport=443,
+                  seq=seq, ack=1, flags=flags, payload=payload, direction=direction)
+
+
+class TestDomainExtraction:
+    def test_tls_sni(self):
+        engine = DpiEngine()
+        state = engine.observe(pkt(build_client_hello("secret.example")))
+        assert state.protocol == "tls"
+        assert state.domain == "secret.example"
+
+    def test_http_host(self):
+        engine = DpiEngine()
+        state = engine.observe(pkt(build_http_request("h.example")))
+        assert state.protocol == "http"
+        assert state.domain == "h.example"
+
+    def test_split_client_hello_reassembled(self):
+        engine = DpiEngine()
+        hello = build_client_hello("split.example")
+        half = len(hello) // 2
+        state = engine.observe(pkt(hello[:half], seq=100))
+        assert state.domain is None  # truncated: cannot parse yet
+        state = engine.observe(pkt(hello[half:], seq=100 + half))
+        assert state.domain == "split.example"
+        assert state.client_data_packets == 2
+
+    def test_garbage_payload_no_domain(self):
+        engine = DpiEngine()
+        state = engine.observe(pkt(b"\x00\x01\x02garbage"))
+        assert state.domain is None
+        assert state.protocol is None
+
+
+class TestFlowTracking:
+    def test_syn_and_ack_observed(self):
+        engine = DpiEngine()
+        engine.observe(pkt(flags=TCPFlags.SYN))
+        state = engine.observe(pkt(flags=TCPFlags.ACK))
+        assert state.saw_syn
+        assert state.saw_client_ack
+
+    def test_server_packets_not_accumulated(self):
+        engine = DpiEngine()
+        state = engine.observe(pkt(b"response-bytes", direction=PacketDirection.TO_CLIENT))
+        assert state.client_data_packets == 0
+        assert not state.payload
+
+    def test_flows_keyed_independently(self):
+        engine = DpiEngine()
+        engine.observe(pkt(build_client_hello("a.example"), sport=1111))
+        engine.observe(pkt(build_client_hello("b.example"), sport=2222))
+        assert len(engine) == 2
+        assert engine.flow(pkt(sport=1111)).domain == "a.example"
+        assert engine.flow(pkt(sport=2222)).domain == "b.example"
+
+    def test_forget(self):
+        engine = DpiEngine()
+        p = pkt(b"hello")
+        engine.observe(p)
+        engine.forget(p)
+        assert len(engine) == 0
+
+    def test_forget_key(self):
+        engine = DpiEngine()
+        p = pkt(b"hello")
+        engine.observe(p)
+        engine.forget_key(p.conn_key)
+        assert len(engine) == 0
+
+    def test_inspect_bytes_bounded(self):
+        engine = DpiEngine(max_inspect_bytes=10)
+        state = engine.observe(pkt(b"x" * 100))
+        assert len(state.payload) == 10
+
+    def test_out_of_order_segments_reassembled(self):
+        engine = DpiEngine()
+        hello = build_client_hello("ooo.example")
+        half = len(hello) // 2
+        # Second half arrives first.
+        state = engine.observe(pkt(hello[half:], seq=100 + half))
+        assert state.domain is None
+        state = engine.observe(pkt(hello[:half], seq=100))
+        assert state.domain == "ooo.example"
+
+    def test_retransmission_counted_once(self):
+        engine = DpiEngine()
+        hello = build_client_hello("retrans.example")
+        engine.observe(pkt(hello, seq=100))
+        state = engine.observe(pkt(hello, seq=100))  # retransmission
+        assert state.client_data_packets == 1
+        assert state.payload == hello
+
+    def test_domain_extraction_stops_after_found(self):
+        engine = DpiEngine()
+        engine.observe(pkt(build_client_hello("first.example"), seq=1))
+        state = engine.observe(pkt(build_http_request("second.example"), seq=999))
+        assert state.domain == "first.example"

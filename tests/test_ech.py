@@ -1,0 +1,97 @@
+"""Tests for encrypted-SNI (ESNI/ECH) support and its censorship.
+
+Paper footnote 1: TLS 1.3's encrypted ClientHello still shows a
+cleartext outer SNI, and the earlier ESNI proposal was blocked by China
+entirely -- reference [19].  The `gfw_ech` vendor models that wholesale
+blocking; these tests cover the TLS mechanics and the policy/censorship
+consequences.
+"""
+
+import pytest
+
+from repro.core.classifier import TamperingClassifier
+from repro.core.model import SignatureId
+from repro.middlebox.policy import BlockPolicy, DomainRule, EncryptedSniRule, FlowContext
+from repro.middlebox.vendors import gfw, gfw_ech
+from repro.netstack.tls import (
+    build_client_hello,
+    extract_sni,
+    has_encrypted_sni,
+    parse_client_hello,
+)
+from tests.conftest import capture, make_client, run_connection
+
+
+class TestEchWireFormat:
+    def test_ech_hides_the_real_name(self):
+        hello = build_client_hello("secret.example", ech=True)
+        assert extract_sni(hello) is None
+        assert has_encrypted_sni(hello)
+
+    def test_ech_with_outer_sni(self):
+        hello = build_client_hello("secret.example", ech=True, outer_sni="provider.example")
+        assert extract_sni(hello) == "provider.example"  # cleartext outer name
+        assert has_encrypted_sni(hello)
+        parsed = parse_client_hello(hello)
+        assert parsed.encrypted_sni
+        assert parsed.sni == "provider.example"
+
+    def test_plain_hello_not_flagged(self):
+        hello = build_client_hello("plain.example")
+        assert not has_encrypted_sni(hello)
+        assert not parse_client_hello(hello).encrypted_sni
+
+    def test_never_raises_on_garbage(self):
+        for blob in (b"", b"\x16\x03", b"GET / HTTP/1.1", bytes(64)):
+            assert not has_encrypted_sni(blob)
+
+
+class TestEncryptedSniRule:
+    def test_matches_on_payload(self):
+        rule = EncryptedSniRule()
+        ech = build_client_hello("x.example", ech=True)
+        plain = build_client_hello("x.example")
+        assert rule.matches(FlowContext(server_ip="1.2.3.4", server_port=443, payload=ech))
+        assert not rule.matches(FlowContext(server_ip="1.2.3.4", server_port=443, payload=plain))
+        assert not rule.matches(FlowContext(server_ip="1.2.3.4", server_port=443))
+
+
+class TestGfwEchVendor:
+    def _run(self, segments, seed=3):
+        device = gfw_ech(BlockPolicy.nothing(), seed=seed)
+        client = make_client(segments=segments, seed=seed)
+        result = run_connection(client, middleboxes=[device], server_port=client.peer_port, seed=seed)
+        return TamperingClassifier().classify(capture(result, conn_id=seed))
+
+    def test_any_ech_handshake_blocked(self):
+        """Even a completely innocent domain dies if it hides its SNI."""
+        segments = [build_client_hello("innocent.example", ech=True)]
+        verdict = self._run(segments)
+        assert verdict.signature == SignatureId.PSH_RST_RSTACK
+        assert verdict.is_tampering
+
+    def test_plain_handshake_passes(self):
+        segments = [build_client_hello("innocent.example")]
+        verdict = self._run(segments)
+        assert verdict.signature == SignatureId.NOT_TAMPERING
+
+    def test_ech_evades_domain_censor_but_not_ech_censor(self):
+        """The arms race in one test: ECH hides the name from a
+        domain-keyed censor (evasion works), but an ECH-keying censor
+        blocks the mechanism itself."""
+        domain_censor = gfw(BlockPolicy([DomainRule(["blocked.example"])]), seed=5)
+        ech_segments = [build_client_hello("blocked.example", ech=True)]
+
+        client = make_client(segments=ech_segments, seed=5)
+        result = run_connection(client, middleboxes=[domain_censor],
+                                server_port=client.peer_port, seed=5)
+        verdict = TamperingClassifier().classify(capture(result, conn_id=5))
+        assert verdict.signature == SignatureId.NOT_TAMPERING  # evaded!
+
+        verdict = self._run(ech_segments, seed=6)
+        assert verdict.is_tampering  # ...until the censor keys on ECH
+
+    def test_registered_preset(self):
+        from repro.middlebox.vendors import VENDOR_PRESETS
+
+        assert "gfw_ech" in VENDOR_PRESETS

@@ -1,0 +1,126 @@
+"""Unit tests for the non-standard client personalities."""
+
+from repro.core.classifier import TamperingClassifier
+from repro.core.evidence import looks_like_scanner, looks_like_zmap
+from repro.core.model import SignatureId
+from repro.netstack.flags import TCPFlags
+from repro.network.endpoints import (
+    ZMAP_IP_ID,
+    HappyEyeballsCanceller,
+    ImpatientClient,
+    SilentSynClient,
+    ZMapScanner,
+)
+from repro.netstack.tcp import HostConfig
+from tests.conftest import CLIENT_IP, SERVER_IP, capture, run_connection
+
+
+def classify(result, conn_id=1):
+    sample = capture(result, conn_id=conn_id)
+    assert sample is not None
+    return TamperingClassifier().classify(sample), sample
+
+
+class TestZMapScanner:
+    def make(self):
+        return ZMapScanner(CLIENT_IP, 50999, SERVER_IP, 443, isn=5)
+
+    def test_syn_has_scanner_fields(self):
+        syn = self.make().begin(0.0)[0]
+        assert syn.flags == TCPFlags.SYN
+        assert syn.options == ()
+        assert syn.ip_id == ZMAP_IP_ID
+        assert syn.ttl == 255
+
+    def test_classifies_as_syn_rst_false_positive(self):
+        result = run_connection(self.make(), server_port=443)
+        cls, sample = classify(result)
+        assert cls.signature == SignatureId.SYN_RST
+
+    def test_detected_by_scanner_heuristics(self):
+        result = run_connection(self.make(), server_port=443)
+        _, sample = classify(result)
+        assert looks_like_scanner(sample)
+        assert looks_like_zmap(sample)
+
+    def test_done_after_rst(self):
+        scanner = self.make()
+        result = run_connection(scanner, server_port=443)
+        assert scanner.done
+
+
+class TestSilentSynClient:
+    def test_classifies_as_syn_none(self):
+        client = SilentSynClient(CLIENT_IP, 51000, SERVER_IP, 443, isn=9)
+        result = run_connection(client, server_port=443)
+        cls, sample = classify(result)
+        assert cls.signature == SignatureId.SYN_NONE
+        assert len(sample.packets) == 1
+
+    def test_not_flagged_as_zmap(self):
+        client = SilentSynClient(CLIENT_IP, 51000, SERVER_IP, 443, isn=9)
+        result = run_connection(client, server_port=443)
+        _, sample = classify(result)
+        assert not looks_like_zmap(sample)
+
+
+class TestHappyEyeballsCanceller:
+    def test_cancels_with_rst(self):
+        client = HappyEyeballsCanceller(CLIENT_IP, 51001, SERVER_IP, 443, isn=3)
+        result = run_connection(client, server_port=443)
+        cls, sample = classify(result)
+        assert cls.signature == SignatureId.SYN_RST
+        assert client.done
+
+    def test_normal_options_present(self):
+        client = HappyEyeballsCanceller(CLIENT_IP, 51001, SERVER_IP, 443, isn=3)
+        syn = client.begin(0.0)[0]
+        assert syn.options  # unlike a scanner
+        result = run_connection(client, server_port=443)
+        _, sample = classify(result)
+        assert not looks_like_scanner(sample)
+
+
+class TestImpatientClient:
+    def make(self, patience=0.05):
+        from repro.netstack.tls import build_client_hello
+
+        return ImpatientClient(
+            HostConfig(ip=CLIENT_IP, port=51002, isn=77),
+            SERVER_IP,
+            443,
+            request_segments=[build_client_hello("slow.example")],
+            patience=patience,
+        )
+
+    def test_completes_when_fast_enough(self):
+        client = self.make(patience=5.0)
+        result = run_connection(client, server_port=443)
+        cls, _ = classify(result)
+        assert cls.signature == SignatureId.NOT_TAMPERING
+
+    def test_aborts_when_server_blackholed(self):
+        from repro.middlebox.device import TamperBehavior, TamperingMiddlebox
+        from repro.middlebox.actions import BlackholeMode
+        from repro.middlebox.policy import BlockPolicy
+
+        # Device blackholes server->client responses for every flow, so
+        # the impatient client times out and RSTs.
+        device = TamperingMiddlebox(
+            BlockPolicy.everything(),
+            TamperBehavior(blackhole=BlackholeMode.SERVER_TO_CLIENT),
+        )
+        client = self.make(patience=0.3)
+        result = run_connection(client, middleboxes=[device], server_port=443)
+        rsts = [p for p in result.server_inbound if p.flags.is_rst]
+        assert rsts, "impatient client should have sent a RST"
+        assert not rsts[0].injected  # organic, not middlebox-forged
+
+    def test_timer_consumed_once(self):
+        client = self.make(patience=0.01)
+        client.begin(0.0)
+        client.on_timer(0.02)
+        # After consuming the deadline the timer must not re-arm at the
+        # same instant (regression test for the simulator spin bug).
+        nxt = client.next_timer()
+        assert nxt is None or nxt > 0.02

@@ -1,0 +1,34 @@
+"""Unit tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in errors.__all__:
+            exc = getattr(errors, name)
+            assert issubclass(exc, errors.ReproError), name
+
+    def test_packet_family(self):
+        assert issubclass(errors.PacketDecodeError, errors.PacketError)
+        assert issubclass(errors.PacketEncodeError, errors.PacketError)
+        assert issubclass(errors.ChecksumError, errors.PacketDecodeError)
+        assert issubclass(errors.OptionDecodeError, errors.PacketDecodeError)
+
+    def test_protocol_family(self):
+        assert issubclass(errors.TlsParseError, errors.ProtocolError)
+        assert issubclass(errors.HttpParseError, errors.ProtocolError)
+
+    def test_simulation_family(self):
+        assert issubclass(errors.StateMachineError, errors.SimulationError)
+
+    def test_world_family(self):
+        assert issubclass(errors.GeoError, errors.WorldError)
+
+    def test_catchable_at_api_boundary(self):
+        from repro.netstack.packet import Packet
+
+        with pytest.raises(errors.ReproError):
+            Packet.decode(b"")

@@ -1,0 +1,84 @@
+"""Tests for the §6 evasion thought experiment.
+
+The paper's concluding remarks sketch the one strategy that defeats
+passive server-side detection: block content toward the client while
+continuing the connection to the server as if nothing happened.  The
+``evasive_censor`` vendor implements it; these tests certify both halves
+of the claim -- the censorship is real, and the methodology is blind.
+"""
+
+import pytest
+
+from repro.core.classifier import TamperingClassifier
+from repro.core.evidence import evidence_for_sample
+from repro.core.model import SignatureId
+from repro.middlebox.policy import BlockPolicy, DomainRule
+from repro.middlebox.vendors import evasive_censor, gfw, make_preset
+from tests.conftest import capture, make_client, run_connection
+
+
+@pytest.fixture
+def device():
+    return evasive_censor(BlockPolicy([DomainRule(["blocked.example"])]), seed=3)
+
+
+def run_blocked(device, seed=3):
+    client = make_client(seed=seed)
+    result = run_connection(client, middleboxes=[device], server_port=client.peer_port, seed=seed)
+    return client, result
+
+
+class TestCensorshipIsReal:
+    def test_client_receives_nothing(self, device):
+        client, result = run_blocked(device)
+        payload = sum(len(p.payload) for p in result.client_received if p.has_payload)
+        assert payload == 0
+        assert device.triggers == 1
+
+    def test_innocent_domain_flows_normally(self, device):
+        client = make_client(domain="innocent.example")
+        result = run_connection(client, middleboxes=[device], server_port=client.peer_port)
+        payload = sum(len(p.payload) for p in result.client_received if p.has_payload)
+        assert payload > 0
+        assert device.triggers == 0
+
+
+class TestMethodologyIsBlind:
+    def test_server_side_verdict_is_clean(self, device):
+        _, result = run_blocked(device)
+        sample = capture(result)
+        verdict = TamperingClassifier().classify(sample)
+        assert verdict.signature == SignatureId.NOT_TAMPERING
+        assert not verdict.possibly_tampered
+
+    def test_server_sees_graceful_close(self, device):
+        _, result = run_blocked(device)
+        flags = [p.flags for p in result.server_inbound]
+        assert any(f.is_fin for f in flags)
+        assert not any(f.is_rst for f in flags)
+
+    def test_no_rst_evidence_either(self, device):
+        _, result = run_blocked(device)
+        summary = evidence_for_sample(capture(result))
+        # The IP-ID/TTL evidence only examines RSTs; there are none.
+        assert summary.max_ipid_delta is None
+        assert summary.max_ttl_delta is None
+
+    def test_contrast_with_gfw(self):
+        policy = BlockPolicy([DomainRule(["blocked.example"])])
+        loud = gfw(policy, seed=4)
+        _, result = run_blocked(loud, seed=4)
+        verdict = TamperingClassifier().classify(capture(result, seed=4))
+        assert verdict.is_tampering  # same censorship goal, visible tear-down
+
+    def test_ground_truth_still_knows(self, device):
+        """The simulator labels the forged continuation packets, so
+        evaluation code can quantify the blind spot."""
+        _, result = run_blocked(device)
+        assert any(p.injected for p in result.server_inbound)
+
+
+class TestRegistry:
+    def test_preset_available(self):
+        policy = BlockPolicy([DomainRule(["x.example"])])
+        assert make_preset("evasive_censor", policy).name == "evasive-censor"

@@ -1,0 +1,162 @@
+"""Unit tests for the IP-ID/TTL injection evidence (§4.3) and scanner
+heuristics (§4.2)."""
+
+import pytest
+
+from repro.cdn.collector import ConnectionSample
+from repro.core.evidence import (
+    evidence_for_sample,
+    looks_like_scanner,
+    looks_like_zmap,
+    max_ipid_delta,
+    max_ttl_delta,
+    min_ipid_delta,
+    min_ttl_delta,
+)
+from repro.netstack.flags import TCPFlags
+from repro.netstack.options import DEFAULT_CLIENT_OPTIONS
+from repro.netstack.packet import Packet
+from tests.conftest import run_vendor
+
+
+def sample_from(packets, version=4):
+    return ConnectionSample(
+        conn_id=1, packets=packets, window_end=100.0,
+        client_ip=packets[0].src, client_port=packets[0].sport,
+        server_ip=packets[0].dst, server_port=packets[0].dport,
+        ip_version=version,
+    )
+
+
+def pkt(flags, ts=0.0, seq=0, ip_id=0, ttl=60, payload=b"", options=DEFAULT_CLIENT_OPTIONS,
+        src="11.0.0.1"):
+    return Packet(src=src, dst="198.41.0.1", sport=7, dport=443, seq=seq,
+                  flags=flags, ts=ts, ip_id=ip_id, ttl=ttl, payload=payload,
+                  options=options if flags.is_syn else ())
+
+
+class TestIpIdDeltas:
+    def test_consistent_client_small_delta(self):
+        packets = [
+            pkt(TCPFlags.SYN, ts=0.0, seq=10, ip_id=100),
+            pkt(TCPFlags.ACK, ts=0.1, seq=11, ip_id=101),
+            pkt(TCPFlags.PSHACK, ts=0.2, seq=11, ip_id=102, payload=b"x"),
+        ]
+        assert min_ipid_delta(sample_from(packets)) <= 1
+        assert max_ipid_delta(sample_from(packets)) is None  # no RST
+
+    def test_injected_rst_large_delta(self):
+        packets = [
+            pkt(TCPFlags.SYN, ts=0.0, seq=10, ip_id=100),
+            pkt(TCPFlags.PSHACK, ts=0.1, seq=11, ip_id=101, payload=b"x"),
+            pkt(TCPFlags.RST, ts=0.2, seq=12, ip_id=54000),
+        ]
+        assert max_ipid_delta(sample_from(packets)) == 54000 - 101
+
+    def test_delta_vs_preceding_non_rst(self):
+        packets = [
+            pkt(TCPFlags.SYN, ts=0.0, seq=10, ip_id=100),
+            pkt(TCPFlags.RST, ts=0.2, seq=11, ip_id=105),
+            pkt(TCPFlags.RST, ts=0.3, seq=11, ip_id=9000),
+        ]
+        # Both RSTs compare against the SYN (last non-RST).
+        assert max_ipid_delta(sample_from(packets)) == 8900
+
+    def test_ipv6_returns_none(self):
+        packets = [pkt(TCPFlags.SYN, src="2a00::1")]
+        assert max_ipid_delta(sample_from(packets, version=6)) is None
+        assert min_ipid_delta(sample_from(packets, version=6)) is None
+
+    def test_rst_first_no_baseline(self):
+        packets = [pkt(TCPFlags.RST, ts=0.0, ip_id=9999)]
+        assert max_ipid_delta(sample_from(packets)) is None
+
+
+class TestTtlDeltas:
+    def test_injected_rst_keeps_sign(self):
+        packets = [
+            pkt(TCPFlags.SYN, ts=0.0, seq=10, ttl=50),
+            pkt(TCPFlags.RST, ts=0.2, seq=11, ttl=240),
+        ]
+        assert max_ttl_delta(sample_from(packets)) == 190
+        packets[1] = pkt(TCPFlags.RST, ts=0.2, seq=11, ttl=20)
+        assert max_ttl_delta(sample_from(packets)) == -30
+
+    def test_largest_magnitude_wins(self):
+        packets = [
+            pkt(TCPFlags.SYN, ts=0.0, ttl=50),
+            pkt(TCPFlags.RST, ts=0.1, ttl=55),
+            pkt(TCPFlags.RST, ts=0.2, ttl=200),
+        ]
+        assert max_ttl_delta(sample_from(packets)) == 150
+
+    def test_works_on_ipv6(self):
+        packets = [
+            pkt(TCPFlags.SYN, src="2a00::1", ttl=50),
+            pkt(TCPFlags.RST, src="2a00::1", ts=0.1, ttl=255),
+        ]
+        assert max_ttl_delta(sample_from(packets, version=6)) == 205
+
+    def test_min_ttl_delta_baseline(self):
+        packets = [
+            pkt(TCPFlags.SYN, ts=0.0, ttl=50),
+            pkt(TCPFlags.ACK, ts=0.1, seq=1, ttl=50),
+        ]
+        assert min_ttl_delta(sample_from(packets)) == 0
+
+    def test_single_packet_no_deltas(self):
+        packets = [pkt(TCPFlags.SYN)]
+        assert min_ttl_delta(sample_from(packets)) is None
+
+
+class TestScannerHeuristics:
+    def test_optionless_syn(self):
+        p = pkt(TCPFlags.SYN)
+        p = p.clone(options=())
+        assert looks_like_scanner(sample_from([p]))
+
+    def test_high_ttl(self):
+        assert looks_like_scanner(sample_from([pkt(TCPFlags.SYN, ttl=230)]))
+
+    def test_fixed_nonzero_ip_id(self):
+        packets = [
+            pkt(TCPFlags.SYN, ip_id=777),
+            pkt(TCPFlags.ACK, ts=0.1, seq=1, ip_id=777),
+        ]
+        assert looks_like_scanner(sample_from(packets))
+
+    def test_normal_client_not_flagged(self):
+        packets = [
+            pkt(TCPFlags.SYN, ip_id=100, ttl=50),
+            pkt(TCPFlags.ACK, ts=0.1, seq=1, ip_id=101, ttl=50),
+        ]
+        assert not looks_like_scanner(sample_from(packets))
+
+    def test_zmap_specific(self):
+        p = pkt(TCPFlags.SYN, ip_id=54321).clone(options=())
+        assert looks_like_zmap(sample_from([p]))
+        q = pkt(TCPFlags.SYN, ip_id=54321)  # has options -> not ZMap
+        assert not looks_like_zmap(sample_from([q]))
+
+
+class TestEndToEndEvidence:
+    def test_gfw_injection_visible_in_both_channels(self):
+        result = run_vendor("gfw")
+        summary = evidence_for_sample(result.sample)
+        assert summary.ipid_inconsistent
+        assert summary.ttl_inconsistent
+        assert not summary.scanner
+
+    def test_stealthy_injector_hides_from_headers(self):
+        # single_rstack copies the client IP-ID and mimics its TTL.
+        result = run_vendor("single_rstack")
+        summary = evidence_for_sample(result.sample)
+        assert not summary.ipid_inconsistent
+
+    def test_clean_connection_consistent(self):
+        from tests.conftest import capture, make_client, run_connection
+
+        sample = capture(run_connection(make_client()), conn_id=5)
+        summary = evidence_for_sample(sample)
+        assert summary.max_ipid_delta is None  # no RSTs at all
+        assert summary.min_ipid_delta is not None and summary.min_ipid_delta <= 1

@@ -1,0 +1,40 @@
+"""Smoke tests: every example script runs end to end.
+
+Examples are documentation that executes; these tests keep them from
+rotting.  Each runs in a subprocess with a scaled-down workload.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+
+CASES = [
+    ("quickstart.py", ["400"], "Most-tampered countries"),
+    ("gfw_case_study.py", [], "residual censorship"),
+    ("iran_protests.py", ["900"], "mobile ISPs dominate"),
+    ("testlist_audit.py", ["1200"], "tampered domains each list covers"),
+    ("forged_packet_forensics.py", [], "Forged vs organic RSTs"),
+    ("active_vs_passive.py", ["700"], "Who sees what"),
+    ("custom_world.py", [], "Newcensoria"),
+]
+
+
+@pytest.mark.parametrize("script,args,marker", CASES, ids=[c[0] for c in CASES])
+def test_example_runs(script, args, marker, tmp_path):
+    path = os.path.join(EXAMPLES_DIR, script)
+    extra_args = list(args)
+    if script == "forged_packet_forensics.py":
+        extra_args = [str(tmp_path)]
+    proc = subprocess.run(
+        [sys.executable, path] + extra_args,
+        capture_output=True,
+        text=True,
+        timeout=420,
+        cwd=str(tmp_path),
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert marker in proc.stdout, f"expected {marker!r} in output"

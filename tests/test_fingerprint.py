@@ -1,0 +1,102 @@
+"""Tests for middlebox fingerprinting (the Weaver-style step)."""
+
+import pytest
+
+from repro.core.classifier import TamperingClassifier
+from repro.core.fingerprint import (
+    Fingerprint,
+    FingerprintIndex,
+    IpIdBehaviour,
+    TtlBehaviour,
+    fingerprint_sample,
+)
+from repro.core.model import SignatureId
+from tests.conftest import capture, make_client, run_connection, run_vendor
+
+
+def fingerprint_vendor(vendor, **kwargs):
+    result = run_vendor(vendor, **kwargs)
+    return fingerprint_sample(result.sample, result)
+
+
+class TestBehaviourExtraction:
+    def test_gfw_is_fixed_distinct_random_ipid(self):
+        fp = fingerprint_vendor("gfw")
+        assert fp is not None
+        assert fp.signature == SignatureId.PSH_RST_RSTACK
+        assert fp.ttl == TtlBehaviour.FIXED_DISTINCT
+        assert fp.ip_id == IpIdBehaviour.RANDOMISED
+
+    def test_korea_guesser_randomised_ttl(self):
+        fp = fingerprint_vendor("korea_guesser")
+        assert fp.signature == SignatureId.PSH_RST_NEQ_RST
+        assert fp.ttl == TtlBehaviour.RANDOMISED
+
+    def test_stealthy_vendor_mimics(self):
+        fp = fingerprint_vendor("single_rstack")
+        assert fp.ttl == TtlBehaviour.MIMIC
+        assert fp.ip_id == IpIdBehaviour.CONSISTENT
+
+    def test_counter_ipid_vendor(self):
+        fp = fingerprint_vendor("iran_double_rst")
+        assert fp.ip_id == IpIdBehaviour.COUNTER
+
+    def test_drop_vendor_has_no_fingerprint(self):
+        result = run_vendor("iran_drop")
+        assert fingerprint_sample(result.sample, result) is None
+
+    def test_clean_connection_has_no_fingerprint(self):
+        sample = capture(run_connection(make_client()), conn_id=1)
+        result = TamperingClassifier().classify(sample)
+        assert fingerprint_sample(sample, result) is None
+
+
+class TestCatalogue:
+    def test_gfw_labelled(self):
+        fp = fingerprint_vendor("gfw")
+        from repro.core.fingerprint import FingerprintCluster
+        from collections import Counter
+
+        cluster = FingerprintCluster(fp, count=1, countries=Counter(), vendors=Counter())
+        assert "GFW" in cluster.label
+
+    def test_unknown_combination(self):
+        from collections import Counter
+        from repro.core.fingerprint import FingerprintCluster
+
+        fp = Fingerprint(SignatureId.DATA_RST, TtlBehaviour.UNKNOWN, IpIdBehaviour.UNKNOWN)
+        cluster = FingerprintCluster(fp, count=1, countries=Counter(), vendors=Counter())
+        assert cluster.label == "unrecognised device"
+
+
+class TestIndex:
+    def test_clusters_on_study(self, small_study):
+        classifier = TamperingClassifier()
+        results = classifier.classify_all(small_study.samples)
+        index = FingerprintIndex.build(small_study.samples, results, geodb=small_study.world.geo)
+        clusters = index.clusters(min_count=5)
+        assert clusters
+        assert clusters == sorted(clusters, key=lambda c: -c.count)
+
+        # Clusters of real tampering should be vendor-pure.
+        for cluster in clusters:
+            if cluster.count >= 10 and cluster.dominant_vendor:
+                assert cluster.purity > 0.75, (
+                    cluster.fingerprint.describe(), dict(cluster.vendors)
+                )
+
+    def test_min_count_filter(self, small_study):
+        classifier = TamperingClassifier()
+        results = classifier.classify_all(small_study.samples)
+        index = FingerprintIndex.build(small_study.samples, results)
+        all_clusters = index.clusters(min_count=1)
+        big_clusters = index.clusters(min_count=10)
+        assert len(big_clusters) <= len(all_clusters)
+
+    def test_countries_recorded(self, small_study):
+        classifier = TamperingClassifier()
+        results = classifier.classify_all(small_study.samples)
+        index = FingerprintIndex.build(small_study.samples, results, geodb=small_study.world.geo)
+        top = index.clusters()[0]
+        assert sum(top.countries.values()) == top.count
+        assert "??" not in top.countries

@@ -1,0 +1,82 @@
+"""Unit tests for TCP flag parsing and formatting."""
+
+import pytest
+
+from repro.netstack.flags import TCPFlags, flags_from_str, flags_to_str
+
+
+class TestFlagBits:
+    def test_rfc_bit_values(self):
+        assert TCPFlags.FIN == 0x01
+        assert TCPFlags.SYN == 0x02
+        assert TCPFlags.RST == 0x04
+        assert TCPFlags.PSH == 0x08
+        assert TCPFlags.ACK == 0x10
+        assert TCPFlags.URG == 0x20
+        assert TCPFlags.ECE == 0x40
+        assert TCPFlags.CWR == 0x80
+
+    def test_combination_aliases(self):
+        assert TCPFlags.SYNACK == TCPFlags.SYN | TCPFlags.ACK
+        assert TCPFlags.PSHACK == TCPFlags.PSH | TCPFlags.ACK
+        assert TCPFlags.RSTACK == TCPFlags.RST | TCPFlags.ACK
+        assert TCPFlags.FINACK == TCPFlags.FIN | TCPFlags.ACK
+
+
+class TestPredicates:
+    def test_pure_rst(self):
+        assert TCPFlags.RST.is_pure_rst
+        assert not TCPFlags.RSTACK.is_pure_rst
+        assert not TCPFlags.ACK.is_pure_rst
+
+    def test_rst_ack(self):
+        assert TCPFlags.RSTACK.is_rst_ack
+        assert not TCPFlags.RST.is_rst_ack
+        assert not TCPFlags.SYNACK.is_rst_ack
+
+    def test_is_rst_covers_both_variants(self):
+        assert TCPFlags.RST.is_rst
+        assert TCPFlags.RSTACK.is_rst
+        assert not TCPFlags.SYN.is_rst
+
+    def test_syn_fin_ack_psh(self):
+        assert TCPFlags.SYN.is_syn
+        assert TCPFlags.SYNACK.is_syn
+        assert TCPFlags.FINACK.is_fin
+        assert TCPFlags.PSHACK.is_psh
+        assert TCPFlags.PSHACK.is_ack
+        assert not TCPFlags.SYN.is_ack
+
+
+class TestFormatting:
+    def test_to_str_single(self):
+        assert flags_to_str(TCPFlags.SYN) == "SYN"
+        assert flags_to_str(TCPFlags.RST) == "RST"
+
+    def test_to_str_combination_order(self):
+        assert flags_to_str(TCPFlags.SYNACK) == "SYN+ACK"
+        assert flags_to_str(TCPFlags.PSHACK) == "PSH+ACK"
+        assert flags_to_str(TCPFlags.RSTACK) == "RST+ACK"
+
+    def test_to_str_empty(self):
+        assert flags_to_str(TCPFlags.NONE) == "NONE"
+
+    def test_roundtrip_all_combinations(self):
+        for bits in range(256):
+            flags = TCPFlags(bits)
+            assert flags_from_str(flags_to_str(flags)) == flags
+
+    def test_from_str_case_insensitive(self):
+        assert flags_from_str("syn+ack") == TCPFlags.SYNACK
+        assert flags_from_str("Rst") == TCPFlags.RST
+
+    def test_from_str_whitespace(self):
+        assert flags_from_str(" SYN + ACK ") == TCPFlags.SYNACK
+
+    def test_from_str_none(self):
+        assert flags_from_str("NONE") == TCPFlags.NONE
+        assert flags_from_str("") == TCPFlags.NONE
+
+    def test_from_str_unknown_raises(self):
+        with pytest.raises(ValueError):
+            flags_from_str("SYN+BOGUS")

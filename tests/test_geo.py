@@ -1,0 +1,98 @@
+"""Unit tests for the synthetic geolocation database."""
+
+import random
+
+import pytest
+
+from repro.cdn.geo import GeoDatabase
+from repro.errors import GeoError
+
+
+@pytest.fixture
+def geo():
+    db = GeoDatabase()
+    db.register_asn("IR", 1001)
+    db.register_asn("IR", 1002)
+    db.register_asn("CN", 2001)
+    return db
+
+
+class TestRegistration:
+    def test_idempotent_same_country(self, geo):
+        geo.register_asn("IR", 1001)
+        assert geo.asns.count(1001) == 1
+
+    def test_conflicting_country_rejected(self, geo):
+        with pytest.raises(GeoError):
+            geo.register_asn("CN", 1001)
+
+    def test_asns_in(self, geo):
+        assert geo.asns_in("IR") == [1001, 1002]
+        assert geo.asns_in("CN") == [2001]
+        assert geo.asns_in("US") == []
+
+
+class TestLookup:
+    def test_roundtrip_v4(self, geo):
+        rng = random.Random(1)
+        for asn in (1001, 1002, 2001):
+            addr = geo.client_address(rng, asn, version=4)
+            record = geo.lookup(addr)
+            assert record.asn == asn
+
+    def test_roundtrip_v6(self, geo):
+        rng = random.Random(2)
+        addr = geo.client_address(rng, 2001, version=6)
+        assert ":" in addr
+        assert geo.lookup(addr).country == "CN"
+
+    def test_unknown_space_raises(self, geo):
+        with pytest.raises(GeoError):
+            geo.lookup("203.0.113.9")
+
+    def test_lookup_or_none(self, geo):
+        assert geo.lookup_or_none("203.0.113.9") is None
+        assert geo.lookup_or_none("not-an-ip") is None
+
+    def test_country_of(self, geo):
+        rng = random.Random(3)
+        addr = geo.client_address(rng, 1002)
+        assert geo.country_of(addr) == "IR"
+        assert geo.country_of("203.0.113.9") is None
+
+    def test_unregistered_asn_cannot_mint(self, geo):
+        with pytest.raises(GeoError):
+            geo.client_address(random.Random(0), 9999)
+
+    def test_bad_version(self, geo):
+        with pytest.raises(ValueError):
+            geo.client_address(random.Random(0), 1001, version=5)
+
+
+class TestEdgeSpace:
+    def test_edge_addresses_in_cdn_prefix(self):
+        rng = random.Random(5)
+        for _ in range(20):
+            assert GeoDatabase.is_edge_address(GeoDatabase.edge_address(rng, 4))
+            assert GeoDatabase.is_edge_address(GeoDatabase.edge_address(rng, 6))
+
+    def test_edge_space_never_geolocates_to_clients(self, geo):
+        rng = random.Random(6)
+        addr = GeoDatabase.edge_address(rng, 4)
+        assert geo.lookup_or_none(addr) is None
+
+    def test_client_space_is_not_edge(self, geo):
+        rng = random.Random(7)
+        addr = geo.client_address(rng, 1001)
+        assert not GeoDatabase.is_edge_address(addr)
+
+
+class TestDeterminism:
+    def test_same_registration_order_same_layout(self):
+        def build():
+            db = GeoDatabase()
+            db.register_asn("A", 1)
+            db.register_asn("B", 2)
+            return db.client_address(random.Random(0), 2)
+
+        assert build() == build()

@@ -1,0 +1,90 @@
+"""Unit tests for HTTP request building and parsing."""
+
+import pytest
+
+from repro.errors import HttpParseError
+from repro.netstack.http import (
+    build_http_request,
+    extract_host,
+    is_http_request,
+    parse_http_request,
+)
+
+
+class TestBuild:
+    def test_request_line_and_host_first(self):
+        data = build_http_request("example.com", path="/index.html")
+        lines = data.decode().split("\r\n")
+        assert lines[0] == "GET /index.html HTTP/1.1"
+        assert lines[1] == "Host: example.com"
+        assert data.endswith(b"\r\n\r\n")
+
+    def test_extra_headers(self):
+        data = build_http_request("a.com", extra_headers={"X-Test": "1"})
+        assert b"X-Test: 1\r\n" in data
+
+    def test_post(self):
+        assert build_http_request("a.com", path="/submit", method="POST").startswith(b"POST /submit")
+
+    def test_bad_method(self):
+        with pytest.raises(ValueError):
+            build_http_request("a.com", method="BREW")
+
+    def test_bad_path(self):
+        with pytest.raises(ValueError):
+            build_http_request("a.com", path="index.html")
+
+
+class TestParse:
+    def test_roundtrip(self):
+        req = parse_http_request(build_http_request("www.example.com", path="/x"))
+        assert req.method == "GET"
+        assert req.target == "/x"
+        assert req.version == "HTTP/1.1"
+        assert req.host == "www.example.com"
+
+    def test_host_strips_port(self):
+        req = parse_http_request(b"GET / HTTP/1.1\r\nHost: example.com:8080\r\n\r\n")
+        assert req.host == "example.com"
+
+    def test_header_lookup_case_insensitive(self):
+        req = parse_http_request(b"GET / HTTP/1.1\r\nhOsT: a.com\r\n\r\n")
+        assert req.header("Host") == "a.com"
+        assert req.header("missing") is None
+
+    def test_body_tolerated(self):
+        data = b"POST /s HTTP/1.1\r\nHost: a.com\r\n\r\nkey=value"
+        assert parse_http_request(data).host == "a.com"
+
+    def test_malformed_request_line(self):
+        with pytest.raises(HttpParseError):
+            parse_http_request(b"GET /\r\nHost: a.com\r\n\r\n")
+
+    def test_unknown_method(self):
+        with pytest.raises(HttpParseError):
+            parse_http_request(b"BREW / HTTP/1.1\r\n\r\n")
+
+    def test_bad_version(self):
+        with pytest.raises(HttpParseError):
+            parse_http_request(b"GET / SPDY/9\r\n\r\n")
+
+    def test_malformed_header(self):
+        with pytest.raises(HttpParseError):
+            parse_http_request(b"GET / HTTP/1.1\r\nbogus-line\r\n\r\n")
+
+
+class TestExtractHost:
+    def test_extracts(self):
+        assert extract_host(build_http_request("h.example.org")) == "h.example.org"
+
+    def test_never_raises_on_garbage(self):
+        for blob in (b"", b"\x16\x03\x01", b"GET garbage", bytes(50)):
+            assert extract_host(blob) is None
+
+    def test_missing_host_header(self):
+        assert extract_host(b"GET / HTTP/1.1\r\nAccept: */*\r\n\r\n") is None
+
+    def test_is_http_request(self):
+        assert is_http_request(b"GET / HTTP/1.1\r\n")
+        assert is_http_request(b"POST /x HTTP/1.1\r\n")
+        assert not is_http_request(b"\x16\x03\x01")

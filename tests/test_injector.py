@@ -1,0 +1,166 @@
+"""Unit tests for the forged-packet factory."""
+
+import random
+
+import pytest
+
+from repro.middlebox.injector import (
+    AckStrategy,
+    FlowSnapshot,
+    ForgedHeaderProfile,
+    InjectionSpec,
+    IpIdStrategy,
+    RstBurst,
+    SeqStrategy,
+    TtlStrategy,
+    forge_packets,
+)
+from repro.netstack.flags import TCPFlags
+from repro.netstack.packet import PacketDirection
+
+
+def snapshot(**overrides):
+    base = dict(
+        client_ip="11.0.0.5",
+        client_port=40000,
+        server_ip="198.41.0.9",
+        server_port=443,
+        client_next_seq=5000,
+        server_next_seq=9000,
+        client_ip_id=321,
+        client_initial_ttl=52,
+        ip_version=4,
+    )
+    base.update(overrides)
+    return FlowSnapshot(**base)
+
+
+def forge(spec, toward=PacketDirection.TO_SERVER, seed=1, flow=None):
+    return forge_packets(spec, flow or snapshot(), now=100.0, rng=random.Random(seed), toward=toward)
+
+
+class TestSpecValidation:
+    def test_burst_requires_rst(self):
+        with pytest.raises(ValueError):
+            RstBurst(TCPFlags.ACK, 1)
+
+    def test_burst_count_positive(self):
+        with pytest.raises(ValueError):
+            RstBurst(TCPFlags.RST, 0)
+
+    def test_spec_needs_bursts(self):
+        with pytest.raises(ValueError):
+            InjectionSpec(bursts=())
+
+    def test_total_packets(self):
+        spec = InjectionSpec(bursts=(RstBurst(TCPFlags.RST, 2), RstBurst(TCPFlags.RSTACK, 3)))
+        assert spec.total_packets == 5
+
+    def test_single_convenience(self):
+        spec = InjectionSpec.single(TCPFlags.RSTACK)
+        assert spec.total_packets == 1
+        assert spec.bursts[0].flags == TCPFlags.RSTACK
+
+
+class TestAddressing:
+    def test_toward_server_spoofs_client(self):
+        pkt = forge(InjectionSpec.single())[0]
+        assert pkt.src == "11.0.0.5"
+        assert pkt.dst == "198.41.0.9"
+        assert pkt.sport == 40000 and pkt.dport == 443
+        assert pkt.seq == 5000  # client's next seq
+        assert pkt.injected
+
+    def test_toward_client_spoofs_server(self):
+        pkt = forge(InjectionSpec.single(), toward=PacketDirection.TO_CLIENT)[0]
+        assert pkt.src == "198.41.0.9"
+        assert pkt.dst == "11.0.0.5"
+        assert pkt.seq == 9000  # server's next seq
+
+    def test_seq_offset_strategy(self):
+        pkt = forge(InjectionSpec.single(seq=SeqStrategy.OFFSET))[0]
+        assert pkt.seq == 5000 + 1460
+
+    def test_jitter_spaces_packets(self):
+        spec = InjectionSpec(bursts=(RstBurst(TCPFlags.RST, 3),), jitter=0.01)
+        packets = forge(spec)
+        assert packets[1].ts - packets[0].ts == pytest.approx(0.01)
+        assert packets[2].ts - packets[1].ts == pytest.approx(0.01)
+
+
+class TestAckStrategies:
+    def test_correct_rstack(self):
+        pkt = forge(InjectionSpec.single(TCPFlags.RSTACK, ack=AckStrategy.CORRECT))[0]
+        assert pkt.ack == 9000
+
+    def test_correct_pure_rst_has_zero_ack(self):
+        pkt = forge(InjectionSpec.single(TCPFlags.RST, ack=AckStrategy.CORRECT))[0]
+        assert pkt.ack == 0
+
+    def test_zero(self):
+        pkt = forge(InjectionSpec.single(TCPFlags.RSTACK, ack=AckStrategy.ZERO))[0]
+        assert pkt.ack == 0
+
+    def test_guess_sweeps(self):
+        spec = InjectionSpec(bursts=(RstBurst(TCPFlags.RST, 3),), ack=AckStrategy.GUESS)
+        acks = [p.ack for p in forge(spec)]
+        assert acks == [9000, 9000 + 1460, 9000 + 2920]
+
+    def test_same_wrong_repeats(self):
+        spec = InjectionSpec(bursts=(RstBurst(TCPFlags.RST, 3),), ack=AckStrategy.SAME_WRONG)
+        acks = [p.ack for p in forge(spec)]
+        assert len(set(acks)) == 1
+        assert acks[0] != 9000 and acks[0] != 0
+
+    def test_mix_zero_has_exactly_one_zero(self):
+        spec = InjectionSpec(bursts=(RstBurst(TCPFlags.RST, 2),), ack=AckStrategy.MIX_ZERO)
+        acks = [p.ack for p in forge(spec)]
+        assert acks.count(0) == 1
+        assert 9000 in acks
+
+
+class TestHeaderProfiles:
+    def test_ip_id_zero(self):
+        spec = InjectionSpec.single(headers=ForgedHeaderProfile(ip_id=IpIdStrategy.ZERO))
+        assert forge(spec)[0].ip_id == 0
+
+    def test_ip_id_copy(self):
+        spec = InjectionSpec.single(headers=ForgedHeaderProfile(ip_id=IpIdStrategy.COPY))
+        assert forge(spec)[0].ip_id == 321
+
+    def test_ip_id_counter_increments(self):
+        spec = InjectionSpec(
+            bursts=(RstBurst(TCPFlags.RST, 3),),
+            headers=ForgedHeaderProfile(ip_id=IpIdStrategy.COUNTER),
+        )
+        ids = [p.ip_id for p in forge(spec)]
+        assert ids[1] == (ids[0] + 1) & 0xFFFF
+        assert ids[2] == (ids[1] + 1) & 0xFFFF
+
+    def test_ipv6_has_no_ip_id(self):
+        spec = InjectionSpec.single(headers=ForgedHeaderProfile(ip_id=IpIdStrategy.COPY))
+        flow = snapshot(client_ip="2a00::5", server_ip="2606:4700::9", ip_version=6)
+        assert forge(spec, flow=flow)[0].ip_id == 0
+
+    def test_ttl_constant(self):
+        spec = InjectionSpec.single(headers=ForgedHeaderProfile(ttl=TtlStrategy.CONSTANT, ttl_value=99))
+        assert forge(spec)[0].ttl == 99
+
+    def test_ttl_match_client(self):
+        spec = InjectionSpec.single(headers=ForgedHeaderProfile(ttl=TtlStrategy.MATCH_CLIENT))
+        assert forge(spec)[0].ttl == 52
+
+    def test_ttl_random_varies(self):
+        spec = InjectionSpec(
+            bursts=(RstBurst(TCPFlags.RST, 8),),
+            headers=ForgedHeaderProfile(ttl=TtlStrategy.RANDOM),
+        )
+        ttls = {p.ttl for p in forge(spec)}
+        assert len(ttls) > 2
+
+    def test_window_applied(self):
+        spec = InjectionSpec.single(headers=ForgedHeaderProfile(window=512))
+        assert forge(spec)[0].window == 512
+
+    def test_forged_packets_have_no_options(self):
+        assert forge(InjectionSpec.single())[0].options == ()

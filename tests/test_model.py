@@ -1,0 +1,63 @@
+"""Unit tests for the signature taxonomy metadata."""
+
+from repro.core.model import (
+    SIGNATURES,
+    SignatureId,
+    Stage,
+    TABLE1_ORDER,
+    signature_info,
+    signatures_in_stage,
+)
+
+
+class TestTaxonomy:
+    def test_nineteen_signatures(self):
+        assert len(SIGNATURES) == 19
+        assert len(TABLE1_ORDER) == 19
+
+    def test_stage_partition(self):
+        assert len(signatures_in_stage(Stage.POST_SYN)) == 4
+        assert len(signatures_in_stage(Stage.POST_ACK)) == 5
+        assert len(signatures_in_stage(Stage.POST_PSH)) == 8
+        assert len(signatures_in_stage(Stage.POST_DATA)) == 2
+
+    def test_non_matches_excluded(self):
+        assert SignatureId.NOT_TAMPERING not in SIGNATURES
+        assert SignatureId.OTHER not in SIGNATURES
+
+    def test_is_tampering(self):
+        assert SignatureId.SYN_RST.is_tampering
+        assert SignatureId.PSH_RST_RST0.is_tampering
+        assert not SignatureId.NOT_TAMPERING.is_tampering
+        assert not SignatureId.OTHER.is_tampering
+
+    def test_drop_signatures(self):
+        drops = [s for s in SignatureId if s.is_drop]
+        assert set(drops) == {SignatureId.SYN_NONE, SignatureId.ACK_NONE, SignatureId.PSH_NONE}
+
+    def test_stage_property(self):
+        assert SignatureId.SYN_RST.stage == Stage.POST_SYN
+        assert SignatureId.ACK_RSTACK.stage == Stage.POST_ACK
+        assert SignatureId.PSH_RST_NEQ_RST.stage == Stage.POST_PSH
+        assert SignatureId.DATA_RSTACK.stage == Stage.POST_DATA
+        assert SignatureId.NOT_TAMPERING.stage == Stage.NONE
+
+    def test_display_uses_paper_notation(self):
+        assert SignatureId.SYN_NONE.display == "⟨SYN → ∅⟩"
+        assert SignatureId.PSH_RST_RST0.display == "⟨PSH+ACK → RST; RST₀⟩"
+        assert SignatureId.DATA_RSTACK.display == "⟨PSH+ACK; Data → RST+ACK⟩"
+
+    def test_displays_unique(self):
+        displays = [info.display for info in SIGNATURES.values()]
+        assert len(set(displays)) == len(displays)
+
+    def test_signature_info_lookup(self):
+        info = signature_info(SignatureId.PSH_RST_NEQ_RST)
+        assert info.prior_work == "[84]*"
+        assert "ACK numbers" in info.description
+
+    def test_stage_is_data_bearing(self):
+        assert Stage.POST_PSH.is_data_bearing
+        assert Stage.POST_DATA.is_data_bearing
+        assert not Stage.POST_SYN.is_data_bearing
+        assert not Stage.POST_ACK.is_data_bearing

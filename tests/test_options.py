@@ -1,0 +1,107 @@
+"""Unit tests for TCP option encoding and decoding."""
+
+import struct
+
+import pytest
+
+from repro.errors import OptionDecodeError
+from repro.netstack.options import (
+    DEFAULT_CLIENT_OPTIONS,
+    OptionKind,
+    TCPOption,
+    decode_options,
+    encode_options,
+    get_mss,
+    find_option,
+    mss_option,
+    nop_option,
+    sack_permitted_option,
+    timestamp_option,
+    window_scale_option,
+)
+
+
+class TestConstructors:
+    def test_mss_value(self):
+        opt = mss_option(1460)
+        assert opt.kind == OptionKind.MSS
+        assert struct.unpack("!H", opt.data)[0] == 1460
+
+    def test_mss_out_of_range(self):
+        with pytest.raises(ValueError):
+            mss_option(0)
+        with pytest.raises(ValueError):
+            mss_option(70000)
+
+    def test_window_scale_range(self):
+        assert window_scale_option(14).data == b"\x0e"
+        with pytest.raises(ValueError):
+            window_scale_option(15)
+
+    def test_sack_permitted_is_empty(self):
+        assert sack_permitted_option().data == b""
+
+    def test_timestamp_packing(self):
+        opt = timestamp_option(123456, 789)
+        tsval, tsecr = struct.unpack("!II", opt.data)
+        assert (tsval, tsecr) == (123456, 789)
+
+    def test_timestamp_wraps_to_32_bits(self):
+        opt = timestamp_option(2**32 + 5)
+        assert struct.unpack("!II", opt.data)[0] == 5
+
+    def test_nop_carries_no_data(self):
+        assert nop_option().wire_length == 1
+        with pytest.raises(ValueError):
+            TCPOption(OptionKind.NOP, b"x")
+
+    def test_option_data_too_long(self):
+        with pytest.raises(ValueError):
+            TCPOption(200, b"x" * 39)
+
+
+class TestEncodeDecode:
+    def test_roundtrip_default_client_options(self):
+        encoded = encode_options(DEFAULT_CLIENT_OPTIONS)
+        assert len(encoded) % 4 == 0
+        assert decode_options(encoded) == list(DEFAULT_CLIENT_OPTIONS)
+
+    def test_empty_options_encode_empty(self):
+        assert encode_options(()) == b""
+        assert decode_options(b"") == []
+
+    def test_padding_is_stripped_on_decode(self):
+        encoded = encode_options([window_scale_option(7)])
+        assert len(encoded) == 4  # 3 bytes + 1 padding
+        assert decode_options(encoded) == [window_scale_option(7)]
+
+    def test_eol_terminates_parsing(self):
+        data = encode_options([mss_option()]) + b"\x00" + b"\xff\xff"
+        assert decode_options(data) == [mss_option()]
+
+    def test_too_many_options_raises(self):
+        with pytest.raises(ValueError):
+            encode_options([timestamp_option(i) for i in range(6)])
+
+    def test_truncated_length_octet(self):
+        with pytest.raises(OptionDecodeError):
+            decode_options(b"\x02")  # MSS kind without length
+
+    def test_bad_length_value(self):
+        with pytest.raises(OptionDecodeError):
+            decode_options(b"\x02\x01")  # length < 2
+
+    def test_length_past_end(self):
+        with pytest.raises(OptionDecodeError):
+            decode_options(b"\x02\x08\x05")
+
+
+class TestLookups:
+    def test_find_option(self):
+        assert find_option(DEFAULT_CLIENT_OPTIONS, OptionKind.MSS) == mss_option(1460)
+        assert find_option(DEFAULT_CLIENT_OPTIONS, OptionKind.TIMESTAMP) is None
+
+    def test_get_mss(self):
+        assert get_mss(DEFAULT_CLIENT_OPTIONS) == 1460
+        assert get_mss(()) is None
+        assert get_mss([TCPOption(OptionKind.MSS, b"\x01")]) is None  # malformed

@@ -1,0 +1,92 @@
+"""Unit tests for pcap reading and writing."""
+
+import io
+import struct
+
+import pytest
+
+from repro.errors import PcapError
+from repro.netstack.flags import TCPFlags
+from repro.netstack.packet import Packet
+from repro.netstack.pcap import LINKTYPE_RAW, read_pcap, write_pcap
+
+
+def packets():
+    return [
+        Packet(ts=1.5, src="11.0.0.1", dst="198.41.0.2", sport=1234, dport=443,
+               seq=10, ack=0, flags=TCPFlags.SYN, ip_id=7, ttl=60),
+        Packet(ts=2.25, src="11.0.0.1", dst="198.41.0.2", sport=1234, dport=443,
+               seq=11, ack=99, flags=TCPFlags.PSHACK, payload=b"data!", ip_id=8, ttl=60),
+        Packet(ts=3.0, src="2a00::1", dst="2606:4700::2", sport=5, dport=80,
+               seq=1, ack=2, flags=TCPFlags.RSTACK),
+    ]
+
+
+class TestRoundtrip:
+    def test_file_roundtrip(self, tmp_path):
+        path = str(tmp_path / "x.pcap")
+        assert write_pcap(path, packets()) == 3
+        loaded = read_pcap(path)
+        assert len(loaded) == 3
+        for orig, back in zip(packets(), loaded):
+            assert back.src == orig.src
+            assert back.dst == orig.dst
+            assert back.flags == orig.flags
+            assert back.payload == orig.payload
+            assert back.ts == pytest.approx(orig.ts, abs=1e-6)
+
+    def test_buffer_roundtrip(self):
+        buf = io.BytesIO()
+        write_pcap(buf, packets()[:1])
+        buf.seek(0)
+        assert read_pcap(buf)[0].flags == TCPFlags.SYN
+
+    def test_global_header(self, tmp_path):
+        path = str(tmp_path / "h.pcap")
+        write_pcap(path, [])
+        with open(path, "rb") as fh:
+            header = fh.read(24)
+        magic, _, _, _, _, _, linktype = struct.unpack("!IHHiIII", header)
+        assert magic == 0xA1B2C3D4
+        assert linktype == LINKTYPE_RAW
+
+    def test_little_endian_files_accepted(self):
+        buf = io.BytesIO()
+        buf.write(struct.pack("<IHHiIII", 0xA1B2C3D4, 2, 4, 0, 0, 262144, LINKTYPE_RAW))
+        data = packets()[0].encode()
+        buf.write(struct.pack("<IIII", 1, 500000, len(data), len(data)))
+        buf.write(data)
+        buf.seek(0)
+        loaded = read_pcap(buf)
+        assert loaded[0].ts == pytest.approx(1.5)
+
+    def test_nanosecond_magic(self):
+        buf = io.BytesIO()
+        buf.write(struct.pack("!IHHiIII", 0xA1B23C4D, 2, 4, 0, 0, 262144, LINKTYPE_RAW))
+        data = packets()[0].encode()
+        buf.write(struct.pack("!IIII", 2, 250_000_000, len(data), len(data)))
+        buf.write(data)
+        buf.seek(0)
+        assert read_pcap(buf)[0].ts == pytest.approx(2.25)
+
+
+class TestErrors:
+    def test_truncated_header(self):
+        with pytest.raises(PcapError):
+            read_pcap(io.BytesIO(b"\x00" * 10))
+
+    def test_bad_magic(self):
+        with pytest.raises(PcapError):
+            read_pcap(io.BytesIO(b"\xde\xad\xbe\xef" + b"\x00" * 20))
+
+    def test_wrong_linktype(self):
+        buf = io.BytesIO(struct.pack("!IHHiIII", 0xA1B2C3D4, 2, 4, 0, 0, 262144, 1))
+        with pytest.raises(PcapError):
+            read_pcap(buf)
+
+    def test_truncated_record(self):
+        buf = io.BytesIO()
+        write_pcap(buf, packets()[:1])
+        data = buf.getvalue()[:-3]
+        with pytest.raises(PcapError):
+            read_pcap(io.BytesIO(data))

@@ -1,0 +1,138 @@
+"""Unit tests for blocking policies and rules."""
+
+import pytest
+
+from repro.middlebox.policy import (
+    BlockPolicy,
+    CategoryRule,
+    DomainRule,
+    ExactIpRule,
+    FlowContext,
+    IpRule,
+    KeywordRule,
+    PortRule,
+    SubstringRule,
+)
+
+
+def ctx(**overrides):
+    base = dict(server_ip="198.41.0.1", server_port=443, client_ip="11.0.0.1")
+    base.update(overrides)
+    return FlowContext(**base)
+
+
+class TestDomainRule:
+    def test_exact_match(self):
+        rule = DomainRule(["blocked.example"])
+        assert rule.matches(ctx(domain="blocked.example"))
+
+    def test_subdomain_match(self):
+        rule = DomainRule(["blocked.example"])
+        assert rule.matches(ctx(domain="www.blocked.example"))
+        assert rule.matches(ctx(domain="a.b.c.blocked.example"))
+
+    def test_no_partial_label_match(self):
+        rule = DomainRule(["blocked.example"])
+        assert not rule.matches(ctx(domain="notblocked.example"))
+        assert not rule.matches(ctx(domain="blocked.example.org"))
+
+    def test_case_insensitive(self):
+        rule = DomainRule(["Blocked.Example"])
+        assert rule.matches(ctx(domain="BLOCKED.example"))
+
+    def test_no_domain_no_match(self):
+        assert not DomainRule(["x.com"]).matches(ctx(domain=None))
+
+    def test_not_pre_data(self):
+        assert not DomainRule(["x.com"]).pre_data
+
+
+class TestSubstringRule:
+    def test_overblocking(self):
+        # The paper's Turkmenistan example: blocking "wn.com" catches
+        # unrelated domains containing the fragment.
+        rule = SubstringRule(["wn.com"])
+        assert rule.matches(ctx(domain="wn.com"))
+        assert rule.matches(ctx(domain="breakingdown.com"))
+        assert rule.matches(ctx(domain="dawn.com"))
+        # Even a fragment spanning label boundaries over-blocks, which is
+        # the Nourin et al. observation the paper cites.
+        assert rule.matches(ctx(domain="my-own.company.org"))
+        assert not rule.matches(ctx(domain="unrelated.example"))
+
+    def test_case_insensitive(self):
+        assert SubstringRule(["Forbidden"]).matches(ctx(domain="FORBIDDEN-site.com"))
+
+
+class TestKeywordRule:
+    def test_matches_payload_bytes(self):
+        rule = KeywordRule([b"secret"])
+        assert rule.matches(ctx(payload=b"POST /x\r\n\r\ndata=secret-stuff"))
+        assert not rule.matches(ctx(payload=b"nothing here"))
+        assert not rule.matches(ctx(payload=b""))
+
+
+class TestIpRules:
+    def test_prefix_rule(self):
+        rule = IpRule(["198.41.0.0/16"])
+        assert rule.pre_data
+        assert rule.matches(ctx(server_ip="198.41.200.5"))
+        assert not rule.matches(ctx(server_ip="198.42.0.5"))
+
+    def test_prefix_rule_version_mismatch(self):
+        rule = IpRule(["198.41.0.0/16"])
+        assert not rule.matches(ctx(server_ip="2606:4700::1"))
+
+    def test_exact_ip_rule(self):
+        rule = ExactIpRule(["198.41.0.1", "2606:4700::9"])
+        assert rule.pre_data
+        assert rule.matches(ctx(server_ip="198.41.0.1"))
+        assert rule.matches(ctx(server_ip="2606:4700::9"))
+        assert not rule.matches(ctx(server_ip="198.41.0.2"))
+
+
+class TestPortRule:
+    def test_scopes_inner_rule(self):
+        rule = PortRule(DomainRule(["b.com"]), frozenset({80}))
+        assert rule.matches(ctx(domain="b.com", server_port=80))
+        assert not rule.matches(ctx(domain="b.com", server_port=443))
+
+    def test_pre_data_follows_inner(self):
+        assert PortRule(ExactIpRule(["1.2.3.4"]), frozenset({80})).pre_data
+        assert not PortRule(DomainRule(["b.com"]), frozenset({80})).pre_data
+
+
+class TestCategoryRule:
+    def test_matches_context_categories(self):
+        rule = CategoryRule(["Adult Themes"])
+        assert rule.matches(ctx(categories=frozenset({"Adult Themes", "Chat"})))
+        assert not rule.matches(ctx(categories=frozenset({"News"})))
+        assert not rule.matches(ctx())
+
+
+class TestBlockPolicy:
+    def test_any_rule_matches(self):
+        policy = BlockPolicy([DomainRule(["a.com"]), KeywordRule([b"kw"])])
+        assert policy.matches(ctx(domain="a.com"))
+        assert policy.matches(ctx(payload=b"xx kw yy"))
+        assert not policy.matches(ctx(domain="b.com"))
+
+    def test_pre_data_filtering(self):
+        policy = BlockPolicy([DomainRule(["a.com"]), ExactIpRule(["9.9.9.9"])])
+        assert policy.has_pre_data_rules
+        assert policy.matches_pre_data(ctx(server_ip="9.9.9.9", domain="a.com"))
+        # Domain rules must NOT fire at SYN time.
+        assert not policy.matches_pre_data(ctx(server_ip="8.8.8.8", domain="a.com"))
+
+    def test_nothing_and_everything(self):
+        assert not BlockPolicy.nothing().matches(ctx(domain="any.com"))
+        assert BlockPolicy.everything().matches(ctx())
+        assert BlockPolicy.everything().matches_pre_data(ctx())
+
+    def test_add_chains(self):
+        policy = BlockPolicy().add(DomainRule(["a.com"]))
+        assert policy.matches(ctx(domain="a.com"))
+
+    def test_describe_mentions_rules(self):
+        text = BlockPolicy([DomainRule(["a.com", "b.com"])], name="p").describe()
+        assert "DomainRule(2 domains)" in text

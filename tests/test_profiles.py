@@ -1,0 +1,95 @@
+"""Unit tests for country profiles."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.middlebox.vendors import VENDOR_PRESETS
+from repro.workloads.profiles import (
+    CountryProfile,
+    DeploymentSpec,
+    PAPER_FIGURE4_COUNTRIES,
+    default_profiles,
+    profile_for,
+)
+
+
+class TestDeploymentSpec:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            DeploymentSpec(vendor="gfw", blocked_share=0.0)
+        with pytest.raises(ConfigError):
+            DeploymentSpec(vendor="gfw", blocked_share=0.5, asn_share=0.0)
+        with pytest.raises(ConfigError):
+            DeploymentSpec(vendor="gfw", blocked_share=0.5, asn_share=1.5)
+
+
+class TestCountryProfile:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            CountryProfile(code="XX", name="X", weight=0.0)
+        with pytest.raises(ConfigError):
+            CountryProfile(code="XX", name="X", weight=1.0, p_blocked=1.5)
+        with pytest.raises(ConfigError):
+            CountryProfile(code="XX", name="X", weight=1.0, n_asns=0)
+        with pytest.raises(ConfigError):
+            CountryProfile(code="XX", name="X", weight=1.0, scanner_rate=0.6)
+
+    def test_has_tampering(self):
+        clean = CountryProfile(code="XX", name="X", weight=1.0)
+        assert not clean.has_tampering
+        censored = profile_for("CN")
+        assert censored.has_tampering
+
+
+class TestDefaultProfiles:
+    def test_unique_codes(self):
+        codes = [p.code for p in default_profiles()]
+        assert len(codes) == len(set(codes))
+
+    def test_reasonable_world_size(self):
+        profiles = default_profiles()
+        assert len(profiles) >= 40
+
+    def test_all_vendors_exist(self):
+        for profile in default_profiles():
+            for spec in profile.deployments:
+                assert spec.vendor in VENDOR_PRESETS, (profile.code, spec.vendor)
+
+    def test_key_paper_countries_present(self):
+        codes = {p.code for p in default_profiles()}
+        for code in ("TM", "IR", "CN", "RU", "KR", "UA", "PE", "MX", "IN", "US", "GB", "DE"):
+            assert code in codes
+
+    def test_figure4_axis_mostly_covered(self):
+        codes = {p.code for p in default_profiles()}
+        covered = sum(1 for c in PAPER_FIGURE4_COUNTRIES if c in codes)
+        assert covered / len(PAPER_FIGURE4_COUNTRIES) > 0.85
+
+    def test_blocked_categories_reference_real_categories(self):
+        from repro.cdn.categorize import STANDARD_CATEGORIES
+
+        for profile in default_profiles():
+            for category, coverage in profile.blocked_categories:
+                assert category in STANDARD_CATEGORIES, (profile.code, category)
+                assert 0 < coverage <= 1
+
+    def test_ordering_of_heavy_censors(self):
+        # Turkmenistan must demand blocked content far more than the US.
+        assert profile_for("TM").p_blocked > 0.8
+        assert profile_for("US").p_blocked < 0.05
+        assert profile_for("PE").p_blocked > profile_for("MX").p_blocked
+
+    def test_tm_is_http_only(self):
+        tm = profile_for("TM")
+        assert tm.http_only_blocking
+        assert tm.tls_share < 0.5
+
+    def test_centralized_vs_decentralized_asn_shares(self):
+        cn = profile_for("CN")
+        assert all(d.asn_share == 1.0 for d in cn.deployments)
+        ru = profile_for("RU")
+        assert all(d.asn_share < 1.0 for d in ru.deployments)
+
+    def test_profile_for_unknown(self):
+        with pytest.raises(KeyError):
+            profile_for("ZZ")

@@ -1,0 +1,201 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._util import chunk_payload, zipf_weights
+from repro.core.model import SignatureId, Stage
+from repro.core.sequence import reconstruct_order
+from repro.core.signatures import match_signature
+from repro.core.testlists import registrable_domain
+from repro.netstack.flags import TCPFlags, flags_from_str, flags_to_str
+from repro.netstack.options import TCPOption, decode_options, encode_options
+from repro.netstack.packet import Packet
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+ipv4 = st.builds(
+    lambda a, b, c, d: f"{a}.{b}.{c}.{d}",
+    st.integers(0, 223), st.integers(0, 255), st.integers(0, 255), st.integers(1, 254),
+)
+
+tcp_flags = st.sampled_from([
+    TCPFlags.SYN, TCPFlags.SYNACK, TCPFlags.ACK, TCPFlags.PSHACK,
+    TCPFlags.FINACK, TCPFlags.RST, TCPFlags.RSTACK, TCPFlags.FIN,
+])
+
+options_strategy = st.lists(
+    st.builds(
+        TCPOption,
+        kind=st.integers(2, 30),
+        data=st.binary(min_size=0, max_size=6),
+    ),
+    max_size=4,
+)
+
+packets_strategy = st.builds(
+    Packet,
+    ts=st.floats(0, 1e6, allow_nan=False, allow_infinity=False),
+    src=ipv4,
+    dst=ipv4,
+    ttl=st.integers(1, 255),
+    ip_id=st.integers(0, 0xFFFF),
+    sport=st.integers(1, 0xFFFF),
+    dport=st.integers(1, 0xFFFF),
+    seq=st.integers(0, 2**32 - 1),
+    ack=st.integers(0, 2**32 - 1),
+    flags=tcp_flags,
+    window=st.integers(0, 0xFFFF),
+    payload=st.binary(max_size=64),
+)
+
+
+# ---------------------------------------------------------------------------
+# Wire-format roundtrips
+# ---------------------------------------------------------------------------
+
+@given(packets_strategy)
+@settings(max_examples=200)
+def test_packet_wire_roundtrip(pkt):
+    decoded = Packet.decode(pkt.encode(), ts=pkt.ts, strict=True)
+    assert decoded.src == pkt.src
+    assert decoded.dst == pkt.dst
+    assert decoded.ttl == pkt.ttl
+    assert decoded.ip_id == pkt.ip_id
+    assert decoded.sport == pkt.sport and decoded.dport == pkt.dport
+    assert decoded.seq == pkt.seq and decoded.ack == pkt.ack
+    assert decoded.flags == pkt.flags
+    assert decoded.window == pkt.window
+    assert decoded.payload == pkt.payload
+
+
+@given(options_strategy)
+@settings(max_examples=200)
+def test_options_roundtrip(options):
+    try:
+        encoded = encode_options(options)
+    except ValueError:
+        return  # over the 40-byte budget: rejection is the contract
+    assert decode_options(encoded) == options
+    assert len(encoded) % 4 == 0
+
+
+@given(st.integers(0, 255))
+def test_flags_string_roundtrip(bits):
+    flags = TCPFlags(bits)
+    assert flags_from_str(flags_to_str(flags)) == flags
+
+
+# ---------------------------------------------------------------------------
+# Classifier invariants
+# ---------------------------------------------------------------------------
+
+def _inbound(pkts):
+    # Rebase onto one flow so they form one plausible connection sample.
+    return [
+        p.clone(src="11.0.0.1", dst="198.41.0.1", sport=40000, dport=443)
+        for p in pkts
+    ]
+
+
+@given(st.lists(packets_strategy, max_size=10))
+@settings(max_examples=300)
+def test_classifier_total_function(pkts):
+    """Every packet list classifies to exactly one signature, no crash."""
+    match = match_signature(_inbound(pkts), window_end=2e6)
+    assert isinstance(match.signature, SignatureId)
+    assert isinstance(match.stage, Stage)
+    if match.signature.is_tampering:
+        assert match.possibly_tampered
+
+
+@given(st.lists(packets_strategy, max_size=10), st.randoms(use_true_random=False))
+@settings(max_examples=200)
+def test_classification_order_invariant(pkts, rnd):
+    """Shuffling the stored order never changes the verdict (reorder on)."""
+    inbound = _inbound(pkts)
+    baseline = match_signature(inbound, window_end=2e6).signature
+    shuffled = list(inbound)
+    rnd.shuffle(shuffled)
+    assert match_signature(shuffled, window_end=2e6).signature == baseline
+
+
+@given(st.lists(packets_strategy, max_size=10))
+@settings(max_examples=200)
+def test_reconstruction_idempotent(pkts):
+    once = reconstruct_order(pkts)
+    assert reconstruct_order(once) == once
+    assert sorted(id(p) for p in once) == sorted(id(p) for p in pkts)
+
+
+@given(st.lists(packets_strategy, min_size=1, max_size=10))
+@settings(max_examples=200)
+def test_reconstruction_preserves_bucket_order(pkts):
+    ordered = reconstruct_order(pkts)
+    buckets = [p.ts for p in ordered]
+    assert buckets == sorted(buckets)
+
+
+# ---------------------------------------------------------------------------
+# Misc invariants
+# ---------------------------------------------------------------------------
+
+_LABEL = st.from_regex(r"[a-z][a-z0-9-]{0,8}", fullmatch=True)
+
+
+@given(st.lists(_LABEL, min_size=1, max_size=6))
+def test_dns_name_roundtrip(labels):
+    from repro.dns.message import decode_name, encode_name
+
+    name = ".".join(labels)
+    encoded = encode_name(name)
+    decoded, offset = decode_name(encoded, 0)
+    assert decoded == name
+    assert offset == len(encoded)
+
+
+@given(
+    st.lists(_LABEL, min_size=1, max_size=4),
+    st.integers(0, 0xFFFF),
+    st.sampled_from(["A", "AAAA"]),
+)
+def test_dns_message_roundtrip(labels, txid, rtype_name):
+    from repro.dns.message import DnsMessage, DnsRecord, QType
+
+    name = ".".join(labels)
+    qtype = QType[rtype_name]
+    address = "198.41.0.9" if qtype == QType.A else "2606:4700::9"
+    query = DnsMessage.query(name, qtype=qtype, txid=txid)
+    response = query.respond([DnsRecord(name, qtype, 300, address)])
+    back = DnsMessage.decode(response.encode())
+    assert back.header.txid == txid
+    assert back.question_name == name
+    assert back.addresses() == [address]
+
+
+@given(st.lists(_LABEL, min_size=1, max_size=5))
+def test_registrable_domain_is_suffix_and_idempotent(labels):
+    domain = ".".join(labels)
+    reg = registrable_domain(domain)
+    assert domain.endswith(reg)
+    assert registrable_domain(reg) == reg
+    assert len(reg.split(".")) <= 3
+
+
+@given(st.binary(min_size=0, max_size=500), st.integers(1, 100))
+def test_chunk_payload_reassembles(payload, mss):
+    chunks = chunk_payload(payload, mss)
+    assert b"".join(chunks) == payload
+    assert all(0 < len(c) <= mss for c in chunks)
+
+
+@given(st.integers(1, 500), st.floats(0.1, 2.0))
+def test_zipf_weights_normalized_and_decreasing(n, exponent):
+    weights = zipf_weights(n, exponent)
+    assert len(weights) == n
+    assert math.isclose(sum(weights), 1.0, rel_tol=1e-9)
+    assert all(a >= b for a, b in zip(weights, weights[1:]))

@@ -1,0 +1,91 @@
+"""Unit tests for plain-text report rendering."""
+
+import pytest
+
+from repro.core.report import (
+    cdf_points,
+    percentile,
+    render_cdf,
+    render_matrix,
+    render_table,
+    render_timeseries,
+)
+
+
+class TestRenderTable:
+    def test_alignment_and_title(self):
+        text = render_table(["name", "value"], [["a", 1], ["longer", 2.5]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[2] and "value" in lines[2]
+        assert "longer" in text and "2.50" in text
+
+    def test_float_format(self):
+        text = render_table(["x"], [[1.23456]], float_format="{:.4f}")
+        assert "1.2346" in text
+
+    def test_empty_rows(self):
+        text = render_table(["a", "b"], [])
+        assert "a" in text
+
+
+class TestPercentile:
+    def test_bounds(self):
+        values = [1, 2, 3, 4, 5]
+        assert percentile(values, 0) == 1
+        assert percentile(values, 100) == 5
+        assert percentile(values, 50) == 3
+
+    def test_interpolation(self):
+        assert percentile([0, 10], 50) == pytest.approx(5.0)
+
+    def test_single_value(self):
+        assert percentile([7], 99) == 7
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+
+class TestCdf:
+    def test_points_monotonic(self):
+        pts = cdf_points([5, 1, 9, 3, 7], n_points=5)
+        xs = [x for x, _ in pts]
+        ys = [y for _, y in pts]
+        assert xs == sorted(xs)
+        assert ys == sorted(ys)
+        assert ys[0] == 0.0 and ys[-1] == 1.0
+
+    def test_empty(self):
+        assert cdf_points([]) == []
+
+    def test_render_cdf(self):
+        text = render_cdf({"series-a": [1, 2, 3], "empty": []}, title="CDF")
+        assert "series-a" in text
+        assert "p50" in text
+        assert "empty" in text
+
+
+class TestRenderTimeseries:
+    def test_downsampling_and_labels(self):
+        series = {"CN": [(i * 3600.0, float(i)) for i in range(48)]}
+        text = render_timeseries(series, max_points=4, t0=0.0)
+        assert "CN" in text
+        assert "day 0.0" in text
+
+    def test_empty(self):
+        assert "CN" in render_timeseries({"CN": []})
+
+
+class TestRenderMatrix:
+    def test_normalized_rows(self):
+        matrix = {("a", "a"): 3.0, ("a", "b"): 1.0, ("b", "b"): 2.0}
+        text = render_matrix(matrix)
+        assert "0.75" in text  # 3/4 on the diagonal
+        assert "first \\ next" in text
+
+    def test_unnormalized(self):
+        text = render_matrix({("a", "a"): 3.0}, normalize_rows=False)
+        assert "3.00" in text

@@ -1,0 +1,78 @@
+"""Tests for residual-censorship behaviour and its active measurement."""
+
+import pytest
+
+from repro.active.residual import measure_residual_window
+from repro.middlebox.policy import BlockPolicy, DomainRule
+from repro.middlebox.vendors import enterprise_rst, gfw, iran_drop, single_rst
+
+
+def device_for(factory, seed=9):
+    return factory(BlockPolicy([DomainRule(["blocked.example"])]), seed=seed)
+
+
+class TestMeasurement:
+    def test_gfw_window_recovered(self):
+        m = measure_residual_window(device_for(gfw))
+        # Configured 90 s: the sweep must bracket it.
+        assert 75.0 <= m.estimated_window <= 95.0
+        assert m.first_unblocked is not None
+        assert m.first_unblocked > m.estimated_window
+
+    def test_iran_window_recovered(self):
+        m = measure_residual_window(device_for(iran_drop))
+        assert 30.0 <= m.estimated_window <= 45.0
+
+    def test_single_rst_window_recovered(self):
+        m = measure_residual_window(device_for(single_rst))
+        assert 60.0 <= m.estimated_window <= 75.0
+
+    def test_monotone_blocking(self):
+        """Blocked probes precede clear probes: the window is an interval."""
+        m = measure_residual_window(device_for(gfw))
+        states = [p.blocked for p in m.probes]
+        assert states == sorted(states, reverse=True)
+
+    def test_no_residual_vendor_all_clear(self):
+        m = measure_residual_window(device_for(enterprise_rst))
+        assert m.estimated_window is None
+        assert m.first_unblocked == min(p.delay for p in m.probes)
+
+    def test_untriggered_device_all_clear(self):
+        device = gfw(BlockPolicy([DomainRule(["other.example"])]), seed=3)
+        m = measure_residual_window(device)
+        assert m.estimated_window is None
+
+
+class TestResidualSemantics:
+    def test_innocent_domain_blocked_inside_window(self):
+        """Residual censorship is content-blind within the window."""
+        from tests.conftest import capture, make_client, run_connection
+        from repro.core.classifier import TamperingClassifier
+
+        device = device_for(gfw)
+        trigger = make_client(domain="blocked.example", port=42_001, seed=1)
+        run_connection(trigger, middleboxes=[device],
+                       server_port=trigger.peer_port, start=500.0, seed=1)
+        innocent = make_client(domain="innocent.example", port=42_002, seed=2)
+        result = run_connection(innocent, middleboxes=[device],
+                                server_port=innocent.peer_port, start=510.0, seed=2)
+        verdict = TamperingClassifier().classify(capture(result, conn_id=2))
+        assert verdict.is_tampering
+        # The trigger content of the *collateral* block is visible.
+        assert verdict.domain == "innocent.example"
+
+    def test_different_client_unaffected(self):
+        from tests.conftest import capture, make_client, run_connection
+        from repro.core.classifier import TamperingClassifier
+
+        device = device_for(gfw)
+        trigger = make_client(domain="blocked.example", port=42_003, seed=3)
+        run_connection(trigger, middleboxes=[device],
+                       server_port=trigger.peer_port, start=500.0, seed=3)
+        other = make_client(domain="innocent.example", client_ip="11.0.0.77",
+                            port=42_004, seed=4)
+        result = run_connection(other, middleboxes=[device],
+                                server_port=other.peer_port, start=510.0, seed=4)
+        verdict = TamperingClassifier().classify(capture(result, conn_id=4))
+        assert not verdict.is_tampering

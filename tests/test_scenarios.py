@@ -1,0 +1,87 @@
+"""Unit tests for the canned study scenarios."""
+
+import pytest
+
+from repro.core.model import Stage
+from repro.workloads.scenarios import (
+    JAN_12_2023,
+    SEP_13_2022,
+    _iran_escalation,
+    iran_protest_study,
+    two_week_study,
+)
+
+_DAY = 86400.0
+
+
+class TestTwoWeekStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return two_week_study(n_connections=400, seed=21, n_domains=800)
+
+    def test_window(self, study):
+        assert study.start_ts == JAN_12_2023
+        assert study.duration == 14 * _DAY
+        for ts in study.timestamps.values():
+            assert JAN_12_2023 <= ts < JAN_12_2023 + 14 * _DAY
+
+    def test_samples_produced(self, study):
+        assert len(study.samples) >= 380  # nearly every connection observable
+
+    def test_analyze_annotates_countries(self, study):
+        data = study.analyze()
+        assert len(data) == len(study.samples)
+        countries = set(data.countries)
+        assert "??" not in countries
+        assert len(countries) > 10
+
+    def test_analyze_accepts_custom_classifier(self, study):
+        from repro.core.classifier import ClassifierConfig, TamperingClassifier
+
+        strict = TamperingClassifier(ClassifierConfig(inactivity_seconds=8.0))
+        data = study.analyze(classifier=strict)
+        assert len(data) == len(study.samples)
+
+    def test_deterministic(self):
+        a = two_week_study(n_connections=100, seed=5, n_domains=600)
+        b = two_week_study(n_connections=100, seed=5, n_domains=600)
+        sig_a = [s.truth_vendor for s in a.samples]
+        sig_b = [s.truth_vendor for s in b.samples]
+        assert sig_a == sig_b
+
+
+class TestIranEscalation:
+    def test_other_countries_unaffected(self):
+        assert _iran_escalation("DE", SEP_13_2022 + 5 * _DAY) == 1.0
+
+    def test_escalates_after_protests(self):
+        before = _iran_escalation("IR", SEP_13_2022 + 0.1 * _DAY)
+        after = _iran_escalation("IR", SEP_13_2022 + 6 * _DAY)
+        assert after > before
+
+    def test_evening_peak(self):
+        # Same day, Iranian evening (21:00 local = 17:30 UTC) vs morning.
+        day5 = SEP_13_2022 + 5 * _DAY
+        evening = _iran_escalation("IR", day5 + 17.5 * 3600.0)
+        morning = _iran_escalation("IR", day5 + 6.5 * 3600.0)
+        assert evening > morning
+
+
+class TestIranProtestStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return iran_protest_study(n_connections=500, seed=17, days=6.0)
+
+    def test_iran_dominates(self, study):
+        data = study.analyze()
+        ir = len(data.in_countries(["IR"]))
+        assert ir > 0.7 * len(data)
+
+    def test_tampering_rate_grows(self, study):
+        data = study.analyze().in_countries(["IR"])
+        series = data.timeseries(bucket_seconds=2 * _DAY,
+                                 stages=(Stage.POST_SYN, Stage.POST_ACK, Stage.POST_PSH,
+                                         Stage.POST_DATA))["IR"]
+        assert len(series) >= 2
+        first, last = series[0][1], series[-1][1]
+        assert last > first

@@ -1,0 +1,118 @@
+"""Unit tests for packet-order reconstruction."""
+
+import random
+
+from repro.core.sequence import reconstruct_order, semantic_rank
+from repro.netstack.flags import TCPFlags
+from repro.netstack.packet import Packet
+
+
+def pkt(flags, ts=0.0, seq=0, ack=0, payload=b""):
+    return Packet(src="11.0.0.1", dst="198.41.0.1", sport=1, dport=443,
+                  seq=seq, ack=ack, flags=flags, ts=ts, payload=payload)
+
+
+class TestSemanticRank:
+    def test_syn_always_first(self):
+        syn = semantic_rank(pkt(TCPFlags.SYN, seq=100))
+        others = [
+            semantic_rank(pkt(TCPFlags.ACK, ack=900)),
+            semantic_rank(pkt(TCPFlags.PSHACK, ack=900, payload=b"x")),
+            semantic_rank(pkt(TCPFlags.FINACK, ack=950)),
+        ]
+        assert all(syn < other for other in others)
+
+    def test_rst_always_last(self):
+        rst = semantic_rank(pkt(TCPFlags.RST))
+        rstack = semantic_rank(pkt(TCPFlags.RSTACK, ack=1))
+        others = [
+            semantic_rank(pkt(TCPFlags.SYN)),
+            semantic_rank(pkt(TCPFlags.ACK, ack=2**32 - 1)),
+            semantic_rank(pkt(TCPFlags.FINACK, ack=2**32 - 1)),
+        ]
+        assert all(rst > other for other in others)
+        assert all(rstack > other for other in others)
+
+    def test_ack_number_is_primary_among_non_rst(self):
+        early_data = semantic_rank(pkt(TCPFlags.PSHACK, ack=900, payload=b"x"))
+        later_ack = semantic_rank(pkt(TCPFlags.ACK, ack=5000))
+        assert early_data < later_ack
+
+    def test_class_breaks_ack_ties(self):
+        hs_ack = semantic_rank(pkt(TCPFlags.ACK, ack=900))
+        data = semantic_rank(pkt(TCPFlags.PSHACK, ack=900, payload=b"x"))
+        fin = semantic_rank(pkt(TCPFlags.FINACK, ack=900))
+        assert hs_ack < data < fin
+
+
+class TestReconstruction:
+    def canonical(self):
+        """A realistic clean inbound capture, in true arrival order."""
+        return [
+            pkt(TCPFlags.SYN, ts=0.0, seq=100),
+            pkt(TCPFlags.ACK, ts=0.0, seq=101, ack=900),          # handshake ACK
+            pkt(TCPFlags.PSHACK, ts=0.0, seq=101, ack=900, payload=b"aaa"),
+            pkt(TCPFlags.PSHACK, ts=0.0, seq=104, ack=900, payload=b"bbb"),
+            pkt(TCPFlags.ACK, ts=0.0, seq=107, ack=2400),         # ACK of response
+            pkt(TCPFlags.ACK, ts=0.0, seq=107, ack=3900),         # ACK of response
+            pkt(TCPFlags.FINACK, ts=0.0, seq=107, ack=3901),
+        ]
+
+    def test_recovers_canonical_order_from_any_shuffle(self):
+        canonical = self.canonical()
+        expected = [(p.flags, p.seq, p.ack) for p in canonical]
+        rng = random.Random(5)
+        for _ in range(30):
+            shuffled = canonical[:]
+            rng.shuffle(shuffled)
+            result = [(p.flags, p.seq, p.ack) for p in reconstruct_order(shuffled)]
+            assert result == expected
+
+    def test_rsts_sort_last_within_bucket(self):
+        packets = [
+            pkt(TCPFlags.RST, ts=0.0, seq=104),
+            pkt(TCPFlags.SYN, ts=0.0, seq=100),
+            pkt(TCPFlags.PSHACK, ts=0.0, seq=101, ack=900, payload=b"x"),
+        ]
+        ordered = reconstruct_order(packets)
+        assert [p.flags for p in ordered] == [TCPFlags.SYN, TCPFlags.PSHACK, TCPFlags.RST]
+
+    def test_bucket_boundaries_respected(self):
+        # A RST in an *earlier* bucket must stay before later packets.
+        early_rst = pkt(TCPFlags.RST, ts=0.0, seq=50)
+        late_data = pkt(TCPFlags.PSHACK, ts=1.0, seq=100, ack=1, payload=b"x")
+        ordered = reconstruct_order([late_data, early_rst])
+        assert ordered[0].flags.is_rst
+
+    def test_idempotent(self):
+        canonical = self.canonical()
+        once = reconstruct_order(canonical)
+        twice = reconstruct_order(once)
+        assert [(p.flags, p.seq, p.ack) for p in once] == [
+            (p.flags, p.seq, p.ack) for p in twice
+        ]
+
+    def test_data_ordered_by_seq(self):
+        a = pkt(TCPFlags.PSHACK, ts=0.0, seq=300, ack=900, payload=b"2")
+        b = pkt(TCPFlags.PSHACK, ts=0.0, seq=100, ack=900, payload=b"1")
+        assert [p.seq for p in reconstruct_order([a, b])] == [100, 300]
+
+    def test_duplicate_syns_stable(self):
+        syn1 = pkt(TCPFlags.SYN, ts=0.0, seq=100)
+        syn2 = pkt(TCPFlags.SYN, ts=0.0, seq=100)
+        ordered = reconstruct_order([syn1, syn2])
+        assert ordered[0] is syn1 and ordered[1] is syn2
+
+    def test_ip_id_monotone_after_reconstruction(self):
+        """The property the Figure 2 baseline depends on: reconstructed
+        order restores the client's IP-ID progression."""
+        canonical = self.canonical()
+        stamped = [p.clone(ip_id=100 + i) for i, p in enumerate(canonical)]
+        rng = random.Random(9)
+        shuffled = stamped[:]
+        rng.shuffle(shuffled)
+        ordered = reconstruct_order(shuffled)
+        assert [p.ip_id for p in ordered] == [100 + i for i in range(len(stamped))]
+
+    def test_empty(self):
+        assert reconstruct_order([]) == []

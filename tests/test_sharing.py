@@ -1,0 +1,101 @@
+"""Unit tests for the privacy-preserving aggregate export."""
+
+import io
+import json
+
+import pytest
+
+from repro.core.aggregate import AnalysisDataset, AnalyzedConnection
+from repro.core.model import SignatureId, Stage
+from repro.core.sharing import DEFAULT_MIN_CELL, build_radar_export, write_radar_json
+
+_DAY = 86400.0
+
+
+def conn(country="CN", signature=SignatureId.PSH_RST, ts=0.0, conn_id=0, client_ip="11.0.0.1"):
+    return AnalyzedConnection(
+        conn_id=conn_id, ts=ts, country=country, asn=1,
+        signature=signature, stage=signature.stage, ip_version=4,
+        server_port=443, protocol=None, domain="secret-domain.example",
+        client_ip=client_ip,
+        possibly_tampered=signature != SignatureId.NOT_TAMPERING,
+    )
+
+
+def populous_day(country="CN", day=0, n=30, tampered=6):
+    rows = []
+    for i in range(n):
+        sig = SignatureId.PSH_RST if i < tampered else SignatureId.NOT_TAMPERING
+        rows.append(conn(country=country, signature=sig, ts=day * _DAY + i, conn_id=day * 1000 + i))
+    return rows
+
+
+class TestAggregation:
+    def test_any_record_and_per_signature(self):
+        data = AnalysisDataset(populous_day())
+        records = build_radar_export(data, min_cell=20)
+        any_rec = next(r for r in records if r.signature == "any")
+        assert any_rec.connections == 30
+        assert any_rec.matches == 6
+        assert any_rec.share_pct == pytest.approx(20.0)
+        sig_rec = next(r for r in records if r.signature == SignatureId.PSH_RST.display)
+        assert sig_rec.matches == 6
+
+    def test_day_indexing_from_epoch(self):
+        data = AnalysisDataset(populous_day(day=0) + populous_day(day=3))
+        records = build_radar_export(data, min_cell=20)
+        days = {r.day for r in records}
+        assert days == {0, 3}
+
+    def test_empty_dataset(self):
+        assert build_radar_export(AnalysisDataset([])) == []
+
+    def test_min_cell_validation(self):
+        with pytest.raises(ValueError):
+            build_radar_export(AnalysisDataset(populous_day()), min_cell=0)
+
+
+class TestPrivacy:
+    def test_small_cells_suppressed(self):
+        rows = populous_day(country="CN") + [
+            conn(country="TV", signature=SignatureId.PSH_RST, ts=5.0, conn_id=999)
+        ]
+        records = build_radar_export(AnalysisDataset(rows), min_cell=20)
+        assert all(r.country != "TV" for r in records)
+        assert all(r.connections >= 20 for r in records)
+
+    def test_no_identifiers_in_output(self):
+        records = build_radar_export(AnalysisDataset(populous_day()), min_cell=20)
+        blob = json.dumps([r.to_dict() for r in records])
+        assert "11.0.0.1" not in blob
+        assert "secret-domain.example" not in blob
+
+    def test_default_floor_is_meaningful(self):
+        assert DEFAULT_MIN_CELL >= 10
+
+
+class TestSerialization:
+    def test_write_json(self):
+        records = build_radar_export(AnalysisDataset(populous_day()), min_cell=20)
+        buf = io.StringIO()
+        count = write_radar_json(buf, records)
+        assert count == len(records)
+        loaded = json.loads(buf.getvalue())
+        assert loaded[0]["signature"] == "any"
+
+    def test_write_json_file(self, tmp_path):
+        records = build_radar_export(AnalysisDataset(populous_day()), min_cell=20)
+        path = str(tmp_path / "radar.json")
+        write_radar_json(path, records, indent=2)
+        with open(path) as fh:
+            assert json.load(fh)
+
+
+class TestOnRealStudy:
+    def test_export_covers_major_countries(self, small_dataset):
+        records = build_radar_export(small_dataset, min_cell=10)
+        countries = {r.country for r in records}
+        assert "US" in countries or "CN" in countries
+        for r in records:
+            assert 0.0 <= r.share_pct <= 100.0
+            assert r.matches <= r.connections

@@ -1,0 +1,293 @@
+"""Unit tests for the Table 1 signature decision logic.
+
+These tests build inbound packet lists by hand (no simulator) so every
+branch of the decision tree is pinned down explicitly.
+"""
+
+import pytest
+
+from repro.core.model import SignatureId, Stage
+from repro.core.signatures import INACTIVITY_SECONDS, match_signature
+from repro.netstack.flags import TCPFlags
+from repro.netstack.packet import Packet
+
+CLIENT, SERVER = "11.0.0.8", "198.41.0.3"
+
+
+def pkt(flags, ts=0.0, seq=100, ack=0, payload=b""):
+    return Packet(src=CLIENT, dst=SERVER, sport=40000, dport=443,
+                  seq=seq, ack=ack, flags=flags, ts=ts, payload=payload)
+
+
+def syn(ts=0.0, seq=100):
+    return pkt(TCPFlags.SYN, ts=ts, seq=seq)
+
+
+def hs_ack(ts=0.0):
+    return pkt(TCPFlags.ACK, ts=ts, seq=101, ack=901)
+
+
+def data(ts=0.0, seq=101, payload=b"\x16\x03\x01data"):
+    return pkt(TCPFlags.PSHACK, ts=ts, seq=seq, ack=901, payload=payload)
+
+
+def rst(ts=1.0, seq=120, ack=0):
+    return pkt(TCPFlags.RST, ts=ts, seq=seq, ack=ack)
+
+
+def rstack(ts=1.0, seq=120, ack=901):
+    return pkt(TCPFlags.RSTACK, ts=ts, seq=seq, ack=ack)
+
+
+def fin(ts=2.0, seq=150):
+    return pkt(TCPFlags.FINACK, ts=ts, seq=seq, ack=950)
+
+
+def classify(packets, window_end=None):
+    if window_end is None:
+        last = max((p.ts for p in packets), default=0.0)
+        window_end = last + 10.0
+    return match_signature(packets, window_end=window_end)
+
+
+class TestPostSyn:
+    def test_syn_none(self):
+        m = classify([syn()])
+        assert m.signature == SignatureId.SYN_NONE
+        assert m.stage == Stage.POST_SYN
+        assert m.possibly_tampered
+
+    def test_retransmitted_syns_still_syn_none(self):
+        m = classify([syn(0.0), syn(1.0), syn(3.0)])
+        assert m.signature == SignatureId.SYN_NONE
+
+    def test_syn_rst(self):
+        assert classify([syn(), rst()]).signature == SignatureId.SYN_RST
+
+    def test_syn_multiple_rst(self):
+        m = classify([syn(), rst(1.0), rst(1.1, ack=5)])
+        assert m.signature == SignatureId.SYN_RST  # "one or more"
+
+    def test_syn_rstack(self):
+        assert classify([syn(), rstack()]).signature == SignatureId.SYN_RSTACK
+
+    def test_syn_rst_rstack(self):
+        m = classify([syn(), rst(1.0), rstack(1.1)])
+        assert m.signature == SignatureId.SYN_RST_RSTACK
+
+    def test_syn_with_payload_still_post_syn(self):
+        # TCP fast-open style SYN carrying an HTTP request (paper §4.1).
+        m = classify([pkt(TCPFlags.SYN, payload=b"GET / HTTP/1.1\r\n\r\n")])
+        assert m.signature == SignatureId.SYN_NONE
+        assert m.stage == Stage.POST_SYN
+
+
+class TestPostAck:
+    def test_ack_none(self):
+        m = classify([syn(), hs_ack(0.1)])
+        assert m.signature == SignatureId.ACK_NONE
+        assert m.stage == Stage.POST_ACK
+
+    def test_ack_rst_exactly_one(self):
+        assert classify([syn(), hs_ack(0.1), rst()]).signature == SignatureId.ACK_RST
+
+    def test_ack_rst_rst(self):
+        m = classify([syn(), hs_ack(0.1), rst(1.0), rst(1.1, ack=7)])
+        assert m.signature == SignatureId.ACK_RST_RST
+
+    def test_ack_rstack(self):
+        assert classify([syn(), hs_ack(0.1), rstack()]).signature == SignatureId.ACK_RSTACK
+
+    def test_ack_rstack_rstack(self):
+        m = classify([syn(), hs_ack(0.1), rstack(1.0), rstack(1.1)])
+        assert m.signature == SignatureId.ACK_RSTACK_RSTACK
+
+    def test_mixed_teardown_is_other(self):
+        m = classify([syn(), hs_ack(0.1), rst(1.0), rstack(1.1)])
+        assert m.signature == SignatureId.OTHER
+
+
+class TestPostPsh:
+    def base(self):
+        return [syn(), hs_ack(0.1), data(0.2)]
+
+    def test_psh_none(self):
+        m = classify(self.base())
+        assert m.signature == SignatureId.PSH_NONE
+        assert m.stage == Stage.POST_PSH
+
+    def test_psh_rst(self):
+        assert classify(self.base() + [rst()]).signature == SignatureId.PSH_RST
+
+    def test_psh_rstack(self):
+        assert classify(self.base() + [rstack()]).signature == SignatureId.PSH_RSTACK
+
+    def test_psh_rst_rstack(self):
+        m = classify(self.base() + [rst(1.0), rstack(1.1)])
+        assert m.signature == SignatureId.PSH_RST_RSTACK
+
+    def test_psh_rstack_rstack(self):
+        m = classify(self.base() + [rstack(1.0), rstack(1.1)])
+        assert m.signature == SignatureId.PSH_RSTACK_RSTACK
+
+    def test_psh_rst_eq_rst(self):
+        m = classify(self.base() + [rst(1.0, ack=5000), rst(1.1, ack=5000)])
+        assert m.signature == SignatureId.PSH_RST_EQ_RST
+
+    def test_psh_rst_eq_rst_all_zero_acks(self):
+        m = classify(self.base() + [rst(1.0, ack=0), rst(1.1, ack=0)])
+        assert m.signature == SignatureId.PSH_RST_EQ_RST
+
+    def test_psh_rst_neq_rst(self):
+        m = classify(self.base() + [rst(1.0, ack=5000), rst(1.1, ack=6460)])
+        assert m.signature == SignatureId.PSH_RST_NEQ_RST
+
+    def test_psh_rst_rst0(self):
+        m = classify(self.base() + [rst(1.0, ack=5000), rst(1.1, ack=0)])
+        assert m.signature == SignatureId.PSH_RST_RST0
+
+    def test_retransmitted_data_stays_post_psh(self):
+        # Same sequence number twice = one logical data packet.
+        packets = [syn(), hs_ack(0.1), data(0.2, seq=101), data(1.2, seq=101)]
+        m = classify(packets)
+        assert m.n_data_segments == 1
+        assert m.signature == SignatureId.PSH_NONE
+
+
+class TestPostData:
+    def base(self):
+        return [syn(), hs_ack(0.1), data(0.2, seq=101),
+                data(0.3, seq=101 + 12, payload=b"secondseg")]
+
+    def test_data_rst(self):
+        m = classify(self.base() + [rst()])
+        assert m.signature == SignatureId.DATA_RST
+        assert m.stage == Stage.POST_DATA
+
+    def test_data_rstack(self):
+        assert classify(self.base() + [rstack()]).signature == SignatureId.DATA_RSTACK
+
+    def test_multiple_rsts_still_match(self):
+        m = classify(self.base() + [rst(1.0), rst(1.1, ack=9)])
+        assert m.signature == SignatureId.DATA_RST
+
+    def test_mixed_is_other(self):
+        m = classify(self.base() + [rst(1.0), rstack(1.1)])
+        assert m.signature == SignatureId.OTHER
+
+    def test_silence_after_data_is_other(self):
+        # Timeout after multiple data packets has no Table 1 signature.
+        m = classify(self.base())
+        assert m.signature == SignatureId.OTHER
+        assert m.possibly_tampered
+
+
+class TestGracefulAndEdgeCases:
+    def test_graceful_fin_not_tampering(self):
+        m = classify([syn(), hs_ack(0.1), data(0.2), fin(0.4)])
+        assert m.signature == SignatureId.NOT_TAMPERING
+        assert not m.possibly_tampered
+        assert m.saw_fin
+
+    def test_rst_after_fin_matches_post_data(self):
+        # A FIN is itself a packet after the first data segment, so the
+        # connection lands in the post-data group, whose signatures do
+        # not exclude FIN-bearing connections (commercial-device RSTs
+        # and abortive client closes are indistinguishable there).
+        m = classify([syn(), hs_ack(0.1), data(0.2), fin(0.4), rst(0.5)])
+        assert m.signature == SignatureId.DATA_RST
+        assert m.stage == Stage.POST_DATA
+        assert m.possibly_tampered
+
+    def test_rst_after_fin_multiple_data_matches_post_data(self):
+        packets = [syn(), hs_ack(0.1), data(0.2, seq=101),
+                   data(0.3, seq=113, payload=b"second-part!"),
+                   fin(0.5), rst(0.6)]
+        m = classify(packets)
+        assert m.signature == SignatureId.DATA_RST
+
+    def test_ack_after_data_pushes_to_post_data(self):
+        # A client ACK (of the server's response) between the data packet
+        # and the RST means the tear-down was NOT immediate: post-data.
+        resp_ack = pkt(TCPFlags.ACK, ts=0.3, seq=115, ack=2500)
+        m = classify([syn(), hs_ack(0.1), data(0.2), resp_ack, rst(0.6)])
+        assert m.stage == Stage.POST_DATA
+        assert m.signature == SignatureId.DATA_RST
+
+    def test_idle_keepalive_is_uncovered_post_data(self):
+        # Response ACKed, then silence without FIN: possibly tampered,
+        # post-data, but matching no signature (the paper's 30.8%
+        # uncovered residue in that stage).
+        resp_ack = pkt(TCPFlags.ACK, ts=0.3, seq=115, ack=2500)
+        m = classify([syn(), hs_ack(0.1), data(0.2), resp_ack])
+        assert m.possibly_tampered
+        assert m.stage == Stage.POST_DATA
+        assert m.signature == SignatureId.OTHER
+
+    def test_fast_full_capture_without_fin_not_tampered(self):
+        # Ten packets inside one second, no FIN, no RST: the buffer
+        # truncated a healthy long connection.
+        packets = [syn(0.0), hs_ack(0.0)]
+        seq = 101
+        for i in range(8):
+            packets.append(data(0.0, seq=seq, payload=b"x" * 10))
+            seq += 10
+        m = classify(packets)
+        assert m.signature == SignatureId.NOT_TAMPERING
+        assert not m.possibly_tampered
+
+    def test_internal_gap_counts_as_silence(self):
+        packets = [syn(0.0), hs_ack(0.1), data(0.2), data(8.0, seq=400, payload=b"late")]
+        m = classify(packets)
+        assert m.possibly_tampered
+        assert m.silence_gap >= INACTIVITY_SECONDS
+
+    def test_two_bare_acks_is_other(self):
+        # The paper's example of a connection that does not fall cleanly
+        # into a stage: a SYN and two ACKs.
+        packets = [syn(), hs_ack(0.1), pkt(TCPFlags.ACK, ts=0.2, seq=101, ack=1400)]
+        m = classify(packets)
+        assert m.signature == SignatureId.OTHER
+
+    def test_empty_sample(self):
+        m = match_signature([], window_end=10.0)
+        assert m.signature == SignatureId.OTHER
+        assert not m.possibly_tampered
+
+    def test_inactivity_threshold_respected(self):
+        packets = [syn(0.0)]
+        m = match_signature(packets, window_end=2.0)  # only 2s of silence
+        assert m.signature == SignatureId.NOT_TAMPERING
+        m = match_signature(packets, window_end=4.0)
+        assert m.signature == SignatureId.SYN_NONE
+
+    def test_custom_inactivity_seconds(self):
+        packets = [syn(0.0)]
+        m = match_signature(packets, window_end=2.0, inactivity_seconds=1.0)
+        assert m.signature == SignatureId.SYN_NONE
+
+    def test_truncated_capture_trailing_gap_ignored(self):
+        # Exactly max_packets packets: the trailing gap says nothing.
+        packets = [syn(0.0), hs_ack(0.0)] + [
+            data(0.1, seq=101 + 10 * i, payload=b"y" * 10) for i in range(8)
+        ]
+        assert len(packets) == 10
+        m = match_signature(packets, window_end=100.0, max_packets=10)
+        assert m.signature == SignatureId.NOT_TAMPERING
+
+
+class TestReorderingRobustness:
+    def test_shuffled_input_same_result(self):
+        packets = [syn(), hs_ack(0.1), data(0.2), rst(1.0), rstack(1.1)]
+        expected = classify(packets).signature
+        shuffled = [packets[i] for i in (4, 0, 3, 1, 2)]
+        # Flatten timestamps into one bucket to force reconstruction.
+        flat = [p.clone(ts=0.0) for p in shuffled]
+        assert classify(flat, window_end=10.0).signature == expected
+
+    def test_reorder_disabled_trusts_input(self):
+        packets = [rst(0.0), syn(0.0)]
+        ordered = match_signature(packets, window_end=10.0, reorder=True)
+        raw = match_signature(packets, window_end=10.0, reorder=False)
+        assert ordered.signature == SignatureId.SYN_RST
+        assert raw.signature == ordered.signature  # counting is order-free here

@@ -1,0 +1,195 @@
+"""Unit tests for the path simulator."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.middlebox.actions import Verdict
+from repro.middlebox.device import Middlebox
+from repro.netstack.flags import TCPFlags
+from repro.netstack.packet import PacketDirection
+from repro.network.conditions import LegConditions, NetworkConditions
+from repro.network.sim import PathSimulator
+from tests.conftest import SERVER_IP, make_client, run_connection
+
+
+class CountingBox(Middlebox):
+    """Transparent device that counts what it sees."""
+
+    def __init__(self):
+        self.seen_to_server = 0
+        self.seen_to_client = 0
+
+    def process(self, pkt, now):
+        if pkt.direction == PacketDirection.TO_SERVER:
+            self.seen_to_server += 1
+        else:
+            self.seen_to_client += 1
+        return Verdict.allow()
+
+
+class TestCleanConnection:
+    def test_graceful_transfer(self):
+        client = make_client(protocol="http")
+        result = run_connection(client, server_port=80)
+        flags = [p.flags for p in result.server_inbound]
+        assert flags[0] == TCPFlags.SYN
+        assert TCPFlags.PSHACK in flags
+        assert any(f.is_fin for f in flags)
+        assert not any(f.is_rst for f in flags)
+        assert result.injected_reached_server == 0
+
+    def test_inbound_all_to_server(self):
+        result = run_connection(make_client())
+        assert all(p.direction == PacketDirection.TO_SERVER for p in result.server_inbound)
+
+    def test_timestamps_monotonic_at_server(self):
+        result = run_connection(make_client())
+        ts = [p.ts for p in result.server_inbound]
+        assert ts == sorted(ts)
+        assert result.duration >= 0
+
+    def test_middlebox_sees_both_directions(self):
+        box = CountingBox()
+        result = run_connection(make_client(), middleboxes=[box])
+        assert box.seen_to_server == len(result.server_inbound)
+        assert box.seen_to_client > 0
+
+
+class TestTtlDecrement:
+    def test_client_packets_lose_path_hops(self):
+        cond = NetworkConditions.simple(n_middleboxes=0, hops=14)
+        client = make_client()
+        from repro.cdn.edge import EdgeConfig, make_edge_server
+
+        server = make_edge_server(SERVER_IP, EdgeConfig(port=client.peer_port), seed=1)
+        sim = PathSimulator(client, server, conditions=cond)
+        result = sim.run(start=0.0)
+        assert all(p.ttl == client.config.initial_ttl - 14 for p in result.server_inbound)
+
+    def test_ttl_expiry_drops_packet(self):
+        cond = NetworkConditions(legs=(LegConditions(hops=100),))
+        client = make_client()
+        from repro.cdn.edge import EdgeConfig, make_edge_server
+
+        server = make_edge_server(SERVER_IP, EdgeConfig(port=client.peer_port), seed=1)
+        sim = PathSimulator(client, server, conditions=cond)
+        result = sim.run(start=0.0)
+        assert result.server_inbound == []
+
+
+class TestLoss:
+    def test_full_loss_isolates_endpoints(self):
+        cond = NetworkConditions(legs=(LegConditions(loss=0.999),))
+        client = make_client()
+        from repro.cdn.edge import EdgeConfig, make_edge_server
+
+        server = make_edge_server(SERVER_IP, EdgeConfig(port=client.peer_port), seed=1)
+        sim = PathSimulator(client, server, conditions=cond, seed=4)
+        result = sim.run(start=0.0)
+        # With near-total loss almost nothing arrives; the client aborts.
+        assert len(result.server_inbound) <= 1
+
+
+class TestValidation:
+    def test_conditions_mismatch_rejected(self):
+        client = make_client()
+        from repro.cdn.edge import EdgeConfig, make_edge_server
+
+        server = make_edge_server(SERVER_IP, EdgeConfig(port=client.peer_port), seed=1)
+        with pytest.raises(SimulationError):
+            PathSimulator(client, server, middleboxes=[CountingBox()],
+                          conditions=NetworkConditions.simple(n_middleboxes=0))
+
+    def test_deadline_bounds_events(self):
+        client = make_client()
+        from repro.cdn.edge import EdgeConfig, make_edge_server
+
+        server = make_edge_server(SERVER_IP, EdgeConfig(port=client.peer_port), seed=1)
+        sim = PathSimulator(client, server)
+        result = sim.run(start=50.0, deadline=0.001)
+        assert result.end <= 50.1
+
+
+class TestTimerGuard:
+    def test_endpoint_that_never_advances_timer_is_rejected(self):
+        """Regression: a stuck timer must raise, not spin forever."""
+
+        class StuckClient:
+            def __init__(self):
+                self.done = False
+                self._t = 1.0
+
+            def begin(self, now):
+                return []
+
+            def on_packet(self, pkt, now):
+                return []
+
+            def on_timer(self, now):
+                return []  # never advances or disarms self._t
+
+            def next_timer(self):
+                return self._t
+
+        from repro.cdn.edge import EdgeConfig, make_edge_server
+
+        server = make_edge_server(SERVER_IP, EdgeConfig(port=443), seed=1)
+        sim = PathSimulator(StuckClient(), server)
+        with pytest.raises(SimulationError):
+            sim.run(start=0.0)
+
+
+class TestInjectedPacketRouting:
+    def test_injection_reaches_both_ends(self):
+        from repro.middlebox.device import TamperBehavior, TamperingMiddlebox
+        from repro.middlebox.injector import InjectionSpec
+        from repro.middlebox.policy import BlockPolicy, DomainRule
+
+        device = TamperingMiddlebox(
+            BlockPolicy([DomainRule(["blocked.example"])]),
+            TamperBehavior(
+                inject_to_server=InjectionSpec.single(),
+                inject_to_client=InjectionSpec.single(),
+            ),
+        )
+        client = make_client()
+        result = run_connection(client, middleboxes=[device], server_port=client.peer_port)
+        assert any(p.injected for p in result.server_inbound)
+        assert any(p.injected for p in result.client_received)
+
+    def test_middlebox_chain_order(self):
+        """Packets traverse devices client-side first; a drop at the
+        first device means the second never sees the flow."""
+        from repro.middlebox.actions import Verdict
+        from repro.middlebox.device import Middlebox
+
+        class DropAll(Middlebox):
+            def process(self, pkt, now):
+                return Verdict.drop()
+
+        class Counter(Middlebox):
+            def __init__(self):
+                self.seen = 0
+
+            def process(self, pkt, now):
+                self.seen += 1
+                return Verdict.allow()
+
+        counter = Counter()
+        client = make_client()
+        result = run_connection(client, middleboxes=[DropAll(), counter],
+                                server_port=client.peer_port)
+        assert counter.seen == 0
+        assert result.server_inbound == []
+
+
+class TestDeterminism:
+    def test_same_seed_same_capture(self):
+        def run_once():
+            client = make_client(seed=77)
+            return run_connection(client, seed=5)
+
+        a, b = run_once(), run_once()
+        assert [(p.ts, p.flags, p.seq, p.ip_id) for p in a.server_inbound] == [
+            (p.ts, p.flags, p.seq, p.ip_id) for p in b.server_inbound
+        ]

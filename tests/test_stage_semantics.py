@@ -1,0 +1,135 @@
+"""Focused tests for the immediately-after stage-grouping semantics.
+
+The Post-PSH / Post-Data boundary is defined by *when* the tampering
+event lands relative to the first client data segment (DESIGN.md §6).
+These tests pin the edge cases of that boundary, and the interplay with
+order reconstruction and vendor behaviour end to end.
+"""
+
+from repro.core.model import SignatureId, Stage
+from repro.core.signatures import match_signature
+from repro.netstack.flags import TCPFlags
+from repro.netstack.packet import Packet
+
+CLIENT, SERVER = "11.0.0.8", "198.41.0.3"
+
+
+def pkt(flags, ts=0.0, seq=100, ack=0, payload=b""):
+    return Packet(src=CLIENT, dst=SERVER, sport=40000, dport=443,
+                  seq=seq, ack=ack, flags=flags, ts=ts, payload=payload)
+
+
+def classify(packets, window_end=None):
+    if window_end is None:
+        window_end = max((p.ts for p in packets), default=0.0) + 10.0
+    return match_signature(packets, window_end=window_end)
+
+
+def handshake():
+    return [pkt(TCPFlags.SYN, ts=0.0, seq=100),
+            pkt(TCPFlags.ACK, ts=0.1, seq=101, ack=901)]
+
+
+def trigger(ts=0.2, seq=101, payload=b"\x16\x03\x01trigger"):
+    return pkt(TCPFlags.PSHACK, ts=ts, seq=seq, ack=901, payload=payload)
+
+
+class TestImmediateBoundary:
+    def test_rst_immediately_after_data_is_post_psh(self):
+        m = classify(handshake() + [trigger(), pkt(TCPFlags.RST, ts=0.3, seq=120)])
+        assert m.stage == Stage.POST_PSH
+        assert m.signature == SignatureId.PSH_RST
+
+    def test_trigger_retransmissions_do_not_promote(self):
+        packets = handshake() + [
+            trigger(ts=0.2), trigger(ts=1.2), trigger(ts=3.2),
+            pkt(TCPFlags.RST, ts=3.3, seq=120),
+        ]
+        m = classify(packets)
+        assert m.stage == Stage.POST_PSH
+        assert m.n_data_segments == 1
+
+    def test_second_segment_promotes_to_post_data(self):
+        packets = handshake() + [
+            trigger(ts=0.2, seq=101),
+            pkt(TCPFlags.PSHACK, ts=0.3, seq=116, ack=901, payload=b"more"),
+            pkt(TCPFlags.RST, ts=0.4, seq=130),
+        ]
+        m = classify(packets)
+        assert m.stage == Stage.POST_DATA
+        assert m.signature == SignatureId.DATA_RST
+
+    def test_response_ack_promotes_to_post_data(self):
+        packets = handshake() + [
+            trigger(),
+            pkt(TCPFlags.ACK, ts=0.3, seq=116, ack=3000),  # acks server response
+            pkt(TCPFlags.RST, ts=0.4, seq=120),
+        ]
+        m = classify(packets)
+        assert m.stage == Stage.POST_DATA
+
+    def test_silence_with_trailing_ack_not_psh_none(self):
+        """Idle keep-alive: data, response ACK, silence ⇒ OTHER, not a
+        drop signature."""
+        packets = handshake() + [
+            trigger(),
+            pkt(TCPFlags.ACK, ts=0.3, seq=116, ack=3000),
+        ]
+        m = classify(packets)
+        assert m.possibly_tampered
+        assert m.signature == SignatureId.OTHER
+
+    def test_silence_right_at_data_is_psh_none(self):
+        m = classify(handshake() + [trigger()])
+        assert m.signature == SignatureId.PSH_NONE
+
+
+class TestReorderingInteraction:
+    def test_same_bucket_rst_and_ack_reconstructed(self):
+        """Within one timestamp bucket the RST ranks last, so an ACK that
+        arrived after the RST in stored order is still recognised as
+        pre-event traffic (post-data verdict)."""
+        packets = handshake() + [
+            pkt(TCPFlags.RST, ts=0.0, seq=120),
+            trigger(ts=0.0),
+            pkt(TCPFlags.ACK, ts=0.0, seq=116, ack=3000),
+        ]
+        m = classify(packets)
+        assert m.stage == Stage.POST_DATA
+
+    def test_stage_stable_under_shuffle(self):
+        import random
+
+        packets = handshake() + [
+            trigger(),
+            pkt(TCPFlags.ACK, ts=0.3, seq=116, ack=3000),
+            pkt(TCPFlags.FINACK, ts=0.4, seq=116, ack=3001),
+            pkt(TCPFlags.RST, ts=0.5, seq=117),
+        ]
+        flat = [p.clone(ts=0.0) for p in packets]
+        baseline = classify(flat, window_end=10.0).signature
+        rng = random.Random(4)
+        for _ in range(20):
+            shuffled = flat[:]
+            rng.shuffle(shuffled)
+            assert classify(shuffled, window_end=10.0).signature == baseline
+
+
+class TestVendorStageEndToEnd:
+    def test_post_psh_vendors_stay_post_psh_despite_client_acks(self):
+        """End to end, PSH-stage injectors tear the client down before it
+        can ACK a response, so the immediate boundary holds."""
+        from tests.conftest import run_vendor
+
+        for vendor in ("gfw", "single_rst", "zero_ack_injector"):
+            result = run_vendor(vendor)
+            assert result.stage == Stage.POST_PSH, vendor
+
+    def test_enterprise_vendor_lands_post_data(self):
+        from repro.netstack.http import build_http_request
+        from tests.conftest import run_vendor
+
+        head = build_http_request("blocked.example", path="/u", method="POST")
+        result = run_vendor("enterprise_rst", protocol="http",
+                            segments=[head, b"body=confidential"])
+        assert result.stage == Stage.POST_DATA

@@ -1,0 +1,255 @@
+"""Unit tests for the TCP endpoint state machines."""
+
+import pytest
+
+from repro.errors import StateMachineError
+from repro.netstack.flags import TCPFlags
+from repro.netstack.packet import Packet, PacketDirection
+from repro.netstack.tcp import HostConfig, IpIdMode, TcpClient, TcpServer, TcpState
+
+
+def make_pair(request=b"GET / HTTP/1.1\r\nHost: a.com\r\n\r\n", **server_kwargs):
+    client = TcpClient(
+        HostConfig(ip="11.0.0.5", port=5555, isn=1000),
+        "198.41.0.9",
+        80,
+        request_payload=request,
+    )
+    server = TcpServer(HostConfig(ip="198.41.0.9", port=80, isn=9000), **server_kwargs)
+    return client, server
+
+
+def exchange(sender_packets, receiver, now):
+    """Deliver packets to a peer and collect its replies."""
+    out = []
+    for pkt in sender_packets:
+        out.extend(receiver.on_packet(pkt, now))
+    return out
+
+
+class TestHandshake:
+    def test_syn_synack_ack(self):
+        client, server = make_pair()
+        syn = client.begin(0.0)
+        assert len(syn) == 1 and syn[0].flags == TCPFlags.SYN
+        assert client.state == TcpState.SYN_SENT
+
+        synack = exchange(syn, server, 0.01)
+        assert len(synack) == 1 and synack[0].flags == TCPFlags.SYNACK
+        assert synack[0].ack == 1001
+        assert server.state == TcpState.SYN_RECEIVED
+
+        replies = exchange(synack, client, 0.02)
+        assert client.state == TcpState.ESTABLISHED
+        assert replies[0].flags == TCPFlags.ACK
+        assert replies[1].flags == TCPFlags.PSHACK
+        assert replies[1].payload.startswith(b"GET /")
+
+    def test_server_rejects_begin_twice(self):
+        client, _ = make_pair()
+        client.begin(0.0)
+        with pytest.raises(StateMachineError):
+            client.begin(1.0)
+
+    def test_unsolicited_packet_to_listen_gets_rstack(self):
+        _, server = make_pair()
+        stray = Packet(src="11.0.0.5", dst="198.41.0.9", sport=1, dport=80,
+                       seq=5, ack=0, flags=TCPFlags.ACK)
+        replies = server.on_packet(stray, 0.0)
+        assert len(replies) == 1
+        assert replies[0].flags == TCPFlags.RSTACK
+
+
+class TestFullTransfer:
+    def run_connection(self, client, server):
+        """Ping-pong packets between peers until both go quiet."""
+        now = [0.0]
+
+        def tick():
+            now[0] += 0.01
+            return now[0]
+
+        in_flight = client.begin(tick())
+        for _ in range(50):
+            if not in_flight:
+                break
+            next_round = []
+            for pkt in in_flight:
+                peer = server if pkt.direction == PacketDirection.TO_SERVER else client
+                next_round.extend(peer.on_packet(pkt, tick()))
+            in_flight = next_round
+        return client, server
+
+    def test_graceful_close(self):
+        client, server = self.run_connection(*make_pair())
+        assert client.state == TcpState.TIME_WAIT
+        assert server.state == TcpState.TIME_WAIT
+        assert server.fin_received and server.fin_sent
+        assert client.fin_received and client.fin_sent
+
+    def test_server_collects_request(self):
+        client, server = self.run_connection(*make_pair(request=b"X" * 100))
+        assert bytes(server.request_data) == b"X" * 100
+
+    def test_multi_segment_request(self):
+        client = TcpClient(
+            HostConfig(ip="11.0.0.5", port=5555, isn=0),
+            "198.41.0.9", 80,
+            request_segments=[b"part-one-", b"part-two"],
+        )
+        server = TcpServer(HostConfig(ip="198.41.0.9", port=80, isn=50))
+        self.run_connection(client, server)
+        assert bytes(server.request_data) == b"part-one-part-two"
+
+
+class TestRstHandling:
+    def test_client_rst_aborts(self):
+        client, server = make_pair()
+        syn = client.begin(0.0)
+        synack = exchange(syn, server, 0.01)
+        exchange(synack, client, 0.02)
+        rst = Packet(src="198.41.0.9", dst="11.0.0.5", sport=80, dport=5555,
+                     seq=0, ack=0, flags=TCPFlags.RST,
+                     direction=PacketDirection.TO_CLIENT)
+        assert client.on_packet(rst, 0.03) == []
+        assert client.state == TcpState.RESET
+        assert client.done
+        assert client.next_timer() is None
+
+    def test_server_rst_aborts(self):
+        client, server = make_pair()
+        syn = client.begin(0.0)
+        exchange(syn, server, 0.01)
+        rst = Packet(src="11.0.0.5", dst="198.41.0.9", sport=5555, dport=80,
+                     seq=1001, ack=0, flags=TCPFlags.RSTACK)
+        server.on_packet(rst, 0.02)
+        assert server.state == TcpState.RESET
+
+
+class TestRetransmission:
+    def test_syn_retransmit_then_abort(self):
+        client, _ = make_pair()
+        client.begin(0.0)
+        t1 = client.next_timer()
+        assert t1 == pytest.approx(1.0)
+        first = client.on_timer(t1)
+        assert len(first) == 1 and first[0].flags == TCPFlags.SYN
+        t2 = client.next_timer()
+        assert t2 > t1  # exponential backoff
+        second = client.on_timer(t2)
+        assert len(second) == 1
+        t3 = client.next_timer()
+        assert client.on_timer(t3) == []  # retries exhausted
+        assert client.state == TcpState.ABORTED
+
+    def test_data_retransmit_when_unacked(self):
+        client, server = make_pair()
+        syn = client.begin(0.0)
+        synack = exchange(syn, server, 0.01)
+        replies = exchange(synack, client, 0.02)
+        assert any(p.has_payload for p in replies)
+        # No ACK for the data: timer must re-emit the request segment.
+        t = client.next_timer()
+        assert t is not None
+        retrans = client.on_timer(t)
+        assert len(retrans) == 1
+        assert retrans[0].has_payload
+        assert retrans[0].seq == replies[1].seq
+
+    def test_ack_cancels_data_timer(self):
+        client, server = make_pair()
+        syn = client.begin(0.0)
+        synack = exchange(syn, server, 0.01)
+        replies = exchange(synack, client, 0.02)
+        data = [p for p in replies if p.has_payload][0]
+        ack = Packet(src="198.41.0.9", dst="11.0.0.5", sport=80, dport=5555,
+                     seq=9001, ack=(data.seq + len(data.payload)) % 2**32,
+                     flags=TCPFlags.ACK, direction=PacketDirection.TO_CLIENT)
+        client.on_packet(ack, 0.05)
+        assert client.next_timer() is None
+
+
+class TestIpIdModes:
+    def _ids(self, mode, start=100, n=5):
+        client = TcpClient(
+            HostConfig(ip="11.0.0.5", port=1, isn=0, ip_id_mode=mode, ip_id_start=start),
+            "198.41.0.9", 80,
+        )
+        return [client._make(0.0, TCPFlags.ACK, seq=0).ip_id for _ in range(n)]
+
+    def test_counter_increments(self):
+        assert self._ids(IpIdMode.COUNTER) == [100, 101, 102, 103, 104]
+
+    def test_zero_mode(self):
+        assert self._ids(IpIdMode.ZERO) == [0] * 5
+
+    def test_counter_wraps(self):
+        assert self._ids(IpIdMode.COUNTER, start=0xFFFF, n=2) == [0xFFFF, 0]
+
+    def test_random_mode_varies(self):
+        assert len(set(self._ids(IpIdMode.RANDOM, n=8))) > 1
+
+
+class TestOutOfOrderReassembly:
+    def setup_server(self, threshold=100):
+        server = TcpServer(HostConfig(ip="198.41.0.9", port=80, isn=900),
+                           request_threshold=threshold)
+        syn = Packet(src="11.0.0.5", dst="198.41.0.9", sport=5, dport=80,
+                     seq=100, flags=TCPFlags.SYN)
+        server.on_packet(syn, 0.0)
+        ack = Packet(src="11.0.0.5", dst="198.41.0.9", sport=5, dport=80,
+                     seq=101, ack=901, flags=TCPFlags.ACK)
+        server.on_packet(ack, 0.01)
+        return server
+
+    def seg(self, seq, payload):
+        return Packet(src="11.0.0.5", dst="198.41.0.9", sport=5, dport=80,
+                      seq=seq, ack=901, flags=TCPFlags.PSHACK, payload=payload)
+
+    def test_future_segment_buffered_then_drained(self):
+        server = self.setup_server()
+        server.on_packet(self.seg(106, b"world"), 0.02)
+        assert bytes(server.request_data) == b""
+        server.on_packet(self.seg(101, b"hello"), 0.03)
+        assert bytes(server.request_data) == b"helloworld"
+
+    def test_duplicate_of_consumed_segment_ignored(self):
+        server = self.setup_server()
+        server.on_packet(self.seg(101, b"hello"), 0.02)
+        server.on_packet(self.seg(101, b"hello"), 0.03)
+        assert bytes(server.request_data) == b"hello"
+
+    def test_ack_reflects_contiguous_prefix_only(self):
+        server = self.setup_server()
+        replies = server.on_packet(self.seg(106, b"world"), 0.02)
+        assert replies[0].ack == 101  # gap: still expecting seq 101
+        replies = server.on_packet(self.seg(101, b"hello"), 0.03)
+        assert replies[0].ack == 111  # everything drained
+
+    def test_three_way_shuffle(self):
+        server = self.setup_server()
+        server.on_packet(self.seg(111, b"!!"), 0.02)
+        server.on_packet(self.seg(106, b"world"), 0.03)
+        server.on_packet(self.seg(101, b"hello"), 0.04)
+        assert bytes(server.request_data) == b"helloworld!!"
+
+
+class TestSynPayload:
+    def test_syn_carries_payload_when_configured(self):
+        client = TcpClient(
+            HostConfig(ip="11.0.0.5", port=5555, isn=10),
+            "198.41.0.9", 80,
+            syn_payload=b"GET / HTTP/1.1\r\nHost: a.com\r\n\r\n",
+        )
+        syn = client.begin(0.0)[0]
+        assert syn.flags == TCPFlags.SYN
+        assert syn.has_payload
+
+    def test_server_accepts_syn_data(self):
+        server = TcpServer(HostConfig(ip="198.41.0.9", port=80, isn=5))
+        syn = Packet(src="11.0.0.5", dst="198.41.0.9", sport=2, dport=80,
+                     seq=100, flags=TCPFlags.SYN, payload=b"early")
+        replies = server.on_packet(syn, 0.0)
+        assert replies[0].flags == TCPFlags.SYNACK
+        assert bytes(server.request_data) == b"early"
+        assert replies[0].ack == 106  # SYN + 5 payload bytes

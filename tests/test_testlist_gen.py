@@ -1,0 +1,67 @@
+"""Unit tests for synthetic test-list generation."""
+
+import pytest
+
+from repro.workloads.domains import DomainUniverse
+from repro.workloads.testlist_gen import SENSITIVE_CATEGORIES, TRANCO_TIERS, build_test_lists
+
+
+@pytest.fixture(scope="module")
+def universe():
+    return DomainUniverse.generate(seed=9, n_domains=600)
+
+
+@pytest.fixture(scope="module")
+def lists(universe):
+    return build_test_lists(universe, seed=9, country_blocklists={
+        "AA": universe.names[:40],
+        "BB": universe.names[40:60],
+    })
+
+
+class TestStructure:
+    def test_all_expected_lists(self, lists):
+        expected = {
+            "Tranco_1K", "Tranco_10K", "Tranco_100K", "Tranco_1M",
+            "Majestic_1K", "Majestic_10K", "Majestic_100K", "Majestic_1M",
+            "Greatfire_all", "Greatfire_30d",
+            "Citizenlab", "Citizenlab_global", "Citizenlab_country",
+        }
+        assert expected <= set(lists)
+
+    def test_tranco_tiers_nested_in_size(self, lists):
+        sizes = [len(lists[f"Tranco_{tier}"]) for tier, _ in TRANCO_TIERS]
+        assert sizes == sorted(sizes)
+
+    def test_majestic_smaller_than_tranco(self, lists):
+        for tier, _ in TRANCO_TIERS:
+            assert len(lists[f"Majestic_{tier}"]) < len(lists[f"Tranco_{tier}"])
+
+    def test_deterministic(self, universe):
+        a = build_test_lists(universe, seed=9)
+        b = build_test_lists(universe, seed=9)
+        assert a["Tranco_1K"].entries == b["Tranco_1K"].entries
+        c = build_test_lists(universe, seed=10)
+        assert a["Greatfire_all"].entries != c["Greatfire_all"].entries
+
+
+class TestContentProperties:
+    def test_tranco_tracks_popularity(self, universe, lists):
+        top = {d.name for d in universe.top(len(lists["Tranco_1K"]))}
+        overlap = len(top & lists["Tranco_1K"].entries) / len(top)
+        assert overlap > 0.6
+
+    def test_curated_lists_sensitive_only(self, universe, lists):
+        sensitive = set()
+        for cat in SENSITIVE_CATEGORIES:
+            sensitive |= {d.name for d in universe.in_category(cat)}
+        real_entries = {e for e in lists["Citizenlab"].entries if not e.startswith("stale-")}
+        assert real_entries <= sensitive
+
+    def test_curated_lists_have_stale_entries(self, lists):
+        stale = [e for e in lists["Greatfire_all"].entries if e.startswith("stale-")]
+        assert stale
+
+    def test_country_lists_drawn_from_blocklists(self, universe, lists):
+        pool = set(universe.names[:60])
+        assert lists["Citizenlab_country"].entries <= pool

@@ -1,0 +1,87 @@
+"""Unit tests for test-list coverage analysis (Table 3)."""
+
+import pytest
+
+from repro.core.testlists import (
+    ListCoverage,
+    TestList,
+    coverage_table,
+    registrable_domain,
+    union_list,
+)
+
+
+class TestRegistrableDomain:
+    def test_simple(self):
+        assert registrable_domain("example.com") == "example.com"
+        assert registrable_domain("www.example.com") == "example.com"
+        assert registrable_domain("a.b.c.example.com") == "example.com"
+
+    def test_multi_label_suffixes(self):
+        assert registrable_domain("www.example.co.uk") == "example.co.uk"
+        assert registrable_domain("shop.site.com.cn") == "site.com.cn"
+        assert registrable_domain("x.y.co.kr") == "y.co.kr"
+
+    def test_bare_and_short(self):
+        assert registrable_domain("com") == "com"
+        assert registrable_domain("example.com.") == "example.com"
+        assert registrable_domain("EXAMPLE.COM") == "example.com"
+
+
+class TestTestList:
+    def make(self):
+        return TestList.from_domains("L", ["blocked.example", "www.other.co.uk"])
+
+    def test_exact_matching_reduces_to_etld1(self):
+        lst = self.make()
+        assert lst.contains_exact("blocked.example")
+        assert lst.contains_exact("cdn.blocked.example")
+        assert lst.contains_exact("other.co.uk")
+        assert not lst.contains_exact("unrelated.example")
+
+    def test_substring_matching(self):
+        lst = TestList.from_domains("L", ["wn.com"])
+        assert lst.contains_substring("wn.com")
+        assert lst.contains_substring("dawn.com")  # entry in target
+        lst2 = TestList.from_domains("L2", ["breakingdawn.com"])
+        assert lst2.contains_substring("dawn.com")  # target in entry
+
+    def test_len(self):
+        assert len(self.make()) == 2
+
+    def test_union(self):
+        a = TestList.from_domains("A", ["x.com"])
+        b = TestList.from_domains("B", ["y.com", "x.com"])
+        u = union_list("U", [a, b])
+        assert len(u) == 2
+        assert u.contains_exact("y.com")
+
+
+class TestCoverageTable:
+    def test_counts_and_percentages(self):
+        lists = [
+            TestList.from_domains("Good", ["a.com", "b.com", "c.com"]),
+            TestList.from_domains("Poor", ["a.com"]),
+        ]
+        tampered = {"Global": {"a.com", "b.com", "zzz.com"}, "CN": {"a.com"}}
+        table = coverage_table(tampered, lists)
+
+        good_global = table[("Good", "Global")]
+        assert good_global.n_tampered == 3
+        assert good_global.n_covered_exact == 2
+        assert good_global.pct_exact == pytest.approx(100 * 2 / 3)
+
+        poor_cn = table[("Poor", "CN")]
+        assert poor_cn.pct_exact == 100.0
+
+    def test_substring_at_least_exact(self):
+        lists = [TestList.from_domains("L", ["blocked.example"])]
+        tampered = {"Global": {"www.blocked.example", "other.example"}}
+        cov = coverage_table(tampered, lists)[("L", "Global")]
+        assert cov.n_covered_substring >= cov.n_covered_exact
+
+    def test_empty_region(self):
+        lists = [TestList.from_domains("L", ["a.com"])]
+        cov = coverage_table({"IR": set()}, lists)[("L", "IR")]
+        assert cov.pct_exact == 0.0
+        assert cov.pct_substring == 0.0

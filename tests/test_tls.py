@@ -1,0 +1,80 @@
+"""Unit tests for TLS ClientHello building and parsing."""
+
+import pytest
+
+from repro.errors import TlsParseError
+from repro.netstack.tls import (
+    build_client_hello,
+    extract_sni,
+    is_tls_client_hello,
+    parse_client_hello,
+)
+
+
+class TestBuild:
+    def test_record_framing(self):
+        data = build_client_hello("example.com")
+        assert data[0] == 0x16  # handshake record
+        assert data[1:3] == b"\x03\x01"
+        record_len = int.from_bytes(data[3:5], "big")
+        assert len(data) == 5 + record_len
+        assert data[5] == 0x01  # ClientHello
+
+    def test_deterministic_given_seed(self):
+        assert build_client_hello("a.com", seed=1) == build_client_hello("a.com", seed=1)
+        assert build_client_hello("a.com", seed=1) != build_client_hello("a.com", seed=2)
+
+    def test_sni_optional(self):
+        hello = parse_client_hello(build_client_hello(None))
+        assert hello.sni is None
+
+
+class TestParse:
+    def test_roundtrip_sni(self):
+        for host in ("example.com", "www.deep.sub.example.co.uk", "a.io"):
+            assert extract_sni(build_client_hello(host)) == host
+
+    def test_parse_fields(self):
+        hello = parse_client_hello(build_client_hello("x.org", alpn=("h2",)))
+        assert hello.legacy_version == 0x0303
+        assert len(hello.random) == 32
+        assert len(hello.session_id) == 32
+        assert 0x1301 in hello.cipher_suites
+        assert hello.alpn == ("h2",)
+        assert hello.sni == "x.org"
+
+    def test_not_handshake_record(self):
+        with pytest.raises(TlsParseError):
+            parse_client_hello(b"\x17\x03\x03\x00\x05hello")
+
+    def test_not_client_hello(self):
+        data = bytearray(build_client_hello("x.org"))
+        data[5] = 0x02  # ServerHello
+        with pytest.raises(TlsParseError):
+            parse_client_hello(bytes(data))
+
+    def test_truncated(self):
+        data = build_client_hello("example.com")
+        with pytest.raises(TlsParseError):
+            parse_client_hello(data[:20])
+
+
+class TestExtractSni:
+    def test_never_raises_on_garbage(self):
+        for blob in (b"", b"\x16", b"\x16\x03\x01\x00\x02\x01\x00", b"GET / HTTP/1.1", bytes(100)):
+            assert extract_sni(blob) is None
+
+    def test_is_tls_client_hello(self):
+        assert is_tls_client_hello(build_client_hello("a.com"))
+        assert not is_tls_client_hello(b"GET / HTTP/1.1\r\n")
+        assert not is_tls_client_hello(b"")
+
+    def test_truncated_hello_yields_none(self):
+        data = build_client_hello("example.com")
+        assert extract_sni(data[: len(data) // 2]) is None
+
+    def test_reassembled_halves_parse(self):
+        data = build_client_hello("example.com")
+        half = len(data) // 2
+        reassembled = data[:half] + data[half:]
+        assert extract_sni(reassembled) == "example.com"

@@ -1,0 +1,145 @@
+"""Unit tests for the traffic generator."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.workloads.profiles import CountryProfile, DeploymentSpec
+from repro.workloads.traffic import TrafficGenerator, is_weekend, local_hour
+from repro.workloads.world import World
+
+_DAY = 86400.0
+
+
+def profiles():
+    return [
+        CountryProfile(
+            code="AA", name="Censorland", weight=2.0, tz_offset=8, n_asns=3,
+            p_blocked=0.4, night_boost=2.0, weekend_factor=0.5,
+            blocked_categories=(("News", 0.5),),
+            deployments=(DeploymentSpec(vendor="single_rst", blocked_share=1.0),),
+        ),
+        CountryProfile(code="BB", name="Freeland", weight=1.0, tz_offset=-5, n_asns=2),
+    ]
+
+
+@pytest.fixture(scope="module")
+def world():
+    return World(profiles=profiles(), seed=5, n_domains=300, clients_per_asn=8)
+
+
+@pytest.fixture(scope="module")
+def generator(world):
+    return TrafficGenerator(world, seed=5)
+
+
+class TestTimeHelpers:
+    def test_local_hour(self):
+        assert local_hour(0.0, 0) == 0.0
+        assert local_hour(0.0, 8) == 8.0
+        assert local_hour(3600.0 * 20, -5) == 15.0
+        assert 0 <= local_hour(123456789.0, 5.5) < 24
+
+    def test_weekend_epoch_anchor(self):
+        # 1970-01-01 (ts 0) was a Thursday.
+        assert not is_weekend(0.0, 0)
+        assert not is_weekend(1 * _DAY, 0)  # Friday
+        assert is_weekend(2 * _DAY, 0)  # Saturday
+        assert is_weekend(3 * _DAY, 0)  # Sunday
+        assert not is_weekend(4 * _DAY, 0)  # Monday
+
+
+class TestSpecGeneration:
+    def test_specs_sorted_and_in_window(self, generator):
+        specs = generator.specs(200, start_ts=1000.0, duration=_DAY)
+        times = [s.ts for s in specs]
+        assert times == sorted(times)
+        assert all(1000.0 <= t < 1000.0 + _DAY for t in times)
+
+    def test_conn_ids_unique(self, generator):
+        specs = generator.specs(50, start_ts=0.0, duration=_DAY)
+        ids = [s.conn_id for s in specs]
+        assert len(set(ids)) == len(ids)
+
+    def test_validation(self, generator):
+        with pytest.raises(ConfigError):
+            generator.specs(-1, 0.0, _DAY)
+        with pytest.raises(ConfigError):
+            generator.specs(1, 0.0, 0.0)
+        with pytest.raises(ConfigError):
+            TrafficGenerator(generator.world, diurnal_amplitude=1.5)
+
+    def test_country_weights_respected(self, world):
+        gen = TrafficGenerator(world, seed=9, diurnal_amplitude=0.0)
+        specs = gen.specs(600, 0.0, _DAY)
+        aa = sum(1 for s in specs if s.country == "AA")
+        assert 320 <= aa <= 480  # 2:1 weights
+
+    def test_client_fields_consistent(self, world, generator):
+        for spec in generator.specs(100, 0.0, _DAY):
+            state = world.country(spec.country)
+            assert spec.asn in state.asns
+            record = world.geo.lookup(spec.client_ip)
+            assert record.country == spec.country
+            assert record.asn == spec.asn
+            assert 1024 <= spec.client_port < 65536
+            assert spec.protocol in ("tls", "http")
+            assert spec.domain in world.universe
+            assert spec.host.endswith(spec.domain)
+
+    def test_keyword_only_on_http(self, generator):
+        specs = generator.specs(400, 0.0, _DAY)
+        for spec in specs:
+            if spec.keyword:
+                assert spec.protocol == "http"
+                assert spec.split_segments >= 2
+
+
+class TestBlockedDemandModulation:
+    def make_gen(self, world, boost_fn=None):
+        return TrafficGenerator(world, seed=3, blocked_boost_fn=boost_fn)
+
+    def test_night_boost(self, world):
+        gen = self.make_gen(world)
+        profile = profiles()[0]
+        # AA local midnight: UTC 16:00 (tz +8).
+        night_ts = 16 * 3600.0
+        day_ts = 4 * 3600.0  # AA local noon
+        p_night = gen._blocked_probability(profile, night_ts)
+        p_day = gen._blocked_probability(profile, day_ts)
+        assert p_night > p_day
+
+    def test_weekend_factor(self, world):
+        gen = self.make_gen(world)
+        profile = profiles()[0]
+        # Same local hour (noon) on Friday vs Saturday.
+        friday_noon = 1 * _DAY + 4 * 3600.0
+        saturday_noon = 2 * _DAY + 4 * 3600.0
+        assert gen._blocked_probability(profile, saturday_noon) < gen._blocked_probability(
+            profile, friday_noon
+        )
+
+    def test_boost_fn_applied(self, world):
+        gen = self.make_gen(world, boost_fn=lambda code, ts: 0.0)
+        profile = profiles()[0]
+        assert gen._blocked_probability(profile, 0.0) == 0.0
+
+    def test_probability_capped_at_one(self, world):
+        gen = self.make_gen(world, boost_fn=lambda code, ts: 100.0)
+        profile = profiles()[0]
+        assert gen._blocked_probability(profile, 0.0) == 1.0
+
+
+class TestRun:
+    def test_run_produces_samples_and_timestamps(self, world):
+        gen = TrafficGenerator(world, seed=8)
+        samples, timestamps = gen.run(60, start_ts=0.0, duration=_DAY)
+        assert 0 < len(samples) <= 60
+        assert set(timestamps) == {s.conn_id for s in samples}
+
+    def test_run_deterministic(self, world):
+        a, _ = TrafficGenerator(world, seed=8).run(40, 0.0, _DAY)
+        b, _ = TrafficGenerator(world, seed=8).run(40, 0.0, _DAY)
+        assert [s.conn_id for s in a] == [s.conn_id for s in b]
+        assert [len(s.packets) for s in a] == [len(s.packets) for s in b]

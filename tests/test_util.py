@@ -1,0 +1,125 @@
+"""Unit tests for shared utilities."""
+
+import random
+
+import pytest
+
+from repro._util import (
+    chunk_payload,
+    clamp,
+    cumulative,
+    derive_rng,
+    derive_seed,
+    int_to_ipv4,
+    int_to_ipv6,
+    ip_version,
+    ipv4_to_int,
+    ipv6_to_int,
+    pairwise,
+    stable_hash,
+    weighted_choice,
+    zipf_weights,
+)
+
+
+class TestStableHash:
+    def test_deterministic_across_calls(self):
+        assert stable_hash("a", 1) == stable_hash("a", 1)
+
+    def test_sensitive_to_parts(self):
+        assert stable_hash("a", 1) != stable_hash("a", 2)
+        assert stable_hash("a", 1) != stable_hash("b", 1)
+
+    def test_no_concatenation_collision(self):
+        # ("ab", "c") must differ from ("a", "bc").
+        assert stable_hash("ab", "c") != stable_hash("a", "bc")
+
+    def test_64_bit_range(self):
+        assert 0 <= stable_hash("x") < 2**64
+
+
+class TestDeriveRng:
+    def test_independent_streams(self):
+        a = derive_rng(7, "alpha")
+        b = derive_rng(7, "beta")
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_reproducible(self):
+        assert derive_rng(7, "x").random() == derive_rng(7, "x").random()
+
+    def test_seed_derivation(self):
+        assert derive_seed(1, "a") == derive_seed(1, "a")
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+
+class TestIpConversions:
+    def test_ipv4_roundtrip(self):
+        for addr in ("0.0.0.0", "10.1.2.3", "255.255.255.255", "198.41.128.7"):
+            assert int_to_ipv4(ipv4_to_int(addr)) == addr
+
+    def test_ipv6_roundtrip(self):
+        for addr in ("::", "2a00::1", "2606:4700::abcd:1"):
+            assert int_to_ipv6(ipv6_to_int(addr)) == addr
+
+    def test_ip_version(self):
+        assert ip_version("10.0.0.1") == 4
+        assert ip_version("2a00::1") == 6
+        with pytest.raises(ValueError):
+            ip_version("not-an-ip")
+
+
+class TestZipfWeights:
+    def test_normalized(self):
+        assert sum(zipf_weights(100)) == pytest.approx(1.0)
+
+    def test_monotone_decreasing(self):
+        w = zipf_weights(50, exponent=1.2)
+        assert all(a > b for a, b in zip(w, w[1:]))
+
+    def test_single(self):
+        assert zipf_weights(1) == [1.0]
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0)
+
+
+class TestWeightedChoice:
+    def test_respects_weights(self):
+        rng = random.Random(1)
+        picks = [weighted_choice(rng, ["a", "b"], [0.99, 0.01]) for _ in range(200)]
+        assert picks.count("a") > 180
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            weighted_choice(random.Random(0), ["a"], [0.5, 0.5])
+
+
+class TestChunkPayload:
+    def test_exact_multiple(self):
+        assert chunk_payload(b"abcdef", 2) == [b"ab", b"cd", b"ef"]
+
+    def test_remainder(self):
+        assert chunk_payload(b"abcde", 2) == [b"ab", b"cd", b"e"]
+
+    def test_empty(self):
+        assert chunk_payload(b"", 5) == []
+
+    def test_invalid_mss(self):
+        with pytest.raises(ValueError):
+            chunk_payload(b"x", 0)
+
+
+class TestSmallHelpers:
+    def test_clamp(self):
+        assert clamp(5, 0, 10) == 5
+        assert clamp(-1, 0, 10) == 0
+        assert clamp(11, 0, 10) == 10
+
+    def test_cumulative(self):
+        assert cumulative([1, 2, 3]) == [1, 3, 6]
+        assert cumulative([]) == []
+
+    def test_pairwise(self):
+        assert list(pairwise([1, 2, 3])) == [(1, 2), (2, 3)]
+        assert list(pairwise([1])) == []

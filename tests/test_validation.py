@@ -1,0 +1,89 @@
+"""Unit and integration tests for ground-truth validation scoring."""
+
+import pytest
+
+from repro.core.aggregate import AnalysisDataset, AnalyzedConnection
+from repro.core.model import SignatureId, Stage
+from repro.core.validation import ConfusionSummary, score_dataset
+
+
+def conn(signature, truth_tampered, vendor=None, kind="browser", conn_id=0):
+    stage = signature.stage
+    return AnalyzedConnection(
+        conn_id=conn_id, ts=0.0, country="CN", asn=1,
+        signature=signature, stage=stage, ip_version=4, server_port=443,
+        protocol=None, domain=None, client_ip="11.0.0.1",
+        possibly_tampered=signature != SignatureId.NOT_TAMPERING,
+        truth_tampered=truth_tampered, truth_vendor=vendor,
+        truth_client_kind=kind,
+    )
+
+
+class TestConfusionSummary:
+    def test_metrics(self):
+        c = ConfusionSummary(true_positives=8, false_positives=2,
+                             false_negatives=2, true_negatives=88)
+        assert c.total == 100
+        assert c.precision == pytest.approx(0.8)
+        assert c.recall == pytest.approx(0.8)
+        assert c.f1 == pytest.approx(0.8)
+        assert c.false_positive_rate == pytest.approx(2 / 90)
+
+    def test_degenerate(self):
+        c = ConfusionSummary(0, 0, 0, 10)
+        assert c.precision == 0.0 and c.recall == 0.0 and c.f1 == 0.0
+
+
+class TestScoreDataset:
+    def make(self):
+        return AnalysisDataset([
+            conn(SignatureId.PSH_RST, True, vendor="gfw", conn_id=1),
+            conn(SignatureId.PSH_RST_RSTACK, True, vendor="gfw", conn_id=2),
+            conn(SignatureId.NOT_TAMPERING, True, vendor="iran-drop", conn_id=3),  # missed
+            conn(SignatureId.SYN_RST, False, kind="zmap", conn_id=4),  # scanner FP
+            conn(SignatureId.NOT_TAMPERING, False, conn_id=5),
+            conn(SignatureId.NOT_TAMPERING, None, conn_id=6),  # unlabeled: skipped
+        ])
+
+    def test_confusion_counts(self):
+        report = score_dataset(self.make())
+        c = report.confusion
+        assert (c.true_positives, c.false_positives, c.false_negatives, c.true_negatives) == (2, 1, 1, 1)
+        assert c.total == 5
+
+    def test_per_vendor(self):
+        report = score_dataset(self.make())
+        gfw = report.vendor("gfw")
+        assert gfw.events == 2 and gfw.detected == 2
+        assert gfw.recall == 1.0
+        assert gfw.dominant_signature in (SignatureId.PSH_RST, SignatureId.PSH_RST_RSTACK)
+        iran = report.vendor("iran-drop")
+        assert iran.recall == 0.0
+
+    def test_unknown_vendor_raises(self):
+        with pytest.raises(KeyError):
+            score_dataset(self.make()).vendor("nope")
+
+    def test_false_positive_kinds(self):
+        report = score_dataset(self.make())
+        assert dict(report.false_positive_kinds) == {"zmap": 1}
+
+
+class TestOnRealStudy:
+    def test_study_scores_well(self, small_dataset):
+        report = score_dataset(small_dataset)
+        assert report.confusion.recall > 0.9
+        assert report.confusion.precision > 0.6
+        assert report.confusion.false_positive_rate < 0.07
+        # Every vendor that fired at least 5 times is mostly detected.
+        for row in report.per_vendor:
+            if row.events >= 5:
+                assert row.recall > 0.7, row.vendor
+
+    def test_vendor_signature_mapping_sane(self, small_dataset):
+        from repro.middlebox.vendors import VENDOR_PRESETS
+
+        report = score_dataset(small_dataset)
+        known = {name.replace("_", "-") for name in VENDOR_PRESETS}
+        for row in report.per_vendor:
+            assert row.vendor in known or row.vendor == "unknown"

@@ -1,0 +1,123 @@
+"""Integration: every vendor preset produces its documented signature.
+
+This is the ground-truth table from :mod:`repro.middlebox.vendors`: a
+client requests a blocked domain through one device, the server-side
+capture is classified, and the signature must match the paper's Table 1
+entry for that censor fingerprint.
+"""
+
+import pytest
+
+from repro.core.model import SignatureId, Stage
+from tests.conftest import run_vendor
+
+#: vendor name -> expected signature (TLS flow unless noted).
+VENDOR_EXPECTATIONS = [
+    ("syn_blackhole", SignatureId.SYN_NONE),
+    ("syn_rst_injector", SignatureId.SYN_RST),
+    ("syn_rstack_injector", SignatureId.SYN_RSTACK),
+    ("gfw_syn", SignatureId.SYN_RST_RSTACK),
+    ("iran_drop", SignatureId.ACK_NONE),
+    ("iran_double_rst", SignatureId.ACK_RST_RST),
+    ("iran_rstack", SignatureId.ACK_RSTACK),
+    ("iran_double_rstack", SignatureId.ACK_RSTACK_RSTACK),
+    ("psh_blackhole", SignatureId.PSH_NONE),
+    ("single_rst", SignatureId.PSH_RST),
+    ("single_rstack", SignatureId.PSH_RSTACK),
+    ("gfw", SignatureId.PSH_RST_RSTACK),
+    ("gfw_double_rstack", SignatureId.PSH_RSTACK_RSTACK),
+    ("same_ack_injector", SignatureId.PSH_RST_EQ_RST),
+    ("korea_guesser", SignatureId.PSH_RST_NEQ_RST),
+    ("zero_ack_injector", SignatureId.PSH_RST_RST0),
+]
+
+
+@pytest.mark.parametrize("vendor,expected", VENDOR_EXPECTATIONS, ids=[v for v, _ in VENDOR_EXPECTATIONS])
+def test_vendor_signature(vendor, expected):
+    result = run_vendor(vendor)
+    assert result.signature == expected, (
+        f"{vendor}: expected {expected.display}, got {result.signature.display}"
+    )
+    assert result.possibly_tampered
+
+
+@pytest.mark.parametrize("vendor,expected", VENDOR_EXPECTATIONS, ids=[v for v, _ in VENDOR_EXPECTATIONS])
+def test_vendor_signature_stable_across_seeds(vendor, expected):
+    for seed in (11, 23, 87):
+        result = run_vendor(vendor, seed=seed)
+        assert result.signature == expected, f"{vendor} seed={seed}"
+
+
+@pytest.mark.parametrize("vendor", [v for v, _ in VENDOR_EXPECTATIONS])
+def test_vendor_negative_control(vendor):
+    """With the policy targeting another domain, nothing is tampered."""
+    result = run_vendor(vendor, blocked=False)
+    assert result.signature == SignatureId.NOT_TAMPERING
+
+
+class TestTurkmenistanHttpOnly:
+    def test_http_flow_gets_post_ack_rst(self):
+        result = run_vendor("tm_http", protocol="http", http_only=True)
+        assert result.signature == SignatureId.ACK_RST
+
+    def test_tls_flow_unaffected(self):
+        result = run_vendor("tm_http", protocol="tls", http_only=True)
+        assert result.signature == SignatureId.NOT_TAMPERING
+
+
+class TestEnterpriseDevices:
+    def _segments(self):
+        from repro.netstack.http import build_http_request
+
+        head = build_http_request("blocked.example", path="/upload", method="POST")
+        body = b"field=1&note=confidential-data"
+        return [head, body]
+
+    def test_enterprise_rst_post_data(self):
+        result = run_vendor("enterprise_rst", protocol="http", segments=self._segments())
+        assert result.signature == SignatureId.DATA_RST
+        assert result.stage == Stage.POST_DATA
+
+    def test_enterprise_firewall_post_data(self):
+        result = run_vendor("enterprise_firewall", protocol="http", segments=self._segments())
+        assert result.signature == SignatureId.DATA_RSTACK
+
+    def test_single_segment_request_escapes_late_classifier(self):
+        result = run_vendor("enterprise_firewall", protocol="tls")
+        assert result.signature == SignatureId.NOT_TAMPERING
+
+
+class TestTriggerVisibility:
+    """Off-path injectors let the trigger through: domain is recoverable."""
+
+    def test_post_psh_vendors_leak_domain(self):
+        for vendor in ("gfw", "single_rst", "korea_guesser"):
+            result = run_vendor(vendor)
+            assert result.domain == "blocked.example", vendor
+            assert result.protocol == "tls"
+
+    def test_in_path_droppers_hide_domain(self):
+        for vendor in ("iran_drop", "iran_rstack"):
+            result = run_vendor(vendor)
+            assert result.domain is None, vendor
+
+    def test_injected_packets_marked(self):
+        result = run_vendor("gfw")
+        injected = [p for p in result.sample.packets if p.injected]
+        assert len(injected) >= 2
+
+
+def test_unknown_preset_raises():
+    from repro.middlebox.policy import BlockPolicy
+    from repro.middlebox.vendors import make_preset
+
+    with pytest.raises(KeyError):
+        make_preset("no-such-vendor", BlockPolicy.nothing())
+
+
+def test_preset_names_sorted():
+    from repro.middlebox.vendors import VENDOR_PRESETS, preset_names
+
+    names = preset_names()
+    assert names == sorted(names)
+    assert set(names) == set(VENDOR_PRESETS)

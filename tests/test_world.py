@@ -1,0 +1,176 @@
+"""Unit tests for world assembly and connection simulation."""
+
+import pytest
+
+from repro.core.classifier import TamperingClassifier
+from repro.core.model import SignatureId
+from repro.errors import WorldError
+from repro.workloads.profiles import CountryProfile, DeploymentSpec, profile_for
+from repro.workloads.traffic import ConnectionSpec
+from repro.workloads.world import World
+
+
+def tiny_profiles():
+    return [
+        CountryProfile(
+            code="AA", name="Censorland", weight=1.0, n_asns=3, p_blocked=0.5,
+            blocked_categories=(("News", 0.5),),
+            deployments=(DeploymentSpec(vendor="gfw", blocked_share=1.0),),
+        ),
+        CountryProfile(code="BB", name="Freeland", weight=1.0, n_asns=2),
+    ]
+
+
+@pytest.fixture(scope="module")
+def world():
+    return World(profiles=tiny_profiles(), seed=3, n_domains=300, clients_per_asn=8)
+
+
+class TestConstruction:
+    def test_duplicate_codes_rejected(self):
+        profiles = tiny_profiles() + [tiny_profiles()[0]]
+        with pytest.raises(WorldError):
+            World(profiles=profiles, seed=1, n_domains=100)
+
+    def test_empty_profiles_rejected(self):
+        with pytest.raises(WorldError):
+            World(profiles=[], seed=1)
+
+    def test_geo_registered(self, world):
+        assert len(world.geo.asns_in("AA")) == 3
+        assert len(world.geo.asns_in("BB")) == 2
+
+    def test_blocklist_from_categories(self, world):
+        blocked = world.blocklist("AA")
+        assert blocked
+        news = {d.name for d in world.universe.in_category("News")}
+        assert blocked <= news
+        # Coverage 0.5 of the category, within rounding.
+        assert abs(len(blocked) - 0.5 * len(news)) <= 1
+
+    def test_no_deployments_no_blocklist_devices(self, world):
+        assert world.blocklist("BB") == frozenset()
+        assert world.middlebox_chain("BB", world.country("BB").asns[0]) == []
+
+    def test_partition_covers_blocklist(self):
+        profiles = [
+            CountryProfile(
+                code="AA", name="X", weight=1.0, n_asns=2, p_blocked=0.5,
+                blocked_categories=(("News", 0.6),),
+                deployments=(
+                    DeploymentSpec(vendor="gfw", blocked_share=0.5),
+                    DeploymentSpec(vendor="single_rst", blocked_share=0.5),
+                ),
+            ),
+        ]
+        world = World(profiles=profiles, seed=2, n_domains=300)
+        state = world.country("AA")
+        union = set()
+        for dep in state.deployments:
+            union |= dep.blocked_domains
+        assert union == set(state.blocklist)
+        # Disjoint partition.
+        total = sum(len(dep.blocked_domains) for dep in state.deployments)
+        assert total == len(state.blocklist)
+
+    def test_client_pools_in_right_asn(self, world):
+        state = world.country("AA")
+        for asn in state.asns:
+            for ip in state.clients_v4[asn]:
+                assert world.geo.lookup(ip).asn == asn
+            for ip in state.clients_v6[asn]:
+                assert world.geo.lookup(ip).asn == asn
+
+    def test_is_blocked_ground_truth(self, world):
+        blocked = next(iter(world.blocklist("AA")))
+        assert world.is_blocked("AA", blocked)
+        assert not world.is_blocked("BB", blocked)
+
+    def test_unknown_country(self, world):
+        with pytest.raises(WorldError):
+            world.country("ZZ")
+
+
+class TestSimulateConnection:
+    def spec(self, world, domain, conn_id=1, country="AA", kind="browser", protocol="tls"):
+        state = world.country(country)
+        asn = state.asns[0]
+        return ConnectionSpec(
+            conn_id=conn_id,
+            ts=100.0,
+            country=country,
+            asn=asn,
+            client_ip=state.clients_v4[asn][0],
+            client_port=43210 + conn_id,
+            ip_version=4,
+            protocol=protocol,
+            domain=domain,
+            host=domain,
+            client_kind=kind,
+        )
+
+    def test_blocked_domain_tampered(self, world):
+        blocked = sorted(world.blocklist("AA"))[0]
+        sample = world.simulate_connection(self.spec(world, blocked, conn_id=11))
+        assert sample.truth_tampered
+        assert sample.truth_vendor is not None
+        result = TamperingClassifier().classify(sample)
+        assert result.is_tampering
+
+    def test_clean_domain_untampered(self, world):
+        clean = next(n for n in world.universe.names if n not in world.blocklist("AA"))
+        sample = world.simulate_connection(self.spec(world, clean, conn_id=12))
+        assert not sample.truth_tampered
+        result = TamperingClassifier().classify(sample)
+        assert result.signature == SignatureId.NOT_TAMPERING
+
+    def test_free_country_untampered_even_for_blocked_names(self, world):
+        blocked = sorted(world.blocklist("AA"))[0]
+        sample = world.simulate_connection(self.spec(world, blocked, conn_id=13, country="BB"))
+        assert not sample.truth_tampered
+
+    def test_deterministic(self, world):
+        blocked = sorted(world.blocklist("AA"))[0]
+        a = world.simulate_connection(self.spec(world, blocked, conn_id=14))
+        b = world.simulate_connection(self.spec(world, blocked, conn_id=14))
+        assert [(p.ts, p.flags, p.seq) for p in a.packets] == [
+            (p.ts, p.flags, p.seq) for p in b.packets
+        ]
+
+    def test_scanner_kind(self, world):
+        clean = next(n for n in world.universe.names if n not in world.blocklist("AA"))
+        sample = world.simulate_connection(self.spec(world, clean, conn_id=15, kind="zmap"))
+        result = TamperingClassifier().classify(sample)
+        assert result.signature == SignatureId.SYN_RST
+        assert sample.truth_client_kind == "zmap"
+        assert not sample.truth_tampered
+
+    def test_edge_ip_consistency(self, world):
+        name = world.universe.names[0]
+        spec = self.spec(world, name, conn_id=16)
+        sample = world.simulate_connection(spec)
+        assert sample.server_ip == world.edge_ip_for(name, 4)
+
+    def test_enterprise_chain_appended(self, world):
+        state = world.country("AA")
+        asn = state.asns[0]
+        plain = world.middlebox_chain("AA", asn)
+        with_ent = world.middlebox_chain("AA", asn, include_enterprise=True)
+        if state.enterprise_devices:
+            assert len(with_ent) == len(plain) + 1
+            assert with_ent[-1].name.startswith("enterprise")
+        else:
+            assert with_ent == plain
+
+    def test_edge_ip_cached_and_stable(self, world):
+        name = world.universe.names[0]
+        assert world.edge_ip_for(name, 4) == world.edge_ip_for(name, 4)
+        assert world.edge_ip_for(name, 4) == world.universe.edge_ip_for(name, 4)
+
+    def test_device_flow_state_released(self, world):
+        state = world.country("AA")
+        blocked = sorted(world.blocklist("AA"))[0]
+        world.simulate_connection(self.spec(world, blocked, conn_id=17))
+        for dep in state.deployments:
+            for device in dep.devices.values():
+                assert len(device._flows) == 0
