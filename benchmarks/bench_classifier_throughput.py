@@ -2,12 +2,18 @@
 
 Not a paper artifact -- this measures the reproduction's own processing
 rates: connections classified per second (the figure a CDN would care
-about when sizing the pipeline) and the cost of the order-reconstruction
-step relative to classification.
+about when sizing the pipeline), the cost of the order-reconstruction
+step relative to classification, and the serial-vs-sharded scaling of
+the streaming worker pool.
 """
+
+import os
+
+import pytest
 
 from repro.core.classifier import ClassifierConfig, TamperingClassifier
 from repro.core.sequence import reconstruct_order
+from repro.stream import ShardConfig, ShardedClassifierPool
 
 
 def test_classifier_throughput(benchmark, study, emit):
@@ -46,3 +52,75 @@ def test_evidence_throughput(benchmark, study):
 
     summaries = benchmark(run)
     assert len(summaries) == len(study.samples)
+
+
+# ----------------------------------------------------------------------
+# Streaming pool scaling: serial vs 1/2/4-worker sharded pools
+# ----------------------------------------------------------------------
+_POOL_RATES = {}
+
+
+def _available_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:
+        return os.cpu_count() or 1
+
+
+def test_stream_pool_serial_baseline(benchmark, study, emit):
+    classifier = TamperingClassifier()
+    samples = study.samples
+
+    results = benchmark(classifier.classify_all, samples)
+
+    assert len(results) == len(samples)
+    rate = len(samples) / benchmark.stats.stats.mean
+    _POOL_RATES["serial"] = rate
+    emit(f"stream pool serial baseline: {rate:,.0f} connections/second")
+
+
+@pytest.mark.parametrize("n_workers", [1, 2, 4])
+def test_stream_pool_sharded(benchmark, study, emit, n_workers):
+    samples = study.samples
+    config = ShardConfig(n_workers=n_workers, batch_size=256, max_inflight=4096)
+
+    def run():
+        with ShardedClassifierPool(config) as pool:
+            return pool.map_samples(samples)
+
+    records = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+
+    assert len(records) == len(samples)
+    rate = len(samples) / benchmark.stats.stats.mean
+    _POOL_RATES[n_workers] = rate
+    emit(f"stream pool ({n_workers} workers): {rate:,.0f} connections/second")
+
+
+def test_stream_pool_scaling_report(emit):
+    """Summarise ops/s per configuration; assert scaling when cores allow.
+
+    The >= 2x speedup check only means something on a machine that can
+    actually run 4 classifier workers in parallel, so it is gated on
+    core count (or forced with REPRO_BENCH_REQUIRE_SCALING=1).
+    """
+    if "serial" not in _POOL_RATES or 4 not in _POOL_RATES:
+        pytest.skip("pool benchmarks did not run")
+    serial = _POOL_RATES["serial"]
+    lines = [f"stream pool scaling (serial = {serial:,.0f} conn/s):"]
+    for n_workers in (1, 2, 4):
+        rate = _POOL_RATES.get(n_workers)
+        if rate:
+            lines.append(
+                f"  {n_workers} workers: {rate:,.0f} conn/s "
+                f"({rate / serial:.2f}x serial)"
+            )
+    cores = _available_cores()
+    lines.append(f"  (machine has {cores} usable cores)")
+    emit("\n".join(lines))
+
+    require = os.environ.get("REPRO_BENCH_REQUIRE_SCALING") == "1"
+    if cores >= 4 or require:
+        assert _POOL_RATES[4] >= 2.0 * serial, (
+            f"4-worker pool ({_POOL_RATES[4]:,.0f} conn/s) should be >= 2x "
+            f"serial ({serial:,.0f} conn/s) on a {cores}-core machine"
+        )

@@ -25,6 +25,8 @@ Layers (see DESIGN.md for the full inventory):
 * :mod:`repro.core` -- the paper's contribution: signatures, classifier,
   evidence, aggregation, test-list analysis.
 * :mod:`repro.workloads` -- the synthetic world and study scenarios.
+* :mod:`repro.stream` -- online ingestion: sharded classification,
+  incremental rollups, checkpoints, live anomaly detection.
 """
 
 from repro.cdn.collector import ConnectionSample, read_samples_jsonl, write_samples_jsonl
@@ -34,6 +36,21 @@ from repro.core.evidence import evidence_for_sample
 from repro.core.model import SIGNATURES, SignatureId, Stage
 from repro.core.signatures import match_signature
 from repro.core.testlists import TestList, coverage_table, registrable_domain
+from repro.stream import (
+    AnomalyConfig,
+    AnomalyEvent,
+    EwmaDetector,
+    IterableSource,
+    JsonlDirectorySource,
+    JsonlSource,
+    ShardConfig,
+    ShardedClassifierPool,
+    SimulatorSource,
+    StreamEngine,
+    StreamRecord,
+    StreamReport,
+    StreamRollup,
+)
 from repro.workloads.profiles import CountryProfile, DeploymentSpec, default_profiles
 from repro.workloads.scenarios import StudyRun, iran_protest_study, two_week_study
 from repro.workloads.testlist_gen import build_test_lists
@@ -73,4 +90,18 @@ __all__ = [
     "StudyRun",
     "two_week_study",
     "iran_protest_study",
+    # stream
+    "StreamEngine",
+    "StreamReport",
+    "StreamRollup",
+    "StreamRecord",
+    "ShardConfig",
+    "ShardedClassifierPool",
+    "IterableSource",
+    "JsonlSource",
+    "JsonlDirectorySource",
+    "SimulatorSource",
+    "AnomalyConfig",
+    "AnomalyEvent",
+    "EwmaDetector",
 ]

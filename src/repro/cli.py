@@ -12,6 +12,8 @@ Subcommands:
 * ``fingerprints`` -- cluster device fingerprints in a sample file.
 * ``profiles`` -- export the built-in country profiles as editable JSON.
 * ``signatures`` -- print the Table 1 signature catalogue.
+* ``stream`` -- run the online pipeline: sharded classification,
+  incremental rollups, live anomaly detection, kill-safe checkpoints.
 """
 
 from __future__ import annotations
@@ -71,6 +73,23 @@ def build_parser() -> argparse.ArgumentParser:
     profiles.add_argument("--out", "-o", required=True, help="output JSON path")
 
     sub.add_parser("signatures", help="print the Table 1 signature catalogue")
+
+    stream = sub.add_parser("stream", help="run the online streaming pipeline")
+    stream.add_argument("samples", nargs="?", default=None,
+                        help="JSONL file or directory to replay "
+                             "(default: simulate --scenario live)")
+    stream.add_argument("--scenario", choices=("two-week", "iran"), default="two-week")
+    stream.add_argument("--connections", "-n", type=int, default=2000)
+    stream.add_argument("--seed", type=int, default=7)
+    stream.add_argument("--workers", "-w", type=int, default=0,
+                        help="shard worker processes (0 = classify inline)")
+    stream.add_argument("--bucket-seconds", type=float, default=3600.0)
+    stream.add_argument("--checkpoint", help="checkpoint JSON path (enables kill-safe resume)")
+    stream.add_argument("--checkpoint-interval", type=int, default=5000)
+    stream.add_argument("--resume", action="store_true",
+                        help="resume from the checkpoint file")
+    stream.add_argument("--max-samples", type=int, default=None,
+                        help="stop after this many connections (for drills)")
     return parser
 
 
@@ -202,6 +221,49 @@ def _cmd_profiles(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stream(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.stream import JsonlDirectorySource, JsonlSource, StreamEngine
+    from repro.workloads.scenarios import (
+        iran_protest_stream_source,
+        two_week_stream_source,
+    )
+
+    if args.resume and not args.checkpoint:
+        print("--resume requires --checkpoint", file=sys.stderr)
+        return 2
+
+    geodb = None
+    if args.samples:
+        if os.path.isdir(args.samples):
+            source = JsonlDirectorySource(args.samples)
+        else:
+            source = JsonlSource(args.samples)
+    elif args.scenario == "iran":
+        source = iran_protest_stream_source(n_connections=args.connections, seed=args.seed)
+        geodb = source.world.geo
+    else:
+        source = two_week_stream_source(n_connections=args.connections, seed=args.seed)
+        geodb = source.world.geo
+
+    engine = StreamEngine(
+        source,
+        geodb=geodb,
+        n_workers=args.workers,
+        bucket_seconds=args.bucket_seconds,
+        checkpoint_path=args.checkpoint,
+        checkpoint_interval=args.checkpoint_interval,
+    )
+    report = engine.run(max_samples=args.max_samples, resume=args.resume)
+    print(report.render())
+    print()
+    print(engine.metrics.render())
+    if args.checkpoint and not report.finished:
+        print(f"\ncheckpoint saved to {args.checkpoint}; rerun with --resume to continue")
+    return 0
+
+
 def _cmd_signatures(_args: argparse.Namespace) -> int:
     rows = [
         [info.stage.value, info.display, info.description, info.prior_work]
@@ -223,6 +285,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "fingerprints": _cmd_fingerprints,
         "profiles": _cmd_profiles,
         "signatures": _cmd_signatures,
+        "stream": _cmd_stream,
     }
     return handlers[args.command](args)
 

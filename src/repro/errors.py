@@ -25,6 +25,8 @@ __all__ = [
     "WorldError",
     "GeoError",
     "ConfigError",
+    "StreamError",
+    "CheckpointError",
 ]
 
 
@@ -95,3 +97,11 @@ class GeoError(WorldError):
 
 class ConfigError(ReproError):
     """Raised for invalid user-facing configuration values."""
+
+
+class StreamError(ReproError):
+    """Raised for streaming-pipeline failures (dead workers, bad sources)."""
+
+
+class CheckpointError(StreamError):
+    """Raised when a stream checkpoint cannot be read or is inconsistent."""

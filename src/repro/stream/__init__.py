@@ -1,0 +1,74 @@
+"""repro.stream -- online ingestion, rollups, and live anomaly detection.
+
+The batch pipeline (``classify_all`` + ``AnalysisDataset``) re-scans the
+whole study per question; this package is its production-shaped
+counterpart: samples flow through a sharded classifier pool into
+incremental windowed rollups, windows feed an online anomaly detector as
+they close, and periodic checkpoints make the whole thing kill-safe.
+
+Quickstart::
+
+    from repro import StreamEngine, SimulatorSource, TrafficGenerator, World
+
+    world = World(seed=7)
+    source = SimulatorSource(TrafficGenerator(world, seed=7),
+                             n_connections=2000,
+                             start_ts=0.0, duration=86400.0)
+    report = StreamEngine(source, geodb=world.geo, n_workers=2).run()
+    print(report.render())
+
+Module map:
+
+* :mod:`repro.stream.source` -- pull-based sample sources + backpressure.
+* :mod:`repro.stream.shard` -- the multiprocessing classifier pool.
+* :mod:`repro.stream.rollup` -- mergeable country × signature × hour counters.
+* :mod:`repro.stream.checkpoint` -- atomic JSON checkpoints.
+* :mod:`repro.stream.anomaly` -- EWMA/z-score spike detection with hysteresis.
+* :mod:`repro.stream.metrics` -- samples/s, queue depth, worker utilization.
+* :mod:`repro.stream.engine` -- the service loop tying it all together.
+"""
+
+from repro.stream.anomaly import AnomalyConfig, AnomalyEvent, EwmaDetector
+from repro.stream.checkpoint import CheckpointManager
+from repro.stream.engine import StreamEngine, StreamReport
+from repro.stream.metrics import StreamMetrics
+from repro.stream.rollup import StreamRollup
+from repro.stream.shard import (
+    ShardConfig,
+    ShardedClassifierPool,
+    StreamRecord,
+    serial_records,
+    shard_of,
+)
+from repro.stream.source import (
+    BoundedBuffer,
+    IterableSource,
+    JsonlDirectorySource,
+    JsonlSource,
+    SampleSource,
+    SimulatorSource,
+    StreamItem,
+)
+
+__all__ = [
+    "AnomalyConfig",
+    "AnomalyEvent",
+    "EwmaDetector",
+    "CheckpointManager",
+    "StreamEngine",
+    "StreamReport",
+    "StreamMetrics",
+    "StreamRollup",
+    "ShardConfig",
+    "ShardedClassifierPool",
+    "StreamRecord",
+    "serial_records",
+    "shard_of",
+    "BoundedBuffer",
+    "IterableSource",
+    "JsonlDirectorySource",
+    "JsonlSource",
+    "SampleSource",
+    "SimulatorSource",
+    "StreamItem",
+]

@@ -1,0 +1,205 @@
+"""Online anomaly detection over per-country tampering rates.
+
+The paper's Figure 8 shows the September 2022 escalation in Iran as a
+step change in the country's tampering-rate timeseries; a *live*
+pipeline wants that flagged as the windows close, not replotted later.
+:class:`EwmaDetector` does the carrier-grade thing (cf. Scheitle et
+al.'s TTL-based carrier anomaly detection):
+
+* an **EWMA baseline** (mean + variance) of each country's per-window
+  tampering rate, so the detector adapts to each country's own normal;
+* a per-window **z-score** whose denominator is floored by the binomial
+  standard error of the window's rate (a 10-connection hour simply
+  cannot witness a precise rate) and by an absolute ``sigma_floor``;
+* **CUSUM accumulation** of those z-scores: persistent small elevations
+  accumulate while one noisy hour decays, which is what separates a
+  real escalation from sampling noise at 1/10,000 rates;
+* **hysteresis**: an incident opens when the CUSUM statistic crosses
+  ``cusum_enter`` and closes only when it falls back below
+  ``cusum_exit``; the baseline is frozen while an incident is active so
+  a long spike cannot absorb itself into "normal".
+
+Windows with fewer than ``min_window_total`` connections are skipped
+outright -- they carry no rate information.  The detector's state is a
+few floats per country and serialises into checkpoints.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, List, Optional
+
+from repro.errors import StreamError
+
+__all__ = ["AnomalyConfig", "AnomalyEvent", "EwmaDetector"]
+
+
+@dataclasses.dataclass(frozen=True)
+class AnomalyConfig:
+    """Detector tunables (defaults validated on the Iran scenario).
+
+    ``alpha`` is the EWMA weight of the newest window (smaller = longer
+    memory); ``drift`` is the CUSUM allowance subtracted from each
+    z-score before accumulating (z-scores below it decay the statistic);
+    ``min_windows`` suppresses alerts until a baseline exists.
+    """
+
+    alpha: float = 0.05
+    drift: float = 0.5
+    cusum_enter: float = 8.0
+    cusum_exit: float = 1.0
+    cusum_cap: float = 10.0
+    min_windows: int = 12
+    sigma_floor: float = 0.5  # percentage points
+    min_window_total: int = 5  # connections; thinner windows are skipped
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.alpha <= 1.0:
+            raise StreamError("alpha must be in (0, 1]")
+        if self.cusum_exit > self.cusum_enter:
+            raise StreamError("cusum_exit must not exceed cusum_enter")
+        if self.cusum_cap < self.cusum_enter:
+            raise StreamError("cusum_cap must be >= cusum_enter")
+        if self.min_window_total < 1:
+            raise StreamError("min_window_total must be >= 1")
+
+
+@dataclasses.dataclass(frozen=True)
+class AnomalyEvent:
+    """One alert transition."""
+
+    country: str
+    kind: str  # "start" | "end"
+    window_start: float
+    rate: float
+    baseline: float
+    zscore: float
+    cusum: float
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass
+class _CountryState:
+    mean: float = 0.0
+    var: float = 0.0
+    n_windows: int = 0
+    cusum: float = 0.0
+    active: bool = False
+
+
+class EwmaDetector:
+    """Per-country EWMA baseline + CUSUM-of-z spike detector."""
+
+    def __init__(self, config: Optional[AnomalyConfig] = None) -> None:
+        self.config = config or AnomalyConfig()
+        self._states: Dict[str, _CountryState] = {}
+        self.events: List[AnomalyEvent] = []
+
+    # ------------------------------------------------------------------
+    def observe(
+        self, country: str, window_start: float, rate: float, total: int
+    ) -> List[AnomalyEvent]:
+        """Feed one closed (country, window): its rate (%) and population.
+
+        Returns the events this window triggered (usually none).
+        """
+        config = self.config
+        if total < config.min_window_total:
+            return []
+        state = self._states.setdefault(country, _CountryState())
+        emitted: List[AnomalyEvent] = []
+
+        if state.n_windows == 0:
+            # First usable window seeds the baseline; nothing to score.
+            state.mean = rate
+            state.var = 0.0
+            state.n_windows = 1
+            return []
+
+        p0 = min(max(state.mean / 100.0, 0.01), 0.99)
+        binom_se = 100.0 * math.sqrt(p0 * (1.0 - p0) / total)
+        sigma = max(math.sqrt(state.var), binom_se, config.sigma_floor)
+        zscore = (rate - state.mean) / sigma
+
+        if state.n_windows >= config.min_windows:
+            # The cap bounds how far the statistic can run above the
+            # enter threshold, which in turn bounds how many quiet
+            # windows it takes to declare an incident over.
+            state.cusum = min(
+                config.cusum_cap,
+                max(0.0, state.cusum + zscore - config.drift),
+            )
+
+        if not state.active and state.cusum >= config.cusum_enter:
+            state.active = True
+            emitted.append(
+                AnomalyEvent(
+                    country=country,
+                    kind="start",
+                    window_start=window_start,
+                    rate=rate,
+                    baseline=state.mean,
+                    zscore=zscore,
+                    cusum=state.cusum,
+                )
+            )
+        elif state.active and state.cusum <= config.cusum_exit:
+            state.active = False
+            emitted.append(
+                AnomalyEvent(
+                    country=country,
+                    kind="end",
+                    window_start=window_start,
+                    rate=rate,
+                    baseline=state.mean,
+                    zscore=zscore,
+                    cusum=state.cusum,
+                )
+            )
+
+        # Update the baseline *after* scoring, and freeze it while an
+        # incident is active so the spike does not absorb into "normal".
+        if not state.active:
+            delta = rate - state.mean
+            state.mean += config.alpha * delta
+            state.var = (1.0 - config.alpha) * (state.var + config.alpha * delta * delta)
+        state.n_windows += 1
+
+        self.events.extend(emitted)
+        return emitted
+
+    # ------------------------------------------------------------------
+    def is_active(self, country: str) -> bool:
+        state = self._states.get(country)
+        return bool(state and state.active)
+
+    @property
+    def active_countries(self) -> List[str]:
+        return sorted(c for c, s in self._states.items() if s.active)
+
+    def baseline(self, country: str) -> Optional[float]:
+        state = self._states.get(country)
+        return state.mean if state else None
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "config": dataclasses.asdict(self.config),
+            "states": {
+                country: dataclasses.asdict(state)
+                for country, state in self._states.items()
+            },
+            "events": [event.to_dict() for event in self.events],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "EwmaDetector":
+        detector = cls(AnomalyConfig(**data["config"]))
+        detector._states = {
+            country: _CountryState(**state) for country, state in data["states"].items()
+        }
+        detector.events = [AnomalyEvent(**event) for event in data["events"]]
+        return detector

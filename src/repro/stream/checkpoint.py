@@ -1,0 +1,83 @@
+"""Periodic JSON checkpoints of stream state.
+
+A checkpoint captures everything needed to resume a killed stream with
+no lost and no duplicated connections: the **source cursor** (what has
+been consumed), the **rollup** (what has been aggregated), the
+**detector state** (baselines and open incidents), and the engine's
+open window cells (buckets that have not closed yet and so have not
+been fed to the detector).
+
+Checkpoints are written atomically (temp file + ``os.replace``) so a
+kill mid-write leaves the previous checkpoint intact, and carry a
+schema version so stale files fail loudly instead of resuming garbage.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Optional
+
+from repro.errors import CheckpointError
+
+__all__ = ["CHECKPOINT_VERSION", "CheckpointManager"]
+
+CHECKPOINT_VERSION = 1
+
+
+class CheckpointManager:
+    """Owns one checkpoint file; saves every ``interval`` samples."""
+
+    def __init__(self, path: str, interval: int = 5000) -> None:
+        if interval < 1:
+            raise CheckpointError("checkpoint interval must be >= 1")
+        self.path = path
+        self.interval = interval
+        self._last_saved_at = 0  # samples_done at last save
+
+    # ------------------------------------------------------------------
+    def due(self, samples_done: int) -> bool:
+        return samples_done - self._last_saved_at >= self.interval
+
+    def save(self, state: dict, samples_done: int) -> None:
+        """Atomically write ``state`` (adds the schema envelope)."""
+        payload = {"version": CHECKPOINT_VERSION, "samples_done": samples_done}
+        payload.update(state)
+        directory = os.path.dirname(os.path.abspath(self.path)) or "."
+        fd, tmp_path = tempfile.mkstemp(prefix=".ckpt-", dir=directory)
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(payload, fh, separators=(",", ":"))
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp_path, self.path)
+        except BaseException:
+            if os.path.exists(tmp_path):
+                os.unlink(tmp_path)
+            raise
+        self._last_saved_at = samples_done
+
+    def load(self) -> Optional[dict]:
+        """Read the checkpoint; None when absent, raises when corrupt."""
+        if not os.path.exists(self.path):
+            return None
+        try:
+            with open(self.path, "r") as fh:
+                payload = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CheckpointError(f"unreadable checkpoint {self.path!r}: {exc}") from exc
+        version = payload.get("version")
+        if version != CHECKPOINT_VERSION:
+            raise CheckpointError(
+                f"checkpoint {self.path!r} has schema version {version!r}, "
+                f"expected {CHECKPOINT_VERSION}"
+            )
+        self._last_saved_at = payload.get("samples_done", 0)
+        return payload
+
+    def clear(self) -> None:
+        """Remove the checkpoint file (a completed stream needs none)."""
+        if os.path.exists(self.path):
+            os.unlink(self.path)
+        self._last_saved_at = 0

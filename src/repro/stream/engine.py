@@ -1,0 +1,292 @@
+"""The stream engine: source → shard pool → rollup → anomaly → report.
+
+:class:`StreamEngine` is the long-running service loop.  It pulls
+:class:`~repro.stream.source.StreamItem` values from a
+:class:`~repro.stream.source.SampleSource`, classifies them (inline, or
+across a :class:`~repro.stream.shard.ShardedClassifierPool` when
+``n_workers > 0``), geolocates each record, folds it into a
+:class:`~repro.stream.rollup.StreamRollup`, closes hour windows as
+virtual time advances and feeds their rates to the
+:class:`~repro.stream.anomaly.EwmaDetector`, and periodically snapshots
+everything through a :class:`~repro.stream.checkpoint.CheckpointManager`.
+
+Checkpoint correctness with a parallel pool relies on one invariant:
+the pool's ordered merge returns records in **pull order**, so the
+source cursor recorded at pull time for sequence *k* is exactly "the
+source is consumed through record *k*".  The engine keeps those cursors
+in a bounded deque and retires them as records come back; whatever
+cursor was last retired is always safe to persist.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import deque
+from typing import Deque, Dict, Iterator, List, Optional, Tuple
+
+from repro.cdn.geo import GeoDatabase
+from repro.core.classifier import ClassifierConfig, TamperingClassifier
+from repro.errors import CheckpointError, StreamError
+from repro.stream.anomaly import AnomalyConfig, AnomalyEvent, EwmaDetector
+from repro.stream.checkpoint import CheckpointManager
+from repro.stream.metrics import StreamMetrics
+from repro.stream.rollup import DEFAULT_BUCKET_SECONDS, StreamRollup
+from repro.stream.shard import (
+    ShardConfig,
+    ShardedClassifierPool,
+    StreamRecord,
+)
+from repro.stream.source import SampleSource, StreamItem
+
+__all__ = ["StreamEngine", "StreamReport"]
+
+
+@dataclasses.dataclass
+class StreamReport:
+    """What a (possibly partial) stream run produced."""
+
+    rollup: StreamRollup
+    events: List[AnomalyEvent]
+    metrics: dict
+    finished: bool
+    samples_processed: int
+
+    def render(self, top: int = 10) -> str:
+        """Human-readable summary block for the CLI."""
+        lines = [
+            f"stream {'finished' if self.finished else 'stopped'} after "
+            f"{self.samples_processed} connections "
+            f"({self.rollup.n_records} in rollup)",
+        ]
+        rates = sorted(
+            self.rollup.country_tampering_rate().items(), key=lambda kv: -kv[1]
+        )
+        if rates:
+            lines.append("top tampered countries:")
+            for country, rate in rates[:top]:
+                lines.append(f"  {country}: {rate:.1f}%")
+        if self.events:
+            lines.append("anomalies:")
+            for event in self.events:
+                lines.append(
+                    f"  [{event.kind}] {event.country} window={event.window_start:.0f} "
+                    f"rate={event.rate:.1f}% baseline={event.baseline:.1f}% "
+                    f"z={event.zscore:.1f}"
+                )
+        else:
+            lines.append("anomalies: none")
+        return "\n".join(lines)
+
+
+class StreamEngine:
+    """Online counterpart of ``classify_all`` + ``AnalysisDataset``."""
+
+    def __init__(
+        self,
+        source: SampleSource,
+        geodb: Optional[GeoDatabase] = None,
+        *,
+        n_workers: int = 0,
+        classifier_config: Optional[ClassifierConfig] = None,
+        shard_config: Optional[ShardConfig] = None,
+        bucket_seconds: float = DEFAULT_BUCKET_SECONDS,
+        grace_seconds: float = 0.0,
+        anomaly_config: Optional[AnomalyConfig] = None,
+        checkpoint_path: Optional[str] = None,
+        checkpoint_interval: int = 5000,
+    ) -> None:
+        if n_workers < 0:
+            raise StreamError("n_workers must be >= 0")
+        self.source = source
+        self.geodb = geodb
+        self.n_workers = n_workers
+        self.classifier_config = classifier_config or ClassifierConfig()
+        self.shard_config = shard_config or ShardConfig(n_workers=max(n_workers, 1))
+        self.bucket_seconds = bucket_seconds
+        self.grace_seconds = grace_seconds
+        self.rollup = StreamRollup(bucket_seconds=bucket_seconds)
+        self.detector = EwmaDetector(anomaly_config)
+        self.metrics = StreamMetrics()
+        self.checkpointer = (
+            CheckpointManager(checkpoint_path, interval=checkpoint_interval)
+            if checkpoint_path
+            else None
+        )
+        #: (country, bucket_start) -> [total, matches] for buckets that
+        #: have not closed yet (not fed to the detector).
+        self._open_cells: Dict[Tuple[str, float], List[int]] = {}
+        self._watermark: Optional[float] = None
+        self._pull_seq = 0
+        self._cursors: Deque[Tuple[int, object]] = deque()
+        self._safe_cursor: Optional[object] = None
+
+    # ------------------------------------------------------------------
+    # Resume
+    # ------------------------------------------------------------------
+    def _restore(self) -> None:
+        assert self.checkpointer is not None
+        payload = self.checkpointer.load()
+        if payload is None:
+            return
+        if payload["bucket_seconds"] != self.bucket_seconds:
+            raise CheckpointError(
+                "checkpoint bucket size differs from engine configuration"
+            )
+        self.rollup = StreamRollup.from_dict(payload["rollup"])
+        self.detector = EwmaDetector.from_dict(payload["anomaly"])
+        self._open_cells = {
+            (country, bucket): [total, matches]
+            for country, bucket, total, matches in payload["open_cells"]
+        }
+        self._watermark = payload["watermark"]
+        self._safe_cursor = payload["cursor"]
+        self.source.seek(payload["cursor"])
+        self.metrics.resumed_from = payload["samples_done"]
+        self.metrics.checkpoints_written = 0
+
+    def _checkpoint_state(self) -> dict:
+        return {
+            "bucket_seconds": self.bucket_seconds,
+            "cursor": self._safe_cursor,
+            "watermark": self._watermark,
+            "rollup": self.rollup.to_dict(),
+            "anomaly": self.detector.to_dict(),
+            "open_cells": [
+                [country, bucket, counts[0], counts[1]]
+                for (country, bucket), counts in self._open_cells.items()
+            ],
+        }
+
+    # ------------------------------------------------------------------
+    # Windowing
+    # ------------------------------------------------------------------
+    def _close_ripe_cells(self) -> None:
+        """Feed every cell whose bucket has fully passed to the detector."""
+        if self._watermark is None:
+            return
+        horizon = self._watermark - self.bucket_seconds - self.grace_seconds
+        ripe = sorted(
+            (cell for cell in self._open_cells if cell[1] <= horizon),
+            key=lambda cell: (cell[1], cell[0]),
+        )
+        for cell in ripe:
+            self._feed_cell(cell)
+
+    def _flush_cells(self) -> None:
+        """End of stream: close everything still open, in time order."""
+        for cell in sorted(self._open_cells, key=lambda cell: (cell[1], cell[0])):
+            self._feed_cell(cell)
+
+    def _feed_cell(self, cell: Tuple[str, float]) -> None:
+        total, matches = self._open_cells.pop(cell)
+        rate = 100.0 * matches / total if total else 0.0
+        events = self.detector.observe(cell[0], cell[1], rate, total)
+        self.metrics.anomaly_events += len(events)
+
+    def _fold(self, record: StreamRecord) -> None:
+        """Geolocate, roll up, advance windows, retire the cursor."""
+        if self.geodb is not None:
+            geo = self.geodb.lookup_or_none(record.client_ip)
+            if geo is not None:
+                record = record.located(geo.country, geo.asn)
+        self.rollup.add(record)
+        self.metrics.on_record_out(record.is_tampering)
+
+        cell = (record.country, self.rollup.bucket_of(record.ts))
+        counts = self._open_cells.setdefault(cell, [0, 0])
+        counts[0] += 1
+        if record.is_tampering:
+            counts[1] += 1
+        if self._watermark is None or record.ts > self._watermark:
+            self._watermark = record.ts
+        self._close_ripe_cells()
+
+        while self._cursors and self._cursors[0][0] <= record.seq:
+            _, cursor = self._cursors.popleft()
+            self._safe_cursor = cursor
+
+        if self.checkpointer is not None and self.checkpointer.due(self.rollup.n_records):
+            self.checkpointer.save(self._checkpoint_state(), self.rollup.n_records)
+            self.metrics.checkpoints_written += 1
+
+    # ------------------------------------------------------------------
+    # Input plumbing
+    # ------------------------------------------------------------------
+    def _instrumented_items(self, max_samples: Optional[int]) -> Iterator[StreamItem]:
+        for item in self.source:
+            self._cursors.append((self._pull_seq, self.source.cursor()))
+            self._pull_seq += 1
+            self.metrics.on_sample_in()
+            yield item
+            if max_samples is not None and self._pull_seq >= max_samples:
+                return
+
+    def _serial_records(self, items: Iterator[StreamItem]) -> Iterator[StreamRecord]:
+        classifier = TamperingClassifier(self.classifier_config)
+        seq = 0
+        for item in items:
+            result = classifier.classify(item.sample)
+            yield StreamRecord.from_result(result, seq=seq, ts=item.ts)
+            seq += 1
+
+    # ------------------------------------------------------------------
+    # The run loop
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        max_samples: Optional[int] = None,
+        resume: bool = False,
+    ) -> StreamReport:
+        """Drain the source (or ``max_samples`` of it) and report.
+
+        With ``resume=True`` and an existing checkpoint, the engine
+        restores rollup/detector/window state and seeks the source to
+        the checkpointed cursor first -- nothing is reprocessed,
+        nothing is skipped.
+        """
+        if resume:
+            if self.checkpointer is None:
+                raise StreamError("resume requested but no checkpoint path configured")
+            self._restore()
+        self.metrics.start()
+
+        items = self._instrumented_items(max_samples)
+        exhausted_cleanly = False
+        try:
+            if self.n_workers == 0:
+                for record in self._serial_records(items):
+                    self._fold(record)
+            else:
+                pool_config = dataclasses.replace(
+                    self.shard_config, n_workers=self.n_workers
+                )
+                with ShardedClassifierPool(pool_config, self.classifier_config) as pool:
+                    for record in pool.process(items):
+                        self._fold(record)
+                    self.metrics.set_worker_stats(pool.worker_busy, pool.worker_records)
+            exhausted_cleanly = True
+        finally:
+            self.metrics.stop()
+            self.source.close()
+
+        finished = exhausted_cleanly and (
+            max_samples is None or self._pull_seq < max_samples
+        )
+        if finished:
+            self._flush_cells()
+            if self.checkpointer is not None and self.rollup.n_records:
+                # Final state (post window-flush) so a restart of a
+                # finished stream has nothing left to do.
+                self.checkpointer.save(self._checkpoint_state(), self.rollup.n_records)
+                self.metrics.checkpoints_written += 1
+        elif self.checkpointer is not None and self._safe_cursor is not None:
+            self.checkpointer.save(self._checkpoint_state(), self.rollup.n_records)
+            self.metrics.checkpoints_written += 1
+
+        return StreamReport(
+            rollup=self.rollup,
+            events=list(self.detector.events),
+            metrics=self.metrics.snapshot(),
+            finished=finished,
+            samples_processed=self.rollup.n_records,
+        )

@@ -1,0 +1,128 @@
+"""Cheap operational metrics for the streaming pipeline.
+
+:class:`StreamMetrics` is a handful of integer counters and gauges --
+nothing that allocates per sample -- snapshotted into the final report
+and into every checkpoint.  It answers the questions an operator asks of
+a live pipeline: how fast is it going (samples/s), how far behind is it
+(queue depth / in-flight), is work balanced (per-worker shares), and is
+anything being dropped or restarted.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional
+
+__all__ = ["StreamMetrics"]
+
+
+class StreamMetrics:
+    """Counters and gauges; wall-clock rates derived on snapshot."""
+
+    def __init__(self) -> None:
+        self.samples_in = 0
+        self.records_out = 0
+        self.tampering_matches = 0
+        self.checkpoints_written = 0
+        self.anomaly_events = 0
+        self.resumed_from = 0  # cursor position a resume started at
+        self.source_rejected = 0  # backpressure: source pushes refused
+        self.queue_depth = 0  # gauge: records in flight right now
+        self.max_queue_depth = 0
+        self._started: Optional[float] = None
+        self._stopped: Optional[float] = None
+        #: worker id -> {"records": n, "busy_seconds": s}
+        self.workers: Dict[int, Dict[str, float]] = {}
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._started is None:
+            self._started = time.monotonic()
+
+    def stop(self) -> None:
+        self._stopped = time.monotonic()
+
+    @property
+    def elapsed_seconds(self) -> float:
+        if self._started is None:
+            return 0.0
+        end = self._stopped if self._stopped is not None else time.monotonic()
+        return max(end - self._started, 0.0)
+
+    # ------------------------------------------------------------------
+    def on_sample_in(self) -> None:
+        self.samples_in += 1
+        self.queue_depth = self.samples_in - self.records_out
+        if self.queue_depth > self.max_queue_depth:
+            self.max_queue_depth = self.queue_depth
+
+    def on_record_out(self, is_tampering: bool) -> None:
+        self.records_out += 1
+        self.queue_depth = self.samples_in - self.records_out
+        if is_tampering:
+            self.tampering_matches += 1
+
+    def set_worker_stats(self, busy: Dict[int, float], records: Dict[int, int]) -> None:
+        for worker_id, seconds in busy.items():
+            self.workers[worker_id] = {
+                "records": float(records.get(worker_id, 0)),
+                "busy_seconds": seconds,
+            }
+
+    # ------------------------------------------------------------------
+    def samples_per_second(self) -> float:
+        elapsed = self.elapsed_seconds
+        return self.records_out / elapsed if elapsed > 0 else 0.0
+
+    def worker_utilization(self) -> Dict[int, float]:
+        """Busy-time share of wall time per worker (0..1)."""
+        elapsed = self.elapsed_seconds
+        if elapsed <= 0:
+            return {w: 0.0 for w in self.workers}
+        return {
+            worker_id: min(stats["busy_seconds"] / elapsed, 1.0)
+            for worker_id, stats in self.workers.items()
+        }
+
+    def snapshot(self) -> dict:
+        """JSON-safe dump of every counter plus derived rates."""
+        return {
+            "samples_in": self.samples_in,
+            "records_out": self.records_out,
+            "tampering_matches": self.tampering_matches,
+            "checkpoints_written": self.checkpoints_written,
+            "anomaly_events": self.anomaly_events,
+            "resumed_from": self.resumed_from,
+            "source_rejected": self.source_rejected,
+            "queue_depth": self.queue_depth,
+            "max_queue_depth": self.max_queue_depth,
+            "elapsed_seconds": self.elapsed_seconds,
+            "samples_per_second": self.samples_per_second(),
+            "workers": {
+                str(worker_id): dict(stats) for worker_id, stats in self.workers.items()
+            },
+            "worker_utilization": {
+                str(worker_id): round(share, 4)
+                for worker_id, share in self.worker_utilization().items()
+            },
+        }
+
+    def render(self) -> str:
+        """A short human-readable block for CLI output."""
+        snap = self.snapshot()
+        lines = [
+            f"samples in / records out: {snap['samples_in']} / {snap['records_out']}",
+            f"tampering matches: {snap['tampering_matches']}",
+            f"throughput: {snap['samples_per_second']:,.0f} samples/s "
+            f"over {snap['elapsed_seconds']:.2f}s",
+            f"max in-flight: {snap['max_queue_depth']}",
+            f"checkpoints written: {snap['checkpoints_written']}",
+            f"anomaly events: {snap['anomaly_events']}",
+        ]
+        if snap["workers"]:
+            util = ", ".join(
+                f"w{worker_id}={share:.0%}"
+                for worker_id, share in sorted(snap["worker_utilization"].items())
+            )
+            lines.append(f"worker utilization: {util}")
+        return "\n".join(lines)

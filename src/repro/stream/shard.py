@@ -1,0 +1,387 @@
+"""Sharded classification: a multiprocessing pool with ordered merge.
+
+The classifier is stateless and CPU-bound, so it parallelises by
+partitioning samples across N worker processes -- each running its own
+:class:`~repro.core.classifier.TamperingClassifier` -- by a hash of
+``conn_id``.  Three properties the stream engine depends on:
+
+* **Ordered merge.**  Every sample gets a global sequence number on
+  intake; completed records are re-merged through a heap so the output
+  order equals the input order regardless of which shard ran first.
+  Downstream rollups therefore see the exact arrival order, which keeps
+  incremental aggregation bit-identical with the batch path.
+* **Bounded in-flight work.**  The coordinator never lets more than
+  ``max_inflight`` samples sit between submission and merge, so memory
+  stays flat no matter how large the stream is (backpressure reaches
+  all the way back to the source).
+* **Worker-death detection.**  If a worker process dies (OOM-killed,
+  segfault, bug), the coordinator notices within a poll interval,
+  shuts the pool down, and raises :class:`~repro.errors.StreamError`
+  instead of hanging on a queue forever.
+
+Workers return slim :class:`StreamRecord` values, not full
+:class:`~repro.core.classifier.ClassificationResult` objects: shipping
+the packets back across the process boundary would roughly double IPC
+for fields the rollup never reads.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+import multiprocessing
+import queue as queue_module
+import time
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.cdn.collector import ConnectionSample
+from repro.core.classifier import ClassificationResult, ClassifierConfig, TamperingClassifier
+from repro.core.model import SignatureId, Stage
+from repro.errors import StreamError
+from repro.stream.source import StreamItem
+
+__all__ = [
+    "StreamRecord",
+    "ShardConfig",
+    "ShardedClassifierPool",
+    "shard_of",
+    "serial_records",
+]
+
+#: Knuth multiplicative hash constant (32-bit golden ratio).
+_HASH_MULT = 0x9E3779B1
+
+
+def shard_of(conn_id: int, n_shards: int) -> int:
+    """Stable shard assignment for a connection id."""
+    return ((conn_id * _HASH_MULT) & 0xFFFFFFFF) % n_shards
+
+
+@dataclasses.dataclass(frozen=True)
+class StreamRecord:
+    """A classified connection, reduced to what aggregation reads.
+
+    This is the unit that crosses the worker/coordinator boundary and
+    feeds :class:`~repro.stream.rollup.StreamRollup`; ``country``/``asn``
+    are filled in by the engine (geolocation stays in the coordinator so
+    workers never need the world model).
+    """
+
+    seq: int
+    conn_id: int
+    signature: SignatureId
+    stage: Stage
+    possibly_tampered: bool
+    protocol: Optional[str]
+    domain: Optional[str]
+    client_ip: str
+    ip_version: int
+    server_port: int
+    ts: float
+    country: str = "??"
+    asn: int = -1
+
+    @classmethod
+    def from_result(
+        cls,
+        result: ClassificationResult,
+        seq: int,
+        ts: Optional[float] = None,
+        country: str = "??",
+        asn: int = -1,
+    ) -> "StreamRecord":
+        sample = result.sample
+        if ts is None:
+            ts = min((p.ts for p in sample.packets), default=0.0)
+        return cls(
+            seq=seq,
+            conn_id=sample.conn_id,
+            signature=result.signature,
+            stage=result.stage,
+            possibly_tampered=result.possibly_tampered,
+            protocol=result.protocol,
+            domain=result.domain,
+            client_ip=sample.client_ip,
+            ip_version=sample.ip_version,
+            server_port=sample.server_port,
+            ts=ts,
+            country=country,
+            asn=asn,
+        )
+
+    def located(self, country: str, asn: int) -> "StreamRecord":
+        return dataclasses.replace(self, country=country, asn=asn)
+
+    @property
+    def is_tampering(self) -> bool:
+        return self.signature.is_tampering
+
+
+@dataclasses.dataclass(frozen=True)
+class ShardConfig:
+    """Pool tunables."""
+
+    n_workers: int = 2
+    batch_size: int = 64
+    max_inflight: int = 4096
+    queue_depth: int = 8  # batches buffered per worker input queue
+    poll_seconds: float = 0.2  # worker-liveness poll while waiting
+    join_seconds: float = 5.0  # graceful-shutdown patience
+
+    def __post_init__(self) -> None:
+        if self.n_workers < 1:
+            raise StreamError("n_workers must be >= 1")
+        if self.batch_size < 1:
+            raise StreamError("batch_size must be >= 1")
+        if self.max_inflight < self.batch_size:
+            raise StreamError("max_inflight must be >= batch_size")
+
+
+def _worker_main(worker_id, config_blob, in_queue, out_queue):
+    """Worker process body: classify batches until the None sentinel."""
+    classifier = TamperingClassifier(config_blob)
+    while True:
+        task = in_queue.get()
+        if task is None:
+            break
+        try:
+            began = time.monotonic()
+            records = []
+            for seq, ts, sample in task:
+                result = classifier.classify(sample)
+                records.append(StreamRecord.from_result(result, seq=seq, ts=ts))
+            out_queue.put(("ok", worker_id, records, time.monotonic() - began))
+        except BaseException as exc:  # surface, don't hang the merge
+            out_queue.put(("error", worker_id, repr(exc), 0.0))
+            break
+
+
+class ShardedClassifierPool:
+    """Partition samples across worker processes; merge results in order.
+
+    Usage::
+
+        with ShardedClassifierPool(ShardConfig(n_workers=4)) as pool:
+            for record in pool.process(items):
+                ...
+
+    ``process`` is a generator: it submits upstream items lazily (pulling
+    from the source only when in-flight room exists) and yields
+    :class:`StreamRecord` values in global sequence order.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ShardConfig] = None,
+        classifier_config: Optional[ClassifierConfig] = None,
+    ) -> None:
+        self.config = config or ShardConfig()
+        self.classifier_config = classifier_config or ClassifierConfig()
+        try:
+            self._ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX fallback
+            self._ctx = multiprocessing.get_context("spawn")
+        self._workers: List[multiprocessing.Process] = []
+        self._in_queues: List[multiprocessing.Queue] = []
+        self._out_queue: Optional[multiprocessing.Queue] = None
+        self._started = False
+        self._closed = False
+        #: Busy seconds and record counts per worker (metrics reads these).
+        self.worker_busy: Dict[int, float] = {}
+        self.worker_records: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._started:
+            return
+        self._out_queue = self._ctx.Queue()
+        for worker_id in range(self.config.n_workers):
+            in_queue = self._ctx.Queue(maxsize=self.config.queue_depth)
+            process = self._ctx.Process(
+                target=_worker_main,
+                args=(worker_id, self.classifier_config, in_queue, self._out_queue),
+                daemon=True,
+                name=f"repro-shard-{worker_id}",
+            )
+            process.start()
+            self._in_queues.append(in_queue)
+            self._workers.append(process)
+            self.worker_busy[worker_id] = 0.0
+            self.worker_records[worker_id] = 0
+        self._started = True
+
+    def close(self) -> None:
+        """Graceful shutdown: sentinel every worker, join, then escalate."""
+        if self._closed:
+            return
+        self._closed = True
+        for in_queue in self._in_queues:
+            try:
+                in_queue.put_nowait(None)
+            except queue_module.Full:
+                pass
+        deadline = time.monotonic() + self.config.join_seconds
+        for process in self._workers:
+            process.join(timeout=max(0.0, deadline - time.monotonic()))
+        for process in self._workers:
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=1.0)
+        for in_queue in self._in_queues:
+            in_queue.close()
+            in_queue.cancel_join_thread()
+        if self._out_queue is not None:
+            self._out_queue.close()
+            self._out_queue.cancel_join_thread()
+
+    def __enter__(self) -> "ShardedClassifierPool":
+        self.start()
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _check_workers(self) -> None:
+        for process in self._workers:
+            if not process.is_alive() and process.exitcode not in (0, None):
+                raise StreamError(
+                    f"worker {process.name} died with exit code {process.exitcode}"
+                )
+
+    def _submit(self, worker_id: int, batch) -> None:
+        """Blocking put with liveness checks (bounded queue = backpressure)."""
+        while True:
+            try:
+                self._in_queues[worker_id].put(batch, timeout=self.config.poll_seconds)
+                return
+            except queue_module.Full:
+                self._check_workers()
+
+    def _collect_one(self, block: bool) -> Optional[Tuple[int, List[StreamRecord]]]:
+        """Pull one completed batch off the output queue."""
+        assert self._out_queue is not None
+        while True:
+            try:
+                message = self._out_queue.get(
+                    timeout=self.config.poll_seconds if block else 0.001
+                )
+            except queue_module.Empty:
+                if not block:
+                    return None
+                self._check_workers()
+                continue
+            kind, worker_id, payload, busy = message
+            if kind == "error":
+                raise StreamError(f"worker {worker_id} failed: {payload}")
+            self.worker_busy[worker_id] += busy
+            self.worker_records[worker_id] += len(payload)
+            return worker_id, payload
+
+    # ------------------------------------------------------------------
+    # The pipeline
+    # ------------------------------------------------------------------
+    def process(self, items: Iterable[StreamItem]) -> Iterator[StreamRecord]:
+        """Classify a stream of items; yield records in input order."""
+        if not self._started:
+            self.start()
+        if self._closed:
+            raise StreamError("pool is closed")
+
+        config = self.config
+        pending: List[List] = [[] for _ in range(config.n_workers)]
+        heap: List[Tuple[int, StreamRecord]] = []
+        next_seq = 0  # next sequence number to hand out
+        emit_seq = 0  # next sequence number to yield
+        iterator = iter(items)
+        exhausted = False
+
+        def flush_shard(worker_id: int) -> None:
+            if pending[worker_id]:
+                self._submit(worker_id, pending[worker_id])
+                pending[worker_id] = []
+
+        def absorb(batch: List[StreamRecord]) -> None:
+            for record in batch:
+                heapq.heappush(heap, (record.seq, record))
+
+        while True:
+            inflight = next_seq - emit_seq
+            # Pull input while there is room for a whole batch.
+            if not exhausted and inflight < config.max_inflight:
+                try:
+                    item = next(iterator)
+                except StopIteration:
+                    exhausted = True
+                    for worker_id in range(config.n_workers):
+                        flush_shard(worker_id)
+                else:
+                    worker_id = shard_of(item.sample.conn_id, config.n_workers)
+                    pending[worker_id].append(
+                        (next_seq, item.ts, item.sample)
+                    )
+                    next_seq += 1
+                    if len(pending[worker_id]) >= config.batch_size:
+                        flush_shard(worker_id)
+                    continue
+
+            if exhausted and emit_seq == next_seq:
+                break
+
+            # Saturated (or drained input): everything still pending must
+            # be on a worker queue before blocking, or the merge could
+            # wait on a sequence number no worker has ever seen.
+            for worker_id in range(config.n_workers):
+                flush_shard(worker_id)
+            collected = self._collect_one(block=True)
+            if collected is not None:
+                absorb(collected[1])
+            # Opportunistically drain whatever else is ready.
+            while True:
+                more = self._collect_one(block=False)
+                if more is None:
+                    break
+                absorb(more[1])
+            while heap and heap[0][0] == emit_seq:
+                _, record = heapq.heappop(heap)
+                emit_seq += 1
+                yield record
+
+    def map_samples(
+        self,
+        samples: Iterable[ConnectionSample],
+        timestamps: Optional[Dict[int, float]] = None,
+    ) -> List[StreamRecord]:
+        """Classify a batch of bare samples; records in input order."""
+        timestamps = timestamps or {}
+        items = (
+            StreamItem(sample=s, ts=timestamps.get(s.conn_id)) for s in samples
+        )
+        return list(self.process(items))
+
+
+def serial_records(
+    samples: Iterable[ConnectionSample],
+    timestamps: Optional[Dict[int, float]] = None,
+    classifier: Optional[TamperingClassifier] = None,
+) -> List[StreamRecord]:
+    """The single-process reference path: classify in order, no pool.
+
+    Exists so parity tests and the engine's ``n_workers=0`` mode share
+    one code path with identical record construction.
+    """
+    classifier = classifier or TamperingClassifier()
+    timestamps = timestamps or {}
+    out: List[StreamRecord] = []
+    for seq, sample in enumerate(samples):
+        result = classifier.classify(sample)
+        out.append(
+            StreamRecord.from_result(
+                result, seq=seq, ts=timestamps.get(sample.conn_id)
+            )
+        )
+    return out

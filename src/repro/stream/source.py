@@ -1,0 +1,302 @@
+"""Pull-based sample sources for the streaming pipeline.
+
+A :class:`SampleSource` hands out :class:`StreamItem` records one at a
+time and knows how to report a **cursor** -- an opaque, JSON-safe value
+that identifies how far the stream has been consumed -- and how to
+``seek`` back to a previously reported cursor.  That pair is what makes
+checkpoint/resume possible without re-reading or re-simulating work that
+already flowed downstream.
+
+Three source families cover the deployment shapes the paper implies:
+
+* :class:`IterableSource` -- an in-memory sequence of samples (tests,
+  replays of a :class:`~repro.workloads.scenarios.StudyRun`).
+* :class:`JsonlSource` / :class:`JsonlDirectorySource` -- samples
+  persisted by ``repro simulate`` (one connection per line); a directory
+  is treated as a time-ordered series of rotated capture files.
+* :class:`SimulatorSource` -- a live tap on the synthetic
+  :class:`~repro.workloads.world.World`: connection specs are drawn and
+  simulated on demand, so the stream engine sees samples "as they
+  happen" exactly like the CDN edge does.
+
+:class:`BoundedBuffer` is the small backpressure primitive sources and
+the engine share: a FIFO that refuses to grow past ``capacity``, so a
+fast producer cannot outrun a slow consumer without the overflow being
+an explicit, observable event.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from collections import deque
+from typing import Deque, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.cdn.collector import ConnectionSample, iter_samples_jsonl
+from repro.errors import StreamError
+
+__all__ = [
+    "StreamItem",
+    "SampleSource",
+    "IterableSource",
+    "JsonlSource",
+    "JsonlDirectorySource",
+    "SimulatorSource",
+    "BoundedBuffer",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class StreamItem:
+    """One unit of stream input: a sample plus its arrival time.
+
+    ``ts`` is the connection start time when the source knows it (the
+    simulator tap does); ``None`` lets downstream fall back to the
+    earliest packet timestamp, mirroring
+    :func:`repro.core.aggregate.analyze_results`.
+    """
+
+    sample: ConnectionSample
+    ts: Optional[float] = None
+
+    @property
+    def effective_ts(self) -> float:
+        if self.ts is not None:
+            return self.ts
+        return min((p.ts for p in self.sample.packets), default=0.0)
+
+
+class SampleSource:
+    """Base class: an iterator of :class:`StreamItem` with a cursor."""
+
+    def __iter__(self) -> Iterator[StreamItem]:
+        raise NotImplementedError
+
+    def cursor(self) -> object:
+        """Opaque JSON-safe progress marker (valid between items)."""
+        raise NotImplementedError
+
+    def seek(self, cursor: object) -> None:
+        """Position the source just after ``cursor``; next iteration
+        resumes from there.  Must be called before iteration starts."""
+        raise NotImplementedError
+
+    def close(self) -> None:  # pragma: no cover - default no-op
+        """Release any underlying resources."""
+
+
+class IterableSource(SampleSource):
+    """Samples from an in-memory sequence; cursor = items consumed.
+
+    ``timestamps`` optionally maps ``conn_id`` to connection start time
+    (the shape :class:`~repro.workloads.scenarios.StudyRun` provides).
+    """
+
+    def __init__(
+        self,
+        samples: Sequence[ConnectionSample],
+        timestamps: Optional[Dict[int, float]] = None,
+    ) -> None:
+        self._samples = list(samples)
+        self._timestamps = timestamps or {}
+        self._position = 0
+
+    def __iter__(self) -> Iterator[StreamItem]:
+        while self._position < len(self._samples):
+            sample = self._samples[self._position]
+            self._position += 1
+            yield StreamItem(sample=sample, ts=self._timestamps.get(sample.conn_id))
+
+    def cursor(self) -> int:
+        return self._position
+
+    def seek(self, cursor: object) -> None:
+        position = int(cursor)  # type: ignore[arg-type]
+        if not 0 <= position <= len(self._samples):
+            raise StreamError(f"cursor {position} outside [0, {len(self._samples)}]")
+        self._position = position
+
+
+class JsonlSource(SampleSource):
+    """Samples from one JSONL file; cursor = samples read so far."""
+
+    def __init__(self, path: str) -> None:
+        if not os.path.isfile(path):
+            raise StreamError(f"no such sample file: {path!r}")
+        self.path = path
+        self._skip = 0
+        self._read = 0
+
+    def __iter__(self) -> Iterator[StreamItem]:
+        self._read = 0
+        for sample in iter_samples_jsonl(self.path):
+            self._read += 1
+            if self._read <= self._skip:
+                continue
+            yield StreamItem(sample=sample)
+
+    def cursor(self) -> int:
+        return max(self._read, self._skip)
+
+    def seek(self, cursor: object) -> None:
+        skip = int(cursor)  # type: ignore[arg-type]
+        if skip < 0:
+            raise StreamError("cursor must be non-negative")
+        self._skip = skip
+        self._read = 0
+
+
+class JsonlDirectorySource(SampleSource):
+    """Samples from every ``*.jsonl`` file in a directory, sorted by name.
+
+    Rotated capture files sort lexicographically by convention
+    (``capture-000.jsonl``, ``capture-001.jsonl``, ...).  The cursor is
+    ``[file_name, samples_read_in_file]``; files before the named one are
+    skipped wholesale on resume.
+    """
+
+    def __init__(self, directory: str) -> None:
+        if not os.path.isdir(directory):
+            raise StreamError(f"no such sample directory: {directory!r}")
+        self.directory = directory
+        self.files = sorted(
+            name for name in os.listdir(directory) if name.endswith(".jsonl")
+        )
+        if not self.files:
+            raise StreamError(f"no .jsonl files in {directory!r}")
+        self._file_index = 0
+        self._skip_in_file = 0
+        self._position: Tuple[str, int] = (self.files[0], 0)
+
+    def __iter__(self) -> Iterator[StreamItem]:
+        for index in range(self._file_index, len(self.files)):
+            name = self.files[index]
+            read = 0
+            for sample in iter_samples_jsonl(os.path.join(self.directory, name)):
+                read += 1
+                if index == self._file_index and read <= self._skip_in_file:
+                    continue
+                self._position = (name, read)
+                yield StreamItem(sample=sample)
+            # A finished file pins the cursor at its end until the next
+            # file yields; resume then skips it entirely.
+            self._position = (name, read)
+
+    def cursor(self) -> List[object]:
+        return [self._position[0], self._position[1]]
+
+    def seek(self, cursor: object) -> None:
+        name, skip = cursor  # type: ignore[misc]
+        if name not in self.files:
+            raise StreamError(f"cursor file {name!r} not present in {self.directory!r}")
+        self._file_index = self.files.index(name)
+        self._skip_in_file = int(skip)
+        self._position = (name, self._skip_in_file)
+
+
+class SimulatorSource(SampleSource):
+    """A live tap on the synthetic world: simulate connections on demand.
+
+    Draws the same arrival sequence as
+    :meth:`repro.workloads.traffic.TrafficGenerator.run` but lazily, one
+    connection at a time, so the stream engine observes samples in
+    arrival order with their true start times.  The cursor is the number
+    of *specs* consumed (unobservable connections still advance it), so
+    a resumed source re-draws neither arrivals nor connection specs.
+    """
+
+    def __init__(
+        self,
+        generator,
+        n_connections: int,
+        start_ts: float,
+        duration: float,
+    ) -> None:
+        from repro.workloads.traffic import TrafficGenerator
+
+        if not isinstance(generator, TrafficGenerator):
+            raise StreamError("SimulatorSource needs a TrafficGenerator")
+        self.generator = generator
+        self.n_connections = n_connections
+        self.start_ts = start_ts
+        self.duration = duration
+        self._times: Optional[List[float]] = None
+        self._position = 0
+
+    @property
+    def world(self):
+        return self.generator.world
+
+    def _arrival_times(self) -> List[float]:
+        if self._times is None:
+            from repro._util import derive_rng
+
+            rng = derive_rng(self.generator.seed, "arrivals")
+            self._times = sorted(
+                self.start_ts + rng.random() * self.duration
+                for _ in range(self.n_connections)
+            )
+        return self._times
+
+    def __iter__(self) -> Iterator[StreamItem]:
+        times = self._arrival_times()
+        # Spec identity is (conn-counter, arrival time); fast-forward the
+        # generator's counter so a resumed stream mints identical specs.
+        self.generator._next_id = self._position
+        while self._position < len(times):
+            ts = times[self._position]
+            spec = self.generator.spec(ts)
+            self._position += 1
+            sample = self.world.simulate_connection(spec)
+            if sample is not None:
+                yield StreamItem(sample=sample, ts=spec.ts)
+
+    def cursor(self) -> int:
+        return self._position
+
+    def seek(self, cursor: object) -> None:
+        position = int(cursor)  # type: ignore[arg-type]
+        if not 0 <= position <= self.n_connections:
+            raise StreamError(
+                f"cursor {position} outside [0, {self.n_connections}]"
+            )
+        self._position = position
+
+
+class BoundedBuffer:
+    """A FIFO with a hard capacity -- the backpressure primitive.
+
+    ``push`` returns False (and counts a rejection) instead of growing
+    past ``capacity``; callers decide whether to retry, drop, or block.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise StreamError("buffer capacity must be >= 1")
+        self.capacity = capacity
+        self._items: Deque[object] = deque()
+        self.rejected = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def full(self) -> bool:
+        return len(self._items) >= self.capacity
+
+    def push(self, item: object) -> bool:
+        if self.full:
+            self.rejected += 1
+            return False
+        self._items.append(item)
+        return True
+
+    def pop(self) -> object:
+        if not self._items:
+            raise StreamError("pop from empty buffer")
+        return self._items.popleft()
+
+    def drain(self) -> List[object]:
+        items = list(self._items)
+        self._items.clear()
+        return items

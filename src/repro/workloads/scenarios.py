@@ -28,7 +28,15 @@ from repro.workloads.profiles import CountryProfile, default_profiles, profile_f
 from repro.workloads.traffic import TrafficGenerator, local_hour
 from repro.workloads.world import World
 
-__all__ = ["StudyRun", "two_week_study", "iran_protest_study", "JAN_12_2023", "SEP_13_2022"]
+__all__ = [
+    "StudyRun",
+    "two_week_study",
+    "iran_protest_study",
+    "two_week_stream_source",
+    "iran_protest_stream_source",
+    "JAN_12_2023",
+    "SEP_13_2022",
+]
 
 #: 2023-01-12 00:00 UTC -- start of the paper's two-week window.
 JAN_12_2023 = 1673481600.0
@@ -103,6 +111,21 @@ def _iran_escalation(code: str, ts: float) -> float:
     return ramp * evening
 
 
+def _iran_generator(seed: int) -> TrafficGenerator:
+    """The Iran-focused world + generator shared by study and stream."""
+    base_ir = profile_for("IR")
+    # Concentrate traffic on the two largest (mobile) networks, and keep
+    # baseline blocked demand moderate so the escalation and evening
+    # surges stay visible (no saturation at 100%).
+    ir = dataclasses.replace(
+        base_ir, weight=9.0, asn_skew=1.8, n_asns=6,
+        p_blocked=0.30, night_boost=1.1,
+    )
+    background = dataclasses.replace(profile_for("DE"), weight=1.0)
+    world = World(profiles=[ir, background], seed=seed, n_domains=1500)
+    return TrafficGenerator(world, seed=seed, blocked_boost_fn=_iran_escalation)
+
+
 def iran_protest_study(
     n_connections: int = 8_000,
     seed: int = 13,
@@ -114,23 +137,42 @@ def iran_protest_study(
     aggregation denominators behave) and an escalating blocked-demand
     boost starting half a day into the window.
     """
-    base_ir = profile_for("IR")
-    # Concentrate traffic on the two largest (mobile) networks, and keep
-    # baseline blocked demand moderate so the escalation and evening
-    # surges stay visible (no saturation at 100%).
-    ir = dataclasses.replace(
-        base_ir, weight=9.0, asn_skew=1.8, n_asns=6,
-        p_blocked=0.30, night_boost=1.1,
-    )
-    background = dataclasses.replace(profile_for("DE"), weight=1.0)
-    world = World(profiles=[ir, background], seed=seed, n_domains=1500)
-    generator = TrafficGenerator(world, seed=seed, blocked_boost_fn=_iran_escalation)
+    generator = _iran_generator(seed)
     duration = days * _DAY
     samples, timestamps = generator.run(n_connections, start_ts=SEP_13_2022, duration=duration)
     return StudyRun(
-        world=world,
+        world=generator.world,
         samples=samples,
         timestamps=timestamps,
         start_ts=SEP_13_2022,
         duration=duration,
     )
+
+
+def two_week_stream_source(
+    n_connections: int = 20_000,
+    seed: int = 7,
+    world: Optional[World] = None,
+    profiles: Optional[Sequence[CountryProfile]] = None,
+    n_domains: int = 3000,
+):
+    """A live :class:`~repro.stream.source.SimulatorSource` over the
+    two-week scenario: the same arrivals as :func:`two_week_study`, but
+    simulated lazily as the stream engine pulls."""
+    from repro.stream.source import SimulatorSource
+
+    world = world or World(profiles=profiles, seed=seed, n_domains=n_domains)
+    generator = TrafficGenerator(world, seed=seed)
+    return SimulatorSource(generator, n_connections, JAN_12_2023, 14 * _DAY)
+
+
+def iran_protest_stream_source(
+    n_connections: int = 8_000,
+    seed: int = 13,
+    days: float = 17.0,
+):
+    """A live simulator tap over the Iran protest scenario."""
+    from repro.stream.source import SimulatorSource
+
+    generator = _iran_generator(seed)
+    return SimulatorSource(generator, n_connections, SEP_13_2022, days * _DAY)

@@ -19,6 +19,15 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["frobnicate"])
 
+    def test_stream_args(self):
+        args = build_parser().parse_args(
+            ["stream", "-n", "500", "-w", "2", "--checkpoint", "ck.json"]
+        )
+        assert args.connections == 500
+        assert args.workers == 2
+        assert args.checkpoint == "ck.json"
+        assert not args.resume
+
 
 class TestCommands:
     def test_signatures_lists_all_nineteen(self, capsys):
@@ -80,6 +89,38 @@ class TestCommands:
         assert main(["fingerprints", out_path, "--min-count", "1"]) == 0
         out = capsys.readouterr().out
         assert "fingerprint clusters" in out
+
+    def test_stream_scenario(self, capsys):
+        assert main(["stream", "--scenario", "two-week", "-n", "150",
+                     "--seed", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "stream finished" in out
+        assert "top tampered countries" in out
+        assert "throughput" in out
+
+    def test_stream_from_jsonl(self, tmp_path, capsys):
+        out_path = str(tmp_path / "cap.jsonl")
+        assert main(["simulate", "-n", "40", "--seed", "3", "-o", out_path]) == 0
+        capsys.readouterr()
+        assert main(["stream", out_path]) == 0
+        out = capsys.readouterr().out
+        assert "stream finished" in out
+
+    def test_stream_checkpoint_and_resume(self, tmp_path, capsys):
+        ck = str(tmp_path / "ck.json")
+        assert main(["stream", "-n", "120", "--seed", "4", "--checkpoint", ck,
+                     "--checkpoint-interval", "30", "--max-samples", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "stream stopped" in out
+        assert "rerun with --resume" in out
+        assert main(["stream", "-n", "120", "--seed", "4", "--checkpoint", ck,
+                     "--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "stream finished" in out
+
+    def test_stream_resume_requires_checkpoint(self, capsys):
+        assert main(["stream", "-n", "10", "--resume"]) == 2
+        assert "--resume requires --checkpoint" in capsys.readouterr().err
 
     def test_radar_export(self, tmp_path, capsys):
         import json

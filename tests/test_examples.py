@@ -11,6 +11,20 @@ import sys
 import pytest
 
 EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+SRC_DIR = os.path.abspath(os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+
+
+def _env_with_src() -> dict:
+    """Subprocess environment with ``src`` importable.
+
+    The test process itself may import repro via PYTHONPATH or an
+    editable install; a child process only inherits the former, so
+    prepend ``src`` explicitly to make the examples self-contained.
+    """
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = SRC_DIR + (os.pathsep + existing if existing else "")
+    return env
 
 CASES = [
     ("quickstart.py", ["400"], "Most-tampered countries"),
@@ -35,6 +49,7 @@ def test_example_runs(script, args, marker, tmp_path):
         text=True,
         timeout=420,
         cwd=str(tmp_path),
+        env=_env_with_src(),
     )
     assert proc.returncode == 0, proc.stderr[-2000:]
     assert marker in proc.stdout, f"expected {marker!r} in output"

@@ -1,0 +1,506 @@
+"""Tests for :mod:`repro.stream`: sources, sharding, rollups,
+checkpoint/resume, and live anomaly detection.
+
+The two load-bearing guarantees:
+
+* **Batch parity** -- for a fixed seed, streaming end-to-end rollups are
+  *identical* (exact floats, not approx) to ``classify_all`` +
+  ``AnalysisDataset`` on the same world.
+* **Kill safety** -- a stream stopped mid-run resumes from its
+  checkpoint and converges to the same final rollup with no lost or
+  duplicated connections.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+
+import pytest
+
+from repro.cdn.collector import write_samples_jsonl
+from repro.core.aggregate import AnalysisDataset
+from repro.core.classifier import TamperingClassifier
+from repro.errors import CheckpointError, StreamError
+from repro.stream import (
+    AnomalyConfig,
+    BoundedBuffer,
+    CheckpointManager,
+    EwmaDetector,
+    IterableSource,
+    JsonlDirectorySource,
+    JsonlSource,
+    ShardConfig,
+    ShardedClassifierPool,
+    SimulatorSource,
+    StreamEngine,
+    StreamItem,
+    StreamRollup,
+    serial_records,
+    shard_of,
+)
+from repro.workloads.profiles import profile_for
+from repro.workloads.scenarios import (
+    iran_protest_study,
+    two_week_stream_source,
+    two_week_study,
+)
+from repro.workloads.world import World
+
+
+@pytest.fixture(scope="module")
+def study():
+    return two_week_study(n_connections=500, seed=7)
+
+
+@pytest.fixture(scope="module")
+def batch_dataset(study):
+    return study.analyze()
+
+
+def make_source(study):
+    return IterableSource(study.samples, timestamps=study.timestamps)
+
+
+# ----------------------------------------------------------------------
+# Sources
+# ----------------------------------------------------------------------
+class TestSources:
+    def test_iterable_source_cursor_roundtrip(self, study):
+        source = make_source(study)
+        items = list(source)
+        assert len(items) == len(study.samples)
+        assert source.cursor() == len(study.samples)
+
+        source2 = make_source(study)
+        source2.seek(100)
+        rest = list(source2)
+        assert [i.sample.conn_id for i in rest] == [
+            i.sample.conn_id for i in items[100:]
+        ]
+
+    def test_iterable_source_uses_timestamps(self, study):
+        source = make_source(study)
+        item = next(iter(source))
+        assert item.ts == study.timestamps[item.sample.conn_id]
+
+    def test_jsonl_source(self, study, tmp_path):
+        path = str(tmp_path / "s.jsonl")
+        write_samples_jsonl(path, study.samples[:50])
+        source = JsonlSource(path)
+        items = list(source)
+        assert [i.sample.conn_id for i in items] == [
+            s.conn_id for s in study.samples[:50]
+        ]
+        assert source.cursor() == 50
+
+        source.seek(30)
+        assert [i.sample.conn_id for i in source] == [
+            s.conn_id for s in study.samples[30:50]
+        ]
+
+    def test_jsonl_source_missing_file(self, tmp_path):
+        with pytest.raises(StreamError):
+            JsonlSource(str(tmp_path / "nope.jsonl"))
+
+    def test_jsonl_directory_source(self, study, tmp_path):
+        write_samples_jsonl(str(tmp_path / "cap-000.jsonl"), study.samples[:20])
+        write_samples_jsonl(str(tmp_path / "cap-001.jsonl"), study.samples[20:45])
+        source = JsonlDirectorySource(str(tmp_path))
+        ids = [i.sample.conn_id for i in source]
+        assert ids == [s.conn_id for s in study.samples[:45]]
+
+        # resume from the middle of the second file
+        source2 = JsonlDirectorySource(str(tmp_path))
+        source2.seek(["cap-001.jsonl", 10])
+        ids2 = [i.sample.conn_id for i in source2]
+        assert ids2 == [s.conn_id for s in study.samples[30:45]]
+
+    def test_simulator_source_matches_batch_run(self):
+        source = two_week_stream_source(n_connections=60, seed=21)
+        streamed = list(source)
+        batch = two_week_study(n_connections=60, seed=21)
+        assert [i.sample.conn_id for i in streamed] == [
+            s.conn_id for s in batch.samples
+        ]
+        assert [i.ts for i in streamed] == [
+            batch.timestamps[s.conn_id] for s in batch.samples
+        ]
+        # cursor counts specs, including unobservable connections
+        assert source.cursor() == 60
+
+    def test_simulator_source_seek_resumes_identically(self):
+        source = two_week_stream_source(n_connections=60, seed=21)
+        full = list(source)
+        cut = 25
+        # consume 'cut' items, note the cursor, re-create and seek
+        source2 = two_week_stream_source(n_connections=60, seed=21)
+        iterator = iter(source2)
+        head = [next(iterator) for _ in range(cut)]
+        cursor = source2.cursor()
+        source3 = two_week_stream_source(n_connections=60, seed=21)
+        source3.seek(cursor)
+        tail = list(source3)
+        assert [i.sample.conn_id for i in head + tail] == [
+            i.sample.conn_id for i in full
+        ]
+
+    def test_bounded_buffer_backpressure(self):
+        buffer = BoundedBuffer(capacity=2)
+        assert buffer.push(1) and buffer.push(2)
+        assert not buffer.push(3)  # full: rejected, not grown
+        assert buffer.rejected == 1
+        assert len(buffer) == 2
+        assert buffer.pop() == 1
+        assert buffer.push(3)
+        assert buffer.drain() == [2, 3]
+        with pytest.raises(StreamError):
+            buffer.pop()
+        with pytest.raises(StreamError):
+            BoundedBuffer(0)
+
+
+# ----------------------------------------------------------------------
+# Sharded pool
+# ----------------------------------------------------------------------
+class TestShardedPool:
+    def test_shard_of_stable_and_in_range(self):
+        assert all(0 <= shard_of(i, 4) < 4 for i in range(100))
+        assert shard_of(12345, 4) == shard_of(12345, 4)
+
+    def test_pool_matches_serial_in_order(self, study):
+        reference = serial_records(study.samples, study.timestamps)
+        config = ShardConfig(n_workers=2, batch_size=16, max_inflight=64)
+        with ShardedClassifierPool(config) as pool:
+            records = pool.map_samples(study.samples, study.timestamps)
+        assert records == reference
+
+    def test_pool_is_lazy_and_bounded(self, study):
+        """The pool never pulls more than max_inflight ahead of the merge."""
+        pulled = []
+
+        def instrumented():
+            for sample in study.samples[:120]:
+                pulled.append(sample.conn_id)
+                yield StreamItem(sample=sample)
+
+        config = ShardConfig(n_workers=2, batch_size=8, max_inflight=32)
+        max_lead = 0
+        with ShardedClassifierPool(config) as pool:
+            for count, record in enumerate(pool.process(instrumented()), start=1):
+                max_lead = max(max_lead, len(pulled) - count)
+        assert count == 120
+        # one extra item may be in hand when saturation is detected
+        assert max_lead <= config.max_inflight + 1
+
+    def test_worker_death_raises(self, study):
+        config = ShardConfig(n_workers=2, batch_size=4, max_inflight=16,
+                             poll_seconds=0.05)
+        pool = ShardedClassifierPool(config)
+        pool.start()
+        # kill a worker out from under the pool
+        pool._workers[0].terminate()
+        pool._workers[0].join()
+        with pytest.raises(StreamError, match="died|failed"):
+            list(pool.process(
+                StreamItem(sample=s) for s in study.samples[:200]
+            ))
+        pool.close()
+
+    def test_pool_tracks_worker_stats(self, study):
+        config = ShardConfig(n_workers=2, batch_size=16, max_inflight=64)
+        with ShardedClassifierPool(config) as pool:
+            pool.map_samples(study.samples[:100])
+        assert sum(pool.worker_records.values()) == 100
+
+
+# ----------------------------------------------------------------------
+# Rollup parity with the batch pipeline
+# ----------------------------------------------------------------------
+class TestRollupParity:
+    @pytest.fixture(scope="class")
+    def report(self, study):
+        engine = StreamEngine(make_source(study), geodb=study.geo, n_workers=0)
+        return engine.run()
+
+    def test_country_tampering_rate_identical(self, report, batch_dataset):
+        assert (
+            report.rollup.country_tampering_rate()
+            == batch_dataset.country_tampering_rate()
+        )
+
+    def test_country_signature_shares_identical(self, report, batch_dataset):
+        assert (
+            report.rollup.country_signature_shares()
+            == batch_dataset.country_signature_shares()
+        )
+
+    def test_timeseries_identical(self, report, batch_dataset):
+        assert report.rollup.timeseries() == batch_dataset.timeseries(
+            bucket_seconds=3600.0
+        )
+
+    def test_stage_statistics_identical(self, report, batch_dataset):
+        assert report.rollup.stage_statistics() == batch_dataset.stage_statistics()
+
+    def test_nothing_lost(self, report, study):
+        assert report.rollup.n_records == len(study.samples)
+        assert report.finished
+
+    def test_sharded_engine_same_rollup(self, study, report):
+        engine = StreamEngine(
+            make_source(study),
+            geodb=study.geo,
+            n_workers=2,
+            shard_config=ShardConfig(n_workers=2, batch_size=16, max_inflight=64),
+        )
+        sharded = engine.run()
+        assert sharded.rollup.to_dict() == report.rollup.to_dict()
+
+    def test_rollup_merge_equals_single_pass(self, study):
+        records = serial_records(study.samples, study.timestamps)
+        whole = StreamRollup()
+        for record in records:
+            whole.add(record)
+        first, second = StreamRollup(), StreamRollup()
+        for record in records[:200]:
+            first.add(record)
+        for record in records[200:]:
+            second.add(record)
+        first.merge(second)
+        assert first.to_dict() == whole.to_dict()
+
+    def test_rollup_serialization_roundtrip(self, report):
+        data = json.loads(json.dumps(report.rollup.to_dict()))
+        restored = StreamRollup.from_dict(data)
+        assert restored.to_dict() == report.rollup.to_dict()
+        assert (
+            restored.country_tampering_rate()
+            == report.rollup.country_tampering_rate()
+        )
+
+    def test_signature_hour_counts(self, report):
+        for country in report.rollup.countries:
+            for sig, series in report.rollup.signature_hour_counts(country).items():
+                assert sig.is_tampering
+                assert all(n > 0 for _, n in series)
+                assert series == sorted(series)
+
+
+# ----------------------------------------------------------------------
+# Checkpoint / kill / resume
+# ----------------------------------------------------------------------
+class TestCheckpointResume:
+    def test_kill_and_resume_yields_identical_rollups(self, study, tmp_path):
+        ck = str(tmp_path / "ck.json")
+        baseline = StreamEngine(
+            make_source(study), geodb=study.geo, n_workers=0
+        ).run()
+
+        # "kill" mid-run: stop after 230 samples (checkpoint every 50,
+        # so the last checkpoint is at 200 -- resume must redo 201-230
+        # against the checkpointed state, not double-count them)
+        engine1 = StreamEngine(
+            make_source(study), geodb=study.geo, n_workers=0,
+            checkpoint_path=ck, checkpoint_interval=50,
+        )
+        partial = engine1.run(max_samples=230)
+        assert not partial.finished
+        assert os.path.exists(ck)
+
+        engine2 = StreamEngine(
+            make_source(study), geodb=study.geo, n_workers=0,
+            checkpoint_path=ck, checkpoint_interval=50,
+        )
+        resumed = engine2.run(resume=True)
+        assert resumed.finished
+        assert resumed.rollup.n_records == len(study.samples)
+        assert resumed.rollup.to_dict() == baseline.rollup.to_dict()
+        assert [e.to_dict() for e in resumed.events] == [
+            e.to_dict() for e in baseline.events
+        ]
+
+    def test_resume_with_sharded_pool(self, study, tmp_path):
+        ck = str(tmp_path / "ck.json")
+        baseline = StreamEngine(
+            make_source(study), geodb=study.geo, n_workers=0
+        ).run()
+        shard = ShardConfig(n_workers=2, batch_size=16, max_inflight=64)
+        StreamEngine(
+            make_source(study), geodb=study.geo, n_workers=2,
+            shard_config=shard, checkpoint_path=ck, checkpoint_interval=64,
+        ).run(max_samples=150)
+        resumed = StreamEngine(
+            make_source(study), geodb=study.geo, n_workers=2,
+            shard_config=shard, checkpoint_path=ck, checkpoint_interval=64,
+        ).run(resume=True)
+        assert resumed.rollup.to_dict() == baseline.rollup.to_dict()
+
+    def test_resume_from_simulator_source(self, tmp_path):
+        ck = str(tmp_path / "ck.json")
+        source = two_week_stream_source(n_connections=80, seed=21)
+        baseline = StreamEngine(source, geodb=source.world.geo, n_workers=0).run()
+
+        source1 = two_week_stream_source(n_connections=80, seed=21)
+        StreamEngine(
+            source1, geodb=source1.world.geo, n_workers=0,
+            checkpoint_path=ck, checkpoint_interval=20,
+        ).run(max_samples=35)
+        source2 = two_week_stream_source(n_connections=80, seed=21)
+        resumed = StreamEngine(
+            source2, geodb=source2.world.geo, n_workers=0,
+            checkpoint_path=ck, checkpoint_interval=20,
+        ).run(resume=True)
+        assert resumed.rollup.to_dict() == baseline.rollup.to_dict()
+
+    def test_checkpoint_atomic_and_versioned(self, tmp_path):
+        path = str(tmp_path / "ck.json")
+        manager = CheckpointManager(path, interval=10)
+        assert manager.load() is None
+        manager.save({"cursor": 5}, samples_done=10)
+        payload = manager.load()
+        assert payload["cursor"] == 5 and payload["samples_done"] == 10
+        assert not manager.due(15)
+        assert manager.due(20)
+
+        with open(path, "w") as fh:
+            fh.write("{\"version\": 999}")
+        with pytest.raises(CheckpointError):
+            manager.load()
+        with open(path, "w") as fh:
+            fh.write("not json")
+        with pytest.raises(CheckpointError):
+            manager.load()
+
+    def test_resume_without_checkpoint_path_raises(self, study):
+        engine = StreamEngine(make_source(study), geodb=study.geo)
+        with pytest.raises(StreamError):
+            engine.run(resume=True)
+
+
+# ----------------------------------------------------------------------
+# Anomaly detection
+# ----------------------------------------------------------------------
+class TestAnomalyDetection:
+    def test_detector_fires_on_step_change(self):
+        detector = EwmaDetector(AnomalyConfig(min_windows=6))
+        events = []
+        for window in range(60):
+            rate = 10.0 if window < 40 else 35.0
+            events += detector.observe("XX", float(window), rate, total=100)
+        starts = [e for e in events if e.kind == "start"]
+        assert len(starts) == 1
+        assert starts[0].window_start >= 40.0
+        assert detector.is_active("XX")
+        assert detector.active_countries == ["XX"]
+
+    def test_detector_quiet_on_noise(self):
+        import random
+
+        rng = random.Random(5)
+        detector = EwmaDetector()
+        for window in range(300):
+            rate = max(0.0, rng.gauss(10.0, 2.0))
+            detector.observe("XX", float(window), rate, total=200)
+        assert detector.events == []
+
+    def test_detector_skips_thin_windows(self):
+        detector = EwmaDetector(AnomalyConfig(min_window_total=5))
+        assert detector.observe("XX", 0.0, 100.0, total=2) == []
+        assert detector.baseline("XX") is None
+
+    def test_detector_hysteresis_closes_incident(self):
+        detector = EwmaDetector(AnomalyConfig(min_windows=6))
+        events = []
+        rates = [10.0] * 30 + [40.0] * 10 + [10.0] * 20
+        for window, rate in enumerate(rates):
+            events += detector.observe("XX", float(window), rate, total=100)
+        kinds = [e.kind for e in events]
+        assert kinds == ["start", "end"]
+        assert not detector.is_active("XX")
+
+    def test_detector_state_roundtrip(self):
+        detector = EwmaDetector(AnomalyConfig(min_windows=6))
+        for window in range(50):
+            rate = 10.0 if window < 40 else 40.0
+            detector.observe("XX", float(window), rate, total=100)
+        restored = EwmaDetector.from_dict(
+            json.loads(json.dumps(detector.to_dict()))
+        )
+        assert restored.is_active("XX") == detector.is_active("XX")
+        assert restored.baseline("XX") == detector.baseline("XX")
+        assert [e.to_dict() for e in restored.events] == [
+            e.to_dict() for e in detector.events
+        ]
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(StreamError):
+            AnomalyConfig(alpha=0.0)
+        with pytest.raises(StreamError):
+            AnomalyConfig(cusum_enter=1.0, cusum_exit=2.0)
+        with pytest.raises(StreamError):
+            AnomalyConfig(min_window_total=0)
+
+
+@pytest.mark.slow
+class TestAnomalyScenarios:
+    def test_fires_on_iran_protests_and_quiet_on_us_baseline(self):
+        # 6000 connections keeps IR's hourly windows above the
+        # detector's min_window_total population guard.
+        iran = iran_protest_study(n_connections=6000, seed=13)
+        engine = StreamEngine(
+            IterableSource(iran.samples, timestamps=iran.timestamps),
+            geodb=iran.geo,
+            n_workers=0,
+        )
+        report = engine.run()
+        ir_starts = [
+            e for e in report.events if e.country == "IR" and e.kind == "start"
+        ]
+        assert ir_starts, "escalation in IR must raise an anomaly"
+        protest_start = 1663027200.0
+        days_in = (ir_starts[0].window_start - protest_start) / 86400.0
+        # escalation ramps over days 0.5-3.5; detection should be live,
+        # not a post-hoc artifact at the end of the window
+        assert 0.5 <= days_in <= 6.0
+        assert all(e.country != "DE" for e in report.events)
+
+        # same engine configuration over a US-only baseline: no alerts
+        us_world = World(
+            profiles=[profile_for("US"), profile_for("DE")], seed=7, n_domains=800
+        )
+        us_study = two_week_study(n_connections=2500, seed=7, world=us_world)
+        quiet = StreamEngine(
+            IterableSource(us_study.samples, timestamps=us_study.timestamps),
+            geodb=us_study.geo,
+            n_workers=0,
+        ).run()
+        assert [e for e in quiet.events if e.country == "US"] == []
+
+
+# ----------------------------------------------------------------------
+# Engine odds and ends
+# ----------------------------------------------------------------------
+class TestEngine:
+    def test_metrics_snapshot(self, study):
+        engine = StreamEngine(make_source(study), geodb=study.geo, n_workers=0)
+        report = engine.run(max_samples=100)
+        snap = report.metrics
+        assert snap["samples_in"] == 100
+        assert snap["records_out"] == 100
+        assert snap["queue_depth"] == 0
+        assert snap["samples_per_second"] > 0
+        assert "throughput" in engine.metrics.render()
+
+    def test_report_render(self, study):
+        report = StreamEngine(
+            make_source(study), geodb=study.geo, n_workers=0
+        ).run()
+        text = report.render()
+        assert "top tampered countries" in text
+        assert "anomalies" in text
+
+    def test_without_geodb_all_unattributed(self, study):
+        report = StreamEngine(make_source(study), n_workers=0).run(max_samples=50)
+        assert report.rollup.countries == ["??"]
