@@ -90,6 +90,16 @@ def build_parser() -> argparse.ArgumentParser:
                         help="resume from the checkpoint file")
     stream.add_argument("--max-samples", type=int, default=None,
                         help="stop after this many connections (for drills)")
+    stream.add_argument("--max-restarts", type=int, default=0,
+                        help="dead shard workers respawned before failing "
+                             "(0 = fail fast on any worker death)")
+    stream.add_argument("--fault-plan",
+                        help="JSON fault-plan file (see FaultPlan.to_dict); "
+                             "wraps the source in FaultySource")
+    stream.add_argument("--drill",
+                        choices=("kill-worker", "flaky-source", "kill9-resume"),
+                        help="run a fire drill under fault injection and "
+                             "assert rollup parity with a clean run")
     return parser
 
 
@@ -222,13 +232,33 @@ def _cmd_profiles(args: argparse.Namespace) -> int:
 
 
 def _cmd_stream(args: argparse.Namespace) -> int:
+    import json
     import os
 
-    from repro.stream import JsonlDirectorySource, JsonlSource, StreamEngine
+    from repro.stream import (
+        FaultPlan,
+        FaultySource,
+        JsonlDirectorySource,
+        JsonlSource,
+        ShardConfig,
+        StreamEngine,
+        run_drill,
+    )
     from repro.workloads.scenarios import (
         iran_protest_stream_source,
         two_week_stream_source,
     )
+
+    if args.drill:
+        result = run_drill(
+            args.drill,
+            scenario=args.scenario,
+            connections=args.connections,
+            seed=args.seed,
+            workers=max(args.workers, 2) if args.drill == "kill-worker" else args.workers,
+        )
+        print(result.render())
+        return 0 if result.ok else 1
 
     if args.resume and not args.checkpoint:
         print("--resume requires --checkpoint", file=sys.stderr)
@@ -247,10 +277,17 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         source = two_week_stream_source(n_connections=args.connections, seed=args.seed)
         geodb = source.world.geo
 
+    if args.fault_plan:
+        with open(args.fault_plan, "r") as fh:
+            source = FaultySource(source, FaultPlan.from_dict(json.load(fh)))
+
     engine = StreamEngine(
         source,
         geodb=geodb,
         n_workers=args.workers,
+        shard_config=ShardConfig(
+            n_workers=max(args.workers, 1), max_restarts=args.max_restarts
+        ),
         bucket_seconds=args.bucket_seconds,
         checkpoint_path=args.checkpoint,
         checkpoint_interval=args.checkpoint_interval,

@@ -26,6 +26,7 @@ __all__ = [
     "GeoError",
     "ConfigError",
     "StreamError",
+    "TransientSourceError",
     "CheckpointError",
 ]
 
@@ -101,6 +102,17 @@ class ConfigError(ReproError):
 
 class StreamError(ReproError):
     """Raised for streaming-pipeline failures (dead workers, bad sources)."""
+
+
+class TransientSourceError(StreamError):
+    """A source read failed in a way that a retry may fix.
+
+    Raised for conditions that resolve on their own -- an I/O hiccup, a
+    JSONL file whose last line is still being written, an injected fault
+    from :mod:`repro.stream.faults`.  The stream engine retries these
+    with backoff (re-seeking the source to its own cursor) before giving
+    up; every other :class:`StreamError` propagates immediately.
+    """
 
 
 class CheckpointError(StreamError):

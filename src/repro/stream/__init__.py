@@ -20,7 +20,10 @@ Quickstart::
 Module map:
 
 * :mod:`repro.stream.source` -- pull-based sample sources + backpressure.
-* :mod:`repro.stream.shard` -- the multiprocessing classifier pool.
+* :mod:`repro.stream.shard` -- the multiprocessing classifier pool, with
+  supervised worker restart and a deterministic chaos hook.
+* :mod:`repro.stream.faults` -- seeded fault injection (flaky sources,
+  planned worker/engine deaths) and the ``--drill`` fire drills.
 * :mod:`repro.stream.rollup` -- mergeable country × signature × hour counters.
 * :mod:`repro.stream.checkpoint` -- atomic JSON checkpoints.
 * :mod:`repro.stream.anomaly` -- EWMA/z-score spike detection with hysteresis.
@@ -31,12 +34,21 @@ Module map:
 from repro.stream.anomaly import AnomalyConfig, AnomalyEvent, EwmaDetector
 from repro.stream.checkpoint import CheckpointManager
 from repro.stream.engine import StreamEngine, StreamReport
+from repro.stream.faults import (
+    DRILL_MODES,
+    DrillResult,
+    FaultPlan,
+    FaultSpec,
+    FaultySource,
+    run_drill,
+)
 from repro.stream.metrics import StreamMetrics
 from repro.stream.rollup import StreamRollup
 from repro.stream.shard import (
     ShardConfig,
     ShardedClassifierPool,
     StreamRecord,
+    WorkerChaos,
     serial_records,
     shard_of,
 )
@@ -55,6 +67,12 @@ __all__ = [
     "AnomalyEvent",
     "EwmaDetector",
     "CheckpointManager",
+    "DRILL_MODES",
+    "DrillResult",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultySource",
+    "run_drill",
     "StreamEngine",
     "StreamReport",
     "StreamMetrics",
@@ -62,6 +80,7 @@ __all__ = [
     "ShardConfig",
     "ShardedClassifierPool",
     "StreamRecord",
+    "WorkerChaos",
     "serial_records",
     "shard_of",
     "BoundedBuffer",

@@ -21,12 +21,13 @@ cursor was last retired is always safe to persist.
 from __future__ import annotations
 
 import dataclasses
+import time
 from collections import deque
 from typing import Deque, Dict, Iterator, List, Optional, Tuple
 
 from repro.cdn.geo import GeoDatabase
 from repro.core.classifier import ClassifierConfig, TamperingClassifier
-from repro.errors import CheckpointError, StreamError
+from repro.errors import CheckpointError, StreamError, TransientSourceError
 from repro.stream.anomaly import AnomalyConfig, AnomalyEvent, EwmaDetector
 from repro.stream.checkpoint import CheckpointManager
 from repro.stream.metrics import StreamMetrics
@@ -35,10 +36,14 @@ from repro.stream.shard import (
     ShardConfig,
     ShardedClassifierPool,
     StreamRecord,
+    WorkerChaos,
 )
 from repro.stream.source import SampleSource, StreamItem
 
 __all__ = ["StreamEngine", "StreamReport"]
+
+#: "No cursor seen yet" marker; distinct from any real cursor value.
+_NO_CURSOR = object()
 
 
 @dataclasses.dataclass
@@ -94,9 +99,16 @@ class StreamEngine:
         anomaly_config: Optional[AnomalyConfig] = None,
         checkpoint_path: Optional[str] = None,
         checkpoint_interval: int = 5000,
+        max_source_retries: int = 3,
+        retry_backoff_seconds: float = 0.05,
+        worker_chaos: Optional[WorkerChaos] = None,
     ) -> None:
         if n_workers < 0:
             raise StreamError("n_workers must be >= 0")
+        if max_source_retries < 0:
+            raise StreamError("max_source_retries must be >= 0")
+        if retry_backoff_seconds < 0:
+            raise StreamError("retry_backoff_seconds must be >= 0")
         self.source = source
         self.geodb = geodb
         self.n_workers = n_workers
@@ -107,6 +119,9 @@ class StreamEngine:
         self.rollup = StreamRollup(bucket_seconds=bucket_seconds)
         self.detector = EwmaDetector(anomaly_config)
         self.metrics = StreamMetrics()
+        self.max_source_retries = max_source_retries
+        self.retry_backoff_seconds = retry_backoff_seconds
+        self.worker_chaos = worker_chaos
         self.checkpointer = (
             CheckpointManager(checkpoint_path, interval=checkpoint_interval)
             if checkpoint_path
@@ -119,6 +134,8 @@ class StreamEngine:
         self._pull_seq = 0
         self._cursors: Deque[Tuple[int, object]] = deque()
         self._safe_cursor: Optional[object] = None
+        self._last_cursor: object = _NO_CURSOR
+        self._source_exhausted = False
 
     # ------------------------------------------------------------------
     # Resume
@@ -212,14 +229,56 @@ class StreamEngine:
     # ------------------------------------------------------------------
     # Input plumbing
     # ------------------------------------------------------------------
+    def _source_items(self) -> Iterator[StreamItem]:
+        """Iterate the source, absorbing transient errors with backoff.
+
+        A :class:`~repro.errors.TransientSourceError` (I/O hiccup,
+        half-written JSONL tail line, injected fault) re-seeks the
+        source to its own cursor and re-iterates; the failure budget is
+        *consecutive* -- any successful item resets it.  Every other
+        error propagates immediately.
+        """
+        failures = 0
+        while True:
+            try:
+                for item in self.source:
+                    failures = 0
+                    yield item
+                return
+            except TransientSourceError:
+                failures += 1
+                if failures > self.max_source_retries:
+                    raise
+                self.metrics.source_retries += 1
+                if self.retry_backoff_seconds > 0:
+                    time.sleep(self.retry_backoff_seconds * (2 ** (failures - 1)))
+                self.source.seek(self.source.cursor())
+
     def _instrumented_items(self, max_samples: Optional[int]) -> Iterator[StreamItem]:
-        for item in self.source:
-            self._cursors.append((self._pull_seq, self.source.cursor()))
+        iterator = self._source_items()
+        for item in iterator:
+            cursor = self.source.cursor()
+            if cursor == self._last_cursor:
+                # An unchanged cursor means the source redelivered the
+                # item it already handed out (at-least-once upstream,
+                # retry replay): drop it, or the rollup double-counts.
+                self.metrics.duplicates_dropped += 1
+                continue
+            self._last_cursor = cursor
+            self._cursors.append((self._pull_seq, cursor))
             self._pull_seq += 1
             self.metrics.on_sample_in()
             yield item
             if max_samples is not None and self._pull_seq >= max_samples:
+                # The cap may coincide with the end of the source; peek
+                # so a source holding exactly max_samples items still
+                # reports finished and flushes its trailing windows.
+                try:
+                    next(iterator)
+                except StopIteration:
+                    self._source_exhausted = True
                 return
+        self._source_exhausted = True
 
     def _serial_records(self, items: Iterator[StreamItem]) -> Iterator[StreamRecord]:
         classifier = TamperingClassifier(self.classifier_config)
@@ -260,17 +319,28 @@ class StreamEngine:
                 pool_config = dataclasses.replace(
                     self.shard_config, n_workers=self.n_workers
                 )
-                with ShardedClassifierPool(pool_config, self.classifier_config) as pool:
-                    for record in pool.process(items):
-                        self._fold(record)
-                    self.metrics.set_worker_stats(pool.worker_busy, pool.worker_records)
+                pool = ShardedClassifierPool(
+                    pool_config, self.classifier_config, chaos=self.worker_chaos
+                )
+                try:
+                    with pool:
+                        for record in pool.process(items):
+                            self._fold(record)
+                        self.metrics.set_worker_stats(
+                            pool.worker_busy, pool.worker_records
+                        )
+                finally:
+                    self.metrics.worker_restarts = pool.restarts
+                    self.metrics.forced_terminations = pool.forced_terminations
             exhausted_cleanly = True
         finally:
             self.metrics.stop()
             self.source.close()
 
         finished = exhausted_cleanly and (
-            max_samples is None or self._pull_seq < max_samples
+            max_samples is None
+            or self._pull_seq < max_samples
+            or self._source_exhausted
         )
         if finished:
             self._flush_cells()

@@ -1,0 +1,484 @@
+"""Seeded, deterministic fault injection for the streaming pipeline.
+
+A measurement pipeline that runs unattended for weeks is defined by how
+it behaves when things break: sources hiccup and redeliver, capture
+files get truncated mid-line, workers are OOM-killed, and the process
+itself is kill-9'd between checkpoints.  This module makes every one of
+those failures *schedulable* so the recovery paths are exercised
+deterministically instead of discovered in production:
+
+* :class:`FaultPlan` -- a list of :class:`FaultSpec` entries, each
+  "fire fault *kind* when the source is about to deliver item *index*".
+  Plans can be generated from a seed (every run with the same seed sees
+  the same faults) or loaded from JSON (see :meth:`FaultPlan.to_dict`
+  for the schema).
+* :class:`FaultySource` -- wraps any
+  :class:`~repro.stream.source.SampleSource` and executes the plan:
+  transient errors and truncated-line reads raise
+  :class:`~repro.errors.TransientSourceError` (the engine retries),
+  stalls sleep, duplicates redeliver the previous item without
+  advancing the cursor (the engine dedupes), and ``kill9`` takes the
+  whole process down -- the hook the kill/resume drill is built on.
+* :class:`~repro.stream.shard.WorkerChaos` (re-exported) -- the pool's
+  own hook: one worker dies after N batches, abruptly or cleanly.
+* :func:`run_drill` -- the three end-to-end fire drills behind
+  ``repro stream --drill``: each runs the pipeline under a fault plan
+  and asserts the final rollup is byte-identical to an uninterrupted
+  clean run.
+
+Faults fire **at most once** each, and plans index *delivered* items
+(what the engine sees), so a plan composes with any source family.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import os
+import random
+import signal
+import tempfile
+import time
+from collections import Counter
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import StreamError, TransientSourceError
+from repro.stream.shard import ShardConfig, WorkerChaos
+from repro.stream.source import SampleSource, StreamItem
+
+__all__ = [
+    "FAULT_KINDS",
+    "DRILL_MODES",
+    "FaultSpec",
+    "FaultPlan",
+    "FaultySource",
+    "WorkerChaos",
+    "DrillResult",
+    "run_drill",
+]
+
+#: Everything a :class:`FaultSpec` can do to a stream.
+FAULT_KINDS = ("error", "stall", "truncate", "duplicate", "kill9")
+
+#: The fire drills ``repro stream --drill`` knows how to run.
+DRILL_MODES = ("kill-worker", "flaky-source", "kill9-resume")
+
+#: Plan schema version carried in :meth:`FaultPlan.to_dict`.
+FAULT_PLAN_VERSION = 1
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultSpec:
+    """One planned fault: fire ``kind`` before delivering item ``index``.
+
+    ``index`` counts items actually delivered by the wrapped source
+    (0-based), so plans are stable across source families.  Kinds:
+
+    * ``error`` -- raise a :class:`TransientSourceError` once; the item
+      is delivered on the engine's retry.
+    * ``truncate`` -- same recovery path, but phrased as a torn JSONL
+      tail line (the fault a concurrently-written capture file shows).
+    * ``stall`` -- sleep ``stall_seconds`` before delivering.
+    * ``duplicate`` -- redeliver the previous item without advancing the
+      cursor; downstream must dedupe.
+    * ``kill9`` -- SIGKILL the calling process.  For drills that kill
+      the whole engine at a planned point.
+    """
+
+    index: int
+    kind: str
+    stall_seconds: float = 0.002
+    detail: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise StreamError(
+                f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
+            )
+        if self.index < 0:
+            raise StreamError("fault index must be >= 0")
+        if self.stall_seconds < 0:
+            raise StreamError("stall_seconds must be >= 0")
+
+
+@dataclasses.dataclass
+class FaultPlan:
+    """An ordered, JSON-serialisable schedule of faults."""
+
+    faults: List[FaultSpec] = dataclasses.field(default_factory=list)
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        self.faults = sorted(self.faults, key=lambda f: f.index)
+        by_index: Dict[int, List[Tuple[int, FaultSpec]]] = {}
+        for key, fault in enumerate(self.faults):
+            by_index.setdefault(fault.index, []).append((key, fault))
+        self._by_index = by_index
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def at(self, index: int) -> List[Tuple[int, FaultSpec]]:
+        """``(key, fault)`` pairs scheduled for delivery index ``index``."""
+        return self._by_index.get(index, [])
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        n_samples: int,
+        *,
+        error_rate: float = 0.01,
+        stall_rate: float = 0.0,
+        truncate_rate: float = 0.0,
+        duplicate_rate: float = 0.0,
+        stall_seconds: float = 0.002,
+    ) -> "FaultPlan":
+        """Draw a plan from a seed: same seed, same faults, every run."""
+        rates = (
+            ("error", error_rate),
+            ("stall", stall_rate),
+            ("truncate", truncate_rate),
+            ("duplicate", duplicate_rate),
+        )
+        if any(rate < 0 or rate > 1 for _, rate in rates):
+            raise StreamError("fault rates must be within [0, 1]")
+        rng = random.Random(seed)
+        faults: List[FaultSpec] = []
+        for index in range(n_samples):
+            for kind, rate in rates:
+                if rate > 0 and rng.random() < rate:
+                    faults.append(
+                        FaultSpec(index=index, kind=kind, stall_seconds=stall_seconds)
+                    )
+        return cls(faults=faults, seed=seed)
+
+    def to_dict(self) -> dict:
+        """The documented fault-plan JSON schema::
+
+            {"version": 1, "seed": 7,
+             "faults": [{"index": 120, "kind": "error",
+                         "stall_seconds": 0.002, "detail": ""}, ...]}
+        """
+        return {
+            "version": FAULT_PLAN_VERSION,
+            "seed": self.seed,
+            "faults": [dataclasses.asdict(fault) for fault in self.faults],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FaultPlan":
+        version = payload.get("version", FAULT_PLAN_VERSION)
+        if version != FAULT_PLAN_VERSION:
+            raise StreamError(
+                f"fault plan has schema version {version!r}, "
+                f"expected {FAULT_PLAN_VERSION}"
+            )
+        faults = [
+            FaultSpec(
+                index=int(entry["index"]),
+                kind=str(entry["kind"]),
+                stall_seconds=float(entry.get("stall_seconds", 0.002)),
+                detail=str(entry.get("detail", "")),
+            )
+            for entry in payload.get("faults", [])
+        ]
+        return cls(faults=faults, seed=payload.get("seed"))
+
+
+class FaultySource(SampleSource):
+    """Wrap a source and execute a :class:`FaultPlan` against its stream.
+
+    Cursor and seek delegate to the wrapped source, so checkpoints taken
+    through a faulty source resume exactly like clean ones.  Fired
+    faults are remembered on the instance (not the iterator), so a
+    retrying engine that re-iterates after an injected error does not
+    trip over the same fault twice.
+    """
+
+    def __init__(self, inner: SampleSource, plan: FaultPlan) -> None:
+        self.inner = inner
+        self.plan = plan
+        self._delivered = 0
+        self._fired: set = set()
+        self._last_item: Optional[StreamItem] = None
+        #: kind -> number of faults actually fired (drills report this).
+        self.injected: Counter = Counter()
+
+    def __iter__(self) -> Iterator[StreamItem]:
+        iterator = iter(self.inner)
+        while True:
+            for key, fault in self.plan.at(self._delivered):
+                if key in self._fired:
+                    continue
+                self._fired.add(key)
+                if fault.kind == "stall":
+                    self.injected["stall"] += 1
+                    time.sleep(fault.stall_seconds)
+                elif fault.kind == "duplicate":
+                    if self._last_item is None:
+                        continue  # nothing to redeliver yet
+                    self.injected["duplicate"] += 1
+                    yield self._last_item  # cursor unchanged: a true dup
+                elif fault.kind == "kill9":
+                    self.injected["kill9"] += 1
+                    os.kill(os.getpid(), signal.SIGKILL)
+                elif fault.kind == "truncate":
+                    self.injected["truncate"] += 1
+                    raise TransientSourceError(
+                        f"injected truncated JSONL line before item "
+                        f"{self._delivered}{': ' + fault.detail if fault.detail else ''}"
+                    )
+                else:  # "error"
+                    self.injected["error"] += 1
+                    raise TransientSourceError(
+                        f"injected transient read error before item "
+                        f"{self._delivered}{': ' + fault.detail if fault.detail else ''}"
+                    )
+            try:
+                item = next(iterator)
+            except StopIteration:
+                return
+            self._last_item = item
+            self._delivered += 1
+            yield item
+
+    def cursor(self) -> object:
+        return self.inner.cursor()
+
+    def seek(self, cursor: object) -> None:
+        self.inner.seek(cursor)
+        # A seek lands "between" items; the previous-item cache must not
+        # survive it or a later duplicate fault would replay stale data.
+        self._last_item = None
+
+    def close(self) -> None:
+        self.inner.close()
+
+
+# ----------------------------------------------------------------------
+# Fire drills
+# ----------------------------------------------------------------------
+@dataclasses.dataclass
+class DrillResult:
+    """Outcome of one ``--drill`` run."""
+
+    mode: str
+    parity: bool  # hardened rollup byte-identical to the clean run?
+    samples: int  # records in the clean rollup
+    details: Dict[str, object]
+
+    @property
+    def ok(self) -> bool:
+        if not self.parity:
+            return False
+        if self.details.get("forced_terminations", 0):
+            return False  # shutdown escalated to terminate(): a hang
+        return True
+
+    def render(self) -> str:
+        lines = [
+            f"drill {self.mode}: {'PASS' if self.ok else 'FAIL'}",
+            f"  rollup parity with clean run: {'yes' if self.parity else 'NO'}",
+            f"  records: {self.samples}",
+        ]
+        for key in sorted(self.details):
+            lines.append(f"  {key}: {self.details[key]}")
+        return "\n".join(lines)
+
+
+def _drill_source(scenario: str, connections: int, seed: int):
+    from repro.workloads.scenarios import (
+        iran_protest_stream_source,
+        two_week_stream_source,
+    )
+
+    if scenario == "iran":
+        return iran_protest_stream_source(n_connections=connections, seed=seed)
+    return two_week_stream_source(n_connections=connections, seed=seed)
+
+
+def _clean_rollup(scenario: str, connections: int, seed: int) -> dict:
+    from repro.stream.engine import StreamEngine
+
+    source = _drill_source(scenario, connections, seed)
+    report = StreamEngine(source, geodb=source.world.geo, n_workers=0).run()
+    return report.rollup.to_dict()
+
+
+def _drill_kill_worker(
+    scenario: str, connections: int, seed: int, workers: int
+) -> DrillResult:
+    """Kill one worker mid-stream; supervision must absorb it."""
+    from repro.stream.engine import StreamEngine
+
+    clean = _clean_rollup(scenario, connections, seed)
+    source = _drill_source(scenario, connections, seed)
+    shard = ShardConfig(
+        n_workers=workers, batch_size=16, max_inflight=64, max_restarts=2
+    )
+    engine = StreamEngine(
+        source,
+        geodb=source.world.geo,
+        n_workers=workers,
+        shard_config=shard,
+        worker_chaos=WorkerChaos(worker_id=0, after_batches=2, mode="kill9"),
+    )
+    began = time.monotonic()
+    report = engine.run()
+    elapsed = time.monotonic() - began
+    hardened = report.rollup.to_dict()
+    return DrillResult(
+        mode="kill-worker",
+        parity=hardened == clean,
+        samples=report.rollup.n_records,
+        details={
+            "worker_restarts": report.metrics["worker_restarts"],
+            "forced_terminations": report.metrics["forced_terminations"],
+            "elapsed_seconds": round(elapsed, 3),
+            "no_terminate_path": report.metrics["forced_terminations"] == 0,
+        },
+    )
+
+
+def _drill_flaky_source(
+    scenario: str, connections: int, seed: int, workers: int
+) -> DrillResult:
+    """Errors, stalls, truncations, and duplicates; retries must absorb them."""
+    from repro.stream.engine import StreamEngine
+
+    clean = _clean_rollup(scenario, connections, seed)
+    plan = FaultPlan.generate(
+        seed,
+        connections,
+        error_rate=0.02,
+        stall_rate=0.005,
+        truncate_rate=0.01,
+        duplicate_rate=0.02,
+        stall_seconds=0.001,
+    )
+    inner = _drill_source(scenario, connections, seed)
+    source = FaultySource(inner, plan)
+    engine = StreamEngine(
+        source,
+        geodb=inner.world.geo,
+        n_workers=workers,
+        max_source_retries=8,
+        retry_backoff_seconds=0.001,
+    )
+    report = engine.run()
+    return DrillResult(
+        mode="flaky-source",
+        parity=report.rollup.to_dict() == clean,
+        samples=report.rollup.n_records,
+        details={
+            "faults_planned": len(plan),
+            "faults_injected": dict(source.injected),
+            "source_retries": report.metrics["source_retries"],
+            "duplicates_dropped": report.metrics["duplicates_dropped"],
+            "forced_terminations": report.metrics["forced_terminations"],
+        },
+    )
+
+
+def _kill9_engine_child(
+    scenario: str,
+    connections: int,
+    seed: int,
+    checkpoint_path: str,
+    interval: int,
+    kill_index: int,
+) -> None:
+    """Child body for the kill9-resume drill: run until the planned SIGKILL."""
+    from repro.stream.engine import StreamEngine
+
+    inner = _drill_source(scenario, connections, seed)
+    plan = FaultPlan(faults=[FaultSpec(index=kill_index, kind="kill9")])
+    StreamEngine(
+        FaultySource(inner, plan),
+        geodb=inner.world.geo,
+        n_workers=0,
+        checkpoint_path=checkpoint_path,
+        checkpoint_interval=interval,
+    ).run()
+
+
+def _drill_kill9_resume(
+    scenario: str,
+    connections: int,
+    seed: int,
+    checkpoint_dir: Optional[str] = None,
+) -> DrillResult:
+    """SIGKILL the whole engine at a checkpoint boundary, then resume."""
+    from repro.stream.engine import StreamEngine
+
+    clean = _clean_rollup(scenario, connections, seed)
+    interval = max(10, connections // 8)
+    # Two full checkpoint intervals in, i.e. the kill lands exactly as a
+    # checkpoint has just been written -- the nastiest boundary.
+    kill_index = 2 * interval
+    owns_dir = checkpoint_dir is None
+    if owns_dir:
+        checkpoint_dir = tempfile.mkdtemp(prefix="repro-drill-")
+    checkpoint_path = os.path.join(checkpoint_dir, "kill9.ck.json")
+    try:
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX fallback
+            ctx = multiprocessing.get_context("spawn")
+        child = ctx.Process(
+            target=_kill9_engine_child,
+            args=(scenario, connections, seed, checkpoint_path, interval, kill_index),
+        )
+        child.start()
+        child.join(timeout=300.0)
+        killed = child.exitcode == -signal.SIGKILL
+        if child.is_alive():  # pragma: no cover - hung child safety net
+            child.terminate()
+            child.join(timeout=5.0)
+
+        source = _drill_source(scenario, connections, seed)
+        resumed = StreamEngine(
+            source,
+            geodb=source.world.geo,
+            n_workers=0,
+            checkpoint_path=checkpoint_path,
+            checkpoint_interval=interval,
+        ).run(resume=True)
+        return DrillResult(
+            mode="kill9-resume",
+            parity=killed and resumed.rollup.to_dict() == clean,
+            samples=resumed.rollup.n_records,
+            details={
+                "child_exitcode": child.exitcode,
+                "killed_by_sigkill": killed,
+                "kill_index": kill_index,
+                "checkpoint_interval": interval,
+                "resumed_from": resumed.metrics["resumed_from"],
+                "forced_terminations": resumed.metrics["forced_terminations"],
+            },
+        )
+    finally:
+        if owns_dir:
+            if os.path.exists(checkpoint_path):
+                os.unlink(checkpoint_path)
+            os.rmdir(checkpoint_dir)
+
+
+def run_drill(
+    mode: str,
+    *,
+    scenario: str = "two-week",
+    connections: int = 400,
+    seed: int = 7,
+    workers: int = 2,
+    checkpoint_dir: Optional[str] = None,
+) -> DrillResult:
+    """Run one named fire drill and report parity with a clean run."""
+    if mode == "kill-worker":
+        return _drill_kill_worker(scenario, connections, seed, max(workers, 2))
+    if mode == "flaky-source":
+        return _drill_flaky_source(scenario, connections, seed, workers)
+    if mode == "kill9-resume":
+        return _drill_kill9_resume(scenario, connections, seed, checkpoint_dir)
+    raise StreamError(f"unknown drill {mode!r}; expected one of {DRILL_MODES}")

@@ -27,6 +27,10 @@ class StreamMetrics:
         self.anomaly_events = 0
         self.resumed_from = 0  # cursor position a resume started at
         self.source_rejected = 0  # backpressure: source pushes refused
+        self.source_retries = 0  # transient source errors absorbed
+        self.duplicates_dropped = 0  # redelivered items discarded
+        self.worker_restarts = 0  # dead workers respawned by supervision
+        self.forced_terminations = 0  # workers that needed terminate()
         self.queue_depth = 0  # gauge: records in flight right now
         self.max_queue_depth = 0
         self._started: Optional[float] = None
@@ -94,6 +98,10 @@ class StreamMetrics:
             "anomaly_events": self.anomaly_events,
             "resumed_from": self.resumed_from,
             "source_rejected": self.source_rejected,
+            "source_retries": self.source_retries,
+            "duplicates_dropped": self.duplicates_dropped,
+            "worker_restarts": self.worker_restarts,
+            "forced_terminations": self.forced_terminations,
             "queue_depth": self.queue_depth,
             "max_queue_depth": self.max_queue_depth,
             "elapsed_seconds": self.elapsed_seconds,
@@ -119,10 +127,26 @@ class StreamMetrics:
             f"checkpoints written: {snap['checkpoints_written']}",
             f"anomaly events: {snap['anomaly_events']}",
         ]
+        faults = (
+            self.source_retries
+            + self.duplicates_dropped
+            + self.worker_restarts
+            + self.forced_terminations
+        )
+        if faults:
+            lines.append(
+                f"faults survived: {snap['source_retries']} source retries, "
+                f"{snap['duplicates_dropped']} duplicates dropped, "
+                f"{snap['worker_restarts']} worker restarts, "
+                f"{snap['forced_terminations']} forced terminations"
+            )
         if snap["workers"]:
             util = ", ".join(
                 f"w{worker_id}={share:.0%}"
-                for worker_id, share in sorted(snap["worker_utilization"].items())
+                for worker_id, share in sorted(
+                    snap["worker_utilization"].items(),
+                    key=lambda kv: int(kv[0]),
+                )
             )
             lines.append(f"worker utilization: {util}")
         return "\n".join(lines)

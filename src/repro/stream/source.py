@@ -32,8 +32,10 @@ import os
 from collections import deque
 from typing import Deque, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+import json
+
 from repro.cdn.collector import ConnectionSample, iter_samples_jsonl
-from repro.errors import StreamError
+from repro.errors import StreamError, TransientSourceError
 
 __all__ = [
     "StreamItem",
@@ -129,11 +131,30 @@ class JsonlSource(SampleSource):
 
     def __iter__(self) -> Iterator[StreamItem]:
         self._read = 0
-        for sample in iter_samples_jsonl(self.path):
+        iterator = iter_samples_jsonl(self.path)
+        while True:
+            try:
+                sample = next(iterator)
+            except StopIteration:
+                break
+            except json.JSONDecodeError as exc:
+                # A half-written tail line (concurrent writer, torn
+                # capture rotation) decodes again once the writer
+                # finishes it; let the engine's retry loop re-seek.
+                raise TransientSourceError(
+                    f"undecodable JSONL line in {self.path!r} after "
+                    f"{self._read} samples: {exc}"
+                ) from exc
             self._read += 1
             if self._read <= self._skip:
                 continue
             yield StreamItem(sample=sample)
+        if self._read < self._skip:
+            raise StreamError(
+                f"resume cursor {self._skip} is past the end of "
+                f"{self.path!r}: only {self._read} samples present "
+                f"(file truncated or rotated since the checkpoint?)"
+            )
 
     def cursor(self) -> int:
         return max(self._read, self._skip)
@@ -178,6 +199,12 @@ class JsonlDirectorySource(SampleSource):
                     continue
                 self._position = (name, read)
                 yield StreamItem(sample=sample)
+            if index == self._file_index and read < self._skip_in_file:
+                raise StreamError(
+                    f"resume cursor [{name!r}, {self._skip_in_file}] is past "
+                    f"the end of that file: only {read} samples present "
+                    f"(file truncated since the checkpoint?)"
+                )
             # A finished file pins the cursor at its end until the next
             # file yields; resume then skips it entirely.
             self._position = (name, read)

@@ -1,0 +1,431 @@
+"""Tests for :mod:`repro.stream.faults` and the lifecycle hardening it
+motivates: seeded fault plans, flaky-source retry/dedupe, supervised
+worker restart, graceful pool shutdown, and the cluster of
+shutdown/resume bugfix regressions (exact-``max_samples`` ``finished``,
+dropped shutdown sentinels, exit-0 worker deaths, cursors past EOF,
+string-sorted worker metrics).
+
+The multiprocessing-heavy end-to-end drills are marked ``chaos`` and run
+in their own CI job; everything else stays in the default fast run.
+"""
+
+from __future__ import annotations
+
+import json
+import queue as queue_module
+import time
+
+import pytest
+
+from repro.cdn.collector import write_samples_jsonl
+from repro.errors import StreamError, TransientSourceError
+from repro.stream import (
+    FaultPlan,
+    FaultSpec,
+    FaultySource,
+    IterableSource,
+    JsonlDirectorySource,
+    JsonlSource,
+    ShardConfig,
+    ShardedClassifierPool,
+    StreamEngine,
+    StreamItem,
+    StreamMetrics,
+    WorkerChaos,
+    run_drill,
+    serial_records,
+)
+from repro.workloads.scenarios import two_week_study
+
+
+@pytest.fixture(scope="module")
+def study():
+    return two_week_study(n_connections=400, seed=7)
+
+
+def make_source(study, n=None):
+    samples = study.samples if n is None else study.samples[:n]
+    return IterableSource(samples, timestamps=study.timestamps)
+
+
+def clean_rollup(study, n=None):
+    return StreamEngine(make_source(study, n), geodb=study.geo, n_workers=0).run()
+
+
+# ----------------------------------------------------------------------
+# Fault plans
+# ----------------------------------------------------------------------
+class TestFaultPlan:
+    def test_generate_is_deterministic(self):
+        a = FaultPlan.generate(5, 500, error_rate=0.05, duplicate_rate=0.05)
+        b = FaultPlan.generate(5, 500, error_rate=0.05, duplicate_rate=0.05)
+        assert a.to_dict() == b.to_dict()
+        assert len(a) > 0
+        c = FaultPlan.generate(6, 500, error_rate=0.05, duplicate_rate=0.05)
+        assert a.to_dict() != c.to_dict()
+
+    def test_json_roundtrip(self):
+        plan = FaultPlan.generate(
+            9, 300, error_rate=0.02, stall_rate=0.01,
+            truncate_rate=0.01, duplicate_rate=0.02,
+        )
+        restored = FaultPlan.from_dict(json.loads(json.dumps(plan.to_dict())))
+        assert restored.to_dict() == plan.to_dict()
+
+    def test_at_indexes_faults(self):
+        plan = FaultPlan(faults=[
+            FaultSpec(index=7, kind="error"),
+            FaultSpec(index=7, kind="duplicate"),
+            FaultSpec(index=2, kind="stall"),
+        ])
+        assert [f.kind for _, f in plan.at(7)] == ["error", "duplicate"]
+        assert plan.at(3) == []
+        # construction sorted the faults by index
+        assert [f.index for f in plan.faults] == [2, 7, 7]
+
+    def test_validation(self):
+        with pytest.raises(StreamError):
+            FaultSpec(index=0, kind="meteor-strike")
+        with pytest.raises(StreamError):
+            FaultSpec(index=-1, kind="error")
+        with pytest.raises(StreamError):
+            FaultPlan.generate(1, 10, error_rate=1.5)
+        with pytest.raises(StreamError):
+            FaultPlan.from_dict({"version": 99, "faults": []})
+        with pytest.raises(StreamError):
+            WorkerChaos(mode="politely-ask")
+
+
+# ----------------------------------------------------------------------
+# Flaky sources: retry, truncation, duplicate delivery
+# ----------------------------------------------------------------------
+class TestFaultySource:
+    def test_transient_errors_retried_to_parity(self, study):
+        baseline = clean_rollup(study, 200)
+        plan = FaultPlan(faults=[
+            FaultSpec(index=3, kind="error"),
+            FaultSpec(index=50, kind="truncate"),
+            FaultSpec(index=50, kind="error"),  # two faults, same index
+            FaultSpec(index=199, kind="error"),
+        ])
+        source = FaultySource(make_source(study, 200), plan)
+        engine = StreamEngine(
+            source, geodb=study.geo, n_workers=0,
+            max_source_retries=3, retry_backoff_seconds=0.0,
+        )
+        report = engine.run()
+        assert report.finished
+        assert report.rollup.to_dict() == baseline.rollup.to_dict()
+        assert report.metrics["source_retries"] == 4
+        assert source.injected["error"] == 3
+        assert source.injected["truncate"] == 1
+
+    def test_retry_budget_exhausted_raises(self, study):
+        plan = FaultPlan(faults=[
+            FaultSpec(index=10, kind="error"),
+            FaultSpec(index=10, kind="error"),
+        ])
+        source = FaultySource(make_source(study, 50), plan)
+        engine = StreamEngine(
+            source, geodb=study.geo, n_workers=0,
+            max_source_retries=1, retry_backoff_seconds=0.0,
+        )
+        with pytest.raises(TransientSourceError):
+            engine.run()
+
+    def test_duplicates_dropped_to_parity(self, study):
+        baseline = clean_rollup(study, 150)
+        plan = FaultPlan(faults=[
+            FaultSpec(index=0, kind="duplicate"),  # nothing to replay yet
+            FaultSpec(index=5, kind="duplicate"),
+            FaultSpec(index=80, kind="duplicate"),
+            FaultSpec(index=149, kind="duplicate"),
+        ])
+        source = FaultySource(make_source(study, 150), plan)
+        report = StreamEngine(source, geodb=study.geo, n_workers=0).run()
+        assert report.rollup.to_dict() == baseline.rollup.to_dict()
+        assert report.metrics["duplicates_dropped"] == 3
+        assert source.injected["duplicate"] == 3
+
+    def test_stalls_only_slow_things_down(self, study):
+        baseline = clean_rollup(study, 60)
+        plan = FaultPlan(faults=[
+            FaultSpec(index=10, kind="stall", stall_seconds=0.001),
+        ])
+        source = FaultySource(make_source(study, 60), plan)
+        report = StreamEngine(source, geodb=study.geo, n_workers=0).run()
+        assert report.rollup.to_dict() == baseline.rollup.to_dict()
+        assert source.injected["stall"] == 1
+
+    def test_generated_storm_through_sharded_pool(self, study):
+        baseline = clean_rollup(study, 300)
+        plan = FaultPlan.generate(
+            11, 300, error_rate=0.02, duplicate_rate=0.02, truncate_rate=0.01,
+        )
+        source = FaultySource(make_source(study, 300), plan)
+        engine = StreamEngine(
+            source, geodb=study.geo, n_workers=2,
+            shard_config=ShardConfig(n_workers=2, batch_size=16, max_inflight=64),
+            max_source_retries=8, retry_backoff_seconds=0.0,
+        )
+        report = engine.run()
+        assert report.finished
+        assert report.rollup.to_dict() == baseline.rollup.to_dict()
+
+    def test_checkpoint_resume_through_faulty_source(self, study, tmp_path):
+        ck = str(tmp_path / "ck.json")
+        baseline = clean_rollup(study, 200)
+        plan = FaultPlan(faults=[FaultSpec(index=40, kind="error")])
+        StreamEngine(
+            FaultySource(make_source(study, 200), plan),
+            geodb=study.geo, n_workers=0,
+            checkpoint_path=ck, checkpoint_interval=30,
+            max_source_retries=2, retry_backoff_seconds=0.0,
+        ).run(max_samples=90)
+        resumed = StreamEngine(
+            FaultySource(make_source(study, 200), FaultPlan()),
+            geodb=study.geo, n_workers=0,
+            checkpoint_path=ck, checkpoint_interval=30,
+        ).run(resume=True)
+        assert resumed.rollup.to_dict() == baseline.rollup.to_dict()
+
+
+# ----------------------------------------------------------------------
+# Worker supervision and graceful shutdown
+# ----------------------------------------------------------------------
+class TestSupervision:
+    def test_kill9_worker_restarted_to_parity(self, study):
+        reference = serial_records(study.samples[:300])
+        config = ShardConfig(
+            n_workers=2, batch_size=8, max_inflight=32,
+            poll_seconds=0.05, max_restarts=2,
+        )
+        chaos = WorkerChaos(worker_id=1, after_batches=1, mode="kill9")
+        with ShardedClassifierPool(config, chaos=chaos) as pool:
+            records = pool.map_samples(study.samples[:300])
+        assert records == reference
+        assert pool.restarts == 1
+        assert pool.worker_restarts == {1: 1}
+
+    def test_exit0_worker_restarted_to_parity(self, study):
+        reference = serial_records(study.samples[:200])
+        config = ShardConfig(
+            n_workers=2, batch_size=8, max_inflight=32,
+            poll_seconds=0.05, max_restarts=1,
+        )
+        chaos = WorkerChaos(worker_id=0, after_batches=2, mode="exit0")
+        with ShardedClassifierPool(config, chaos=chaos) as pool:
+            records = pool.map_samples(study.samples[:200])
+        assert records == reference
+        assert pool.restarts == 1
+
+    def test_exit0_death_without_budget_raises(self, study):
+        """Satellite regression: a worker that dies cleanly-but-early must
+        fail the stream, not leave the coordinator polling forever."""
+        config = ShardConfig(
+            n_workers=2, batch_size=4, max_inflight=16, poll_seconds=0.05,
+        )
+        chaos = WorkerChaos(worker_id=0, after_batches=0, mode="exit0")
+        pool = ShardedClassifierPool(config, chaos=chaos)
+        began = time.monotonic()
+        with pytest.raises(StreamError, match="died with exit code 0"):
+            list(pool.process(
+                StreamItem(sample=s) for s in study.samples[:200]
+            ))
+        assert time.monotonic() - began < 30.0
+        pool.close()
+
+    def test_restart_budget_exhausted_raises(self, study):
+        config = ShardConfig(
+            n_workers=2, batch_size=4, max_inflight=16,
+            poll_seconds=0.05, max_restarts=0,
+        )
+        chaos = WorkerChaos(worker_id=0, after_batches=0, mode="kill9")
+        pool = ShardedClassifierPool(config, chaos=chaos)
+        with pytest.raises(StreamError, match="died"):
+            list(pool.process(
+                StreamItem(sample=s) for s in study.samples[:200]
+            ))
+        pool.close()
+
+    def test_close_with_full_input_queue_is_graceful(self, study):
+        """Satellite regression: a full input queue used to swallow the
+        shutdown sentinel, stalling join_seconds and terminating."""
+        config = ShardConfig(
+            n_workers=2, batch_size=4, max_inflight=64,
+            queue_depth=2, join_seconds=20.0,
+        )
+        pool = ShardedClassifierPool(config)
+        pool.start()
+        rows = [(i, None, s) for i, s in enumerate(study.samples[:4])]
+        for worker_id in range(2):
+            for batch_id in range(50):
+                try:
+                    pool._in_queues[worker_id].put_nowait((1000 + batch_id, rows))
+                except queue_module.Full:
+                    break
+        began = time.monotonic()
+        pool.close()
+        elapsed = time.monotonic() - began
+        assert pool.forced_terminations == 0
+        assert elapsed < config.join_seconds
+        assert all(p.exitcode == 0 for p in pool._workers)
+
+    def test_engine_supervised_run_matches_clean(self, study):
+        baseline = clean_rollup(study, 300)
+        engine = StreamEngine(
+            make_source(study, 300), geodb=study.geo, n_workers=2,
+            shard_config=ShardConfig(
+                n_workers=2, batch_size=8, max_inflight=32,
+                poll_seconds=0.05, max_restarts=2,
+            ),
+            worker_chaos=WorkerChaos(worker_id=0, after_batches=2, mode="kill9"),
+        )
+        report = engine.run()
+        assert report.rollup.to_dict() == baseline.rollup.to_dict()
+        assert report.metrics["worker_restarts"] == 1
+        assert report.metrics["forced_terminations"] == 0
+
+
+# ----------------------------------------------------------------------
+# Satellite regressions: engine, sources, metrics
+# ----------------------------------------------------------------------
+class TestSatelliteRegressions:
+    def test_finished_with_exactly_max_samples(self, study):
+        """A source holding exactly max_samples items is a finished
+        stream: trailing windows must flush to the detector."""
+        n = 120
+        baseline = StreamEngine(
+            IterableSource(study.samples[:n], timestamps=study.timestamps),
+            geodb=study.geo, n_workers=0,
+        ).run()
+        engine = StreamEngine(
+            IterableSource(study.samples[:n], timestamps=study.timestamps),
+            geodb=study.geo, n_workers=0,
+        )
+        report = engine.run(max_samples=n)
+        assert report.finished
+        assert engine._open_cells == {}  # trailing windows flushed
+        assert report.rollup.to_dict() == baseline.rollup.to_dict()
+        assert [e.to_dict() for e in report.events] == [
+            e.to_dict() for e in baseline.events
+        ]
+
+    def test_not_finished_when_source_has_more(self, study):
+        report = StreamEngine(
+            make_source(study), geodb=study.geo, n_workers=0
+        ).run(max_samples=100)
+        assert not report.finished
+        assert report.rollup.n_records == 100
+
+    def test_jsonl_cursor_past_eof_fails_loudly(self, study, tmp_path):
+        path = str(tmp_path / "s.jsonl")
+        write_samples_jsonl(path, study.samples[:20])
+        source = JsonlSource(path)
+        source.seek(50)  # checkpoint taken before the file was truncated
+        with pytest.raises(StreamError, match="only 20 samples present"):
+            list(source)
+
+    def test_jsonl_cursor_at_exact_eof_is_fine(self, study, tmp_path):
+        path = str(tmp_path / "s.jsonl")
+        write_samples_jsonl(path, study.samples[:20])
+        source = JsonlSource(path)
+        source.seek(20)
+        assert list(source) == []
+
+    def test_jsonl_truncated_tail_line_is_transient(self, study, tmp_path):
+        path = str(tmp_path / "s.jsonl")
+        write_samples_jsonl(path, study.samples[:5])
+        with open(path, "a") as fh:
+            fh.write('{"conn_id": 99, "client_ip": "1.2.3')  # torn write
+        source = JsonlSource(path)
+        with pytest.raises(TransientSourceError, match="after 5 samples"):
+            list(source)
+
+    def test_jsonl_directory_cursor_past_eof_fails_loudly(self, study, tmp_path):
+        write_samples_jsonl(str(tmp_path / "cap-000.jsonl"), study.samples[:20])
+        write_samples_jsonl(str(tmp_path / "cap-001.jsonl"), study.samples[20:30])
+        source = JsonlDirectorySource(str(tmp_path))
+        source.seek(["cap-001.jsonl", 25])
+        with pytest.raises(StreamError, match="only 10 samples present"):
+            list(source)
+
+    def test_metrics_worker_sort_is_numeric(self):
+        metrics = StreamMetrics()
+        metrics.start()
+        busy = {w: 0.01 for w in range(12)}
+        records = {w: 10 for w in range(12)}
+        metrics.set_worker_stats(busy, records)
+        metrics.stop()
+        rendered = metrics.render()
+        line = [l for l in rendered.splitlines() if "worker utilization" in l][0]
+        assert line.index("w2=") < line.index("w10=")
+
+    def test_metrics_snapshot_has_fault_counters(self):
+        snap = StreamMetrics().snapshot()
+        for key in ("source_retries", "duplicates_dropped",
+                    "worker_restarts", "forced_terminations"):
+            assert snap[key] == 0
+
+    def test_render_reports_survived_faults(self):
+        metrics = StreamMetrics()
+        metrics.source_retries = 2
+        metrics.worker_restarts = 1
+        assert "faults survived" in metrics.render()
+
+
+# ----------------------------------------------------------------------
+# End-to-end fire drills (multiprocessing-heavy: own CI job)
+# ----------------------------------------------------------------------
+@pytest.mark.chaos
+class TestDrills:
+    def test_kill_worker_drill(self):
+        result = run_drill("kill-worker", connections=300, seed=7)
+        assert result.ok, result.render()
+        assert result.details["worker_restarts"] >= 1
+        assert result.details["forced_terminations"] == 0
+
+    def test_kill9_resume_drill(self, tmp_path):
+        result = run_drill(
+            "kill9-resume", connections=400, seed=7,
+            checkpoint_dir=str(tmp_path),
+        )
+        assert result.ok, result.render()
+        assert result.details["killed_by_sigkill"]
+
+    def test_flaky_source_drill(self):
+        result = run_drill("flaky-source", connections=250, seed=7)
+        assert result.ok, result.render()
+        assert result.details["source_retries"] > 0
+
+    def test_unknown_drill_rejected(self):
+        with pytest.raises(StreamError):
+            run_drill("unplug-the-router")
+
+    def test_cli_drill_flaky_source(self, capsys):
+        from repro.cli import main
+
+        code = main(["stream", "--drill", "flaky-source", "-n", "150"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "drill flaky-source: PASS" in out
+
+
+class TestCliFaultPlan:
+    def test_stream_with_fault_plan_file(self, study, tmp_path, capsys):
+        from repro.cli import main
+
+        samples_path = str(tmp_path / "s.jsonl")
+        write_samples_jsonl(samples_path, study.samples[:60])
+        plan = FaultPlan(faults=[
+            FaultSpec(index=5, kind="error"),
+            FaultSpec(index=30, kind="duplicate"),
+        ])
+        plan_path = str(tmp_path / "plan.json")
+        with open(plan_path, "w") as fh:
+            json.dump(plan.to_dict(), fh)
+        code = main(["stream", samples_path, "--fault-plan", plan_path])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "stream finished after 60 connections" in out
+        assert "faults survived: 1 source retries, 1 duplicates dropped" in out
