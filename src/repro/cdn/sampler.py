@@ -135,7 +135,11 @@ def capture_sample(
     first = inbound[0]
     client_ip, client_port = first.src, first.sport
     server_ip, server_port = first.dst, first.dport
-    window_end = max(p.ts for p in kept) + config.watch_seconds
+    # The window close must be measured on the same clock as the stored
+    # packets: computing it from the un-floored timestamps inflated the
+    # trailing silence gap by up to one granularity unit, flipping
+    # possibly_tampered for connections near the 3-second threshold.
+    window_end = max(p.ts for p in floored) + config.watch_seconds
 
     return ConnectionSample(
         conn_id=conn_id,

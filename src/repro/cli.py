@@ -51,6 +51,12 @@ def build_parser() -> argparse.ArgumentParser:
     cls = sub.add_parser("classify", help="classify a JSONL sample file")
     cls.add_argument("samples", help="input JSONL path")
     cls.add_argument("--inactivity", type=float, default=3.0)
+    cls.add_argument("--workers", "-w", type=int, default=0,
+                     help="classify across N worker processes (0/1 = inline)")
+    cls.add_argument("--no-cache", action="store_true",
+                     help="disable the feature-key memo (uncached reference path)")
+    cls.add_argument("--cache-size", type=int, default=None,
+                     help="feature-key memo entries per classifier (default 4096)")
 
     rep = sub.add_parser("report", help="run a study and print headline analyses")
     rep.add_argument("--connections", "-n", type=int, default=2000)
@@ -83,6 +89,8 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--seed", type=int, default=7)
     stream.add_argument("--workers", "-w", type=int, default=0,
                         help="shard worker processes (0 = classify inline)")
+    stream.add_argument("--no-cache", action="store_true",
+                        help="disable the classifier feature-key memo")
     stream.add_argument("--bucket-seconds", type=float, default=3600.0)
     stream.add_argument("--checkpoint", help="checkpoint JSON path (enables kill-safe resume)")
     stream.add_argument("--checkpoint-interval", type=int, default=5000)
@@ -127,8 +135,16 @@ def _cmd_classify(args: argparse.Namespace) -> int:
     from repro.core.classifier import ClassifierConfig
 
     samples = read_samples_jsonl(args.samples)
-    classifier = TamperingClassifier(ClassifierConfig(inactivity_seconds=args.inactivity))
-    results = classifier.classify_all(samples)
+    if args.no_cache:
+        cache_size = 0
+    elif args.cache_size is not None:
+        cache_size = args.cache_size
+    else:
+        cache_size = ClassifierConfig().cache_size
+    classifier = TamperingClassifier(
+        ClassifierConfig(inactivity_seconds=args.inactivity, cache_size=cache_size)
+    )
+    results = classifier.classify_batch(samples, workers=args.workers)
     counts = Counter(r.signature for r in results)
     rows = [
         [sig.display if sig.is_tampering else sig.value, counts[sig], f"{100.0 * counts[sig] / len(results):.2f}%"]
@@ -281,10 +297,15 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         with open(args.fault_plan, "r") as fh:
             source = FaultySource(source, FaultPlan.from_dict(json.load(fh)))
 
+    from repro.core.classifier import ClassifierConfig
+
     engine = StreamEngine(
         source,
         geodb=geodb,
         n_workers=args.workers,
+        classifier_config=(
+            ClassifierConfig(cache_size=0) if args.no_cache else None
+        ),
         shard_config=ShardConfig(
             n_workers=max(args.workers, 1), max_restarts=args.max_restarts
         ),

@@ -285,9 +285,12 @@ class AnalysisDataset:
             for asn, n in counter.most_common():
                 if covered >= top_share * total and rows:
                     break
-                covered += n
                 if n < min_connections:
+                    # Too small for a stable proportion estimate -- and it
+                    # must not count toward the top_share coverage either,
+                    # or the cutoff fires early and drops qualifying ASes.
                     continue
+                covered += n
                 matched = per_asn_matched[country].get(asn, 0)
                 rows.append((asn, 100.0 * matched / n, 100.0 * n / total))
             out[country] = rows

@@ -12,16 +12,23 @@ everything it reads is available in a genuine server-side capture.
 from __future__ import annotations
 
 import dataclasses
-from typing import Iterable, Iterator, List, Optional, Sequence
+from collections import OrderedDict
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.cdn.collector import ConnectionSample
+from repro.core.featurekey import FeatureKey, feature_key
 from repro.core.model import SignatureId, Stage
 from repro.core.signatures import INACTIVITY_SECONDS, SignatureMatch, match_signature
 from repro.errors import ClassificationError
 from repro.netstack.http import extract_host, is_http_request
 from repro.netstack.tls import extract_sni, is_tls_client_hello
 
-__all__ = ["ClassifierConfig", "ClassificationResult", "TamperingClassifier"]
+__all__ = [
+    "ClassifierConfig",
+    "ClassificationResult",
+    "TamperingClassifier",
+    "ClassifierCacheInfo",
+]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -31,12 +38,15 @@ class ClassifierConfig:
     max_packets: int = 10
     inactivity_seconds: float = INACTIVITY_SECONDS
     reorder: bool = True  # reconstruct packet order before matching
+    cache_size: int = 4096  # feature-key memo entries; 0 disables the memo
 
     def __post_init__(self) -> None:
         if self.max_packets < 1:
             raise ClassificationError("max_packets must be >= 1")
         if self.inactivity_seconds <= 0:
             raise ClassificationError("inactivity_seconds must be positive")
+        if self.cache_size < 0:
+            raise ClassificationError("cache_size must be >= 0")
 
 
 @dataclasses.dataclass
@@ -73,31 +83,114 @@ def _extract_protocol_domain(sample: ConnectionSample):
     return None, None
 
 
+@dataclasses.dataclass(frozen=True)
+class ClassifierCacheInfo:
+    """Memo statistics, mirroring :func:`functools.lru_cache`'s info."""
+
+    hits: int
+    misses: int
+    maxsize: int
+    currsize: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+#: What the memo stores per feature key -- exactly the fields of a
+#: :class:`SignatureMatch` the classifier propagates (the packet lists
+#: belong to individual samples and are never shared).
+_Decision = Tuple[SignatureId, Stage, bool, float, int]
+
+
 class TamperingClassifier:
-    """Stateless classifier over connection samples."""
+    """Stateless classifier over connection samples.
+
+    "Stateless" refers to the decision function: with the memo enabled
+    (``config.cache_size > 0``) the instance carries a bounded LRU cache
+    keyed by :func:`repro.core.featurekey.feature_key`, but cached and
+    uncached classification are behaviour-identical by construction --
+    the key captures everything the decision reads.
+    """
 
     def __init__(self, config: Optional[ClassifierConfig] = None) -> None:
         self.config = config or ClassifierConfig()
+        self._cache: "OrderedDict[FeatureKey, _Decision]" = OrderedDict()
+        self.cache_hits = 0
+        self.cache_misses = 0
 
-    def classify(self, sample: ConnectionSample) -> ClassificationResult:
-        """Classify one sample."""
+    # ------------------------------------------------------------------
+    # Memo plumbing
+    # ------------------------------------------------------------------
+    def cache_info(self) -> ClassifierCacheInfo:
+        """Hit/miss/size statistics for the feature-key memo."""
+        return ClassifierCacheInfo(
+            hits=self.cache_hits,
+            misses=self.cache_misses,
+            maxsize=self.config.cache_size,
+            currsize=len(self._cache),
+        )
+
+    def cache_clear(self) -> None:
+        self._cache.clear()
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    def _match(self, sample: ConnectionSample) -> _Decision:
+        """The signature decision for one sample, memoized when enabled."""
+        config = self.config
+        if config.cache_size:
+            key = feature_key(
+                sample.packets,
+                window_end=sample.window_end,
+                max_packets=config.max_packets,
+                reorder=config.reorder,
+            )
+            cached = self._cache.get(key)
+            if cached is not None:
+                self.cache_hits += 1
+                self._cache.move_to_end(key)
+                return cached
+            self.cache_misses += 1
+        else:
+            key = None
         match: SignatureMatch = match_signature(
             sample.packets,
             window_end=sample.window_end,
-            max_packets=self.config.max_packets,
-            inactivity_seconds=self.config.inactivity_seconds,
-            reorder=self.config.reorder,
+            max_packets=config.max_packets,
+            inactivity_seconds=config.inactivity_seconds,
+            reorder=config.reorder,
         )
+        decision: _Decision = (
+            match.signature,
+            match.stage,
+            match.possibly_tampered,
+            match.silence_gap,
+            match.n_data_segments,
+        )
+        if key is not None:
+            self._cache[key] = decision
+            if len(self._cache) > config.cache_size:
+                self._cache.popitem(last=False)
+        return decision
+
+    # ------------------------------------------------------------------
+    # Classification front-ends
+    # ------------------------------------------------------------------
+    def classify(self, sample: ConnectionSample) -> ClassificationResult:
+        """Classify one sample."""
+        signature, stage, possibly_tampered, silence_gap, n_data = self._match(sample)
         protocol, domain = _extract_protocol_domain(sample)
         return ClassificationResult(
             sample=sample,
-            signature=match.signature,
-            stage=match.stage,
-            possibly_tampered=match.possibly_tampered,
+            signature=signature,
+            stage=stage,
+            possibly_tampered=possibly_tampered,
             protocol=protocol,
             domain=domain,
-            silence_gap=match.silence_gap,
-            n_data_segments=match.n_data_segments,
+            silence_gap=silence_gap,
+            n_data_segments=n_data,
         )
 
     def classify_all(self, samples: Iterable[ConnectionSample]) -> List[ClassificationResult]:
@@ -108,3 +201,54 @@ class TamperingClassifier:
         """Streaming variant of :meth:`classify_all`."""
         for sample in samples:
             yield self.classify(sample)
+
+    def classify_batch(
+        self,
+        samples: Iterable[ConnectionSample],
+        workers: int = 0,
+        batch_size: int = 256,
+    ) -> List[ClassificationResult]:
+        """Classify across a process pool; results in input order.
+
+        ``workers <= 1`` falls back to the sequential path.  Otherwise
+        samples are partitioned across ``workers`` processes through the
+        streaming shard machinery
+        (:class:`~repro.stream.shard.ShardedClassifierPool`); each worker
+        runs its own classifier with this instance's config (memo
+        included), and the ordered merge guarantees output order equals
+        input order.  Returns are full :class:`ClassificationResult`
+        values bound to the caller's sample objects -- parity with
+        :meth:`classify_all` is exact.
+        """
+        if workers < 0:
+            raise ClassificationError("workers must be >= 0")
+        samples = list(samples)
+        if workers <= 1 or len(samples) < 2:
+            return self.classify_all(samples)
+        # Imported lazily: repro.stream.shard imports this module.
+        from repro.stream.shard import ShardConfig, ShardedClassifierPool
+        from repro.stream.source import StreamItem
+
+        shard_config = ShardConfig(
+            n_workers=workers,
+            batch_size=max(1, min(batch_size, len(samples))),
+        )
+        with ShardedClassifierPool(shard_config, self.config) as pool:
+            records = list(
+                pool.process(StreamItem(sample=s) for s in samples)
+            )
+        results: List[ClassificationResult] = []
+        for sample, record in zip(samples, records):
+            results.append(
+                ClassificationResult(
+                    sample=sample,
+                    signature=record.signature,
+                    stage=record.stage,
+                    possibly_tampered=record.possibly_tampered,
+                    protocol=record.protocol,
+                    domain=record.domain,
+                    silence_gap=record.silence_gap,
+                    n_data_segments=record.n_data_segments,
+                )
+            )
+        return results

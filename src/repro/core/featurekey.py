@@ -1,0 +1,121 @@
+"""Canonical feature keys: the classifier's memoization equivalence class.
+
+Sampled traffic is massively repetitive -- at 1-second timestamp
+granularity, most connections are one of a few hundred shapes (SYN,
+handshake ACK, one request segment, a couple of response ACKs, then a
+tear-down or silence).  :func:`feature_key` maps a sample's packets to a
+hashable key such that **two samples with the same key are guaranteed to
+receive the same signature decision** from
+:func:`repro.core.signatures.match_signature` (same signature, stage,
+``possibly_tampered``, ``silence_gap`` and ``n_data_segments``), so the
+work can be shared through a bounded LRU memo.
+
+What the decision actually reads, and how the key canonicalises it:
+
+* **Timestamps** only matter relatively: ordering uses them as sort
+  leaders and the silence rule reads gaps.  The key stores deltas from
+  the earliest packet, so wall-clock position never splits a class.
+* **Flag bits** are kept verbatim (the full byte is a sort tie-breaker
+  and every stage predicate reads individual bits).
+* **Sequence numbers** matter for numeric order (within a sort bucket),
+  for retransmission dedup and for trigger-segment identity -- never for
+  their absolute value.  They are renumbered to their rank among the
+  distinct values present, which preserves every ``<``/``==`` the
+  matcher can evaluate while collapsing ISN randomisation.
+* **Acknowledgment numbers** additionally have one magic value: forged
+  RSTs with ``ack == 0`` drive the ⟨PSH+ACK → RST; RST(0)⟩ decision, and
+  SYN/RST packets occupy the ack sort slot with a literal ``0``.  Ranks
+  therefore start at 1 and **0 maps to 0**, keeping zero-ness and all
+  order relations intact.
+* **Payload lengths** matter as presence (data vs bare ACK) and as a
+  sort tie-breaker; like acks they are ranked with 0 reserved for empty.
+  Payload *content* is deliberately excluded -- protocol/domain
+  extraction is per-sample and never memoized.
+* **Truncation and window slack.**  The trailing silence term
+  ``window_end - last_ts`` only exists when the capture was not
+  truncated at ``max_packets``; the key stores the relative window slack
+  in that case and drops it entirely for full buffers, so full buffers
+  with different (ignored) window ends share a class.
+* **Stored order** is part of the key only when ``reorder=False``:
+  with reordering on, ``reconstruct_order`` makes the decision invariant
+  to the stored permutation (ties that survive its total order are
+  observationally identical packets), so the key sorts its per-packet
+  tuples into a canonical permutation and shuffled captures of the same
+  connection hit the same memo line.
+
+``ip_id`` is excluded on purpose: it appears only as the *final* sort
+tie-breaker in :func:`~repro.core.sequence.semantic_rank`, i.e. it can
+only swap packets that agree on timestamp, flags, seq, ack and payload
+length -- packets the decision logic cannot tell apart.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+from repro.netstack.packet import Packet
+
+__all__ = ["feature_key", "FeatureKey"]
+
+#: The key type: per-packet canonical tuples plus the window-slack term.
+FeatureKey = Tuple[object, ...]
+
+
+def _rank_with_zero(values: Sequence[int]) -> Dict[int, int]:
+    """Order-preserving renumbering that keeps 0 fixed.
+
+    Non-zero distinct values map to 1..k in numeric order; 0 maps to 0.
+    This preserves every comparison against the literal 0 the sort keys
+    and the RST ``ack == 0`` predicate use.
+    """
+    distinct = sorted(set(values) - {0})
+    ranks = {value: index + 1 for index, value in enumerate(distinct)}
+    ranks[0] = 0
+    return ranks
+
+
+def feature_key(
+    packets: Sequence[Packet],
+    window_end: float,
+    max_packets: int,
+    reorder: bool,
+) -> FeatureKey:
+    """The memo key for one sample under a fixed classifier config.
+
+    ``max_packets`` and the inactivity threshold are classifier-config
+    constants; callers must keep one memo per config (the
+    :class:`~repro.core.classifier.TamperingClassifier` cache is
+    per-instance, which guarantees this).
+    """
+    if not packets:
+        return ("empty",)
+
+    t0 = min(p.ts for p in packets)
+    seqs = [p.seq for p in packets]
+    acks = [p.ack for p in packets]
+    lens = [len(p.payload) for p in packets]
+    seq_rank = _rank_with_zero(seqs)
+    ack_rank = _rank_with_zero(acks)
+    len_rank = _rank_with_zero(lens)
+
+    rows = [
+        (
+            p.ts - t0,
+            int(p.flags),
+            len_rank[plen],
+            seq_rank[seq],
+            ack_rank[ack],
+        )
+        for p, seq, ack, plen in zip(packets, seqs, acks, lens)
+    ]
+    if reorder:
+        # Reconstruction makes the decision invariant to stored order;
+        # canonicalise so shuffled captures share a memo line.
+        rows.sort()
+
+    if len(packets) < max_packets:
+        slack: object = window_end - t0
+    else:
+        # Full buffer: the trailing gap is never consulted.
+        slack = None
+    return (slack, tuple(rows))

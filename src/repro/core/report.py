@@ -33,11 +33,14 @@ def render_table(
         return str(cell)
 
     str_rows = [[fmt(c) for c in row] for row in rows]
+    # Rows may be wider than the header line; pad the header out with
+    # empty columns instead of raising IndexError in line().
+    n_cols = max([len(headers)] + [len(r) for r in str_rows])
+    headers = list(headers) + [""] * (n_cols - len(headers))
     widths = [len(h) for h in headers]
     for row in str_rows:
         for i, cell in enumerate(row):
-            if i < len(widths):
-                widths[i] = max(widths[i], len(cell))
+            widths[i] = max(widths[i], len(cell))
 
     def line(cells: Sequence[str]) -> str:
         return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
@@ -72,8 +75,13 @@ def percentile(values: Sequence[float], q: float) -> float:
 
 def cdf_points(values: Sequence[float], n_points: int = 11) -> List[Tuple[float, float]]:
     """(value, cumulative fraction) at evenly spaced quantiles."""
+    if n_points < 1:
+        raise ValueError("n_points must be >= 1")
     if not values:
         return []
+    if n_points == 1:
+        # A single point degenerates to the full distribution's maximum.
+        return [(percentile(values, 100.0), 1.0)]
     return [
         (percentile(values, 100.0 * i / (n_points - 1)), i / (n_points - 1))
         for i in range(n_points)
@@ -115,8 +123,19 @@ def render_timeseries(
     if not all_times:
         return render_table(["series"], [[name] for name in series], title=title)
     base = t0 if t0 is not None else all_times[0]
-    step = max(1, len(all_times) // max_points)
-    shown_times = all_times[::step]
+    # Downsample to at most max_points columns, always keeping the final
+    # bucket: floor-division steps could both overshoot max_points and
+    # silently drop the newest bucket -- exactly where a live event lands.
+    if len(all_times) <= max_points:
+        shown_times = list(all_times)
+    else:
+        step = math.ceil(len(all_times) / max_points)
+        shown_times = list(all_times[::step])
+        if shown_times[-1] != all_times[-1]:
+            if len(shown_times) < max_points:
+                shown_times.append(all_times[-1])
+            else:
+                shown_times[-1] = all_times[-1]
     headers = ["series"] + [f"{unit_label} {((t - base) / time_unit):.1f}" for t in shown_times]
     rows = []
     for name, pts in series.items():

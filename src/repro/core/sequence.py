@@ -72,5 +72,18 @@ def reconstruct_order(packets: Sequence[Packet]) -> List[Packet]:
 
     Stable: packets that compare equal keep their stored order, so the
     function is idempotent and harmless on already-ordered input.
+
+    Fast path: captures that are already stored in reconstructed order
+    (ablation runs with shuffling off, pre-sorted replays, re-entrant
+    calls on a previous result) are detected by a single monotone scan
+    over the rank keys and returned without sorting.
     """
-    return sorted(packets, key=lambda p: (p.ts,) + semantic_rank(p))
+    if len(packets) < 2:
+        return list(packets)
+    keys = [(p.ts,) + semantic_rank(p) for p in packets]
+    if all(keys[i] <= keys[i + 1] for i in range(len(keys) - 1)):
+        return list(packets)
+    # Sort indices, not (key, packet) pairs: Packet is not orderable and
+    # index order preserves the stable-sort contract.
+    order = sorted(range(len(packets)), key=keys.__getitem__)
+    return [packets[i] for i in order]

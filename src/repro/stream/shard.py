@@ -94,6 +94,12 @@ class StreamRecord:
     ts: float
     country: str = "??"
     asn: int = -1
+    #: Decision detail carried for batch-parity consumers
+    #: (:meth:`~repro.core.classifier.TamperingClassifier.classify_batch`);
+    #: the rollup never reads these, and they are two scalars, so the IPC
+    #: cost is negligible.
+    silence_gap: float = 0.0
+    n_data_segments: int = 0
 
     @classmethod
     def from_result(
@@ -121,6 +127,8 @@ class StreamRecord:
             ts=ts,
             country=country,
             asn=asn,
+            silence_gap=result.silence_gap,
+            n_data_segments=result.n_data_segments,
         )
 
     def located(self, country: str, asn: int) -> "StreamRecord":

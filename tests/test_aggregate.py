@@ -123,6 +123,25 @@ class TestAsnViews:
         spread = self.make().asn_spread(top_share=1.0)
         assert spread["CN"] == pytest.approx(50.0)
 
+    def test_min_connections_does_not_count_toward_coverage(self):
+        """Regression: ASes skipped for min_connections must not advance
+        the top_share coverage accumulator -- only included ASes cover."""
+        rows = []
+        conn_id = 0
+        for asn, size in [(1, 5), (2, 4), (3, 2), (4, 2), (5, 2), (6, 2), (7, 2), (8, 2)]:
+            for _ in range(size):
+                rows.append(conn(asn=asn, conn_id=conn_id, signature=NT, stage=Stage.NONE))
+                conn_id += 1
+        data = AnalysisDataset(rows)
+        result = data.asn_match_proportions(top_share=0.6, min_connections=3)["CN"]
+        # Both qualifying ASes (5 and 4 conns) survive; the sub-threshold
+        # two-connection ASes are dropped and never satisfy the cutoff.
+        assert [asn for asn, _, _ in result] == [1, 2]
+
+    def test_min_connections_filters_all(self):
+        data = self.make()
+        assert data.asn_match_proportions(min_connections=100)["CN"] == []
+
 
 class TestTimeseries:
     def make(self):

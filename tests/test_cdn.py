@@ -131,6 +131,35 @@ class TestCaptureSample:
         sample = capture_sample(result, conn_id=7, config=config)
         assert sample.window_end >= max(p.ts for p in sample.packets)
 
+    def test_window_end_measured_on_floored_clock(self):
+        """Regression: window_end from un-floored timestamps inflated the
+        trailing silence gap by up to one granularity unit."""
+        pkt = Packet(ts=1000.7, src="11.0.0.1", dst="198.41.0.1",
+                     sport=40000, dport=443, seq=1, flags=TCPFlags.SYN)
+        result = SimResult(server_inbound=[pkt])
+        config = CaptureConfig(watch_seconds=2.5)
+        sample = capture_sample(result, conn_id=1, config=config)
+        assert sample.packets[0].ts == 1000.0
+        assert sample.window_end == pytest.approx(1002.5)  # not 1003.2
+        # The trailing gap a classifier sees is exactly watch_seconds.
+        gap = sample.window_end - max(p.ts for p in sample.packets)
+        assert gap == pytest.approx(config.watch_seconds)
+
+    def test_silence_boundary_not_flipped_by_granularity(self):
+        """A connection watched for < 3 s must not be declared silent just
+        because its real timestamps had a fractional part."""
+        from repro.core.classifier import TamperingClassifier
+
+        pkt = Packet(ts=1000.7, src="11.0.0.1", dst="198.41.0.1",
+                     sport=40000, dport=443, seq=1, flags=TCPFlags.SYN)
+        result = SimResult(server_inbound=[pkt])
+        sample = capture_sample(
+            result, conn_id=1, config=CaptureConfig(watch_seconds=2.5)
+        )
+        verdict = TamperingClassifier().classify(sample)
+        assert verdict.silence_gap < 3.0
+        assert not verdict.possibly_tampered
+
     def test_shuffle_deterministic_per_seed(self):
         result = run_connection(make_client())
         a = capture_sample(result, conn_id=7, seed=1)

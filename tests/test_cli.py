@@ -27,6 +27,15 @@ class TestParser:
         assert args.workers == 2
         assert args.checkpoint == "ck.json"
         assert not args.resume
+        assert not args.no_cache
+
+    def test_classify_fast_path_args(self):
+        args = build_parser().parse_args(
+            ["classify", "s.jsonl", "--workers", "4", "--no-cache"]
+        )
+        assert args.workers == 4
+        assert args.no_cache
+        assert args.cache_size is None
 
 
 class TestCommands:
@@ -48,6 +57,27 @@ class TestCommands:
         text = capsys.readouterr().out
         assert "not_tampering" in text
         assert "connections" in text
+
+    def test_classify_workers_and_cache_flags_agree(self, tmp_path, capsys):
+        out_path = str(tmp_path / "samples.jsonl")
+        assert main(["simulate", "-n", "60", "--seed", "5", "-o", out_path]) == 0
+        capsys.readouterr()
+
+        assert main(["classify", out_path]) == 0
+        cached = capsys.readouterr().out
+        assert main(["classify", out_path, "--no-cache"]) == 0
+        uncached = capsys.readouterr().out
+        assert main(["classify", out_path, "--workers", "2"]) == 0
+        sharded = capsys.readouterr().out
+        # Identical signature tables from all three paths.
+        assert cached == uncached == sharded
+
+    def test_classify_cache_size_flag(self, tmp_path, capsys):
+        out_path = str(tmp_path / "samples.jsonl")
+        assert main(["simulate", "-n", "20", "--seed", "5", "-o", out_path]) == 0
+        capsys.readouterr()
+        assert main(["classify", out_path, "--cache-size", "8"]) == 0
+        assert "connections" in capsys.readouterr().out
 
     def test_simulate_with_pcap(self, tmp_path, capsys):
         out_path = str(tmp_path / "s.jsonl")

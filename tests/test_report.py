@@ -28,6 +28,13 @@ class TestRenderTable:
         text = render_table(["a", "b"], [])
         assert "a" in text
 
+    def test_rows_wider_than_headers(self):
+        """Regression: extra columns raised IndexError in line()."""
+        text = render_table(["only"], [["a", "b", "extra-wide-cell"]])
+        assert "extra-wide-cell" in text
+        header_line = text.splitlines()[0]
+        assert header_line.startswith("only")
+
 
 class TestPercentile:
     def test_bounds(self):
@@ -61,6 +68,13 @@ class TestCdf:
     def test_empty(self):
         assert cdf_points([]) == []
 
+    def test_single_point_degenerates_to_max(self):
+        assert cdf_points([3, 1, 2], n_points=1) == [(3.0, 1.0)]
+
+    def test_invalid_n_points(self):
+        with pytest.raises(ValueError):
+            cdf_points([1, 2], n_points=0)
+
     def test_render_cdf(self):
         text = render_cdf({"series-a": [1, 2, 3], "empty": []}, title="CDF")
         assert "series-a" in text
@@ -77,6 +91,25 @@ class TestRenderTimeseries:
 
     def test_empty(self):
         assert "CN" in render_timeseries({"CN": []})
+
+    def test_column_cap_and_final_bucket(self):
+        """Regression: step sampling overshot max_points and dropped the
+        newest bucket -- exactly where a live event lands."""
+        for n, max_points in [(15, 14), (48, 14), (29, 4), (100, 7)]:
+            series = {"CN": [(i * 3600.0, float(i)) for i in range(n)]}
+            text = render_timeseries(series, max_points=max_points, t0=0.0,
+                                     time_unit=3600.0, unit_label="hour")
+            header = text.splitlines()[0]
+            n_cols = header.count("hour")
+            assert n_cols <= max_points, (n, max_points, n_cols)
+            assert f"hour {float(n - 1):.1f}" in header  # newest bucket kept
+            assert f"{float(n - 1):.1f}" in text.splitlines()[2]
+
+    def test_no_downsampling_when_few_points(self):
+        series = {"CN": [(0.0, 1.0), (3600.0, 2.0)]}
+        text = render_timeseries(series, max_points=14, t0=0.0,
+                                 time_unit=3600.0, unit_label="hour")
+        assert text.splitlines()[0].count("hour") == 2
 
 
 class TestRenderMatrix:

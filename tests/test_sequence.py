@@ -116,3 +116,38 @@ class TestReconstruction:
 
     def test_empty(self):
         assert reconstruct_order([]) == []
+
+
+class TestAlreadyOrderedFastPath:
+    """The sort-skip fast path must be invisible to callers."""
+
+    def packets(self):
+        return [
+            pkt(TCPFlags.SYN, ts=0.0, seq=100),
+            pkt(TCPFlags.ACK, ts=0.0, seq=101, ack=900),
+            pkt(TCPFlags.PSHACK, ts=1.0, seq=101, ack=900, payload=b"aaa"),
+            pkt(TCPFlags.RST, ts=2.0, seq=104),
+        ]
+
+    def test_monotone_input_returns_copy_in_same_order(self):
+        ordered = self.packets()
+        result = reconstruct_order(ordered)
+        assert [p is q for p, q in zip(result, ordered)] == [True] * len(ordered)
+        assert result is not ordered  # always a fresh list
+        result.append(ordered[0])
+        assert len(ordered) == 4  # caller's list untouched
+
+    def test_fast_path_agrees_with_full_sort_on_every_permutation(self):
+        import itertools
+
+        base = self.packets()
+        expected = [(p.flags, p.seq, p.ack) for p in reconstruct_order(base)]
+        for perm in itertools.permutations(base):
+            got = [(p.flags, p.seq, p.ack) for p in reconstruct_order(list(perm))]
+            assert got == expected
+
+    def test_single_packet_and_pair(self):
+        single = [pkt(TCPFlags.SYN, seq=1)]
+        assert reconstruct_order(single) == single
+        swapped = [pkt(TCPFlags.RST, ts=0.0, seq=9), pkt(TCPFlags.SYN, ts=0.0, seq=1)]
+        assert [p.flags for p in reconstruct_order(swapped)] == [TCPFlags.SYN, TCPFlags.RST]
