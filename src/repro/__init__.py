@@ -27,6 +27,8 @@ Layers (see DESIGN.md for the full inventory):
 * :mod:`repro.workloads` -- the synthetic world and study scenarios.
 * :mod:`repro.stream` -- online ingestion: sharded classification,
   incremental rollups, checkpoints, live anomaly detection.
+* :mod:`repro.store` -- durable partitioned rollup storage: sealed
+  segments, WAL, compaction, and a batch-parity query engine.
 """
 
 from repro.cdn.collector import ConnectionSample, read_samples_jsonl, write_samples_jsonl
@@ -51,6 +53,7 @@ from repro.stream import (
     StreamReport,
     StreamRollup,
 )
+from repro.store import RollupStore, StoreConfig, StoreQuery
 from repro.workloads.profiles import CountryProfile, DeploymentSpec, default_profiles
 from repro.workloads.scenarios import StudyRun, iran_protest_study, two_week_study
 from repro.workloads.testlist_gen import build_test_lists
@@ -104,4 +107,8 @@ __all__ = [
     "AnomalyConfig",
     "AnomalyEvent",
     "EwmaDetector",
+    # store
+    "RollupStore",
+    "StoreConfig",
+    "StoreQuery",
 ]

@@ -1,4 +1,5 @@
-"""Small shared utilities: deterministic RNG derivation and IP formatting.
+"""Small shared utilities: deterministic RNG derivation, IP formatting,
+and crash-safe file replacement.
 
 The whole simulation is seeded.  To avoid threading a single
 :class:`random.Random` instance through every component (which would make
@@ -6,13 +7,22 @@ results depend on call ordering), components derive *independent* child
 generators from a parent seed and a string label via :func:`derive_rng`.
 Two runs with the same seed therefore produce identical traffic no matter
 how the caller interleaves component construction.
+
+:func:`atomic_write_json` / :func:`fsync_directory` are the durability
+primitives shared by every crash-safe writer in the tree (stream
+checkpoints, store segments, the store manifest): fsync'd temp file,
+``os.replace``, then an fsync of the containing directory so the rename
+itself survives a crash on ext4/xfs.
 """
 
 from __future__ import annotations
 
 import hashlib
 import ipaddress
+import json
+import os
 import random
+import tempfile
 from typing import Iterable, List, Sequence, Tuple, TypeVar
 
 T = TypeVar("T")
@@ -30,7 +40,64 @@ __all__ = [
     "stable_hash",
     "chunk_payload",
     "clamp",
+    "fsync_directory",
+    "atomic_write_json",
 ]
+
+
+def fsync_directory(directory: str) -> None:
+    """fsync a directory so renames inside it are durable.
+
+    ``os.replace`` makes a swap *atomic* but not *durable*: on ext4/xfs
+    the new directory entry lives in the page cache until the directory
+    inode itself is flushed.  Platforms whose directory handles cannot be
+    fsync'd (or opened) are silently tolerated -- durability there is
+    best-effort, exactly as it was before the call.
+    """
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - non-POSIX fallback
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - e.g. directories on some FS
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_json(path: str, payload: object, *, indent: int = None) -> int:
+    """Durably replace ``path`` with ``payload`` as JSON; returns bytes written.
+
+    The sequence is: write to an fsync'd temp file in the same directory,
+    chmod it to honour the process umask (``mkstemp`` creates 0600, which
+    would make artifacts written by one user unreadable by group
+    tooling), ``os.replace`` over the target, then fsync the directory so
+    the rename is durable.  A crash at any point leaves either the old
+    file or the new file, never a torn mix.
+    """
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    fd, tmp_path = tempfile.mkstemp(prefix=".tmp-", dir=directory)
+    try:
+        with os.fdopen(fd, "w") as fh:
+            if indent is None:
+                json.dump(payload, fh, separators=(",", ":"))
+            else:
+                json.dump(payload, fh, indent=indent)
+            fh.write("\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        size = os.path.getsize(tmp_path)
+        umask = os.umask(0)
+        os.umask(umask)
+        os.chmod(tmp_path, 0o666 & ~umask)
+        os.replace(tmp_path, path)
+    except BaseException:
+        if os.path.exists(tmp_path):
+            os.unlink(tmp_path)
+        raise
+    fsync_directory(directory)
+    return size
 
 
 def stable_hash(*parts: object) -> int:

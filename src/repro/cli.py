@@ -13,7 +13,10 @@ Subcommands:
 * ``profiles`` -- export the built-in country profiles as editable JSON.
 * ``signatures`` -- print the Table 1 signature catalogue.
 * ``stream`` -- run the online pipeline: sharded classification,
-  incremental rollups, live anomaly detection, kill-safe checkpoints.
+  incremental rollups, live anomaly detection, kill-safe checkpoints,
+  and (with ``--store``) durable partitioned rollup storage.
+* ``query`` -- answer the batch-parity question families from a
+  ``--store`` directory, with time-range and country pushdown.
 """
 
 from __future__ import annotations
@@ -104,10 +107,35 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--fault-plan",
                         help="JSON fault-plan file (see FaultPlan.to_dict); "
                              "wraps the source in FaultySource")
+    stream.add_argument("--store",
+                        help="rollup store directory: seal closed hour "
+                             "buckets to partitioned segments on disk "
+                             "(shrinks checkpoints to the open tail)")
     stream.add_argument("--drill",
-                        choices=("kill-worker", "flaky-source", "kill9-resume"),
+                        choices=("kill-worker", "flaky-source",
+                                 "kill9-resume", "store-compaction"),
                         help="run a fire drill under fault injection and "
                              "assert rollup parity with a clean run")
+
+    query = sub.add_parser(
+        "query", help="answer batch-parity questions from a rollup store"
+    )
+    query.add_argument("store", help="store directory written by stream --store")
+    query.add_argument("--family",
+                       choices=("country_tampering_rate", "timeseries",
+                                "signature_hour_counts", "stage_statistics"),
+                       default="country_tampering_rate")
+    query.add_argument("--start", type=float, default=None,
+                       help="include buckets starting at or after this unix ts")
+    query.add_argument("--end", type=float, default=None,
+                       help="include buckets starting strictly before this unix ts")
+    query.add_argument("--country",
+                       help="country for signature_hour_counts")
+    query.add_argument("--countries",
+                       help="comma-separated country filter "
+                            "(country-keyed families)")
+    query.add_argument("--json", action="store_true",
+                       help="emit the raw result as JSON instead of a table")
     return parser
 
 
@@ -312,6 +340,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         bucket_seconds=args.bucket_seconds,
         checkpoint_path=args.checkpoint,
         checkpoint_interval=args.checkpoint_interval,
+        store_dir=args.store,
     )
     report = engine.run(max_samples=args.max_samples, resume=args.resume)
     print(report.render())
@@ -319,6 +348,106 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     print(engine.metrics.render())
     if args.checkpoint and not report.finished:
         print(f"\ncheckpoint saved to {args.checkpoint}; rerun with --resume to continue")
+    if args.store:
+        print(f"\nrollup store at {args.store}; inspect with: repro query {args.store}")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from repro.errors import StoreError
+    from repro.store import RollupStore, StoreQuery
+
+    if not os.path.isdir(args.store):
+        # Opening would silently create an empty store; a query must
+        # never mkdir, and a typo'd path should fail loudly.
+        raise StoreError(f"no rollup store at {args.store!r}")
+    countries = None
+    if args.countries:
+        countries = tuple(
+            c.strip() for c in args.countries.split(",") if c.strip()
+        )
+    store = RollupStore(args.store)
+    try:
+        result = store.query(
+            StoreQuery(
+                args.family,
+                start=args.start,
+                end=args.end,
+                countries=countries,
+                country=args.country,
+            )
+        )
+    finally:
+        store.close()
+
+    def jsonable(value):
+        if isinstance(value, dict):
+            return {
+                (k.value if hasattr(k, "value") else str(k)): jsonable(v)
+                for k, v in value.items()
+            }
+        if isinstance(value, (list, tuple)):
+            return [jsonable(v) for v in value]
+        return value
+
+    scan = (
+        f"scanned {result.segments_scanned} segments "
+        f"({result.segments_skipped} pruned), "
+        f"{result.buckets_scanned} sealed + "
+        f"{result.open_buckets_scanned} open buckets"
+    )
+    if args.json:
+        print(json.dumps(
+            {"family": args.family, "value": jsonable(result.value),
+             "segments_scanned": result.segments_scanned,
+             "segments_skipped": result.segments_skipped,
+             "buckets_scanned": result.buckets_scanned,
+             "open_buckets_scanned": result.open_buckets_scanned},
+            indent=2,
+        ))
+        return 0
+
+    value = result.value
+    if args.family == "country_tampering_rate":
+        rows = [[c, f"{rate:.2f}%"]
+                for c, rate in sorted(value.items(), key=lambda kv: -kv[1])]
+        print(render_table(["country", "tampered"], rows,
+                           title="Tampering rate by country"))
+    elif args.family == "timeseries":
+        rows = []
+        for country, series in value.items():
+            if not series:
+                continue
+            peak_bucket, peak = max(series, key=lambda bv: bv[1])
+            mean = sum(v for _, v in series) / len(series)
+            rows.append([country, len(series), f"{mean:.2f}%",
+                         f"{peak:.2f}%", f"{peak_bucket:.0f}"])
+        print(render_table(
+            ["country", "buckets", "mean rate", "peak rate", "peak bucket"],
+            rows, title="Hourly tampering timeseries"))
+    elif args.family == "signature_hour_counts":
+        rows = []
+        for sig, series in value.items():
+            total = sum(n for _, n in series)
+            rows.append([sig.display, len(series), total])
+        print(render_table(["signature", "active hours", "matches"], rows,
+                           title=f"Signature activity for {args.country}"))
+    else:  # stage_statistics
+        print(f"connections: {value['total_connections']}")
+        print(f"possibly tampered: {value['possibly_tampered']} "
+              f"({value['possibly_tampered_pct']:.2f}%)")
+        print(f"signature coverage: {value['signature_coverage_pct']:.2f}%")
+        rows = [
+            [stage, f"{value['stage_share_pct'][stage]:.2f}%",
+             f"{value['stage_coverage_pct'][stage]:.2f}%"]
+            for stage in value["stage_share_pct"]
+        ]
+        print(render_table(["stage", "share of tampered", "signature coverage"],
+                           rows, title="Tampering by connection stage"))
+    print(scan)
     return 0
 
 
@@ -344,6 +473,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "profiles": _cmd_profiles,
         "signatures": _cmd_signatures,
         "stream": _cmd_stream,
+        "query": _cmd_query,
     }
     return handlers[args.command](args)
 

@@ -28,6 +28,7 @@ __all__ = [
     "StreamError",
     "TransientSourceError",
     "CheckpointError",
+    "StoreError",
 ]
 
 
@@ -117,3 +118,14 @@ class TransientSourceError(StreamError):
 
 class CheckpointError(StreamError):
     """Raised when a stream checkpoint cannot be read or is inconsistent."""
+
+
+class StoreError(StreamError):
+    """Raised for rollup-store failures (bad segments, manifest conflicts).
+
+    The on-disk store (:mod:`repro.store`) treats any internal
+    inconsistency -- a segment referenced by the manifest but missing, a
+    bucket sealed twice, a WAL entry that cannot be decoded mid-file --
+    as a :class:`StoreError` rather than silently producing wrong
+    aggregates.
+    """

@@ -1,0 +1,260 @@
+"""The store's query engine: batch-parity answers with pushdown.
+
+Executes the four existing batch-parity question families --
+``country_tampering_rate``, ``timeseries``, ``signature_hour_counts``,
+``stage_statistics`` -- against sealed segments plus the in-memory open
+slices, without materialising history.
+
+Two pushdowns prune the scan using manifest metadata alone:
+
+* **time range** (``start``/``end``, compared against bucket start
+  times): segments whose ``[min_bucket, max_bucket]`` lies outside the
+  range are never opened;
+* **country** (``countries``): segments whose recorded country set is
+  disjoint from the filter are never opened.
+
+Integer counters from the surviving parts are summed (associative, any
+order), then results are assembled in the
+:class:`~repro.store.catalog.KeyCatalog` first-seen order with the
+exact float arithmetic of :class:`~repro.stream.rollup.StreamRollup` --
+same divisions, same accumulation order -- so an unfiltered query is
+byte-for-byte equal to an in-memory rollup over the same records.
+Filtered queries use the same global first-seen key order (documented
+semantics: for a key set restricted by the filter, the *relative* order
+of surviving keys is preserved).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import Counter
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.model import SignatureId
+from repro.errors import StoreError
+from repro.store.catalog import KeyCatalog
+from repro.store.segment import BucketSlice
+
+__all__ = ["QUERY_FAMILIES", "StoreQuery", "QueryResult", "execute"]
+
+QUERY_FAMILIES = (
+    "country_tampering_rate",
+    "timeseries",
+    "signature_hour_counts",
+    "stage_statistics",
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class StoreQuery:
+    """One question: a family plus optional pushdown filters.
+
+    ``start``/``end`` select whole buckets by start time
+    (``start <= bucket < end``); per-bucket counters cannot subdivide an
+    hour.  ``countries`` restricts country-keyed families;
+    ``signature_hour_counts`` additionally requires ``country``.
+    """
+
+    family: str
+    start: Optional[float] = None
+    end: Optional[float] = None
+    countries: Optional[Tuple[str, ...]] = None
+    country: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.family not in QUERY_FAMILIES:
+            raise StoreError(
+                f"unknown query family {self.family!r}; "
+                f"expected one of {QUERY_FAMILIES}"
+            )
+        if self.family == "signature_hour_counts" and not self.country:
+            raise StoreError("signature_hour_counts requires a country")
+        if self.family == "stage_statistics" and self.countries:
+            raise StoreError(
+                "stage statistics are global (stage counters are not "
+                "partitioned by country); drop the countries filter"
+            )
+        if self.start is not None and self.end is not None and self.end <= self.start:
+            raise StoreError("query end must be greater than start")
+
+    def country_set(self) -> Optional[frozenset]:
+        if self.family == "signature_hour_counts":
+            return frozenset((self.country,))
+        if self.countries is not None:
+            return frozenset(self.countries)
+        return None
+
+    def bucket_in_range(self, bucket: float) -> bool:
+        if self.start is not None and bucket < self.start:
+            return False
+        if self.end is not None and bucket >= self.end:
+            return False
+        return True
+
+
+@dataclasses.dataclass
+class QueryResult:
+    """The answer plus what the pushdown actually scanned."""
+
+    family: str
+    value: object
+    segments_scanned: int
+    segments_skipped: int
+    buckets_scanned: int
+    open_buckets_scanned: int
+
+
+def execute(
+    query: StoreQuery,
+    catalog: KeyCatalog,
+    parts: Iterable[BucketSlice],
+) -> object:
+    """Aggregate ``parts`` (bucket slices surviving pushdown) and answer.
+
+    ``parts`` may arrive in any order -- only integer counters are
+    summed from them; output ordering comes from the catalog.
+    """
+    wanted = query.country_set()
+    if query.family == "country_tampering_rate":
+        return _country_tampering_rate(catalog, parts, wanted)
+    if query.family == "timeseries":
+        return _timeseries(catalog, parts, wanted)
+    if query.family == "signature_hour_counts":
+        return _signature_hour_counts(catalog, parts, query.country)
+    return _stage_statistics(catalog, parts)
+
+
+# ----------------------------------------------------------------------
+# Family implementations -- each mirrors the StreamRollup method of the
+# same name exactly: same divisions, same accumulation order.
+# ----------------------------------------------------------------------
+def _country_tampering_rate(
+    catalog: KeyCatalog,
+    parts: Iterable[BucketSlice],
+    wanted: Optional[frozenset],
+) -> Dict[str, float]:
+    totals: Dict[str, int] = {}
+    by_sig: Dict[str, Dict[SignatureId, int]] = {}
+    for part in parts:
+        for country, n in part.totals.items():
+            if wanted is not None and country not in wanted:
+                continue
+            totals[country] = totals.get(country, 0) + n
+        for country, sigs in part.by_signature.items():
+            if wanted is not None and country not in wanted:
+                continue
+            mine = by_sig.setdefault(country, {})
+            for sig, n in sigs.items():
+                mine[sig] = mine.get(sig, 0) + n
+    out: Dict[str, float] = {}
+    for country in catalog.ordered_countries(set(totals)):
+        sigs = by_sig.get(country, {})
+        total = totals[country]
+        # Accumulate tampering percentages in the country's first-seen
+        # signature order, exactly as the rollup's generator sum does.
+        rate = sum(
+            100.0 * sigs[sig] / total
+            for sig in catalog.ordered_sigs(country, set(sigs))
+            if sig.is_tampering
+        )
+        out[country] = rate
+    return out
+
+
+def _timeseries(
+    catalog: KeyCatalog,
+    parts: Iterable[BucketSlice],
+    wanted: Optional[frozenset],
+) -> Dict[str, List[Tuple[float, float]]]:
+    bucket_totals: Dict[Tuple[str, float], int] = {}
+    bucket_matches: Dict[Tuple[str, float], int] = {}
+    for part in parts:
+        for country, n in part.totals.items():
+            if wanted is not None and country not in wanted:
+                continue
+            cell = (country, part.bucket)
+            bucket_totals[cell] = bucket_totals.get(cell, 0) + n
+        for country, n in part.matches.items():
+            if wanted is not None and country not in wanted:
+                continue
+            cell = (country, part.bucket)
+            bucket_matches[cell] = bucket_matches.get(cell, 0) + n
+    present = {country for country, _ in bucket_totals}
+    return {
+        country: [
+            (
+                b,
+                100.0
+                * bucket_matches.get((country, b), 0)
+                / bucket_totals.get((country, b), 1),
+            )
+            for b in sorted(
+                bucket for c, bucket in bucket_totals if c == country
+            )
+        ]
+        for country in catalog.ordered_countries(present)
+    }
+
+
+def _signature_hour_counts(
+    catalog: KeyCatalog,
+    parts: Iterable[BucketSlice],
+    country: str,
+) -> Dict[SignatureId, List[Tuple[float, int]]]:
+    cells: Dict[Tuple[SignatureId, float], int] = {}
+    for part in parts:
+        for (c, sig), n in part.signature_cells.items():
+            if c != country:
+                continue
+            cell = (sig, part.bucket)
+            cells[cell] = cells.get(cell, 0) + n
+    present = {sig for sig, _ in cells}
+    out: Dict[SignatureId, List[Tuple[float, int]]] = {}
+    for sig in catalog.ordered_sigs(country, present):
+        if not sig.is_tampering:
+            continue
+        series = sorted((b, n) for (s, b), n in cells.items() if s == sig)
+        out[sig] = series
+    return out
+
+
+def _stage_statistics(
+    catalog: KeyCatalog,
+    parts: Iterable[BucketSlice],
+) -> Dict[str, object]:
+    total = 0
+    n_possibly = 0
+    stage_counts: Dict[str, int] = {}
+    stage_matched: Dict[str, int] = {}
+    sig_counts: Dict[SignatureId, int] = {}
+    for part in parts:
+        total += part.n_records
+        n_possibly += part.possibly_tampered
+        for key, n in part.stage_counts.items():
+            stage_counts[key] = stage_counts.get(key, 0) + n
+        for key, n in part.stage_matched.items():
+            stage_matched[key] = stage_matched.get(key, 0) + n
+        for sig, n in part.signature_counts.items():
+            sig_counts[sig] = sig_counts.get(sig, 0) + n
+    matched_total = sum(sig_counts.values())
+
+    def share(n: int, d: int) -> float:
+        return 100.0 * n / d if d else 0.0
+
+    signature_counts: Counter = Counter()
+    for sig in catalog.ordered_global_sigs(set(sig_counts)):
+        signature_counts[sig] = sig_counts[sig]
+    return {
+        "total_connections": total,
+        "possibly_tampered": n_possibly,
+        "possibly_tampered_pct": share(n_possibly, total),
+        "stage_share_pct": {
+            k: share(v, n_possibly) for k, v in sorted(stage_counts.items())
+        },
+        "stage_coverage_pct": {
+            k: share(stage_matched.get(k, 0), v)
+            for k, v in sorted(stage_counts.items())
+        },
+        "signature_coverage_pct": share(matched_total, n_possibly),
+        "signature_counts": signature_counts,
+    }

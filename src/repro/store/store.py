@@ -1,0 +1,513 @@
+"""RollupStore: the partitioned on-disk rollup store.
+
+Ties the pieces together under one directory::
+
+    <store>/
+      MANIFEST.json     atomically-swapped source of truth
+      segments/         immutable time-partitioned segment files
+      wal/              per-open-bucket write-ahead logs
+
+Ingest folds each record into the in-memory open
+:class:`~repro.store.segment.BucketSlice` for its hour bucket and
+appends a WAL entry.  When the engine's watermark passes a bucket,
+:meth:`RollupStore.seal_through` freezes it into a level-0 segment
+(write file → swap manifest → unlink WAL log) and drops it from memory;
+:meth:`RollupStore.maybe_compact` merges small segments in the
+background.  At every moment the durable state is *manifest + WAL*, and
+the recovery in :meth:`RollupStore.__init__` reduces any crash --
+including mid-seal and mid-compaction -- to exactly that state: orphan
+segment files are swept, stale files and logs unlinked, the WAL
+replayed.
+
+Because history lives on disk, checkpoints shrink to O(open buckets):
+:meth:`checkpoint_state` carries only the record count, the open
+slices, the catalog, and the manifest generation -- never sealed
+counters.  :meth:`restore` re-synchronises a checkpoint against the
+(possibly newer) on-disk manifest, truncating the WAL to the
+checkpoint's count so source re-delivery stays exactly idempotent.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import os
+from collections import OrderedDict
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.core.model import SignatureId
+from repro.errors import CheckpointError, StoreError
+from repro.store.compaction import CompactionChaos, CompactionConfig, Compactor
+from repro.store.manifest import Manifest
+from repro.store.query import QueryResult, StoreQuery, execute
+from repro.store.segment import (
+    BucketSlice,
+    Segment,
+    SegmentMeta,
+    load_segment,
+    write_segment,
+)
+from repro.store.wal import WalEntry, WriteAheadLog
+from repro.stream.rollup import DEFAULT_BUCKET_SECONDS, StreamRollup
+from repro.stream.shard import StreamRecord
+
+__all__ = ["StoreConfig", "RollupStore"]
+
+SEGMENTS_DIR = "segments"
+WAL_DIR = "wal"
+_SEGMENT_CACHE_SIZE = 32
+
+
+@dataclasses.dataclass(frozen=True)
+class StoreConfig:
+    """Tunables; the defaults suit the stream engine's cadence."""
+
+    wal_sync_records: int = 64
+    compaction: CompactionConfig = dataclasses.field(default_factory=CompactionConfig)
+
+
+class RollupStore:
+    """Partitioned rollup storage with WAL, compaction, and queries."""
+
+    def __init__(
+        self,
+        directory: str,
+        bucket_seconds: float = DEFAULT_BUCKET_SECONDS,
+        config: Optional[StoreConfig] = None,
+        chaos: Optional[CompactionChaos] = None,
+    ) -> None:
+        if bucket_seconds <= 0:
+            raise StoreError("bucket_seconds must be positive")
+        self.directory = directory
+        self.bucket_seconds = bucket_seconds
+        self.config = config or StoreConfig()
+        self.segments_dir = os.path.join(directory, SEGMENTS_DIR)
+        os.makedirs(self.segments_dir, exist_ok=True)
+
+        manifest = Manifest.load(directory)
+        if manifest is None:
+            manifest = Manifest(bucket_seconds)
+        elif manifest.bucket_seconds != bucket_seconds:
+            raise StoreError(
+                f"store at {directory!r} has bucket_seconds="
+                f"{manifest.bucket_seconds}, asked for {bucket_seconds}"
+            )
+        self.manifest = manifest
+        self.catalog = manifest.catalog
+        self.compactor = Compactor(
+            self.segments_dir, config=self.config.compaction, chaos=chaos
+        )
+        self.wal = WriteAheadLog(
+            os.path.join(directory, WAL_DIR),
+            sync_every=self.config.wal_sync_records,
+        )
+
+        #: bucket start -> open (unsealed) slice
+        self._open: Dict[float, BucketSlice] = {}
+        self._segment_cache: "OrderedDict[str, Segment]" = OrderedDict()
+        self.ordinal = 0  # engine fold count of the last applied record
+        self.sealed_skips = 0  # re-delivered records for already-sealed buckets
+        self.buckets_sealed = 0
+        self.segments_written = 0
+
+        self._replayed = self._recover()
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+    def _recover(self) -> List[WalEntry]:
+        """Reduce whatever a crash left to manifest + WAL, then replay."""
+        # 1. Sweep segment files the manifest does not reference -- the
+        #    crash-before-swap window of sealing and compaction -- plus
+        #    any half-written atomic-write temp files.
+        live = {meta.name for meta in self.manifest.segments}
+        for name in os.listdir(self.segments_dir):
+            if name not in live:
+                os.unlink(os.path.join(self.segments_dir, name))
+        for name in os.listdir(self.directory):
+            if name.startswith(".tmp-"):
+                os.unlink(os.path.join(self.directory, name))
+
+        # 2. Replay the logs into open slices, re-observing the catalog
+        #    in global ordinal (stream) order.  Entries for buckets the
+        #    manifest already sealed -- the crash-after-swap window of
+        #    sealing -- are stale; their logs are dropped.
+        sealed = self.manifest.sealed_buckets()
+        entries = self.wal.replay()
+        kept: List[WalEntry] = []
+        stale_buckets = set()
+        for entry in entries:
+            if entry.bucket in sealed:
+                stale_buckets.add(entry.bucket)
+                continue
+            kept.append(entry)
+            self._apply_entry(entry)
+            if entry.ordinal > self.ordinal:
+                self.ordinal = entry.ordinal
+        for bucket in stale_buckets:
+            self.wal.drop_bucket(bucket)
+        return kept
+
+    def _apply_entry(self, entry: WalEntry) -> None:
+        tampering = entry.signature.is_tampering
+        self.catalog.observe(
+            entry.country,
+            entry.signature if tampering else SignatureId.NOT_TAMPERING,
+            entry.possibly_tampered and tampering,
+        )
+        slice_ = self._open.get(entry.bucket)
+        if slice_ is None:
+            slice_ = self._open[entry.bucket] = BucketSlice(entry.bucket)
+        slice_.add(
+            entry.country,
+            entry.ts,
+            entry.signature,
+            entry.stage,
+            entry.possibly_tampered,
+        )
+
+    @property
+    def is_dirty(self) -> bool:
+        """True when the directory already holds ingested state."""
+        return (
+            self.ordinal > 0
+            or self.manifest.generation > 0
+            or bool(self._open)
+        )
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+    def bucket_of(self, ts: float) -> float:
+        return math.floor(ts / self.bucket_seconds) * self.bucket_seconds
+
+    def add(self, record: StreamRecord) -> None:
+        """Fold one located, classified record.
+
+        Every call consumes one ordinal (the engine's fold count), even
+        when the record lands in an already-sealed bucket -- that only
+        happens while a resumed source re-delivers records the previous
+        incarnation already sealed, and skipping them (rather than
+        re-counting) is what keeps seal + resume exactly idempotent.
+        """
+        self._replayed = []  # adds invalidate the recovery snapshot
+        self.ordinal += 1
+        bucket = self.bucket_of(record.ts)
+        if bucket in self._sealed_cache():
+            self.sealed_skips += 1
+            return
+        self.catalog.observe_record(record)
+        slice_ = self._open.get(bucket)
+        if slice_ is None:
+            slice_ = self._open[bucket] = BucketSlice(bucket)
+        slice_.add(
+            record.country,
+            record.ts,
+            record.signature,
+            record.stage,
+            record.possibly_tampered,
+        )
+        self.wal.append(
+            WalEntry(
+                ordinal=self.ordinal,
+                bucket=bucket,
+                country=record.country,
+                ts=record.ts,
+                signature=record.signature,
+                stage=record.stage,
+                possibly_tampered=record.possibly_tampered,
+            )
+        )
+
+    def _sealed_cache(self):
+        # Sealing is rare relative to ingest; cache the sealed-bucket set
+        # keyed by manifest generation.
+        cached = getattr(self, "_sealed_memo", None)
+        if cached is None or cached[0] != self.manifest.generation:
+            cached = (self.manifest.generation, self.manifest.sealed_buckets())
+            self._sealed_memo = cached
+        return cached[1]
+
+    def flush(self) -> None:
+        """Make every applied record durable (WAL fsync)."""
+        self.wal.sync()
+
+    # ------------------------------------------------------------------
+    # Sealing and compaction
+    # ------------------------------------------------------------------
+    def seal_through(self, horizon: float) -> int:
+        """Seal every open bucket at or below ``horizon`` (a bucket start).
+
+        Writes one level-0 segment per ripe bucket, commits them all
+        with a single manifest swap, then unlinks their WAL logs.
+        Returns the number of buckets sealed.
+        """
+        ripe = sorted(b for b in self._open if b <= horizon)
+        return self._seal(ripe)
+
+    def seal_open(self) -> int:
+        """Seal everything -- the stream is finished."""
+        return self._seal(sorted(self._open))
+
+    def _seal(self, buckets: List[float]) -> int:
+        if not buckets:
+            return 0
+        self.wal.sync()  # segment must never get ahead of the log
+        new_metas = []
+        for bucket in buckets:
+            slice_ = self._open[bucket]
+            meta = write_segment(
+                self.segments_dir,
+                self.manifest.allocate_segment_id(),
+                0,
+                [slice_],
+            )
+            new_metas.append(meta)
+        self.manifest.segments.extend(new_metas)
+        self.manifest.save(self.directory)  # commit point
+        for bucket in buckets:
+            del self._open[bucket]
+            self.wal.drop_bucket(bucket)
+        self.buckets_sealed += len(buckets)
+        self.segments_written += len(new_metas)
+        return len(buckets)
+
+    def maybe_compact(self) -> bool:
+        """One bounded compaction step, if any level is due."""
+        merged = self.compactor.run_once(self.manifest)
+        if merged:
+            self._segment_cache.clear()
+        return merged
+
+    def compact(self, max_runs: int = 16) -> int:
+        """Compact until quiescent (bounded); returns merges performed."""
+        runs = self.compactor.run(self.manifest, max_runs=max_runs)
+        if runs:
+            self._segment_cache.clear()
+        return runs
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def _load(self, meta: SegmentMeta) -> Segment:
+        segment = self._segment_cache.get(meta.name)
+        if segment is not None:
+            self._segment_cache.move_to_end(meta.name)
+            return segment
+        segment = load_segment(self.segments_dir, meta)
+        self._segment_cache[meta.name] = segment
+        while len(self._segment_cache) > _SEGMENT_CACHE_SIZE:
+            self._segment_cache.popitem(last=False)
+        return segment
+
+    def _scan(self, query: StoreQuery) -> Tuple[List[BucketSlice], QueryResult]:
+        """Pushdown scan: slices surviving the filters, plus scan stats."""
+        wanted = query.country_set()
+        parts: List[BucketSlice] = []
+        scanned = skipped = buckets = open_buckets = 0
+        for meta in self.manifest.segments:
+            if not meta.overlaps(query.start, query.end) or (
+                wanted is not None and wanted.isdisjoint(meta.countries)
+            ):
+                skipped += 1
+                continue
+            scanned += 1
+            for bucket, slice_ in self._load(meta).slices.items():
+                if query.bucket_in_range(bucket):
+                    buckets += 1
+                    parts.append(slice_)
+        for bucket in sorted(self._open):
+            if query.bucket_in_range(bucket):
+                open_buckets += 1
+                parts.append(self._open[bucket])
+        return parts, QueryResult(
+            family=query.family,
+            value=None,
+            segments_scanned=scanned,
+            segments_skipped=skipped,
+            buckets_scanned=buckets,
+            open_buckets_scanned=open_buckets,
+        )
+
+    def query(self, query: StoreQuery) -> QueryResult:
+        """Answer one batch-parity family over sealed + open state."""
+        parts, result = self._scan(query)
+        result.value = execute(query, self.catalog, parts)
+        return result
+
+    # ------------------------------------------------------------------
+    # Whole-history materialisation (reporting / parity checks)
+    # ------------------------------------------------------------------
+    def _parts(self) -> Iterator[BucketSlice]:
+        for meta in self.manifest.segments:
+            yield from self._load(meta).slices.values()
+        for bucket in sorted(self._open):
+            yield self._open[bucket]
+
+    def to_rollup(self) -> StreamRollup:
+        """Materialise the full history as a :class:`StreamRollup`.
+
+        Dict insertion orders are rebuilt from the catalog (countries
+        and signature keys in first-seen order, bucket cells
+        country-major with buckets sorted), so every batch-parity query
+        method of the returned rollup answers byte-for-byte like a
+        rollup that saw the whole stream.
+        """
+        totals: Dict[str, int] = {}
+        by_sig: Dict[str, Dict] = {}
+        cell_totals: Dict[Tuple[str, float], int] = {}
+        cell_matches: Dict[Tuple[str, float], int] = {}
+        cell_sigs: Dict[Tuple[str, object, float], int] = {}
+        stage_counts: Dict[str, int] = {}
+        stage_matched: Dict[str, int] = {}
+        sig_counts: Dict = {}
+        rollup = StreamRollup(bucket_seconds=self.bucket_seconds)
+        for part in self._parts():
+            rollup.n_records += part.n_records
+            rollup.possibly_tampered += part.possibly_tampered
+            for country, n in part.totals.items():
+                totals[country] = totals.get(country, 0) + n
+                cell = (country, part.bucket)
+                cell_totals[cell] = cell_totals.get(cell, 0) + n
+            for country, n in part.matches.items():
+                cell = (country, part.bucket)
+                cell_matches[cell] = cell_matches.get(cell, 0) + n
+            for country, sigs in part.by_signature.items():
+                mine = by_sig.setdefault(country, {})
+                for sig, n in sigs.items():
+                    mine[sig] = mine.get(sig, 0) + n
+            for (country, sig), n in part.signature_cells.items():
+                cell = (country, sig, part.bucket)
+                cell_sigs[cell] = cell_sigs.get(cell, 0) + n
+            for key, n in part.stage_counts.items():
+                stage_counts[key] = stage_counts.get(key, 0) + n
+            for key, n in part.stage_matched.items():
+                stage_matched[key] = stage_matched.get(key, 0) + n
+            for sig, n in part.signature_counts.items():
+                sig_counts[sig] = sig_counts.get(sig, 0) + n
+            for ts in (part.min_ts, part.max_ts):
+                if ts is None:
+                    continue
+                if rollup.min_ts is None or ts < rollup.min_ts:
+                    rollup.min_ts = ts
+                if rollup.max_ts is None or ts > rollup.max_ts:
+                    rollup.max_ts = ts
+
+        countries = self.catalog.ordered_countries(set(totals))
+        rollup.totals = {c: totals[c] for c in countries}
+        rollup.by_signature = {
+            c: {
+                sig: by_sig[c][sig]
+                for sig in self.catalog.ordered_sigs(c, set(by_sig.get(c, ())))
+            }
+            for c in countries
+            if c in by_sig
+        }
+        for country in countries:
+            for bucket in sorted(b for c, b in cell_totals if c == country):
+                rollup.bucket_totals[(country, bucket)] = cell_totals[
+                    (country, bucket)
+                ]
+        for country in countries:
+            for bucket in sorted(b for c, b in cell_matches if c == country):
+                rollup.bucket_matches[(country, bucket)] = cell_matches[
+                    (country, bucket)
+                ]
+        for country in countries:
+            mine = [(s, b) for c, s, b in cell_sigs if c == country]
+            for sig in self.catalog.ordered_sigs(country, {s for s, _ in mine}):
+                for bucket in sorted(b for s, b in mine if s == sig):
+                    cell = (country, sig, bucket)
+                    rollup.bucket_signature[cell] = cell_sigs[cell]
+        rollup.stage_counts = dict(sorted(stage_counts.items()))
+        rollup.stage_matched = dict(sorted(stage_matched.items()))
+        for sig in self.catalog.ordered_global_sigs(set(sig_counts)):
+            rollup.signature_counts[sig] = sig_counts[sig]
+        return rollup
+
+    # ------------------------------------------------------------------
+    # Checkpoint integration
+    # ------------------------------------------------------------------
+    def checkpoint_state(self) -> dict:
+        """O(open buckets) durable state: count + open slices + catalog.
+
+        Syncs the WAL first so every entry at or below the checkpoint's
+        count is on disk before the checkpoint that references it.
+        """
+        self.wal.sync()
+        return {
+            "generation": self.manifest.generation,
+            "count": self.ordinal,
+            "open": [
+                [bucket, self._open[bucket].to_payload()]
+                for bucket in sorted(self._open)
+            ],
+            "catalog": self.catalog.to_dict(),
+        }
+
+    def restore(self, state: dict) -> None:
+        """Re-synchronise a checkpoint against the on-disk manifest.
+
+        The disk may be *ahead* of the checkpoint (a seal or compaction
+        swapped the manifest after the checkpoint was written); then the
+        checkpoint's slices for now-sealed buckets are dropped and the
+        engine's re-delivered records for them will be skipped.  The
+        disk being *behind* the checkpoint means the caller pointed the
+        store at the wrong directory.
+
+        The WAL is truncated to entries at or below the checkpoint's
+        count: later entries describe records the engine will re-pull
+        from the source, and keeping them would double-apply.  The
+        catalog keeps its recovered (crash-point) state, which is a
+        superset of the checkpoint's in the same first-seen order.
+        """
+        generation = state["generation"]
+        if self.manifest.generation < generation:
+            raise CheckpointError(
+                f"checkpoint was written at store generation {generation} but "
+                f"{self.directory!r} is at {self.manifest.generation}; "
+                f"this is not the checkpoint's store"
+            )
+        count = state["count"]
+        sealed = self.manifest.sealed_buckets()
+        self._open = {
+            bucket: BucketSlice.from_payload(bucket, payload)
+            for bucket, payload in state["open"]
+            if bucket not in sealed
+        }
+        self.wal.rewrite(
+            entry
+            for entry in self._replayed
+            if entry.ordinal <= count and entry.bucket not in sealed
+        )
+        self._replayed = []
+        self.ordinal = count
+        self.sealed_skips = 0
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        levels = {
+            str(level): len(metas) for level, metas in sorted(self.manifest.levels().items())
+        }
+        return {
+            "generation": self.manifest.generation,
+            "ordinal": self.ordinal,
+            "open_buckets": len(self._open),
+            "sealed_buckets": len(self.manifest.sealed_buckets()),
+            "sealed_records": self.manifest.sealed_records(),
+            "segments": len(self.manifest.segments),
+            "levels": levels,
+            "live_bytes": sum(meta.size_bytes for meta in self.manifest.segments),
+            "buckets_sealed": self.buckets_sealed,
+            "segments_written": self.segments_written,
+            "sealed_skips": self.sealed_skips,
+            "wal_appends": self.wal.appends,
+            "wal_syncs": self.wal.syncs,
+            "compaction_runs": self.compactor.runs,
+            "segments_merged": self.compactor.segments_merged,
+            "compaction_bytes_written": self.compactor.bytes_written,
+        }
+
+    def close(self) -> None:
+        self.wal.close()
+        self._segment_cache.clear()

@@ -29,6 +29,11 @@ Module map:
 * :mod:`repro.stream.anomaly` -- EWMA/z-score spike detection with hysteresis.
 * :mod:`repro.stream.metrics` -- samples/s, queue depth, worker utilization.
 * :mod:`repro.stream.engine` -- the service loop tying it all together.
+
+The durable tier lives in :mod:`repro.store`: pass ``store_dir`` to
+:class:`StreamEngine` (CLI: ``repro stream --store DIR``) to seal closed
+hour-buckets into partitioned on-disk segments and answer the
+batch-parity query families with ``repro query``.
 """
 
 from repro.stream.anomaly import AnomalyConfig, AnomalyEvent, EwmaDetector

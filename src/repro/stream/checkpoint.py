@@ -7,18 +7,21 @@ been consumed), the **rollup** (what has been aggregated), the
 open window cells (buckets that have not closed yet and so have not
 been fed to the detector).
 
-Checkpoints are written atomically (temp file + ``os.replace``) so a
-kill mid-write leaves the previous checkpoint intact, and carry a
-schema version so stale files fail loudly instead of resuming garbage.
+Checkpoints are written atomically and durably (fsync'd temp file +
+``os.replace`` + an fsync of the containing directory, via
+:func:`repro._util.atomic_write_json` -- the same discipline the store
+manifest uses) so a kill mid-write leaves the previous checkpoint
+intact, and carry a schema version so stale files fail loudly instead
+of resuming garbage.
 """
 
 from __future__ import annotations
 
 import json
 import os
-import tempfile
 from typing import Optional
 
+from repro._util import atomic_write_json
 from repro.errors import CheckpointError
 
 __all__ = ["CHECKPOINT_VERSION", "CheckpointManager"]
@@ -41,21 +44,10 @@ class CheckpointManager:
         return samples_done - self._last_saved_at >= self.interval
 
     def save(self, state: dict, samples_done: int) -> None:
-        """Atomically write ``state`` (adds the schema envelope)."""
+        """Atomically and durably write ``state`` (adds the schema envelope)."""
         payload = {"version": CHECKPOINT_VERSION, "samples_done": samples_done}
         payload.update(state)
-        directory = os.path.dirname(os.path.abspath(self.path)) or "."
-        fd, tmp_path = tempfile.mkstemp(prefix=".ckpt-", dir=directory)
-        try:
-            with os.fdopen(fd, "w") as fh:
-                json.dump(payload, fh, separators=(",", ":"))
-                fh.flush()
-                os.fsync(fh.fileno())
-            os.replace(tmp_path, self.path)
-        except BaseException:
-            if os.path.exists(tmp_path):
-                os.unlink(tmp_path)
-            raise
+        atomic_write_json(self.path, payload)
         self._last_saved_at = samples_done
 
     def load(self) -> Optional[dict]:
@@ -77,7 +69,15 @@ class CheckpointManager:
         return payload
 
     def clear(self) -> None:
-        """Remove the checkpoint file (a completed stream needs none)."""
+        """Remove the checkpoint file (a completed stream needs none).
+
+        Tolerates the file vanishing between the existence check and the
+        unlink -- the kill9 drill's resumed engine and its supervisor can
+        race to clean up the same checkpoint.
+        """
         if os.path.exists(self.path):
-            os.unlink(self.path)
+            try:
+                os.unlink(self.path)
+            except FileNotFoundError:
+                pass
         self._last_saved_at = 0

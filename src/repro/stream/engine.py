@@ -102,6 +102,9 @@ class StreamEngine:
         max_source_retries: int = 3,
         retry_backoff_seconds: float = 0.05,
         worker_chaos: Optional[WorkerChaos] = None,
+        store_dir: Optional[str] = None,
+        store_config: Optional[object] = None,
+        store_chaos: Optional[object] = None,
     ) -> None:
         if n_workers < 0:
             raise StreamError("n_workers must be >= 0")
@@ -127,6 +130,23 @@ class StreamEngine:
             if checkpoint_path
             else None
         )
+        if store_dir is not None:
+            # Imported here: repro.store depends on this package's rollup
+            # and shard modules, so a top-level import would be circular.
+            from repro.store import RollupStore
+
+            self.store: Optional[RollupStore] = RollupStore(
+                store_dir,
+                bucket_seconds=bucket_seconds,
+                config=store_config,
+                chaos=store_chaos,
+            )
+        else:
+            self.store = None
+        #: records folded so far (equals ``rollup.n_records`` without a
+        #: store; with one, the rollup stays empty until the final
+        #: materialisation, so the engine counts folds itself).
+        self._n_folded = 0
         #: (country, bucket_start) -> [total, matches] for buckets that
         #: have not closed yet (not fed to the detector).
         self._open_cells: Dict[Tuple[str, float], List[int]] = {}
@@ -144,13 +164,33 @@ class StreamEngine:
         assert self.checkpointer is not None
         payload = self.checkpointer.load()
         if payload is None:
+            if self.store is not None and self.store.is_dirty:
+                raise CheckpointError(
+                    "store directory already holds ingested state but no "
+                    "checkpoint exists to align the source cursor with it; "
+                    "start over with an empty store directory"
+                )
             return
         if payload["bucket_seconds"] != self.bucket_seconds:
             raise CheckpointError(
                 "checkpoint bucket size differs from engine configuration"
             )
-        self.rollup = StreamRollup.from_dict(payload["rollup"])
+        if self.store is not None:
+            if "store" not in payload:
+                raise CheckpointError(
+                    "checkpoint was written without a store; cannot resume "
+                    "it into a store-backed engine"
+                )
+            self.store.restore(payload["store"])
+        elif "store" in payload:
+            raise CheckpointError(
+                "checkpoint was written by a store-backed engine; configure "
+                "the same --store directory to resume it"
+            )
+        else:
+            self.rollup = StreamRollup.from_dict(payload["rollup"])
         self.detector = EwmaDetector.from_dict(payload["anomaly"])
+        self._n_folded = payload["samples_done"]
         self._open_cells = {
             (country, bucket): [total, matches]
             for country, bucket, total, matches in payload["open_cells"]
@@ -162,17 +202,23 @@ class StreamEngine:
         self.metrics.checkpoints_written = 0
 
     def _checkpoint_state(self) -> dict:
-        return {
+        state = {
             "bucket_seconds": self.bucket_seconds,
             "cursor": self._safe_cursor,
             "watermark": self._watermark,
-            "rollup": self.rollup.to_dict(),
             "anomaly": self.detector.to_dict(),
             "open_cells": [
                 [country, bucket, counts[0], counts[1]]
                 for (country, bucket), counts in self._open_cells.items()
             ],
         }
+        if self.store is not None:
+            # Sealed history lives in segments; the checkpoint carries
+            # only the open tail -- O(open buckets), not O(history).
+            state["store"] = self.store.checkpoint_state()
+        else:
+            state["rollup"] = self.rollup.to_dict()
+        return state
 
     # ------------------------------------------------------------------
     # Windowing
@@ -188,6 +234,11 @@ class StreamEngine:
         )
         for cell in ripe:
             self._feed_cell(cell)
+        if self.store is not None:
+            # The same horizon that closes detector cells seals store
+            # buckets: an in-order source can never touch them again.
+            if self.store.seal_through(horizon):
+                self.store.maybe_compact()
 
     def _flush_cells(self) -> None:
         """End of stream: close everything still open, in time order."""
@@ -206,7 +257,11 @@ class StreamEngine:
             geo = self.geodb.lookup_or_none(record.client_ip)
             if geo is not None:
                 record = record.located(geo.country, geo.asn)
-        self.rollup.add(record)
+        if self.store is not None:
+            self.store.add(record)
+        else:
+            self.rollup.add(record)
+        self._n_folded += 1
         self.metrics.on_record_out(record.is_tampering)
 
         cell = (record.country, self.rollup.bucket_of(record.ts))
@@ -222,8 +277,8 @@ class StreamEngine:
             _, cursor = self._cursors.popleft()
             self._safe_cursor = cursor
 
-        if self.checkpointer is not None and self.checkpointer.due(self.rollup.n_records):
-            self.checkpointer.save(self._checkpoint_state(), self.rollup.n_records)
+        if self.checkpointer is not None and self.checkpointer.due(self._n_folded):
+            self.checkpointer.save(self._checkpoint_state(), self._n_folded)
             self.metrics.checkpoints_written += 1
 
     # ------------------------------------------------------------------
@@ -307,6 +362,12 @@ class StreamEngine:
             if self.checkpointer is None:
                 raise StreamError("resume requested but no checkpoint path configured")
             self._restore()
+        elif self.store is not None and self.store.is_dirty:
+            raise StreamError(
+                "store directory already holds ingested state; resume from "
+                "its checkpoint or start over with an empty directory "
+                "(re-ingesting into a populated store would double-count)"
+            )
         self.metrics.start()
 
         items = self._instrumented_items(max_samples)
@@ -344,14 +405,28 @@ class StreamEngine:
         )
         if finished:
             self._flush_cells()
-            if self.checkpointer is not None and self.rollup.n_records:
+            if self.store is not None:
+                # The stream is done: freeze the trailing open buckets
+                # into segments so restarts (and `repro query`) see the
+                # whole history on disk.
+                self.store.seal_open()
+                self.store.maybe_compact()
+            if self.checkpointer is not None and self._n_folded:
                 # Final state (post window-flush) so a restart of a
                 # finished stream has nothing left to do.
-                self.checkpointer.save(self._checkpoint_state(), self.rollup.n_records)
+                self.checkpointer.save(self._checkpoint_state(), self._n_folded)
                 self.metrics.checkpoints_written += 1
         elif self.checkpointer is not None and self._safe_cursor is not None:
-            self.checkpointer.save(self._checkpoint_state(), self.rollup.n_records)
+            self.checkpointer.save(self._checkpoint_state(), self._n_folded)
             self.metrics.checkpoints_written += 1
+
+        if self.store is not None:
+            self.store.flush()
+            self.metrics.store_stats = self.store.stats()
+            # Materialise the full (sealed + open) history so the report
+            # and every downstream consumer see the same rollup a
+            # store-less engine would have built.
+            self.rollup = self.store.to_rollup()
 
         return StreamReport(
             rollup=self.rollup,

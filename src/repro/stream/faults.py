@@ -61,7 +61,7 @@ __all__ = [
 FAULT_KINDS = ("error", "stall", "truncate", "duplicate", "kill9")
 
 #: The fire drills ``repro stream --drill`` knows how to run.
-DRILL_MODES = ("kill-worker", "flaky-source", "kill9-resume")
+DRILL_MODES = ("kill-worker", "flaky-source", "kill9-resume", "store-compaction")
 
 #: Plan schema version carried in :meth:`FaultPlan.to_dict`.
 FAULT_PLAN_VERSION = 1
@@ -287,6 +287,32 @@ class DrillResult:
         return "\n".join(lines)
 
 
+def _rollup_fingerprint(rollup) -> dict:
+    """Order-sensitive freeze of the four batch-parity query families.
+
+    ``dict == dict`` ignores key order, but the store's parity contract
+    includes it; freezing every mapping into key/value row lists makes
+    a reordering (or a single drifted float) show up as inequality.
+    """
+
+    def freeze(value):
+        if isinstance(value, dict):
+            return [[str(key), freeze(item)] for key, item in value.items()]
+        if isinstance(value, (list, tuple)):
+            return [freeze(item) for item in value]
+        return value
+
+    return {
+        "n_records": rollup.n_records,
+        "country_tampering_rate": freeze(rollup.country_tampering_rate()),
+        "timeseries": freeze(rollup.timeseries()),
+        "signature_hour_counts": freeze(
+            {c: rollup.signature_hour_counts(c) for c in rollup.countries}
+        ),
+        "stage_statistics": freeze(rollup.stage_statistics()),
+    }
+
+
 def _drill_source(scenario: str, connections: int, seed: int):
     from repro.workloads.scenarios import (
         iran_protest_stream_source,
@@ -465,6 +491,139 @@ def _drill_kill9_resume(
             os.rmdir(checkpoint_dir)
 
 
+def _store_chaos_child(
+    scenario: str,
+    connections: int,
+    seed: int,
+    checkpoint_path: str,
+    store_dir: str,
+    interval: int,
+    point: str,
+) -> None:
+    """Child body for the store drill: run until compaction SIGKILLs us."""
+    from repro.store import CompactionChaos, CompactionConfig, StoreConfig
+    from repro.stream.engine import StreamEngine
+
+    inner = _drill_source(scenario, connections, seed)
+    StreamEngine(
+        inner,
+        geodb=inner.world.geo,
+        n_workers=0,
+        checkpoint_path=checkpoint_path,
+        checkpoint_interval=interval,
+        store_dir=store_dir,
+        store_config=StoreConfig(
+            compaction=CompactionConfig(trigger=4, fanout=4)
+        ),
+        # Not the first merge: the early runs land before the first
+        # checkpoint exists, and the drill needs a checkpoint to resume.
+        store_chaos=CompactionChaos(on_run=4, point=point),
+    ).run()
+
+
+def _drill_store_compaction(
+    scenario: str,
+    connections: int,
+    seed: int,
+    checkpoint_dir: Optional[str] = None,
+    chaos_point: str = "manifest-swapped",
+) -> DrillResult:
+    """SIGKILL the engine *inside* a compaction crash window, then resume.
+
+    The child runs store-backed with an aggressive compaction trigger
+    and a :class:`~repro.store.CompactionChaos` that kills the process
+    during the first merge -- either after the merged segment is written
+    but before the manifest swap (``segment-written``, the orphan
+    window) or after the swap but before the old segments are unlinked
+    (``manifest-swapped``, the stale-file window).  The parent resumes
+    into the same store directory and must end byte-for-byte equal to a
+    clean uninterrupted run on all four query families, both through
+    the engine's rollup and through a fresh :class:`RollupStore` opened
+    over the directory.
+    """
+    from repro.store import CompactionConfig, RollupStore, StoreConfig, StoreQuery
+    from repro.stream.engine import StreamEngine
+
+    source = _drill_source(scenario, connections, seed)
+    clean_report = StreamEngine(source, geodb=source.world.geo, n_workers=0).run()
+    clean = _rollup_fingerprint(clean_report.rollup)
+
+    interval = max(10, connections // 40)
+    owns_dir = checkpoint_dir is None
+    if owns_dir:
+        checkpoint_dir = tempfile.mkdtemp(prefix="repro-drill-store-")
+    checkpoint_path = os.path.join(checkpoint_dir, "store.ck.json")
+    store_dir = os.path.join(checkpoint_dir, "store")
+    try:
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX fallback
+            ctx = multiprocessing.get_context("spawn")
+        child = ctx.Process(
+            target=_store_chaos_child,
+            args=(
+                scenario,
+                connections,
+                seed,
+                checkpoint_path,
+                store_dir,
+                interval,
+                chaos_point,
+            ),
+        )
+        child.start()
+        child.join(timeout=300.0)
+        killed = child.exitcode == -signal.SIGKILL
+        if child.is_alive():  # pragma: no cover - hung child safety net
+            child.terminate()
+            child.join(timeout=5.0)
+
+        source = _drill_source(scenario, connections, seed)
+        resumed = StreamEngine(
+            source,
+            geodb=source.world.geo,
+            n_workers=0,
+            checkpoint_path=checkpoint_path,
+            checkpoint_interval=interval,
+            store_dir=store_dir,
+            store_config=StoreConfig(
+                compaction=CompactionConfig(trigger=4, fanout=4)
+            ),
+        ).run(resume=True)
+        engine_parity = _rollup_fingerprint(resumed.rollup) == clean
+
+        # The disk must agree with the engine: reopen cold and query.
+        reopened = RollupStore(store_dir)
+        query_parity = _rollup_fingerprint(reopened.to_rollup()) == clean
+        store_stats = reopened.stats()
+        reopened.close()
+        return DrillResult(
+            mode="store-compaction",
+            parity=killed and engine_parity and query_parity,
+            samples=resumed.rollup.n_records,
+            details={
+                "child_exitcode": child.exitcode,
+                "killed_by_sigkill": killed,
+                "chaos_point": chaos_point,
+                "checkpoint_interval": interval,
+                "resumed_from": resumed.metrics["resumed_from"],
+                "engine_parity": engine_parity,
+                "store_query_parity": query_parity,
+                "sealed_skips": resumed.metrics["store"]["sealed_skips"],
+                "segments": store_stats["segments"],
+                "compaction_runs_after_resume": resumed.metrics["store"][
+                    "compaction_runs"
+                ],
+                "forced_terminations": resumed.metrics["forced_terminations"],
+            },
+        )
+    finally:
+        if owns_dir:
+            import shutil
+
+            shutil.rmtree(checkpoint_dir, ignore_errors=True)
+
+
 def run_drill(
     mode: str,
     *,
@@ -473,6 +632,7 @@ def run_drill(
     seed: int = 7,
     workers: int = 2,
     checkpoint_dir: Optional[str] = None,
+    store_chaos_point: str = "manifest-swapped",
 ) -> DrillResult:
     """Run one named fire drill and report parity with a clean run."""
     if mode == "kill-worker":
@@ -481,4 +641,8 @@ def run_drill(
         return _drill_flaky_source(scenario, connections, seed, workers)
     if mode == "kill9-resume":
         return _drill_kill9_resume(scenario, connections, seed, checkpoint_dir)
+    if mode == "store-compaction":
+        return _drill_store_compaction(
+            scenario, connections, seed, checkpoint_dir, store_chaos_point
+        )
     raise StreamError(f"unknown drill {mode!r}; expected one of {DRILL_MODES}")

@@ -37,6 +37,8 @@ class StreamMetrics:
         self._stopped: Optional[float] = None
         #: worker id -> {"records": n, "busy_seconds": s}
         self.workers: Dict[int, Dict[str, float]] = {}
+        #: RollupStore.stats() snapshot, when the engine runs store-backed
+        self.store_stats: Optional[dict] = None
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -90,7 +92,7 @@ class StreamMetrics:
 
     def snapshot(self) -> dict:
         """JSON-safe dump of every counter plus derived rates."""
-        return {
+        snap = {
             "samples_in": self.samples_in,
             "records_out": self.records_out,
             "tampering_matches": self.tampering_matches,
@@ -114,6 +116,9 @@ class StreamMetrics:
                 for worker_id, share in self.worker_utilization().items()
             },
         }
+        if self.store_stats is not None:
+            snap["store"] = dict(self.store_stats)
+        return snap
 
     def render(self) -> str:
         """A short human-readable block for CLI output."""
@@ -139,6 +144,14 @@ class StreamMetrics:
                 f"{snap['duplicates_dropped']} duplicates dropped, "
                 f"{snap['worker_restarts']} worker restarts, "
                 f"{snap['forced_terminations']} forced terminations"
+            )
+        if self.store_stats is not None:
+            store = self.store_stats
+            lines.append(
+                f"store: {store['sealed_buckets']} sealed buckets in "
+                f"{store['segments']} segments ({store['live_bytes']} bytes), "
+                f"{store['open_buckets']} open, "
+                f"{store['compaction_runs']} compactions"
             )
         if snap["workers"]:
             util = ", ".join(

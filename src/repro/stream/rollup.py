@@ -98,9 +98,27 @@ class StreamRollup:
     # Merge / serialise
     # ------------------------------------------------------------------
     def merge(self, other: "StreamRollup") -> None:
-        """Fold a later partial rollup into this one (in stream order)."""
+        """Fold a later partial rollup into this one (in stream order).
+
+        Merging slices out of stream order would silently break batch
+        parity: ``by_signature`` keys would land in the wrong first-seen
+        order, changing float accumulation in the percentage queries.
+        The time extents make the reversal detectable -- a slice that
+        ends strictly before this rollup begins cannot be "later".
+        """
         if other.bucket_seconds != self.bucket_seconds:
             raise StreamError("cannot merge rollups with different bucket sizes")
+        if (
+            self.min_ts is not None
+            and other.max_ts is not None
+            and other.max_ts < self.min_ts
+        ):
+            raise StreamError(
+                f"out-of-order merge: incoming slice ends at {other.max_ts} "
+                f"but this rollup already starts at {self.min_ts}; partial "
+                f"rollups must be merged in stream order to preserve "
+                f"first-seen key ordering (batch parity)"
+            )
         self.n_records += other.n_records
         for country, n in other.totals.items():
             self.totals[country] = self.totals.get(country, 0) + n

@@ -162,3 +162,66 @@ class TestCommands:
             records = json.load(fh)
         assert records, "low floor should publish at least one cell"
         assert all(r["connections"] >= 2 for r in records)
+
+
+class TestQueryCommand:
+    def test_query_args(self):
+        args = build_parser().parse_args(
+            ["query", "dir", "--family", "timeseries", "--start", "0",
+             "--end", "7200", "--countries", "IR,CN"]
+        )
+        assert args.store == "dir"
+        assert args.family == "timeseries"
+        assert (args.start, args.end) == (0.0, 7200.0)
+        assert args.countries == "IR,CN"
+
+    @pytest.fixture(scope="class")
+    def store_dir(self, tmp_path_factory):
+        directory = str(tmp_path_factory.mktemp("cli-query") / "store")
+        assert main(["stream", "-n", "200", "--seed", "4",
+                     "--store", directory]) == 0
+        return directory
+
+    def test_stream_announces_store(self, store_dir, capsys):
+        capsys.readouterr()
+        assert main(["stream", "-n", "40", "--seed", "4", "--store",
+                     store_dir + "-announce"]) == 0
+        out = capsys.readouterr().out
+        assert "rollup store at" in out
+        assert "store:" in out  # metrics line
+
+    def test_query_all_families(self, store_dir, capsys):
+        assert main(["query", store_dir]) == 0
+        out = capsys.readouterr().out
+        assert "Tampering rate by country" in out
+        assert "scanned" in out
+        assert main(["query", store_dir, "--family", "timeseries"]) == 0
+        assert "Hourly tampering timeseries" in capsys.readouterr().out
+        assert main(["query", store_dir, "--family", "stage_statistics"]) == 0
+        assert "Tampering by connection stage" in capsys.readouterr().out
+
+    def test_query_signature_hour_counts_needs_country(self, store_dir, capsys):
+        from repro.errors import StoreError
+
+        with pytest.raises(StoreError, match="requires a country"):
+            main(["query", store_dir, "--family", "signature_hour_counts"])
+        assert main(["query", store_dir, "--family", "signature_hour_counts",
+                     "--country", "IR"]) == 0
+        assert "Signature activity for IR" in capsys.readouterr().out
+
+    def test_query_json_output(self, store_dir, capsys):
+        import json
+
+        assert main(["query", store_dir, "--family", "stage_statistics",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["family"] == "stage_statistics"
+        assert payload["value"]["total_connections"] == 200
+
+    def test_query_missing_store_fails_without_mkdir(self, tmp_path):
+        from repro.errors import StoreError
+
+        missing = str(tmp_path / "typo")
+        with pytest.raises(StoreError, match="no rollup store"):
+            main(["query", missing])
+        assert not (tmp_path / "typo").exists()

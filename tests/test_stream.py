@@ -271,6 +271,26 @@ class TestRollupParity:
         first.merge(second)
         assert first.to_dict() == whole.to_dict()
 
+    def test_rollup_merge_out_of_order_raises(self, study):
+        records = serial_records(study.samples, study.timestamps)
+        mid = records[200].ts
+        early, late = StreamRollup(), StreamRollup()
+        for record in records:
+            if record.ts < mid:
+                early.add(record)
+            elif record.ts > mid:
+                late.add(record)
+        # Merging the earlier slice *into* the later one would scramble
+        # first-seen key order (batch parity); the extents catch it.
+        with pytest.raises(StreamError, match="out-of-order merge"):
+            late.merge(early)
+
+    def test_rollup_merge_rejects_bucket_size_mismatch(self):
+        with pytest.raises(StreamError, match="bucket sizes"):
+            StreamRollup(bucket_seconds=3600.0).merge(
+                StreamRollup(bucket_seconds=1800.0)
+            )
+
     def test_rollup_serialization_roundtrip(self, report):
         data = json.loads(json.dumps(report.rollup.to_dict()))
         restored = StreamRollup.from_dict(data)

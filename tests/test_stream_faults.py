@@ -398,6 +398,18 @@ class TestDrills:
         assert result.ok, result.render()
         assert result.details["source_retries"] > 0
 
+    @pytest.mark.parametrize("point", ["segment-written", "manifest-swapped"])
+    def test_store_compaction_drill(self, tmp_path, point):
+        result = run_drill(
+            "store-compaction", connections=400, seed=7,
+            checkpoint_dir=str(tmp_path), store_chaos_point=point,
+        )
+        assert result.ok, result.render()
+        assert result.details["killed_by_sigkill"]
+        assert result.details["engine_parity"]
+        assert result.details["store_query_parity"]
+        assert result.details["resumed_from"] > 0
+
     def test_unknown_drill_rejected(self):
         with pytest.raises(StreamError):
             run_drill("unplug-the-router")
