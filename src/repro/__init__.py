@@ -29,6 +29,8 @@ Layers (see DESIGN.md for the full inventory):
   incremental rollups, checkpoints, live anomaly detection.
 * :mod:`repro.store` -- durable partitioned rollup storage: sealed
   segments, WAL, compaction, and a batch-parity query engine.
+* :mod:`repro.obs` -- zero-dependency observability: metrics registry,
+  trace spans, Prometheus exposition, stage-latency reports.
 """
 
 from repro.cdn.collector import ConnectionSample, read_samples_jsonl, write_samples_jsonl

@@ -17,6 +17,8 @@ Subcommands:
   and (with ``--store``) durable partitioned rollup storage.
 * ``query`` -- answer the batch-parity question families from a
   ``--store`` directory, with time-range and country pushdown.
+* ``obs`` -- render the per-stage latency / bottleneck report from a
+  ``stream --obs`` export (metrics.json + spans.jsonl).
 """
 
 from __future__ import annotations
@@ -116,6 +118,19 @@ def build_parser() -> argparse.ArgumentParser:
                                  "kill9-resume", "store-compaction"),
                         help="run a fire drill under fault injection and "
                              "assert rollup parity with a clean run")
+    stream.add_argument("--obs",
+                        help="export observability data (metrics.json, "
+                             "metrics.prom, spans.jsonl) to this directory; "
+                             "inspect with: repro obs DIR")
+    stream.add_argument("--progress", type=float, default=None, metavar="SECONDS",
+                        help="print a progress line to stderr every N seconds")
+
+    obs = sub.add_parser(
+        "obs", help="stage-latency / bottleneck report from a stream --obs export"
+    )
+    obs.add_argument("export", help="directory written by stream --obs")
+    obs.add_argument("--json", action="store_true",
+                     help="emit per-stage summaries as JSON instead of tables")
 
     query = sub.add_parser(
         "query", help="answer batch-parity questions from a rollup store"
@@ -326,6 +341,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             source = FaultySource(source, FaultPlan.from_dict(json.load(fh)))
 
     from repro.core.classifier import ClassifierConfig
+    from repro.obs import ProgressReporter
 
     engine = StreamEngine(
         source,
@@ -341,6 +357,11 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         checkpoint_path=args.checkpoint,
         checkpoint_interval=args.checkpoint_interval,
         store_dir=args.store,
+        progress=(
+            ProgressReporter(interval_seconds=args.progress)
+            if args.progress
+            else None
+        ),
     )
     report = engine.run(max_samples=args.max_samples, resume=args.resume)
     print(report.render())
@@ -350,6 +371,31 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         print(f"\ncheckpoint saved to {args.checkpoint}; rerun with --resume to continue")
     if args.store:
         print(f"\nrollup store at {args.store}; inspect with: repro query {args.store}")
+    if args.obs:
+        engine.obs.export(args.obs, extra={"stream_metrics": report.metrics})
+        print(f"\nobservability export at {args.obs}; inspect with: repro obs {args.obs}")
+    return 0
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import load_export, render_obs_report, stage_rows
+
+    export = load_export(args.export)
+    if args.json:
+        print(json.dumps(
+            {
+                "stages": stage_rows(export),
+                "counters": export.counters,
+                "gauges": export.gauges,
+                "spans": export.metrics.get("spans", {}),
+                "events": export.events(),
+            },
+            indent=2,
+        ))
+        return 0
+    print(render_obs_report(export))
     return 0
 
 
@@ -474,6 +520,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "signatures": _cmd_signatures,
         "stream": _cmd_stream,
         "query": _cmd_query,
+        "obs": _cmd_obs,
     }
     return handlers[args.command](args)
 

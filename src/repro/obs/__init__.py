@@ -1,0 +1,62 @@
+"""repro.obs -- zero-dependency observability for the pipeline.
+
+Counters, gauges, and fixed-bucket latency histograms in a registry
+(:mod:`repro.obs.registry`); ring-buffered trace spans with cheap
+reusable timers (:mod:`repro.obs.trace`, :mod:`repro.obs.layer`);
+Prometheus text exposition; a periodic progress reporter
+(:mod:`repro.obs.progress`); and the ``repro obs`` stage-latency report
+(:mod:`repro.obs.report`).
+
+The one object call sites see is :class:`Observability`::
+
+    from repro.obs import Observability
+
+    obs = Observability()
+    t_classify = obs.timer("classify")
+    with t_classify:
+        ...
+    obs.counter("classify.cache_hits").inc()
+    obs.event("engine.resume", cursor=1234)
+    obs.export("obs_out")          # metrics.json / metrics.prom / spans.jsonl
+
+Every instrumented constructor accepts ``obs=NULL_OBS`` to switch the
+whole layer off (same surface, no work) -- the overhead benchmark's
+baseline arm and the default for library users who never ask for it.
+
+This package imports nothing from :mod:`repro.stream` or
+:mod:`repro.store`; the dependency points the other way.
+"""
+
+from repro.obs.layer import NULL_OBS, NullObservability, Observability, SpanTimer
+from repro.obs.progress import ProgressReporter
+from repro.obs.registry import (
+    DEFAULT_LATENCY_BOUNDS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    percentile_from_buckets,
+    prometheus_name,
+)
+from repro.obs.report import ObsExport, load_export, render_obs_report, stage_rows
+from repro.obs.trace import Tracer
+
+__all__ = [
+    "NULL_OBS",
+    "NullObservability",
+    "Observability",
+    "SpanTimer",
+    "ProgressReporter",
+    "DEFAULT_LATENCY_BOUNDS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "percentile_from_buckets",
+    "prometheus_name",
+    "ObsExport",
+    "load_export",
+    "render_obs_report",
+    "stage_rows",
+    "Tracer",
+]

@@ -1,0 +1,322 @@
+"""The `Observability` facade: one object the pipeline threads around.
+
+Call sites ask once for a named timer/counter/gauge at wiring time and
+then use the returned object on the hot path::
+
+    t_classify = obs.timer("classify")
+    ...
+    with t_classify:
+        result = classifier.classify(sample)
+
+A :class:`SpanTimer` is a reusable bound context manager: entering
+reads ``perf_counter``, exiting reads it again, feeds the duration to
+the stage's histogram, and appends a tuple to the trace ring.  It is
+deliberately *not* reentrant (one in-flight timing per timer object),
+which is fine for the single-threaded stage loops it instruments and
+saves an allocation per span.  For stages that need to pick the
+destination after the fact (classify cache hit vs. miss), call
+``timer.record(duration, start)`` with a manually measured duration.
+
+:data:`NULL_OBS` is a shared no-op implementation with the same
+surface; passing it disables instrumentation entirely (used by the
+overhead benchmark's baseline arm and anywhere observability is
+unwanted).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from bisect import bisect_left
+from time import perf_counter
+from typing import Dict, Optional
+
+from repro._util import atomic_write_json
+from repro.obs.registry import Histogram, MetricsRegistry
+from repro.obs.trace import Tracer
+
+__all__ = ["Observability", "NullObservability", "NULL_OBS", "SpanTimer"]
+
+#: Schema version of the ``metrics.json`` export payload.
+EXPORT_VERSION = 1
+
+#: Per-timer ring sampling stride: span 0, RING_SAMPLE, 2*RING_SAMPLE...
+#: of each timer land in the trace ring (histograms count them all).
+#: Must be a power of two; the hot paths hard-code ``RING_SAMPLE - 1``
+#: as a literal mask.
+RING_SAMPLE = 8
+
+
+class SpanTimer:
+    """Reusable timing context manager bound to one histogram + tracer.
+
+    The exit path is the per-record cost of observability, so it is
+    allocation-free: it bypasses ``Histogram.observe`` and updates the
+    (never-reassigned) ``counts`` list through cached references, and
+    its spans are tallied from the histogram rather than a per-span
+    tracer increment.  Ring writes are *sampled*: every
+    :data:`RING_SAMPLE` -th span per timer lands in the tracer as
+    three adjacent double stores (pre-interned name index + the two
+    timings -- one cache line, no allocation); the rest pay only a
+    counter mask check.  Histograms see every span, so no aggregate is
+    approximated -- sampling just stretches the flight-recorder window
+    the ring covers.
+
+    For stages whose per-occurrence work is so small that even two
+    clock reads are a visible tax (a warm source read, a memoised
+    classify), the *caller* can additionally time only every Nth
+    occurrence and declare ``weight=N``: each recorded span then
+    counts for N in the histogram (``counts += N``, ``sum += N *
+    duration``), the standard sampling-profiler estimator.  Exact
+    occurrence counts belong in plain counters, which cost one integer
+    add and are never sampled.  The overhead benchmark holds the whole
+    layer to a <= 5% throughput tax.
+    """
+
+    __slots__ = ("name", "weight", "_hist", "_bounds", "_counts", "_tracer",
+                 "_buf", "_limit", "_name_idx", "_n", "_start")
+
+    def __init__(
+        self, name: str, hist: Histogram, tracer: Tracer, weight: int = 1
+    ) -> None:
+        if weight < 1:
+            raise ValueError("span timer weight must be >= 1")
+        self.name = name
+        self.weight = weight
+        self._hist = hist
+        self._bounds = hist.bounds
+        self._counts = hist.counts
+        self._tracer = tracer
+        self._buf = tracer._buf
+        self._limit = len(tracer._buf)
+        self._name_idx = tracer._register_name(name)
+        self._n = 0
+        self._start = 0.0
+
+    def __enter__(self) -> "SpanTimer":
+        self._start = perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        start = self._start
+        duration = perf_counter() - start
+        w = self.weight
+        self._counts[bisect_left(self._bounds, duration)] += w
+        self._hist.sum += duration * w
+        n = self._n
+        self._n = n + 1
+        if not n & 7:  # RING_SAMPLE - 1; literal so the check stays cheap
+            tracer = self._tracer
+            buf = self._buf
+            i = tracer._pos
+            buf[i] = self._name_idx
+            buf[i + 1] = start
+            buf[i + 2] = duration
+            i += 3
+            if i == self._limit:
+                tracer._pos = 0
+                tracer._wrapped = True
+            else:
+                tracer._pos = i
+        return False
+
+    def record(self, duration: float, start: Optional[float] = None) -> None:
+        """Feed an externally measured duration into this timer's stage."""
+        w = self.weight
+        self._counts[bisect_left(self._bounds, duration)] += w
+        self._hist.sum += duration * w
+        n = self._n
+        self._n = n + 1
+        if not n & 7:
+            if start is None:
+                start = perf_counter() - duration
+            tracer = self._tracer
+            buf = self._buf
+            i = tracer._pos
+            buf[i] = self._name_idx
+            buf[i + 1] = start
+            buf[i + 2] = duration
+            i += 3
+            if i == self._limit:
+                tracer._pos = 0
+                tracer._wrapped = True
+            else:
+                tracer._pos = i
+
+
+class Observability:
+    """Registry + tracer + export, behind one handle."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+        span_capacity: int = 4096,
+    ) -> None:
+        self.registry = registry or MetricsRegistry()
+        self.tracer = tracer or Tracer(capacity=span_capacity)
+        self._timers: Dict[str, SpanTimer] = {}
+
+    # -- wiring-time accessors -----------------------------------------
+    def counter(self, name: str, help: str = ""):
+        return self.registry.counter(name, help)
+
+    def gauge(self, name: str, help: str = ""):
+        return self.registry.gauge(name, help)
+
+    def histogram(self, name: str, bounds=None, help: str = ""):
+        return self.registry.histogram(name, bounds, help)
+
+    def timer(self, name: str, help: str = "", sample: int = 1) -> SpanTimer:
+        """A cached reusable span timer for stage ``name``.
+
+        The same object is returned for repeated calls, so hot loops can
+        also fetch it lazily without allocating.  Not reentrant.
+
+        ``sample=N`` declares that the caller times only every Nth
+        occurrence of the stage; recorded spans then carry weight N in
+        the histogram so counts and sums still estimate the full
+        population.  The stride itself lives at the call site (that is
+        where the clock reads are skipped); first creation wins if the
+        same name is requested again.
+        """
+        timer = self._timers.get(name)
+        if timer is None:
+            timer = SpanTimer(
+                name, self.registry.histogram(name, help=help), self.tracer,
+                weight=sample,
+            )
+            self._timers[name] = timer
+        return timer
+
+    # ``span`` is the documented name for with-statement use on hot
+    # paths; it shares the timer cache.
+    span = timer
+
+    def event(self, name: str, **attrs: object) -> None:
+        self.tracer.event(name, **attrs)
+
+    # -- reporting ------------------------------------------------------
+    def _span_stats(self) -> Dict[str, int]:
+        """Tracer stats plus the spans timers tallied via histograms."""
+        stats = self.tracer.stats()
+        stats["total_spans"] += sum(
+            timer._hist.count for timer in self._timers.values()
+        )
+        return stats
+
+    def summary(self) -> Dict[str, object]:
+        """Compact JSON-safe summary (lands in StreamMetrics snapshots)."""
+        summary = self.registry.summary()
+        summary["spans"] = self._span_stats()
+        return summary
+
+    def render_prometheus(self) -> str:
+        return self.registry.render_prometheus()
+
+    def export(
+        self, directory: str, extra: Optional[Dict[str, object]] = None
+    ) -> Dict[str, str]:
+        """Write ``metrics.json``, ``metrics.prom`` and ``spans.jsonl``.
+
+        Returns a dict of the paths written.  ``extra`` (e.g. the
+        engine's ``StreamMetrics`` snapshot) is embedded in the JSON
+        payload under ``"extra"``.
+        """
+        os.makedirs(directory, exist_ok=True)
+        payload: Dict[str, object] = {
+            "version": EXPORT_VERSION,
+            "generated_ts": time.time(),
+            "spans": self._span_stats(),
+        }
+        payload.update(self.registry.to_dict())
+        if extra:
+            payload["extra"] = extra
+        metrics_json = os.path.join(directory, "metrics.json")
+        atomic_write_json(metrics_json, payload, indent=2)
+        metrics_prom = os.path.join(directory, "metrics.prom")
+        with open(metrics_prom, "w", encoding="utf-8") as handle:
+            handle.write(self.registry.render_prometheus())
+        spans_jsonl = os.path.join(directory, "spans.jsonl")
+        self.tracer.export_jsonl(spans_jsonl)
+        return {
+            "metrics.json": metrics_json,
+            "metrics.prom": metrics_prom,
+            "spans.jsonl": spans_jsonl,
+        }
+
+
+class _NullMetric:
+    """Absorbs counter/gauge traffic; always reads as zero."""
+
+    __slots__ = ()
+    value = 0
+
+    def inc(self, n=1):
+        pass
+
+    def dec(self, n=1):
+        pass
+
+    def set(self, value):
+        pass
+
+    def observe(self, value):
+        pass
+
+
+class _NullTimer:
+    """No-op stand-in for :class:`SpanTimer`."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+    def record(self, duration, start=None):
+        pass
+
+
+_NULL_METRIC = _NullMetric()
+_NULL_TIMER = _NullTimer()
+
+
+class NullObservability:
+    """Same surface as :class:`Observability`, zero work, zero state."""
+
+    enabled = False
+
+    def counter(self, name, help=""):
+        return _NULL_METRIC
+
+    def gauge(self, name, help=""):
+        return _NULL_METRIC
+
+    def histogram(self, name, bounds=None, help=""):
+        return _NULL_METRIC
+
+    def timer(self, name, help="", sample=1):
+        return _NULL_TIMER
+
+    span = timer
+
+    def event(self, name, **attrs):
+        pass
+
+    def summary(self):
+        return {}
+
+    def render_prometheus(self):
+        return ""
+
+    def export(self, directory, extra=None):
+        return {}
+
+
+#: Shared no-op instance; safe to pass anywhere an Observability goes.
+NULL_OBS = NullObservability()

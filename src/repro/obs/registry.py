@@ -1,0 +1,294 @@
+"""Named metrics: counters, gauges, and fixed-bucket latency histograms.
+
+The registry is the passive half of :mod:`repro.obs` -- plain objects
+with integer/float fields, no locks, no background threads, and no
+third-party dependencies.  Hot paths hold direct references to the
+metric objects (``Counter.inc`` is one attribute add), so the registry
+dict is only touched at wiring time.
+
+Histograms use a fixed exponential bucket ladder
+(:data:`DEFAULT_LATENCY_BOUNDS`, 1 microsecond to ~16 seconds) rather
+than reservoir sampling: observation cost is one ``bisect`` plus two
+adds, memory is constant, and two histograms merge by adding their
+bucket arrays.  Percentiles are reconstructed from the cumulative
+bucket counts with linear interpolation inside the winning bucket --
+coarse but monotone, and exact enough to rank stages and spot a
+bottleneck (:func:`percentile_from_buckets` is also used by ``repro
+obs`` to re-derive p50/p99 from an on-disk export).
+
+Exposition follows the Prometheus text format: metric names are
+prefixed ``repro_``, dots become underscores, histograms get a
+``_seconds`` unit suffix and the usual ``_bucket``/``_sum``/``_count``
+triplet with cumulative ``le`` labels.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "DEFAULT_LATENCY_BOUNDS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "percentile_from_buckets",
+    "prometheus_name",
+]
+
+#: Upper bounds (seconds) of the latency buckets: 1 us .. ~16 s, doubling.
+#: The final ``+inf`` overflow bucket is implicit.
+DEFAULT_LATENCY_BOUNDS: Tuple[float, ...] = tuple(
+    1e-6 * (2.0 ** i) for i in range(25)
+)
+
+
+def prometheus_name(name: str, unit: str = "") -> str:
+    """Map a dotted metric name to a Prometheus-safe identifier."""
+    base = "repro_" + name.replace(".", "_").replace("-", "_")
+    if unit:
+        base += "_" + unit
+    return base
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name}={self.value})"
+
+
+class Gauge:
+    """A value that can go up and down (queue depth, open cells)."""
+
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, n: float = 1.0) -> None:
+        self.value += n
+
+    def dec(self, n: float = 1.0) -> None:
+        self.value -= n
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Gauge({self.name}={self.value})"
+
+
+class Histogram:
+    """Fixed-bucket latency histogram (seconds).
+
+    ``counts`` has ``len(bounds) + 1`` slots; the last is the overflow
+    bucket for observations above every bound.  ``bounds[i]`` is the
+    *inclusive* upper edge of bucket ``i`` (Prometheus ``le``
+    semantics).
+    """
+
+    __slots__ = ("name", "help", "bounds", "counts", "sum")
+
+    def __init__(
+        self,
+        name: str,
+        bounds: Optional[Sequence[float]] = None,
+        help: str = "",
+    ) -> None:
+        chosen = tuple(bounds) if bounds is not None else DEFAULT_LATENCY_BOUNDS
+        if not chosen or any(b <= a for a, b in zip(chosen, chosen[1:])):
+            raise ValueError("histogram bounds must be non-empty and increasing")
+        self.name = name
+        self.help = help
+        self.bounds = chosen
+        self.counts = [0] * (len(chosen) + 1)
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.sum += value
+
+    @property
+    def count(self) -> int:
+        # Derived from the buckets so the hot observe path pays one
+        # list add instead of two attribute adds.
+        return sum(self.counts)
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (``q`` in [0, 100]), interpolated."""
+        return percentile_from_buckets(self.bounds, self.counts, q)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.sum,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Histogram({self.name}, n={self.count}, sum={self.sum:.6f})"
+
+
+def percentile_from_buckets(
+    bounds: Sequence[float], counts: Sequence[int], q: float
+) -> float:
+    """Reconstruct a percentile from bucket counts.
+
+    Linear interpolation within the bucket containing the target rank;
+    observations in the overflow bucket report the last finite bound
+    (a floor for the true value, clearly marked in docs).
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("percentile must be in [0, 100]")
+    total = sum(counts)
+    if total == 0:
+        return 0.0
+    target = (q / 100.0) * total
+    cumulative = 0
+    for i, n in enumerate(counts):
+        if n == 0:
+            continue
+        if cumulative + n >= target:
+            lower = bounds[i - 1] if i > 0 else 0.0
+            upper = bounds[i] if i < len(bounds) else bounds[-1]
+            fraction = (target - cumulative) / n
+            return lower + (upper - lower) * min(max(fraction, 0.0), 1.0)
+        cumulative += n
+    return bounds[-1]
+
+
+class MetricsRegistry:
+    """Get-or-create home for named metrics.
+
+    Creation is idempotent per name; asking for an existing name with a
+    different metric type is a bug and raises.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, object] = {}
+
+    def _get_or_create(self, cls, name: str, *args, **kwargs):
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise ValueError(
+                    f"metric {name!r} already registered as "
+                    f"{type(existing).__name__}, not {cls.__name__}"
+                )
+            return existing
+        metric = cls(name, *args, **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(
+        self,
+        name: str,
+        bounds: Optional[Sequence[float]] = None,
+        help: str = "",
+    ) -> Histogram:
+        return self._get_or_create(Histogram, name, bounds, help)
+
+    def get(self, name: str):
+        return self._metrics.get(name)
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    def counters(self) -> Iterable[Counter]:
+        return [m for m in self._metrics.values() if isinstance(m, Counter)]
+
+    def gauges(self) -> Iterable[Gauge]:
+        return [m for m in self._metrics.values() if isinstance(m, Gauge)]
+
+    def histograms(self) -> Iterable[Histogram]:
+        return [m for m in self._metrics.values() if isinstance(m, Histogram)]
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """Full-fidelity JSON-safe dump (buckets included)."""
+        return {
+            "counters": {m.name: m.value for m in sorted(self.counters(), key=lambda m: m.name)},
+            "gauges": {m.name: m.value for m in sorted(self.gauges(), key=lambda m: m.name)},
+            "histograms": {
+                m.name: m.to_dict()
+                for m in sorted(self.histograms(), key=lambda m: m.name)
+            },
+        }
+
+    def summary(self) -> Dict[str, object]:
+        """Compact dump: histogram percentiles instead of raw buckets."""
+        return {
+            "counters": {m.name: m.value for m in sorted(self.counters(), key=lambda m: m.name)},
+            "gauges": {m.name: m.value for m in sorted(self.gauges(), key=lambda m: m.name)},
+            "histograms": {
+                m.name: {
+                    "count": m.count,
+                    "sum": m.sum,
+                    "mean": m.mean,
+                    "p50": m.percentile(50.0),
+                    "p99": m.percentile(99.0),
+                }
+                for m in sorted(self.histograms(), key=lambda m: m.name)
+            },
+        }
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition format (version 0.0.4)."""
+        lines: List[str] = []
+        for metric in sorted(self.counters(), key=lambda m: m.name):
+            pname = prometheus_name(metric.name) + "_total"
+            if metric.help:
+                lines.append(f"# HELP {pname} {metric.help}")
+            lines.append(f"# TYPE {pname} counter")
+            lines.append(f"{pname} {metric.value}")
+        for metric in sorted(self.gauges(), key=lambda m: m.name):
+            pname = prometheus_name(metric.name)
+            if metric.help:
+                lines.append(f"# HELP {pname} {metric.help}")
+            lines.append(f"# TYPE {pname} gauge")
+            lines.append(f"{pname} {_fmt(metric.value)}")
+        for metric in sorted(self.histograms(), key=lambda m: m.name):
+            pname = prometheus_name(metric.name, "seconds")
+            if metric.help:
+                lines.append(f"# HELP {pname} {metric.help}")
+            lines.append(f"# TYPE {pname} histogram")
+            cumulative = 0
+            for bound, n in zip(metric.bounds, metric.counts):
+                cumulative += n
+                lines.append(f'{pname}_bucket{{le="{_fmt(bound)}"}} {cumulative}')
+            lines.append(f'{pname}_bucket{{le="+Inf"}} {metric.count}')
+            lines.append(f"{pname}_sum {_fmt(metric.sum)}")
+            lines.append(f"{pname}_count {metric.count}")
+        return "\n".join(lines) + "\n"
+
+
+def _fmt(value: float) -> str:
+    """Render a float the way Prometheus expects (no trailing zeros)."""
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)

@@ -26,6 +26,7 @@ import signal
 from typing import Dict, List, Optional
 
 from repro.errors import StoreError
+from repro.obs import NULL_OBS
 from repro.store.manifest import Manifest
 from repro.store.segment import BucketSlice, SegmentMeta, load_segment, write_segment
 
@@ -87,10 +88,13 @@ class Compactor:
         segments_dir: str,
         config: Optional[CompactionConfig] = None,
         chaos: Optional[CompactionChaos] = None,
+        obs=NULL_OBS,
     ) -> None:
         self.segments_dir = segments_dir
         self.config = config or CompactionConfig()
         self.chaos = chaos
+        self.obs = obs if obs is not None else NULL_OBS
+        self._t_merge = self.obs.timer("compaction.merge")
         self.runs = 0
         self.segments_merged = 0
         self.bytes_written = 0
@@ -114,6 +118,10 @@ class Compactor:
         level = self.due(manifest)
         if level is None:
             return False
+        with self._t_merge:
+            return self._merge_level(manifest, level)
+
+    def _merge_level(self, manifest: Manifest, level: int) -> bool:
         victims = sorted(
             manifest.levels()[level],
             key=lambda meta: (meta.min_bucket, meta.segment_id),

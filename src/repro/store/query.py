@@ -179,6 +179,17 @@ def _timeseries(
                 continue
             cell = (country, part.bucket)
             bucket_matches[cell] = bucket_matches.get(cell, 0) + n
+    # A cell with tampering matches but no total connections cannot be
+    # produced by a consistent rollup (every match is also a total); it
+    # means a segment or WAL slice is corrupt or partial.  Refuse to
+    # answer rather than fabricate a rate or silently drop the cell.
+    for cell, n in bucket_matches.items():
+        if n and bucket_totals.get(cell, 0) <= 0:
+            raise StoreError(
+                f"inconsistent store state: bucket {cell[1]} has {n} "
+                f"tampering matches for {cell[0]!r} but no total "
+                "connections (corrupt or partial segment/WAL slice)"
+            )
     present = {country for country, _ in bucket_totals}
     return {
         country: [
@@ -186,7 +197,7 @@ def _timeseries(
                 b,
                 100.0
                 * bucket_matches.get((country, b), 0)
-                / bucket_totals.get((country, b), 1),
+                / bucket_totals[(country, b)],
             )
             for b in sorted(
                 bucket for c, bucket in bucket_totals if c == country

@@ -37,6 +37,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.core.model import SignatureId
 from repro.errors import CheckpointError, StoreError
+from repro.obs import NULL_OBS
 from repro.store.compaction import CompactionChaos, CompactionConfig, Compactor
 from repro.store.manifest import Manifest
 from repro.store.query import QueryResult, StoreQuery, execute
@@ -75,12 +76,15 @@ class RollupStore:
         bucket_seconds: float = DEFAULT_BUCKET_SECONDS,
         config: Optional[StoreConfig] = None,
         chaos: Optional[CompactionChaos] = None,
+        obs=None,
     ) -> None:
         if bucket_seconds <= 0:
             raise StoreError("bucket_seconds must be positive")
         self.directory = directory
         self.bucket_seconds = bucket_seconds
         self.config = config or StoreConfig()
+        self.obs = obs if obs is not None else NULL_OBS
+        self._t_seal = self.obs.timer("segment.seal")
         self.segments_dir = os.path.join(directory, SEGMENTS_DIR)
         os.makedirs(self.segments_dir, exist_ok=True)
 
@@ -95,11 +99,15 @@ class RollupStore:
         self.manifest = manifest
         self.catalog = manifest.catalog
         self.compactor = Compactor(
-            self.segments_dir, config=self.config.compaction, chaos=chaos
+            self.segments_dir,
+            config=self.config.compaction,
+            chaos=chaos,
+            obs=self.obs,
         )
         self.wal = WriteAheadLog(
             os.path.join(directory, WAL_DIR),
             sync_every=self.config.wal_sync_records,
+            obs=self.obs,
         )
 
         #: bucket start -> open (unsealed) slice
@@ -252,6 +260,10 @@ class RollupStore:
     def _seal(self, buckets: List[float]) -> int:
         if not buckets:
             return 0
+        with self._t_seal:
+            return self._seal_buckets(buckets)
+
+    def _seal_buckets(self, buckets: List[float]) -> int:
         self.wal.sync()  # segment must never get ahead of the log
         new_metas = []
         for bucket in buckets:

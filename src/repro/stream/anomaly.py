@@ -19,9 +19,12 @@ al.'s TTL-based carrier anomaly detection):
   ``cusum_exit``; the baseline is frozen while an incident is active so
   a long spike cannot absorb itself into "normal".
 
-Windows with fewer than ``min_window_total`` connections are skipped
-outright -- they carry no rate information.  The detector's state is a
-few floats per country and serialises into checkpoints.
+Windows with fewer than ``min_window_total`` connections carry no rate
+information: they are not scored and do not touch the baseline, but the
+CUSUM statistic still decays by the ``drift`` allowance so that an
+active incident can close during a sparse-traffic lull instead of
+latching open forever.  The detector's state is a few floats per
+country and serialises into checkpoints.
 """
 
 from __future__ import annotations
@@ -63,6 +66,10 @@ class AnomalyConfig:
             raise StreamError("cusum_cap must be >= cusum_enter")
         if self.min_window_total < 1:
             raise StreamError("min_window_total must be >= 1")
+        if self.drift < 0.0:
+            raise StreamError("drift must be >= 0")
+        if self.sigma_floor <= 0.0:
+            raise StreamError("sigma_floor must be positive")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -108,7 +115,7 @@ class EwmaDetector:
         """
         config = self.config
         if total < config.min_window_total:
-            return []
+            return self._observe_thin(country, window_start, rate)
         state = self._states.setdefault(country, _CountryState())
         emitted: List[AnomalyEvent] = []
 
@@ -170,6 +177,38 @@ class EwmaDetector:
 
         self.events.extend(emitted)
         return emitted
+
+    def _observe_thin(
+        self, country: str, window_start: float, rate: float
+    ) -> List[AnomalyEvent]:
+        """A window below ``min_window_total``: no rate information.
+
+        The rate is not scored and the baseline is untouched, but the
+        CUSUM statistic still decays by the per-window ``drift``
+        allowance -- exactly what a perfectly-on-baseline (z = 0)
+        window would subtract.  Without this, an active incident can
+        never fall below ``cusum_exit`` while traffic is sparse and the
+        alert latches open forever (the post-blackout lull shape).
+        """
+        state = self._states.get(country)
+        if state is None or state.cusum <= 0.0:
+            return []
+        config = self.config
+        state.cusum = max(0.0, state.cusum - config.drift)
+        if state.active and state.cusum <= config.cusum_exit:
+            state.active = False
+            event = AnomalyEvent(
+                country=country,
+                kind="end",
+                window_start=window_start,
+                rate=rate,
+                baseline=state.mean,
+                zscore=0.0,
+                cusum=state.cusum,
+            )
+            self.events.append(event)
+            return [event]
+        return []
 
     # ------------------------------------------------------------------
     def is_active(self, country: str) -> bool:

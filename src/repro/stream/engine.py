@@ -28,6 +28,7 @@ from typing import Deque, Dict, Iterator, List, Optional, Tuple
 from repro.cdn.geo import GeoDatabase
 from repro.core.classifier import ClassifierConfig, TamperingClassifier
 from repro.errors import CheckpointError, StreamError, TransientSourceError
+from repro.obs import Observability, ProgressReporter
 from repro.stream.anomaly import AnomalyConfig, AnomalyEvent, EwmaDetector
 from repro.stream.checkpoint import CheckpointManager
 from repro.stream.metrics import StreamMetrics
@@ -44,6 +45,13 @@ __all__ = ["StreamEngine", "StreamReport"]
 
 #: "No cursor seen yet" marker; distinct from any real cursor value.
 _NO_CURSOR = object()
+
+#: Timing-sample strides (powers of two) for the hottest per-record
+#: spans: only every Nth occurrence is clocked, and the recorded span
+#: carries weight N in its histogram.  Occurrence *counters* stay exact
+#: -- sampling only applies to latency measurement.
+_READ_SAMPLE = 8
+_CLASSIFY_SAMPLE = 4
 
 
 @dataclasses.dataclass
@@ -105,6 +113,8 @@ class StreamEngine:
         store_dir: Optional[str] = None,
         store_config: Optional[object] = None,
         store_chaos: Optional[object] = None,
+        obs: Optional[Observability] = None,
+        progress: Optional[ProgressReporter] = None,
     ) -> None:
         if n_workers < 0:
             raise StreamError("n_workers must be >= 0")
@@ -122,6 +132,15 @@ class StreamEngine:
         self.rollup = StreamRollup(bucket_seconds=bucket_seconds)
         self.detector = EwmaDetector(anomaly_config)
         self.metrics = StreamMetrics()
+        #: Stage-level timers/counters; pass ``repro.obs.NULL_OBS`` to
+        #: disable instrumentation entirely.
+        self.obs = obs if obs is not None else Observability()
+        self.metrics.obs = self.obs
+        self.progress = progress
+        self._t_fold = self.obs.timer("rollup.fold")
+        self._t_anomaly = self.obs.timer("anomaly.observe")
+        self._t_checkpoint = self.obs.timer("checkpoint.write")
+        self._c_source_retries = self.obs.counter("source.retries")
         self.max_source_retries = max_source_retries
         self.retry_backoff_seconds = retry_backoff_seconds
         self.worker_chaos = worker_chaos
@@ -140,6 +159,7 @@ class StreamEngine:
                 bucket_seconds=bucket_seconds,
                 config=store_config,
                 chaos=store_chaos,
+                obs=self.obs,
             )
         else:
             self.store = None
@@ -200,6 +220,12 @@ class StreamEngine:
         self.source.seek(payload["cursor"])
         self.metrics.resumed_from = payload["samples_done"]
         self.metrics.checkpoints_written = 0
+        self.obs.counter("engine.resumes").inc()
+        self.obs.event(
+            "engine.resume",
+            samples_done=payload["samples_done"],
+            watermark=payload["watermark"],
+        )
 
     def _checkpoint_state(self) -> dict:
         state = {
@@ -232,8 +258,13 @@ class StreamEngine:
             (cell for cell in self._open_cells if cell[1] <= horizon),
             key=lambda cell: (cell[1], cell[0]),
         )
-        for cell in ripe:
-            self._feed_cell(cell)
+        if ripe:
+            # One anomaly.observe span per non-empty sweep, not per
+            # cell: most records ripen nothing, and a per-cell span
+            # would make the detector look like a per-record stage.
+            with self._t_anomaly:
+                for cell in ripe:
+                    self._feed_cell(cell)
         if self.store is not None:
             # The same horizon that closes detector cells seals store
             # buckets: an in-order source can never touch them again.
@@ -242,8 +273,11 @@ class StreamEngine:
 
     def _flush_cells(self) -> None:
         """End of stream: close everything still open, in time order."""
-        for cell in sorted(self._open_cells, key=lambda cell: (cell[1], cell[0])):
-            self._feed_cell(cell)
+        cells = sorted(self._open_cells, key=lambda cell: (cell[1], cell[0]))
+        if cells:
+            with self._t_anomaly:
+                for cell in cells:
+                    self._feed_cell(cell)
 
     def _feed_cell(self, cell: Tuple[str, float]) -> None:
         total, matches = self._open_cells.pop(cell)
@@ -257,10 +291,11 @@ class StreamEngine:
             geo = self.geodb.lookup_or_none(record.client_ip)
             if geo is not None:
                 record = record.located(geo.country, geo.asn)
-        if self.store is not None:
-            self.store.add(record)
-        else:
-            self.rollup.add(record)
+        with self._t_fold:
+            if self.store is not None:
+                self.store.add(record)
+            else:
+                self.rollup.add(record)
         self._n_folded += 1
         self.metrics.on_record_out(record.is_tampering)
 
@@ -278,8 +313,11 @@ class StreamEngine:
             self._safe_cursor = cursor
 
         if self.checkpointer is not None and self.checkpointer.due(self._n_folded):
-            self.checkpointer.save(self._checkpoint_state(), self._n_folded)
+            with self._t_checkpoint:
+                self.checkpointer.save(self._checkpoint_state(), self._n_folded)
             self.metrics.checkpoints_written += 1
+        if self.progress is not None:
+            self.progress.maybe_report(self.metrics)
 
     # ------------------------------------------------------------------
     # Input plumbing
@@ -294,17 +332,31 @@ class StreamEngine:
         error propagates immediately.
         """
         failures = 0
+        # A warm read is a couple of microseconds, so per-read clocks
+        # would tax it visibly: time 1 in _READ_SAMPLE reads and let the
+        # weighted histogram estimate the rest (see SpanTimer).
+        t_read = self.obs.timer("source.read", sample=_READ_SAMPLE)
+        n_reads = 0
         while True:
+            iterator = iter(self.source)
             try:
-                for item in self.source:
+                while True:
+                    if n_reads & (_READ_SAMPLE - 1):
+                        item = next(iterator)
+                    else:
+                        with t_read:
+                            item = next(iterator)
+                    n_reads += 1
                     failures = 0
                     yield item
+            except StopIteration:
                 return
             except TransientSourceError:
                 failures += 1
                 if failures > self.max_source_retries:
                     raise
                 self.metrics.source_retries += 1
+                self._c_source_retries.inc()
                 if self.retry_backoff_seconds > 0:
                     time.sleep(self.retry_backoff_seconds * (2 ** (failures - 1)))
                 self.source.seek(self.source.cursor())
@@ -337,9 +389,44 @@ class StreamEngine:
 
     def _serial_records(self, items: Iterator[StreamItem]) -> Iterator[StreamRecord]:
         classifier = TamperingClassifier(self.classifier_config)
+        obs = self.obs
+        # With the memo enabled, timings are routed into hit/miss
+        # histograms (a cache hit is ~feature extraction only, a miss
+        # runs the full signature cascade); the split is detected from
+        # the classifier's own hit counter, so it costs one compare.
+        # Only every _CLASSIFY_SAMPLE-th record is clocked -- the
+        # hit/miss *counters* are exact, the latency histograms are
+        # weight-corrected estimates.
+        split = self.classifier_config.cache_size > 0 and obs.enabled
+        t_hit = obs.timer("classify.hit", sample=_CLASSIFY_SAMPLE)
+        t_miss = obs.timer("classify.miss", sample=_CLASSIFY_SAMPLE)
+        t_classify = obs.timer("classify")
+        c_hits = obs.counter("classify.cache_hits")
+        c_misses = obs.counter("classify.cache_misses")
+        perf = time.perf_counter
         seq = 0
         for item in items:
-            result = classifier.classify(item.sample)
+            if split:
+                hits_before = classifier.cache_hits
+                if seq & (_CLASSIFY_SAMPLE - 1):
+                    result = classifier.classify(item.sample)
+                    if classifier.cache_hits > hits_before:
+                        c_hits.inc()
+                    else:
+                        c_misses.inc()
+                else:
+                    start = perf()
+                    result = classifier.classify(item.sample)
+                    duration = perf() - start
+                    if classifier.cache_hits > hits_before:
+                        t_hit.record(duration, start)
+                        c_hits.inc()
+                    else:
+                        t_miss.record(duration, start)
+                        c_misses.inc()
+            else:
+                with t_classify:
+                    result = classifier.classify(item.sample)
             yield StreamRecord.from_result(result, seq=seq, ts=item.ts)
             seq += 1
 
@@ -381,7 +468,10 @@ class StreamEngine:
                     self.shard_config, n_workers=self.n_workers
                 )
                 pool = ShardedClassifierPool(
-                    pool_config, self.classifier_config, chaos=self.worker_chaos
+                    pool_config,
+                    self.classifier_config,
+                    chaos=self.worker_chaos,
+                    obs=self.obs,
                 )
                 try:
                     with pool:
@@ -414,10 +504,12 @@ class StreamEngine:
             if self.checkpointer is not None and self._n_folded:
                 # Final state (post window-flush) so a restart of a
                 # finished stream has nothing left to do.
-                self.checkpointer.save(self._checkpoint_state(), self._n_folded)
+                with self._t_checkpoint:
+                    self.checkpointer.save(self._checkpoint_state(), self._n_folded)
                 self.metrics.checkpoints_written += 1
         elif self.checkpointer is not None and self._safe_cursor is not None:
-            self.checkpointer.save(self._checkpoint_state(), self._n_folded)
+            with self._t_checkpoint:
+                self.checkpointer.save(self._checkpoint_state(), self._n_folded)
             self.metrics.checkpoints_written += 1
 
         if self.store is not None:

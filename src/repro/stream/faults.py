@@ -274,6 +274,8 @@ class DrillResult:
             return False
         if self.details.get("forced_terminations", 0):
             return False  # shutdown escalated to terminate(): a hang
+        if self.details.get("obs_events_ok") is False:
+            return False  # recovery happened but left no trace span
         return True
 
     def render(self) -> str:
@@ -354,12 +356,19 @@ def _drill_kill_worker(
     report = engine.run()
     elapsed = time.monotonic() - began
     hardened = report.rollup.to_dict()
+    # The restart must also be visible as a trace event: operators
+    # reading an --obs export should see the recovery, not just a
+    # counter bump.
+    restart_events = len(engine.obs.tracer.events("worker.restart"))
+    restarts = report.metrics["worker_restarts"]
     return DrillResult(
         mode="kill-worker",
         parity=hardened == clean,
         samples=report.rollup.n_records,
         details={
-            "worker_restarts": report.metrics["worker_restarts"],
+            "worker_restarts": restarts,
+            "restart_events": restart_events,
+            "obs_events_ok": restart_events >= 1 if restarts else True,
             "forced_terminations": report.metrics["forced_terminations"],
             "elapsed_seconds": round(elapsed, 3),
             "no_terminate_path": report.metrics["forced_terminations"] == 0,
@@ -464,13 +473,17 @@ def _drill_kill9_resume(
             child.join(timeout=5.0)
 
         source = _drill_source(scenario, connections, seed)
-        resumed = StreamEngine(
+        engine = StreamEngine(
             source,
             geodb=source.world.geo,
             n_workers=0,
             checkpoint_path=checkpoint_path,
             checkpoint_interval=interval,
-        ).run(resume=True)
+        )
+        resumed = engine.run(resume=True)
+        # A resume from a real checkpoint must leave an engine.resume
+        # trace event behind for --obs exports.
+        resume_events = len(engine.obs.tracer.events("engine.resume"))
         return DrillResult(
             mode="kill9-resume",
             parity=killed and resumed.rollup.to_dict() == clean,
@@ -481,6 +494,12 @@ def _drill_kill9_resume(
                 "kill_index": kill_index,
                 "checkpoint_interval": interval,
                 "resumed_from": resumed.metrics["resumed_from"],
+                "resume_events": resume_events,
+                "obs_events_ok": (
+                    resume_events >= 1
+                    if resumed.metrics["resumed_from"]
+                    else True
+                ),
                 "forced_terminations": resumed.metrics["forced_terminations"],
             },
         )
@@ -579,7 +598,7 @@ def _drill_store_compaction(
             child.join(timeout=5.0)
 
         source = _drill_source(scenario, connections, seed)
-        resumed = StreamEngine(
+        engine = StreamEngine(
             source,
             geodb=source.world.geo,
             n_workers=0,
@@ -589,7 +608,9 @@ def _drill_store_compaction(
             store_config=StoreConfig(
                 compaction=CompactionConfig(trigger=4, fanout=4)
             ),
-        ).run(resume=True)
+        )
+        resumed = engine.run(resume=True)
+        resume_events = len(engine.obs.tracer.events("engine.resume"))
         engine_parity = _rollup_fingerprint(resumed.rollup) == clean
 
         # The disk must agree with the engine: reopen cold and query.
@@ -607,6 +628,12 @@ def _drill_store_compaction(
                 "chaos_point": chaos_point,
                 "checkpoint_interval": interval,
                 "resumed_from": resumed.metrics["resumed_from"],
+                "resume_events": resume_events,
+                "obs_events_ok": (
+                    resume_events >= 1
+                    if resumed.metrics["resumed_from"]
+                    else True
+                ),
                 "engine_parity": engine_parity,
                 "store_query_parity": query_parity,
                 "sealed_skips": resumed.metrics["store"]["sealed_skips"],

@@ -39,6 +39,9 @@ class StreamMetrics:
         self.workers: Dict[int, Dict[str, float]] = {}
         #: RollupStore.stats() snapshot, when the engine runs store-backed
         self.store_stats: Optional[dict] = None
+        #: The engine's Observability layer (set by StreamEngine); its
+        #: summary lands in snapshots under the "obs" key.
+        self.obs = None
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -118,6 +121,8 @@ class StreamMetrics:
         }
         if self.store_stats is not None:
             snap["store"] = dict(self.store_stats)
+        if self.obs is not None and getattr(self.obs, "enabled", False):
+            snap["obs"] = self.obs.summary()
         return snap
 
     def render(self) -> str:

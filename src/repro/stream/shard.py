@@ -51,6 +51,7 @@ from repro.cdn.collector import ConnectionSample
 from repro.core.classifier import ClassificationResult, ClassifierConfig, TamperingClassifier
 from repro.core.model import SignatureId, Stage
 from repro.errors import StreamError
+from repro.obs import NULL_OBS
 from repro.stream.source import StreamItem
 
 __all__ = [
@@ -204,12 +205,24 @@ def _worker_main(worker_id, config_blob, in_queue, out_queue, chaos=None):
         batch_id, rows = task
         try:
             began = time.monotonic()
+            hits_before = classifier.cache_hits
+            misses_before = classifier.cache_misses
             records = []
             for seq, ts, sample in rows:
                 result = classifier.classify(sample)
                 records.append(StreamRecord.from_result(result, seq=seq, ts=ts))
+            # The trailing hit/miss deltas let the coordinator aggregate
+            # cache behaviour across processes without extra IPC.
             out_queue.put(
-                ("ok", worker_id, batch_id, records, time.monotonic() - began)
+                (
+                    "ok",
+                    worker_id,
+                    batch_id,
+                    records,
+                    time.monotonic() - began,
+                    classifier.cache_hits - hits_before,
+                    classifier.cache_misses - misses_before,
+                )
             )
             batches_done += 1
         except BaseException as exc:  # surface, don't hang the merge
@@ -236,10 +249,18 @@ class ShardedClassifierPool:
         config: Optional[ShardConfig] = None,
         classifier_config: Optional[ClassifierConfig] = None,
         chaos: Optional[WorkerChaos] = None,
+        obs=NULL_OBS,
     ) -> None:
         self.config = config or ShardConfig()
         self.classifier_config = classifier_config or ClassifierConfig()
         self.chaos = chaos
+        self.obs = obs if obs is not None else NULL_OBS
+        self._t_dispatch = self.obs.timer("shard.dispatch")
+        self._t_collect = self.obs.timer("shard.collect")
+        self._h_batch = self.obs.histogram("classify.batch")
+        self._c_cache_hits = self.obs.counter("classify.cache_hits")
+        self._c_cache_misses = self.obs.counter("classify.cache_misses")
+        self._c_restarts = self.obs.counter("worker.restarts")
         try:
             self._ctx = multiprocessing.get_context("fork")
         except ValueError:  # pragma: no cover - non-POSIX fallback
@@ -403,6 +424,13 @@ class ShardedClassifierPool:
         old_queue.cancel_join_thread()
         self.restarts += 1
         self.worker_restarts[worker_id] = self.worker_restarts.get(worker_id, 0) + 1
+        self._c_restarts.inc()
+        self.obs.event(
+            "worker.restart",
+            worker_id=worker_id,
+            exitcode=dead.exitcode,
+            unacked_batches=len(self._unacked[worker_id]),
+        )
         # The replacement never inherits chaos, or a planned death would
         # loop until the restart budget burned out.
         process, in_queue = self._spawn(worker_id, chaos=None)
@@ -426,17 +454,23 @@ class ShardedClassifierPool:
         batch_id = self._next_batch_id
         self._next_batch_id += 1
         task = (batch_id, rows)
-        while True:
-            try:
-                self._in_queues[worker_id].put(task, timeout=self.config.poll_seconds)
-                self._unacked[worker_id][batch_id] = rows
-                return
-            except queue_module.Full:
-                self._check_workers()
+        # The span covers backpressure waits too: a full input queue is
+        # dispatch latency the operator should see.
+        with self._t_dispatch:
+            while True:
+                try:
+                    self._in_queues[worker_id].put(
+                        task, timeout=self.config.poll_seconds
+                    )
+                    self._unacked[worker_id][batch_id] = rows
+                    return
+                except queue_module.Full:
+                    self._check_workers()
 
     def _collect_one(self, block: bool) -> Optional[Tuple[int, List[StreamRecord]]]:
         """Pull one completed batch off the output queue."""
         assert self._out_queue is not None
+        start = time.perf_counter()
         while True:
             try:
                 message = self._out_queue.get(
@@ -447,9 +481,18 @@ class ShardedClassifierPool:
                     return None
                 self._check_workers()
                 continue
-            kind, worker_id, batch_id, payload, busy = message
+            # "ok" messages grew trailing cache-delta fields; slicing
+            # keeps "error" messages (and any old 5-tuples) working.
+            kind, worker_id, batch_id, payload, busy = message[:5]
             if kind == "error":
                 raise StreamError(f"worker {worker_id} failed: {payload}")
+            # Only a delivered batch is a collection; empty non-blocking
+            # polls are not latency anyone waited on.
+            self._t_collect.record(time.perf_counter() - start, start)
+            self._h_batch.observe(busy)
+            if len(message) > 6:
+                self._c_cache_hits.inc(message[5])
+                self._c_cache_misses.inc(message[6])
             self._unacked[worker_id].pop(batch_id, None)
             self.worker_busy[worker_id] += busy
             self.worker_records[worker_id] += len(payload)

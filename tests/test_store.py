@@ -664,6 +664,34 @@ class TestQueries:
         with pytest.raises(StoreError, match="greater than start"):
             StoreQuery("timeseries", start=HOUR, end=HOUR)
 
+    def test_timeseries_match_without_total_raises(self):
+        # Regression: a corrupt/partial part can hold tampering matches
+        # for a (country, bucket) cell with no total connections -- a
+        # state no consistent rollup produces.  The old code silently
+        # dropped the cell (or divided by a fabricated total of 1);
+        # refuse to answer instead.
+        from repro.store.query import execute
+
+        catalog = KeyCatalog()
+        catalog.observe("US", SignatureId.NOT_TAMPERING, False)
+        catalog.observe("IR", SignatureId.SYN_RST, True)
+        part = BucketSlice(bucket=0.0)
+        part.totals = {"US": 10}
+        part.matches = {"US": 0, "IR": 3}  # IR matches, no IR totals
+        with pytest.raises(StoreError, match="inconsistent store state"):
+            execute(StoreQuery("timeseries"), catalog, [part])
+
+    def test_timeseries_consistent_parts_unaffected(self):
+        from repro.store.query import execute
+
+        catalog = KeyCatalog()
+        catalog.observe("IR", SignatureId.SYN_RST, True)
+        part = BucketSlice(bucket=0.0)
+        part.totals = {"IR": 4}
+        part.matches = {"IR": 3}
+        value = execute(StoreQuery("timeseries"), catalog, [part])
+        assert value == {"IR": [(0.0, 75.0)]}
+
 
 # ----------------------------------------------------------------------
 # Checkpoint integration: O(open) payloads and resume resync

@@ -461,6 +461,88 @@ class TestAnomalyDetection:
             AnomalyConfig(cusum_enter=1.0, cusum_exit=2.0)
         with pytest.raises(StreamError):
             AnomalyConfig(min_window_total=0)
+        with pytest.raises(StreamError):
+            AnomalyConfig(drift=-0.1)
+        with pytest.raises(StreamError):
+            AnomalyConfig(sigma_floor=0.0)
+        with pytest.raises(StreamError):
+            AnomalyConfig(sigma_floor=-1.0)
+
+    def test_incident_closes_during_sparse_traffic(self):
+        # Regression: thin windows used to return without touching the
+        # CUSUM statistic, so an incident opened just before a traffic
+        # lull (the post-blackout shape of the Iran case study) latched
+        # active forever.  Thin windows must decay the statistic and
+        # eventually emit the "end" event.
+        config = AnomalyConfig(min_windows=6)
+        detector = EwmaDetector(config)
+        events = []
+        rates = [10.0] * 30 + [40.0] * 10
+        for window, rate in enumerate(rates):
+            events += detector.observe("XX", float(window), rate, total=100)
+        assert [e.kind for e in events] == ["start"]
+        assert detector.is_active("XX")
+        baseline_before = detector.baseline("XX")
+
+        # Starve the country: every window is below min_window_total.
+        for window in range(len(rates), len(rates) + 40):
+            events += detector.observe("XX", float(window), 0.0, total=1)
+        kinds = [e.kind for e in events]
+        assert kinds == ["start", "end"]
+        assert not detector.is_active("XX")
+        # Thin windows carry no rate information: the frozen baseline
+        # must not have been dragged toward the (meaningless) thin rates.
+        assert detector.baseline("XX") == baseline_before
+
+    def test_thin_windows_decay_within_cap_bound(self):
+        # The cap bounds the statistic, so the incident must close
+        # within ceil((cusum_cap - cusum_exit) / drift) thin windows.
+        config = AnomalyConfig(min_windows=6)
+        detector = EwmaDetector(config)
+        for window in range(40):
+            rate = 10.0 if window < 30 else 40.0
+            detector.observe("XX", float(window), rate, total=100)
+        assert detector.is_active("XX")
+        import math as _math
+
+        bound = _math.ceil((config.cusum_cap - config.cusum_exit) / config.drift)
+        closed_after = None
+        for i in range(bound + 1):
+            if detector.observe("XX", 40.0 + i, 0.0, total=1):
+                closed_after = i + 1
+                break
+        assert closed_after is not None and closed_after <= bound
+
+    def test_thin_windows_before_baseline_are_noops(self):
+        detector = EwmaDetector(AnomalyConfig(min_window_total=5))
+        # No state yet: a thin window must not create one.
+        assert detector.observe("XX", 0.0, 100.0, total=2) == []
+        assert "XX" not in detector._states
+
+    def test_state_roundtrip_mid_incident_is_byte_for_byte(self):
+        # Checkpoint/restore while an incident is open: active flag,
+        # frozen baseline, and event history must survive exactly.
+        detector = EwmaDetector(AnomalyConfig(min_windows=6))
+        for window in range(45):
+            rate = 10.0 if window < 40 else 40.0
+            detector.observe("XX", float(window), rate, total=100)
+        detector.observe("YY", 0.0, 5.0, total=50)  # second country, no incident
+        assert detector.is_active("XX")
+
+        payload = json.dumps(detector.to_dict(), sort_keys=True)
+        restored = EwmaDetector.from_dict(json.loads(payload))
+        assert json.dumps(restored.to_dict(), sort_keys=True) == payload
+        assert restored.is_active("XX")
+        assert restored.baseline("XX") == detector.baseline("XX")
+        assert restored._states["XX"] == detector._states["XX"]
+        assert [e.to_dict() for e in restored.events] == [
+            e.to_dict() for e in detector.events
+        ]
+        # The restored detector keeps behaving identically.
+        for window in range(45, 60):
+            expected = detector.observe("XX", float(window), 10.0, total=100)
+            got = restored.observe("XX", float(window), 10.0, total=100)
+            assert [e.to_dict() for e in got] == [e.to_dict() for e in expected]
 
 
 @pytest.mark.slow
