@@ -1,0 +1,251 @@
+"""Closed-loop latency/throughput benchmark for the serve tier.
+
+Not a paper artifact -- this measures :mod:`repro.serve`: an in-process
+:class:`ServeService` (real asyncio listener on a loopback port, real
+HTTP) under a closed-loop load of concurrent :class:`ServeClient`
+threads.  Each client partition of the study is POSTed through
+``/v1/samples`` with honest ``Retry-After`` backoff, so the measured
+rate is the *sustained admitted* ingest rate, with backpressure
+rejections (429) counted rather than hidden.  After ingest drains, the
+read path is sampled: ``/v1/query`` per family, ``/v1/anomalies``, and
+a ``/metrics`` scrape.
+
+Writes ``BENCH_serve_latency.json`` (path override:
+``REPRO_BENCH_SERVE_JSON``) so CI can track the serving tier as a
+trajectory; the report test is also the regression gate -- it fails
+the job if the service stops sustaining ingest (rate 0), if any
+latency percentile degenerates to 0, or if the drain loses records.
+"""
+
+import json
+import os
+import threading
+import time
+
+from repro.serve import RetryLater, ServeClient, ServeConfig, ServeService
+
+_JSON_PATH = os.environ.get("REPRO_BENCH_SERVE_JSON", "BENCH_serve_latency.json")
+
+N_CLIENTS = int(os.environ.get("REPRO_BENCH_SERVE_CLIENTS", "4"))
+POST_BATCH = int(os.environ.get("REPRO_BENCH_SERVE_BATCH", "256"))
+N_QUERIES = int(os.environ.get("REPRO_BENCH_SERVE_QUERIES", "50"))
+
+_FAMILIES = ("country_tampering_rate", "timeseries", "stage_statistics")
+
+#: Sealing grace for the ingest phase.  The engine's contract is
+#: roughly time-ordered ingest: a record whose bucket is already sealed
+#: is dropped.  Unsynchronized closed-loop clients admit into a deep
+#: queue, so their study-clock skew is bounded only by the whole study
+#: span -- the grace is therefore set *wider than the study* so no
+#: bucket can seal while ingest is in flight, making out-of-order
+#: drops impossible by construction.  Sealing happens at drain; the
+#: read-path phase then runs against a second service resumed on the
+#: same (fully sealed) store, which also exercises restart.
+GRACE_SECONDS = float(os.environ.get("REPRO_BENCH_SERVE_GRACE", 32 * 86400))
+
+
+def _percentile(sorted_values, q):
+    """Exact percentile by rank over raw measurements (not buckets)."""
+    if not sorted_values:
+        return 0.0
+    rank = (q / 100.0) * (len(sorted_values) - 1)
+    low = int(rank)
+    high = min(low + 1, len(sorted_values) - 1)
+    fraction = rank - low
+    return sorted_values[low] * (1 - fraction) + sorted_values[high] * fraction
+
+
+def _latency_stats(samples_ms):
+    ordered = sorted(samples_ms)
+    return {
+        "n": len(ordered),
+        "p50_ms": _percentile(ordered, 50.0),
+        "p99_ms": _percentile(ordered, 99.0),
+        "max_ms": ordered[-1] if ordered else 0.0,
+    }
+
+
+class _IngestWorker(threading.Thread):
+    """One closed-loop client: POST a partition, back off on 429."""
+
+    def __init__(self, port, client_id, samples, timestamps, post_batch):
+        super().__init__(name=f"bench-client-{client_id}")
+        self.port = port
+        self.client_id = client_id
+        self.samples = samples
+        self.timestamps = timestamps
+        self.post_batch = post_batch
+        self.latencies_ms = []
+        self.rejected = 0
+        self.accepted = 0
+        self.error = None
+
+    def run(self):
+        client = ServeClient(port=self.port, client_id=self.client_id)
+        try:
+            for start in range(0, len(self.samples), self.post_batch):
+                batch = self.samples[start:start + self.post_batch]
+                while True:
+                    tick = time.perf_counter()
+                    try:
+                        result = client.post_samples(
+                            batch, timestamps=self.timestamps
+                        )
+                    except RetryLater as exc:
+                        self.rejected += 1
+                        time.sleep(min(exc.retry_after, 0.05))
+                        continue
+                    self.latencies_ms.append(
+                        1000.0 * (time.perf_counter() - tick)
+                    )
+                    self.accepted += result["accepted"]
+                    break
+        except Exception as exc:  # surfaced by the main thread
+            self.error = exc
+        finally:
+            client.close()
+
+
+def _boot(store_dir, geodb):
+    service = ServeService(
+        store_dir,
+        config=ServeConfig(
+            port=0,
+            batch_max_records=512,
+            batch_max_delay_seconds=0.01,
+            queue_max_records=4096,
+        ),
+        geodb=geodb,
+        grace_seconds=GRACE_SECONDS,
+    )
+    thread = threading.Thread(target=service.run, daemon=True)
+    thread.start()
+    assert service.ready.wait(30), "service never became ready"
+    return service, thread
+
+
+def _shutdown(service, thread):
+    service.request_shutdown_threadsafe()
+    thread.join(timeout=60)
+    assert not thread.is_alive(), "service failed to drain"
+    assert service.report is not None
+    return service.report
+
+
+def test_serve_latency_report(study, tmp_path, capsys):
+    """Boot, load, drain, resume; emit the serving-tier trajectory."""
+    store_dir = str(tmp_path / "store")
+    service, thread = _boot(store_dir, study.geo)
+
+    # -- closed-loop ingest --------------------------------------------
+    n = len(study.samples)
+    post_batch = min(POST_BATCH, max(32, n // 16))
+    workers = [
+        _IngestWorker(
+            service.port,
+            f"bench-{i}",
+            study.samples[i::N_CLIENTS],
+            study.timestamps,
+            post_batch,
+        )
+        for i in range(N_CLIENTS)
+    ]
+    wall_start = time.perf_counter()
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join()
+    for worker in workers:
+        assert worker.error is None, worker.error
+
+    # Wait until every admitted record is folded, then measure the
+    # wall clock: "sustained" includes the fold, not just the queueing.
+    probe = ServeClient(port=service.port)
+    deadline = time.monotonic() + 120
+    while time.monotonic() < deadline:
+        status = probe._json("GET", "/readyz")
+        if status.get("folded", 0) >= n and status.get("queued") == 0:
+            break
+        time.sleep(0.01)
+    ingest_wall = time.perf_counter() - wall_start
+    probe.close()
+
+    accepted = sum(w.accepted for w in workers)
+    rejected = sum(w.rejected for w in workers)
+    post_latencies = [ms for w in workers for ms in w.latencies_ms]
+    total_posts = len(post_latencies) + rejected
+
+    # Drain: seals every bucket and checkpoints; the gate below fails
+    # the job if any admitted record was lost on the way to the store.
+    report = _shutdown(service, thread)
+    assert report.samples_processed == n, "drain lost records"
+
+    # -- read path (second service, resumed on the sealed store) -------
+    service, thread = _boot(store_dir, study.geo)
+    probe = ServeClient(port=service.port)
+    query_ms = {}
+    for family in _FAMILIES:
+        samples_ms = []
+        for _ in range(N_QUERIES):
+            tick = time.perf_counter()
+            result = probe.query(family)
+            samples_ms.append(1000.0 * (time.perf_counter() - tick))
+            assert result["value"], f"{family} returned nothing"
+        query_ms[family] = _latency_stats(samples_ms)
+    scrape_ms = []
+    for _ in range(N_QUERIES):
+        tick = time.perf_counter()
+        text = probe.metrics_text()
+        scrape_ms.append(1000.0 * (time.perf_counter() - tick))
+    assert "repro_serve_records_accepted_total" in text
+    probe.close()
+    _shutdown(service, thread)
+
+    payload = {
+        "clients": N_CLIENTS,
+        "post_batch_records": post_batch,
+        "records": n,
+        "accepted_records": accepted,
+        "ingest_wall_seconds": ingest_wall,
+        "ingest_rps": accepted / ingest_wall if ingest_wall else 0.0,
+        "post_latency": _latency_stats(post_latencies),
+        "rejected_posts": rejected,
+        "rejected_share": rejected / total_posts if total_posts else 0.0,
+        "query_latency_ms": query_ms,
+        "metrics_scrape": _latency_stats(scrape_ms),
+    }
+    with open(_JSON_PATH, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+    # The regression gate: the tier must actually move records and the
+    # clock must actually tick.
+    assert accepted == n
+    assert payload["ingest_rps"] > 0
+    assert payload["post_latency"]["p99_ms"] > 0
+    for family in _FAMILIES:
+        assert query_ms[family]["p99_ms"] > 0
+
+    with capsys.disabled():
+        print(f"\nserve trajectory (written to {_JSON_PATH}):")
+        print(
+            f"  ingest: {payload['ingest_rps']:,.0f} records/s sustained "
+            f"({N_CLIENTS} clients x {post_batch}-record POSTs, "
+            f"{rejected} rejections, "
+            f"{100.0 * payload['rejected_share']:.1f}% of posts)"
+        )
+        post = payload["post_latency"]
+        print(
+            f"  POST /v1/samples: p50 {post['p50_ms']:.2f} ms, "
+            f"p99 {post['p99_ms']:.2f} ms"
+        )
+        for family, stats in query_ms.items():
+            print(
+                f"  GET /v1/query {family}: p50 {stats['p50_ms']:.2f} ms, "
+                f"p99 {stats['p99_ms']:.2f} ms"
+            )
+        scrape = payload["metrics_scrape"]
+        print(
+            f"  GET /metrics: p50 {scrape['p50_ms']:.2f} ms, "
+            f"p99 {scrape['p99_ms']:.2f} ms"
+        )

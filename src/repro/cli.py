@@ -151,6 +151,38 @@ def build_parser() -> argparse.ArgumentParser:
                             "(country-keyed families)")
     query.add_argument("--json", action="store_true",
                        help="emit the raw result as JSON instead of a table")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the HTTP ingest/query service over a rollup store",
+    )
+    serve.add_argument("--store", required=True,
+                       help="store directory (created if missing); also "
+                            "holds the serve checkpoint")
+    serve.add_argument("--obs",
+                       help="export observability data to this directory "
+                            "on drain; inspect with: repro obs DIR")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8321,
+                       help="listen port (0 = pick a free port)")
+    serve.add_argument("--batch-records", type=int, default=256,
+                       help="micro-batch flush size")
+    serve.add_argument("--batch-delay", type=float, default=0.05,
+                       help="micro-batch flush deadline in seconds")
+    serve.add_argument("--queue-records", type=int, default=8192,
+                       help="admission control: max records queued before "
+                            "ingest answers 429")
+    serve.add_argument("--rate", type=float, default=0.0,
+                       help="per-client token-bucket rate in records/second "
+                            "(0 = unlimited)")
+    serve.add_argument("--burst", type=int, default=None,
+                       help="per-client token-bucket burst in records")
+    serve.add_argument("--no-seal", action="store_true",
+                       help="on drain, keep trailing buckets open (pause "
+                            "instead of finish; a restarted server resumes "
+                            "them)")
+    serve.add_argument("--bucket-seconds", type=float, default=3600.0)
+    serve.add_argument("--checkpoint-interval", type=int, default=5000)
     return parser
 
 
@@ -363,7 +395,28 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             else None
         ),
     )
-    report = engine.run(max_samples=args.max_samples, resume=args.resume)
+    # A signal lands between folds: the loop notices the flag, writes a
+    # resumable checkpoint (when --checkpoint is set), and exits cleanly
+    # instead of dying mid-fold with a torn run.
+    import signal
+
+    stopped_by = []
+
+    def _on_signal(signum, frame):
+        stopped_by.append(signal.Signals(signum).name)
+        engine.request_stop()
+
+    previous = {
+        sig: signal.signal(sig, _on_signal)
+        for sig in (signal.SIGTERM, signal.SIGINT)
+    }
+    try:
+        report = engine.run(max_samples=args.max_samples, resume=args.resume)
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+    if stopped_by:
+        print(f"stopped by {stopped_by[0]}", file=sys.stderr)
     print(report.render())
     print()
     print(engine.metrics.render())
@@ -375,6 +428,41 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         engine.obs.export(args.obs, extra={"stream_metrics": report.metrics})
         print(f"\nobservability export at {args.obs}; inspect with: repro obs {args.obs}")
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import ServeConfig, ServeService
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        batch_max_records=args.batch_records,
+        batch_max_delay_seconds=args.batch_delay,
+        queue_max_records=args.queue_records,
+        rate_records_per_second=args.rate,
+        rate_burst_records=args.burst,
+        drain_seal=not args.no_seal,
+    )
+    service = ServeService(
+        args.store,
+        config=config,
+        obs_dir=args.obs,
+        bucket_seconds=args.bucket_seconds,
+        checkpoint_interval=args.checkpoint_interval,
+    )
+    print(
+        f"serving on {args.host}:{args.port} -- store at {args.store}; "
+        "SIGTERM/SIGINT drains gracefully",
+        file=sys.stderr,
+    )
+    code = service.run()
+    if service.report is not None:
+        print(
+            f"drained after {service.report.samples_processed} records "
+            f"({'sealed' if not args.no_seal else 'paused'})",
+            file=sys.stderr,
+        )
+    return code
 
 
 def _cmd_obs(args: argparse.Namespace) -> int:
@@ -415,7 +503,9 @@ def _cmd_query(args: argparse.Namespace) -> int:
         countries = tuple(
             c.strip() for c in args.countries.split(",") if c.strip()
         )
-    store = RollupStore(args.store)
+    # Read-only snapshot: safe against a store another process is
+    # actively writing (no orphan sweep, no WAL truncation).
+    store = RollupStore.open_read_only(args.store)
     try:
         result = store.query(
             StoreQuery(
@@ -520,6 +610,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "signatures": _cmd_signatures,
         "stream": _cmd_stream,
         "query": _cmd_query,
+        "serve": _cmd_serve,
         "obs": _cmd_obs,
     }
     return handlers[args.command](args)

@@ -29,6 +29,7 @@ __all__ = [
     "TransientSourceError",
     "CheckpointError",
     "StoreError",
+    "ServeError",
 ]
 
 
@@ -128,4 +129,15 @@ class StoreError(StreamError):
     bucket sealed twice, a WAL entry that cannot be decoded mid-file --
     as a :class:`StoreError` rather than silently producing wrong
     aggregates.
+    """
+
+
+class ServeError(ReproError):
+    """Raised for service-tier failures (:mod:`repro.serve`).
+
+    Covers configuration problems (bad ports, zero queue depths),
+    protocol violations the HTTP layer cannot map to a 4xx response,
+    and lifecycle misuse (pushing into a draining service).  Client-side
+    request failures raised by :mod:`repro.serve.client` also derive
+    from this class.
     """

@@ -1,10 +1,19 @@
 """Named metrics: counters, gauges, and fixed-bucket latency histograms.
 
 The registry is the passive half of :mod:`repro.obs` -- plain objects
-with integer/float fields, no locks, no background threads, and no
-third-party dependencies.  Hot paths hold direct references to the
-metric objects (``Counter.inc`` is one attribute add), so the registry
-dict is only touched at wiring time.
+with integer/float fields, no background threads, and no third-party
+dependencies.  Hot paths hold direct references to the metric objects,
+so the registry dict is only touched at wiring time.
+
+Mutation is **thread-safe**: every metric carries its own lock, taken
+for the few nanoseconds an update needs.  The serving tier
+(:mod:`repro.serve`) updates the same registry from the asyncio event
+loop thread and the ingest worker thread concurrently, and unlocked
+``value += n`` / bucket increments lose updates under that interleaving
+(the read-modify-write spans several bytecodes).  The single-threaded
+engine hot path keeps its lock-free fast lane through
+:class:`~repro.obs.layer.SpanTimer`, which owns its histogram by
+contract.
 
 Histograms use a fixed exponential bucket ladder
 (:data:`DEFAULT_LATENCY_BOUNDS`, 1 microsecond to ~16 seconds) rather
@@ -24,6 +33,8 @@ triplet with cumulative ``le`` labels.
 
 from __future__ import annotations
 
+import re
+import threading
 from bisect import bisect_left
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -44,49 +55,69 @@ DEFAULT_LATENCY_BOUNDS: Tuple[float, ...] = tuple(
 )
 
 
+#: Anything outside the Prometheus metric-name alphabet ([a-zA-Z0-9_:],
+#: with the leading character guaranteed by the ``repro_`` prefix).
+_INVALID_NAME_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+
 def prometheus_name(name: str, unit: str = "") -> str:
-    """Map a dotted metric name to a Prometheus-safe identifier."""
-    base = "repro_" + name.replace(".", "_").replace("-", "_")
+    """Map a dotted metric name to a Prometheus-safe identifier.
+
+    Dots and dashes become underscores, and so does every other
+    character outside the exposition-format alphabet -- stage names are
+    chosen by call sites all over the pipeline, and one odd name must
+    not invalidate the whole ``/metrics`` page.
+    """
+    base = "repro_" + _INVALID_NAME_CHARS.sub("_", name)
     if unit:
         base += "_" + unit
     return base
 
 
 class Counter:
-    """A monotonically increasing count."""
+    """A monotonically increasing count; ``inc`` is thread-safe."""
 
-    __slots__ = ("name", "help", "value")
+    __slots__ = ("name", "help", "value", "_lock")
 
     def __init__(self, name: str, help: str = "") -> None:
         self.name = name
         self.help = help
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, n: int = 1) -> None:
-        self.value += n
+        with self._lock:
+            self.value += n
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Counter({self.name}={self.value})"
 
 
 class Gauge:
-    """A value that can go up and down (queue depth, open cells)."""
+    """A value that can go up and down (queue depth, open cells).
 
-    __slots__ = ("name", "help", "value")
+    Mutation is thread-safe; reads are a single atomic attribute load.
+    """
+
+    __slots__ = ("name", "help", "value", "_lock")
 
     def __init__(self, name: str, help: str = "") -> None:
         self.name = name
         self.help = help
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
-        self.value = value
+        with self._lock:
+            self.value = value
 
     def inc(self, n: float = 1.0) -> None:
-        self.value += n
+        with self._lock:
+            self.value += n
 
     def dec(self, n: float = 1.0) -> None:
-        self.value -= n
+        with self._lock:
+            self.value -= n
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Gauge({self.name}={self.value})"
@@ -101,7 +132,7 @@ class Histogram:
     semantics).
     """
 
-    __slots__ = ("name", "help", "bounds", "counts", "sum")
+    __slots__ = ("name", "help", "bounds", "counts", "sum", "_lock")
 
     def __init__(
         self,
@@ -117,10 +148,27 @@ class Histogram:
         self.bounds = chosen
         self.counts = [0] * (len(chosen) + 1)
         self.sum = 0.0
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
-        self.counts[bisect_left(self.bounds, value)] += 1
-        self.sum += value
+        with self._lock:
+            self.counts[bisect_left(self.bounds, value)] += 1
+            self.sum += value
+
+    def snapshot(self) -> Tuple[List[int], float]:
+        """A mutation-consistent ``(counts, sum)`` copy.
+
+        Renderers and percentile math read through this so a concurrent
+        ``observe`` can never be seen half-applied (bucket counted, sum
+        not yet added).  :class:`~repro.obs.layer.SpanTimer` writes
+        bypass the lock by contract (one owning thread per timer), so a
+        snapshot taken *while that thread is mid-update* may still be
+        one observation stale -- never torn across buckets and sum in a
+        way that breaks cumulative monotonicity, because each bucket
+        slot is updated with a single atomic list-item add.
+        """
+        with self._lock:
+            return list(self.counts), self.sum
 
     @property
     def count(self) -> int:
@@ -130,18 +178,22 @@ class Histogram:
 
     def percentile(self, q: float) -> float:
         """The ``q``-th percentile (``q`` in [0, 100]), interpolated."""
-        return percentile_from_buckets(self.bounds, self.counts, q)
+        counts, _ = self.snapshot()
+        return percentile_from_buckets(self.bounds, counts, q)
 
     @property
     def mean(self) -> float:
-        return self.sum / self.count if self.count else 0.0
+        counts, total_sum = self.snapshot()
+        n = sum(counts)
+        return total_sum / n if n else 0.0
 
     def to_dict(self) -> Dict[str, object]:
+        counts, total_sum = self.snapshot()
         return {
             "bounds": list(self.bounds),
-            "counts": list(self.counts),
-            "count": self.count,
-            "sum": self.sum,
+            "counts": counts,
+            "count": sum(counts),
+            "sum": total_sum,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -185,19 +237,21 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._metrics: Dict[str, object] = {}
+        self._lock = threading.Lock()
 
     def _get_or_create(self, cls, name: str, *args, **kwargs):
-        existing = self._metrics.get(name)
-        if existing is not None:
-            if not isinstance(existing, cls):
-                raise ValueError(
-                    f"metric {name!r} already registered as "
-                    f"{type(existing).__name__}, not {cls.__name__}"
-                )
-            return existing
-        metric = cls(name, *args, **kwargs)
-        self._metrics[name] = metric
-        return metric
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{type(existing).__name__}, not {cls.__name__}"
+                    )
+                return existing
+            metric = cls(name, *args, **kwargs)
+            self._metrics[name] = metric
+            return metric
 
     def counter(self, name: str, help: str = "") -> Counter:
         return self._get_or_create(Counter, name, help)
@@ -242,19 +296,23 @@ class MetricsRegistry:
 
     def summary(self) -> Dict[str, object]:
         """Compact dump: histogram percentiles instead of raw buckets."""
+        histograms: Dict[str, object] = {}
+        for m in sorted(self.histograms(), key=lambda m: m.name):
+            # One snapshot per histogram so count/sum/percentiles all
+            # describe the same instant under concurrent observers.
+            counts, total_sum = m.snapshot()
+            n = sum(counts)
+            histograms[m.name] = {
+                "count": n,
+                "sum": total_sum,
+                "mean": total_sum / n if n else 0.0,
+                "p50": percentile_from_buckets(m.bounds, counts, 50.0),
+                "p99": percentile_from_buckets(m.bounds, counts, 99.0),
+            }
         return {
             "counters": {m.name: m.value for m in sorted(self.counters(), key=lambda m: m.name)},
             "gauges": {m.name: m.value for m in sorted(self.gauges(), key=lambda m: m.name)},
-            "histograms": {
-                m.name: {
-                    "count": m.count,
-                    "sum": m.sum,
-                    "mean": m.mean,
-                    "p50": m.percentile(50.0),
-                    "p99": m.percentile(99.0),
-                }
-                for m in sorted(self.histograms(), key=lambda m: m.name)
-            },
+            "histograms": histograms,
         }
 
     def render_prometheus(self) -> str:
@@ -277,13 +335,15 @@ class MetricsRegistry:
             if metric.help:
                 lines.append(f"# HELP {pname} {metric.help}")
             lines.append(f"# TYPE {pname} histogram")
+            counts, total_sum = metric.snapshot()
+            total = sum(counts)
             cumulative = 0
-            for bound, n in zip(metric.bounds, metric.counts):
+            for bound, n in zip(metric.bounds, counts):
                 cumulative += n
                 lines.append(f'{pname}_bucket{{le="{_fmt(bound)}"}} {cumulative}')
-            lines.append(f'{pname}_bucket{{le="+Inf"}} {metric.count}')
-            lines.append(f"{pname}_sum {_fmt(metric.sum)}")
-            lines.append(f"{pname}_count {metric.count}")
+            lines.append(f'{pname}_bucket{{le="+Inf"}} {total}')
+            lines.append(f"{pname}_sum {_fmt(total_sum)}")
+            lines.append(f"{pname}_count {total}")
         return "\n".join(lines) + "\n"
 
 

@@ -1,0 +1,37 @@
+"""repro.serve: the always-on ingest/query tier over the stream engine.
+
+The paper's detection pipeline runs as a service inside a CDN -- samples
+arrive continuously and aggregates are queried live.  This package is
+that tier for the reproduction, built entirely on the standard library
+(``asyncio`` + ``http.client``):
+
+* :class:`ServeService` -- the server.  ``POST /v1/samples`` feeds a
+  bounded micro-batching queue in front of the classifier and the
+  :class:`~repro.stream.engine.StreamEngine` push-mode fold; admission
+  control (queue depth + per-client token buckets) answers ``429`` with
+  ``Retry-After`` instead of buffering without bound.  ``GET /v1/query``
+  serves :class:`~repro.store.query.StoreQuery` from a **read-only**
+  store snapshot, so readers never block the writer; ``/metrics``,
+  ``/healthz`` and ``/readyz`` make it operable.  SIGTERM drains:
+  stop accepting, flush micro-batches, checkpoint, seal, exit 0.
+* :class:`ServeClient` -- a small stdlib client used by the tests, the
+  latency bench, and the tutorial.
+
+Wired as ``repro serve --store DIR --obs DIR --port N``.
+"""
+
+from repro.serve.batcher import MicroBatcher
+from repro.serve.client import RetryLater, ServeClient
+from repro.serve.config import ServeConfig
+from repro.serve.ratelimit import ClientRateLimiter, TokenBucket
+from repro.serve.service import ServeService
+
+__all__ = [
+    "ClientRateLimiter",
+    "MicroBatcher",
+    "RetryLater",
+    "ServeClient",
+    "ServeConfig",
+    "ServeService",
+    "TokenBucket",
+]

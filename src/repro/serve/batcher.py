@@ -1,0 +1,157 @@
+"""The bounded micro-batching queue between HTTP ingest and the fold.
+
+Request handlers (event-loop thread) call :meth:`MicroBatcher.offer`;
+the single ingest worker thread calls :meth:`MicroBatcher.next_batch`,
+which blocks until a batch is worth folding: ``batch_max_records``
+items are pending, or the oldest pending item has waited
+``batch_max_delay_seconds``, or the batcher is closing.  The queue is
+bounded by total records -- when full, ``offer`` refuses instead of
+buffering, and the service surfaces that as ``429``.
+
+Everything is a plain ``threading.Condition`` around a deque: the
+handlers only append and the worker only drains, so there is no
+fairness subtlety -- FIFO order is preserved end to end, which is what
+makes serve-side ingest byte-identical to an offline run over the same
+sequence.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Callable, Deque, List, Optional, Sequence, Tuple
+
+from repro.errors import ServeError
+
+__all__ = ["MicroBatcher"]
+
+
+class MicroBatcher:
+    """Bounded FIFO of records with size-or-deadline flush semantics."""
+
+    def __init__(
+        self,
+        batch_max_records: int,
+        batch_max_delay_seconds: float,
+        queue_max_records: int,
+        clock: Callable[[], float] = time.monotonic,
+        obs=None,
+    ) -> None:
+        if batch_max_records <= 0:
+            raise ServeError("batch_max_records must be positive")
+        if queue_max_records < batch_max_records:
+            raise ServeError("queue_max_records must be >= batch_max_records")
+        if batch_max_delay_seconds < 0:
+            raise ServeError("batch_max_delay_seconds must be >= 0")
+        self.batch_max_records = batch_max_records
+        self.batch_max_delay_seconds = batch_max_delay_seconds
+        self.queue_max_records = queue_max_records
+        self._clock = clock
+        self._cond = threading.Condition()
+        #: (enqueue time, record); one entry per record keeps counting
+        #: trivial and lets a flush cut anywhere, not only on the
+        #: boundaries the producers happened to POST.
+        self._pending: Deque[Tuple[float, object]] = deque()
+        self._closed = False
+        self.offered = 0
+        self.refused = 0
+        self.batches = 0
+        if obs is not None:
+            self._g_depth = obs.gauge("serve.queue_depth")
+            self._c_refused = obs.counter("serve.queue_refused")
+            self._h_batch = obs.histogram(
+                "serve.batch_size",
+                bounds=(1.0, 4.0, 16.0, 64.0, 256.0, 1024.0, 4096.0),
+            )
+        else:
+            self._g_depth = self._c_refused = self._h_batch = None
+
+    # -- producer side (event-loop thread) -----------------------------
+    def offer(self, records: Sequence[object]) -> bool:
+        """Enqueue all of ``records`` or none of them.
+
+        All-or-nothing keeps a POST body contiguous in the fold order;
+        admitting half a request would make the client's retry
+        double-ingest the admitted half.
+        """
+        if not records:
+            return True
+        with self._cond:
+            if self._closed:
+                return False
+            if len(self._pending) + len(records) > self.queue_max_records:
+                self.refused += len(records)
+                if self._c_refused is not None:
+                    self._c_refused.inc(len(records))
+                return False
+            now = self._clock()
+            for record in records:
+                self._pending.append((now, record))
+            self.offered += len(records)
+            if self._g_depth is not None:
+                self._g_depth.set(len(self._pending))
+            self._cond.notify_all()
+        return True
+
+    def would_ever_fit(self, n: int) -> bool:
+        """Whether a request of ``n`` records can ever be admitted."""
+        return n <= self.queue_max_records
+
+    def depth(self) -> int:
+        with self._cond:
+            return len(self._pending)
+
+    # -- consumer side (ingest worker thread) --------------------------
+    def next_batch(self) -> Optional[List[object]]:
+        """Block until a batch is due; ``None`` means closed and empty.
+
+        A batch is due when ``batch_max_records`` are pending, the
+        oldest pending record is past the flush deadline, or the
+        batcher is closing (drain: flush whatever remains).
+        """
+        with self._cond:
+            while True:
+                if len(self._pending) >= self.batch_max_records:
+                    return self._take()
+                if self._pending:
+                    deadline = self._pending[0][0] + self.batch_max_delay_seconds
+                    remaining = deadline - self._clock()
+                    if remaining <= 0 or self._closed:
+                        return self._take()
+                    self._cond.wait(timeout=remaining)
+                elif self._closed:
+                    return None
+                else:
+                    self._cond.wait()
+
+    def _take(self) -> List[object]:
+        n = min(len(self._pending), self.batch_max_records)
+        batch = [self._pending.popleft()[1] for _ in range(n)]
+        self.batches += 1
+        if self._g_depth is not None:
+            self._g_depth.set(len(self._pending))
+        if self._h_batch is not None:
+            self._h_batch.observe(float(n))
+        self._cond.notify_all()
+        return batch
+
+    # -- lifecycle ------------------------------------------------------
+    def close(self) -> None:
+        """Stop admitting; wake the worker to flush the remainder."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    def join(self, timeout: Optional[float] = None) -> bool:
+        """Wait until the queue is empty (drain); True on success."""
+        deadline = None if timeout is None else self._clock() + timeout
+        with self._cond:
+            while self._pending:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - self._clock()
+                    if remaining <= 0:
+                        return False
+                self._cond.wait(timeout=remaining)
+            return True

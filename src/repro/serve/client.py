@@ -1,0 +1,186 @@
+"""A small stdlib client for the serve tier.
+
+Used by the tests, the closed-loop latency bench, and the tutorial; it
+is also the reference for how to talk to the server from anything that
+can speak HTTP.  Saturation is a first-class outcome: a ``429`` raises
+:class:`RetryLater` carrying the server's ``Retry-After`` hint, so
+load generators can implement honest backoff instead of hammering.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import ServeError
+
+__all__ = ["ServeClient", "RetryLater"]
+
+
+class RetryLater(ServeError):
+    """The server answered 429; retry after ``retry_after`` seconds."""
+
+    def __init__(self, detail: str, retry_after: float) -> None:
+        super().__init__(detail)
+        self.retry_after = retry_after
+
+
+class ServeClient:
+    """One keep-alive connection to a :class:`ServeService`."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8321,
+        timeout: float = 30.0,
+        client_id: Optional[str] = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.client_id = client_id
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    # -- plumbing -------------------------------------------------------
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes] = None,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        send = dict(headers or {})
+        if self.client_id is not None:
+            send.setdefault("X-Client-Id", self.client_id)
+        conn = self._connection()
+        try:
+            conn.request(method, path, body=body, headers=send)
+            response = conn.getresponse()
+            payload = response.read()
+        except (OSError, http.client.HTTPException) as exc:
+            self.close()  # a broken keep-alive connection is not reusable
+            raise ServeError(
+                f"request to {self.host}:{self.port}{path} failed: {exc}"
+            ) from exc
+        response_headers = {
+            name.lower(): value for name, value in response.getheaders()
+        }
+        if response_headers.get("connection", "").lower() == "close":
+            self.close()
+        return response.status, response_headers, payload
+
+    def _json(
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes] = None,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> dict:
+        status, response_headers, payload = self._request(
+            method, path, body=body, headers=headers
+        )
+        if status == 429:
+            try:
+                retry_after = float(response_headers.get("retry-after", "1"))
+            except ValueError:
+                retry_after = 1.0
+            raise RetryLater(
+                f"{path} rejected with 429", retry_after=retry_after
+            )
+        try:
+            decoded = json.loads(payload) if payload else {}
+        except json.JSONDecodeError as exc:
+            raise ServeError(
+                f"{path} returned undecodable JSON ({status})"
+            ) from exc
+        if status >= 400:
+            detail = decoded.get("error", payload.decode("utf-8", "replace"))
+            raise ServeError(f"{path} failed with {status}: {detail}")
+        return decoded
+
+    # -- ingest ---------------------------------------------------------
+    def post_samples(
+        self,
+        samples: Iterable[object],
+        timestamps: Optional[Dict[int, float]] = None,
+    ) -> dict:
+        """POST a batch of :class:`ConnectionSample` objects.
+
+        ``timestamps`` optionally maps ``conn_id`` to connection start
+        time (the shape ``StudyRun.timestamps`` provides); entries with
+        a known start time are sent ``ts``-wrapped.
+        """
+        entries: List[object] = []
+        for sample in samples:
+            payload = sample.to_dict() if hasattr(sample, "to_dict") else sample
+            ts = None
+            if timestamps is not None:
+                conn_id = payload.get("conn_id")
+                ts = timestamps.get(conn_id)
+            if ts is not None:
+                entries.append({"ts": ts, "sample": payload})
+            else:
+                entries.append(payload)
+        body = json.dumps(entries, separators=(",", ":")).encode("utf-8")
+        return self._json(
+            "POST",
+            "/v1/samples",
+            body=body,
+            headers={"Content-Type": "application/json"},
+        )
+
+    # -- queries --------------------------------------------------------
+    def query(
+        self,
+        family: str = "country_tampering_rate",
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+        country: Optional[str] = None,
+        countries: Optional[Iterable[str]] = None,
+    ) -> dict:
+        params = [f"family={family}"]
+        if start is not None:
+            params.append(f"start={start}")
+        if end is not None:
+            params.append(f"end={end}")
+        if country is not None:
+            params.append(f"country={country}")
+        if countries:
+            params.append("countries=" + ",".join(countries))
+        return self._json("GET", "/v1/query?" + "&".join(params))
+
+    def anomalies(self) -> dict:
+        return self._json("GET", "/v1/anomalies")
+
+    # -- operational surface --------------------------------------------
+    def metrics_text(self) -> str:
+        status, _, payload = self._request("GET", "/metrics")
+        if status != 200:
+            raise ServeError(f"/metrics failed with {status}")
+        return payload.decode("utf-8")
+
+    def healthz(self) -> dict:
+        return self._json("GET", "/healthz")
+
+    def ready(self) -> bool:
+        status, _, _ = self._request("GET", "/readyz")
+        return status == 200

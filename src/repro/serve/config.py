@@ -1,0 +1,70 @@
+"""Tunables for the serve tier, all in one validated dataclass."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.errors import ServeError
+
+__all__ = ["ServeConfig", "SERVE_CHECKPOINT_NAME"]
+
+#: The push-mode checkpoint lives inside the store directory, so one
+#: ``--store DIR`` names the complete durable state of a server.
+SERVE_CHECKPOINT_NAME = "serve-checkpoint.json"
+
+
+@dataclasses.dataclass(frozen=True)
+class ServeConfig:
+    """Knobs for admission control, batching, and the listener.
+
+    The defaults favour latency over throughput: small batches with a
+    short flush deadline.  Saturation behaviour is explicit -- once
+    ``queue_max_records`` classified-but-unfolded records are pending,
+    ingest answers ``429 Retry-After`` instead of growing the queue.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8321
+
+    #: Micro-batch flush triggers: whichever comes first.
+    batch_max_records: int = 256
+    batch_max_delay_seconds: float = 0.05
+
+    #: Admission control: total records allowed to sit in the queue.
+    queue_max_records: int = 8192
+    #: Per-client token bucket; 0 disables rate limiting.
+    rate_records_per_second: float = 0.0
+    rate_burst_records: Optional[int] = None
+    #: Distinct clients tracked before the oldest bucket is evicted.
+    rate_max_clients: int = 1024
+
+    #: Request-size ceilings (bytes).
+    max_body_bytes: int = 8 * 1024 * 1024
+    max_header_bytes: int = 64 * 1024
+
+    #: Seal trailing open buckets on graceful drain.  True is the
+    #: "stream is over" shutdown readers want; False is a pause that a
+    #: restarted server resumes without sealed-bucket record drops.
+    drain_seal: bool = True
+
+    def validate(self) -> None:
+        if not 0 <= self.port <= 65535:
+            raise ServeError(f"port must be in [0, 65535], got {self.port}")
+        if self.batch_max_records <= 0:
+            raise ServeError("batch_max_records must be positive")
+        if self.batch_max_delay_seconds < 0:
+            raise ServeError("batch_max_delay_seconds must be >= 0")
+        if self.queue_max_records < self.batch_max_records:
+            raise ServeError(
+                "queue_max_records must be >= batch_max_records "
+                f"({self.queue_max_records} < {self.batch_max_records})"
+            )
+        if self.rate_records_per_second < 0:
+            raise ServeError("rate_records_per_second must be >= 0")
+        if self.rate_burst_records is not None and self.rate_burst_records <= 0:
+            raise ServeError("rate_burst_records must be positive")
+        if self.rate_max_clients <= 0:
+            raise ServeError("rate_max_clients must be positive")
+        if self.max_body_bytes <= 0 or self.max_header_bytes <= 0:
+            raise ServeError("size ceilings must be positive")

@@ -1,0 +1,271 @@
+"""A minimal HTTP/1.1 server on ``asyncio`` streams.
+
+Just enough protocol for the serve tier: request-line + headers +
+``Content-Length`` bodies, keep-alive, bounded header and body sizes.
+No chunked encoding, no TLS, no pipelining guarantees beyond serial
+request handling per connection -- operators front real traffic with a
+real proxy; this listener exists so the reproduction is runnable with
+zero dependencies.
+
+The server is transport only.  Routing and endpoint semantics live in
+:mod:`repro.serve.service`, which supplies ``handler(request) ->
+HttpResponse``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+from typing import Awaitable, Callable, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+__all__ = ["HttpRequest", "HttpResponse", "HttpProtocolError", "HttpServer"]
+
+_MAX_REQUEST_LINE = 8 * 1024
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class HttpProtocolError(Exception):
+    """A malformed request; carries the status to answer with."""
+
+    def __init__(self, status: int, detail: str) -> None:
+        super().__init__(detail)
+        self.status = status
+        self.detail = detail
+
+
+@dataclasses.dataclass
+class HttpRequest:
+    method: str
+    path: str
+    query: Dict[str, str]
+    headers: Dict[str, str]
+    body: bytes
+    peer: str
+
+    def query_str(self, name: str, default: Optional[str] = None) -> Optional[str]:
+        return self.query.get(name, default)
+
+
+@dataclasses.dataclass
+class HttpResponse:
+    status: int = 200
+    body: bytes = b""
+    content_type: str = "application/json"
+    headers: Tuple[Tuple[str, str], ...] = ()
+
+    @classmethod
+    def json(
+        cls,
+        payload: object,
+        status: int = 200,
+        headers: Tuple[Tuple[str, str], ...] = (),
+    ) -> "HttpResponse":
+        body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+        return cls(status=status, body=body, headers=headers)
+
+    @classmethod
+    def text(cls, payload: str, status: int = 200) -> "HttpResponse":
+        return cls(
+            status=status,
+            body=payload.encode("utf-8"),
+            content_type="text/plain; version=0.0.4; charset=utf-8",
+        )
+
+    @classmethod
+    def error(
+        cls,
+        status: int,
+        detail: str,
+        headers: Tuple[Tuple[str, str], ...] = (),
+    ) -> "HttpResponse":
+        return cls.json({"error": detail}, status=status, headers=headers)
+
+
+async def _read_request(
+    reader: asyncio.StreamReader,
+    peer: str,
+    max_header_bytes: int,
+    max_body_bytes: int,
+) -> Optional[HttpRequest]:
+    """Parse one request; ``None`` on clean EOF between requests."""
+    try:
+        line = await reader.readuntil(b"\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean close between requests
+        raise HttpProtocolError(400, "truncated request line")
+    except asyncio.LimitOverrunError:
+        raise HttpProtocolError(400, "request line too long")
+    if len(line) > _MAX_REQUEST_LINE:
+        raise HttpProtocolError(400, "request line too long")
+    parts = line.decode("latin-1").rstrip("\r\n").split()
+    if len(parts) != 3:
+        raise HttpProtocolError(400, "malformed request line")
+    method, target, version = parts
+    if not version.startswith("HTTP/1."):
+        raise HttpProtocolError(400, f"unsupported version {version!r}")
+
+    headers: Dict[str, str] = {}
+    total = 0
+    while True:
+        try:
+            line = await reader.readuntil(b"\r\n")
+        except (asyncio.IncompleteReadError, asyncio.LimitOverrunError):
+            raise HttpProtocolError(400, "truncated headers")
+        if line == b"\r\n":
+            break
+        total += len(line)
+        if total > max_header_bytes:
+            raise HttpProtocolError(400, "headers too large")
+        text = line.decode("latin-1").rstrip("\r\n")
+        name, sep, value = text.partition(":")
+        if not sep or not name.strip():
+            raise HttpProtocolError(400, f"malformed header {text!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    if "transfer-encoding" in headers:
+        raise HttpProtocolError(400, "chunked bodies are not supported")
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError:
+            raise HttpProtocolError(400, "bad content-length")
+        if length < 0:
+            raise HttpProtocolError(400, "bad content-length")
+        if length > max_body_bytes:
+            raise HttpProtocolError(
+                413, f"body of {length} bytes exceeds {max_body_bytes}"
+            )
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            raise HttpProtocolError(400, "truncated body")
+
+    split = urlsplit(target)
+    query = {
+        name: values[-1]
+        for name, values in parse_qs(
+            split.query, keep_blank_values=True
+        ).items()
+    }
+    return HttpRequest(
+        method=method.upper(),
+        path=split.path,
+        query=query,
+        headers=headers,
+        body=body,
+        peer=peer,
+    )
+
+
+def _render_response(response: HttpResponse, keep_alive: bool) -> bytes:
+    reason = _REASONS.get(response.status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {response.status} {reason}",
+        f"Content-Type: {response.content_type}",
+        f"Content-Length: {len(response.body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for name, value in response.headers:
+        lines.append(f"{name}: {value}")
+    head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+    return head + response.body
+
+
+class HttpServer:
+    """Serial keep-alive request loop over ``asyncio.start_server``."""
+
+    def __init__(
+        self,
+        handler: Callable[[HttpRequest], Awaitable[HttpResponse]],
+        host: str,
+        port: int,
+        max_header_bytes: int = 64 * 1024,
+        max_body_bytes: int = 8 * 1024 * 1024,
+    ) -> None:
+        self.handler = handler
+        self.host = host
+        self.port = port
+        self.max_header_bytes = max_header_bytes
+        self.max_body_bytes = max_body_bytes
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    async def start(self) -> None:
+        # The StreamReader limit must exceed the longest single line we
+        # are willing to parse, with room for the body reads too.
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            host=self.host,
+            port=self.port,
+            limit=max(self.max_header_bytes, _MAX_REQUEST_LINE) * 2,
+        )
+        # Rebind to the real port so port=0 (tests) is discoverable.
+        sockets = self._server.sockets or []
+        if sockets:
+            self.port = sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        """Stop accepting new connections; in-flight requests finish."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def _handle_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        peername = writer.get_extra_info("peername")
+        peer = peername[0] if isinstance(peername, tuple) else "unknown"
+        try:
+            while True:
+                try:
+                    request = await _read_request(
+                        reader, peer, self.max_header_bytes, self.max_body_bytes
+                    )
+                except HttpProtocolError as exc:
+                    writer.write(_render_response(
+                        HttpResponse.error(exc.status, exc.detail),
+                        keep_alive=False,
+                    ))
+                    await writer.drain()
+                    return
+                if request is None:
+                    return
+                try:
+                    response = await self.handler(request)
+                except Exception as exc:  # the handler is the boundary
+                    response = HttpResponse.error(500, f"internal error: {exc}")
+                keep_alive = (
+                    request.headers.get("connection", "keep-alive").lower()
+                    != "close"
+                    and response.status < 500
+                )
+                writer.write(_render_response(response, keep_alive=keep_alive))
+                await writer.drain()
+                if not keep_alive:
+                    return
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass

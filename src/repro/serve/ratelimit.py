@@ -1,0 +1,102 @@
+"""Per-client token buckets for ingest admission control.
+
+A classic token bucket: capacity ``burst``, refilled at ``rate`` tokens
+per second, one token per ingested record.  ``try_acquire`` never
+sleeps -- on shortfall it reports how long the caller should wait, which
+the service turns into ``429`` + ``Retry-After``.  The clock is
+injectable so tests are exact rather than sleep-based.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from typing import Callable, Optional, Tuple
+
+from repro.errors import ServeError
+
+__all__ = ["TokenBucket", "ClientRateLimiter"]
+
+
+class TokenBucket:
+    """One client's allowance: ``burst`` tokens refilled at ``rate``/s."""
+
+    __slots__ = ("rate", "burst", "tokens", "_clock", "_last")
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate <= 0:
+            raise ServeError("token bucket rate must be positive")
+        if burst <= 0:
+            raise ServeError("token bucket burst must be positive")
+        self.rate = rate
+        self.burst = burst
+        self.tokens = burst
+        self._clock = clock
+        self._last = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = now - self._last
+        self._last = now
+        if elapsed > 0:
+            self.tokens = min(self.burst, self.tokens + elapsed * self.rate)
+
+    def try_acquire(self, n: float = 1.0) -> Tuple[bool, float]:
+        """Take ``n`` tokens if available.
+
+        Returns ``(True, 0.0)`` on success, else ``(False, wait)`` where
+        ``wait`` is the seconds until ``n`` tokens will have refilled.
+        Requests larger than the burst can never succeed outright; they
+        are still granted a finite wait (time to fill the whole burst)
+        so a polite client eventually gets through in burst-sized gulps.
+        """
+        self._refill()
+        if self.tokens >= n:
+            self.tokens -= n
+            return True, 0.0
+        shortfall = min(n, self.burst) - self.tokens
+        return False, shortfall / self.rate
+
+
+class ClientRateLimiter:
+    """A bounded table of per-client :class:`TokenBucket` instances.
+
+    Eviction is LRU on acquire, so an attacker cycling client ids can
+    only evict buckets that are mostly full anyway; a bucket evicted
+    and re-created starts full, which is the same allowance a brand-new
+    client gets.  ``rate <= 0`` disables limiting entirely.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: Optional[float] = None,
+        max_clients: int = 1024,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_clients <= 0:
+            raise ServeError("max_clients must be positive")
+        self.enabled = rate > 0
+        self.rate = rate
+        self.burst = burst if burst is not None else max(rate, 1.0)
+        self.max_clients = max_clients
+        self._clock = clock
+        self._buckets: "OrderedDict[str, TokenBucket]" = OrderedDict()
+
+    def try_acquire(self, client: str, n: float = 1.0) -> Tuple[bool, float]:
+        if not self.enabled:
+            return True, 0.0
+        bucket = self._buckets.get(client)
+        if bucket is None:
+            bucket = TokenBucket(self.rate, self.burst, clock=self._clock)
+            self._buckets[client] = bucket
+            while len(self._buckets) > self.max_clients:
+                self._buckets.popitem(last=False)
+        else:
+            self._buckets.move_to_end(client)
+        return bucket.try_acquire(n)

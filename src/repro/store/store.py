@@ -39,7 +39,7 @@ from repro.core.model import SignatureId
 from repro.errors import CheckpointError, StoreError
 from repro.obs import NULL_OBS
 from repro.store.compaction import CompactionChaos, CompactionConfig, Compactor
-from repro.store.manifest import Manifest
+from repro.store.manifest import MANIFEST_NAME, Manifest
 from repro.store.query import QueryResult, StoreQuery, execute
 from repro.store.segment import (
     BucketSlice,
@@ -84,6 +84,8 @@ class RollupStore:
         self.bucket_seconds = bucket_seconds
         self.config = config or StoreConfig()
         self.obs = obs if obs is not None else NULL_OBS
+        self.read_only = False
+        self._manifest_hint: Optional[Tuple[int, int]] = None
         self._t_seal = self.obs.timer("segment.seal")
         self.segments_dir = os.path.join(directory, SEGMENTS_DIR)
         os.makedirs(self.segments_dir, exist_ok=True)
@@ -119,6 +121,115 @@ class RollupStore:
         self.segments_written = 0
 
         self._replayed = self._recover()
+
+    # ------------------------------------------------------------------
+    # Read-only snapshots
+    # ------------------------------------------------------------------
+    @classmethod
+    def open_read_only(
+        cls,
+        directory: str,
+        bucket_seconds: Optional[float] = None,
+        obs=None,
+    ) -> "RollupStore":
+        """Open a query-only snapshot of the manifest's sealed state.
+
+        A read-only store never creates directories, never sweeps
+        orphans, and never touches WAL or segment files -- it is safe to
+        point at a store another process is actively writing.  It sees
+        exactly what the last manifest swap committed (the unsealed open
+        tail lives in the writer's memory and WAL and is invisible
+        here), and :meth:`maybe_refresh` re-snapshots when the manifest
+        generation advances.
+
+        ``bucket_seconds=None`` adopts whatever the manifest declares;
+        passing a value asserts it matches.  A directory without a
+        manifest yet (a store mid-first-hour, or empty) opens as an
+        empty snapshot rather than failing -- the refresh picks the
+        first seal up.
+        """
+        if not os.path.isdir(directory):
+            raise StoreError(f"no rollup store at {directory!r}")
+        store = cls.__new__(cls)
+        store.directory = directory
+        store.config = StoreConfig()
+        store.obs = obs if obs is not None else NULL_OBS
+        store.read_only = True
+        store._t_seal = store.obs.timer("segment.seal")
+        store.segments_dir = os.path.join(directory, SEGMENTS_DIR)
+        store.compactor = None
+        store.wal = None
+        store._open = {}
+        store._segment_cache = OrderedDict()
+        store.ordinal = 0
+        store.sealed_skips = 0
+        store.buckets_sealed = 0
+        store.segments_written = 0
+        store._replayed = []
+        store._manifest_hint = None
+        manifest = store._load_manifest_snapshot()
+        if manifest is None:
+            manifest = Manifest(
+                bucket_seconds
+                if bucket_seconds is not None
+                else DEFAULT_BUCKET_SECONDS
+            )
+        elif (
+            bucket_seconds is not None
+            and manifest.bucket_seconds != bucket_seconds
+        ):
+            raise StoreError(
+                f"store at {directory!r} has bucket_seconds="
+                f"{manifest.bucket_seconds}, asked for {bucket_seconds}"
+            )
+        store.manifest = manifest
+        store.bucket_seconds = manifest.bucket_seconds
+        store.catalog = manifest.catalog
+        return store
+
+    def _load_manifest_snapshot(self):
+        """Load the manifest, remembering a cheap change hint (stat)."""
+        path = os.path.join(self.directory, MANIFEST_NAME)
+        try:
+            st = os.stat(path)
+        except FileNotFoundError:
+            self._manifest_hint = None
+            return None
+        self._manifest_hint = (st.st_mtime_ns, st.st_ino)
+        return Manifest.load(self.directory)
+
+    def maybe_refresh(self, force: bool = False) -> bool:
+        """Re-snapshot a read-only store if the manifest moved.
+
+        Returns True when a newer generation was adopted.  The stat
+        hint (mtime + inode -- ``os.replace`` always changes the inode)
+        makes the no-change case one ``stat`` call, so query endpoints
+        can refresh on every request.
+        """
+        if not self.read_only:
+            raise StoreError("maybe_refresh is for read-only stores")
+        path = os.path.join(self.directory, MANIFEST_NAME)
+        if not force:
+            try:
+                st = os.stat(path)
+            except FileNotFoundError:
+                return False
+            if self._manifest_hint == (st.st_mtime_ns, st.st_ino):
+                return False
+        manifest = self._load_manifest_snapshot()
+        if manifest is None or manifest.generation == self.manifest.generation:
+            return False
+        self.manifest = manifest
+        self.bucket_seconds = manifest.bucket_seconds
+        self.catalog = manifest.catalog
+        self._segment_cache.clear()
+        return True
+
+    def _assert_writable(self) -> None:
+        if self.read_only:
+            raise StoreError(
+                f"store at {self.directory!r} was opened read-only"
+            )
 
     # ------------------------------------------------------------------
     # Recovery
@@ -198,6 +309,7 @@ class RollupStore:
         incarnation already sealed, and skipping them (rather than
         re-counting) is what keeps seal + resume exactly idempotent.
         """
+        self._assert_writable()
         self._replayed = []  # adds invalidate the recovery snapshot
         self.ordinal += 1
         bucket = self.bucket_of(record.ts)
@@ -238,6 +350,7 @@ class RollupStore:
 
     def flush(self) -> None:
         """Make every applied record durable (WAL fsync)."""
+        self._assert_writable()
         self.wal.sync()
 
     # ------------------------------------------------------------------
@@ -258,6 +371,7 @@ class RollupStore:
         return self._seal(sorted(self._open))
 
     def _seal(self, buckets: List[float]) -> int:
+        self._assert_writable()
         if not buckets:
             return 0
         with self._t_seal:
@@ -286,6 +400,7 @@ class RollupStore:
 
     def maybe_compact(self) -> bool:
         """One bounded compaction step, if any level is due."""
+        self._assert_writable()
         merged = self.compactor.run_once(self.manifest)
         if merged:
             self._segment_cache.clear()
@@ -293,6 +408,7 @@ class RollupStore:
 
     def compact(self, max_runs: int = 16) -> int:
         """Compact until quiescent (bounded); returns merges performed."""
+        self._assert_writable()
         runs = self.compactor.run(self.manifest, max_runs=max_runs)
         if runs:
             self._segment_cache.clear()
@@ -306,7 +422,19 @@ class RollupStore:
         if segment is not None:
             self._segment_cache.move_to_end(meta.name)
             return segment
-        segment = load_segment(self.segments_dir, meta)
+        try:
+            segment = load_segment(self.segments_dir, meta)
+        except StoreError as exc:
+            if self.read_only and isinstance(exc.__cause__, FileNotFoundError):
+                # A compaction in the writer process deleted this input
+                # segment after our snapshot was taken; the caller should
+                # maybe_refresh(force=True) and retry against the new
+                # manifest generation.
+                raise StoreError(
+                    f"segment {meta.name!r} vanished under read-only snapshot "
+                    f"(generation {self.manifest.generation}); refresh and retry"
+                ) from exc
+            raise
         self._segment_cache[meta.name] = segment
         while len(self._segment_cache) > _SEGMENT_CACHE_SIZE:
             self._segment_cache.popitem(last=False)
@@ -446,6 +574,7 @@ class RollupStore:
         Syncs the WAL first so every entry at or below the checkpoint's
         count is on disk before the checkpoint that references it.
         """
+        self._assert_writable()
         self.wal.sync()
         return {
             "generation": self.manifest.generation,
@@ -473,6 +602,7 @@ class RollupStore:
         catalog keeps its recovered (crash-point) state, which is a
         superset of the checkpoint's in the same first-seen order.
         """
+        self._assert_writable()
         generation = state["generation"]
         if self.manifest.generation < generation:
             raise CheckpointError(
@@ -513,13 +643,18 @@ class RollupStore:
             "buckets_sealed": self.buckets_sealed,
             "segments_written": self.segments_written,
             "sealed_skips": self.sealed_skips,
-            "wal_appends": self.wal.appends,
-            "wal_syncs": self.wal.syncs,
-            "compaction_runs": self.compactor.runs,
-            "segments_merged": self.compactor.segments_merged,
-            "compaction_bytes_written": self.compactor.bytes_written,
+            "wal_appends": self.wal.appends if self.wal is not None else 0,
+            "wal_syncs": self.wal.syncs if self.wal is not None else 0,
+            "compaction_runs": self.compactor.runs if self.compactor is not None else 0,
+            "segments_merged": (
+                self.compactor.segments_merged if self.compactor is not None else 0
+            ),
+            "compaction_bytes_written": (
+                self.compactor.bytes_written if self.compactor is not None else 0
+            ),
         }
 
     def close(self) -> None:
-        self.wal.close()
+        if self.wal is not None:
+            self.wal.close()
         self._segment_cache.clear()

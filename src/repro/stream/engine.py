@@ -96,7 +96,7 @@ class StreamEngine:
 
     def __init__(
         self,
-        source: SampleSource,
+        source: Optional[SampleSource],
         geodb: Optional[GeoDatabase] = None,
         *,
         n_workers: int = 0,
@@ -176,6 +176,14 @@ class StreamEngine:
         self._safe_cursor: Optional[object] = None
         self._last_cursor: object = _NO_CURSOR
         self._source_exhausted = False
+        #: Cooperative stop flag (signal handlers, service drain).  The
+        #: run loop checks it between folds, so a stop always lands on a
+        #: record boundary with a consistent checkpointable state.
+        self._stop_requested = False
+        # Push-mode session state (see open_push/push_items/drain).
+        self._push_open = False
+        self._push_classifier: Optional[TamperingClassifier] = None
+        self._push_seq = 0
 
     # ------------------------------------------------------------------
     # Resume
@@ -217,7 +225,8 @@ class StreamEngine:
         }
         self._watermark = payload["watermark"]
         self._safe_cursor = payload["cursor"]
-        self.source.seek(payload["cursor"])
+        if self.source is not None:
+            self.source.seek(payload["cursor"])
         self.metrics.resumed_from = payload["samples_done"]
         self.metrics.checkpoints_written = 0
         self.obs.counter("engine.resumes").inc()
@@ -387,8 +396,14 @@ class StreamEngine:
                 return
         self._source_exhausted = True
 
-    def _serial_records(self, items: Iterator[StreamItem]) -> Iterator[StreamRecord]:
-        classifier = TamperingClassifier(self.classifier_config)
+    def _serial_records(
+        self,
+        items: Iterator[StreamItem],
+        classifier: Optional[TamperingClassifier] = None,
+        seq_start: int = 0,
+    ) -> Iterator[StreamRecord]:
+        if classifier is None:
+            classifier = TamperingClassifier(self.classifier_config)
         obs = self.obs
         # With the memo enabled, timings are routed into hit/miss
         # histograms (a cache hit is ~feature extraction only, a miss
@@ -404,7 +419,7 @@ class StreamEngine:
         c_hits = obs.counter("classify.cache_hits")
         c_misses = obs.counter("classify.cache_misses")
         perf = time.perf_counter
-        seq = 0
+        seq = seq_start
         for item in items:
             if split:
                 hits_before = classifier.cache_hits
@@ -445,6 +460,11 @@ class StreamEngine:
         the checkpointed cursor first -- nothing is reprocessed,
         nothing is skipped.
         """
+        if self.source is None:
+            raise StreamError(
+                "run() needs a source; a source-less engine is driven "
+                "through open_push()/push_items()/drain()"
+            )
         if resume:
             if self.checkpointer is None:
                 raise StreamError("resume requested but no checkpoint path configured")
@@ -463,6 +483,8 @@ class StreamEngine:
             if self.n_workers == 0:
                 for record in self._serial_records(items):
                     self._fold(record)
+                    if self._stop_requested:
+                        break
             else:
                 pool_config = dataclasses.replace(
                     self.shard_config, n_workers=self.n_workers
@@ -477,6 +499,8 @@ class StreamEngine:
                     with pool:
                         for record in pool.process(items):
                             self._fold(record)
+                            if self._stop_requested:
+                                break
                         self.metrics.set_worker_stats(
                             pool.worker_busy, pool.worker_records
                         )
@@ -488,10 +512,14 @@ class StreamEngine:
             self.metrics.stop()
             self.source.close()
 
-        finished = exhausted_cleanly and (
-            max_samples is None
-            or self._pull_seq < max_samples
-            or self._source_exhausted
+        finished = (
+            exhausted_cleanly
+            and not self._stop_requested
+            and (
+                max_samples is None
+                or self._pull_seq < max_samples
+                or self._source_exhausted
+            )
         )
         if finished:
             self._flush_cells()
@@ -525,5 +553,128 @@ class StreamEngine:
             events=list(self.detector.events),
             metrics=self.metrics.snapshot(),
             finished=finished,
+            samples_processed=self.rollup.n_records,
+        )
+
+    # ------------------------------------------------------------------
+    # Cooperative stop
+    # ------------------------------------------------------------------
+    def request_stop(self) -> None:
+        """Ask a running ``run()`` loop to stop at the next record.
+
+        Safe to call from a signal handler or another thread: it only
+        sets a flag.  The loop finishes folding the current record,
+        writes a resumable checkpoint (when one is configured), and
+        returns a report with ``finished=False`` -- exactly the state a
+        later ``run(resume=True)`` continues from.  Open store buckets
+        are deliberately **not** sealed: the resumed source will deliver
+        more records for them, and sealing would silently drop those
+        (see ``RollupStore.sealed_skips``).
+        """
+        self._stop_requested = True
+
+    # ------------------------------------------------------------------
+    # Push mode (the serve tier's entry point)
+    # ------------------------------------------------------------------
+    def open_push(self, resume: bool = False) -> None:
+        """Start a push-ingest session on a source-less engine.
+
+        Instead of pulling a :class:`SampleSource`, callers hand the
+        engine already-timestamped items via :meth:`push_items` and end
+        the session with :meth:`drain`.  ``resume=True`` restores an
+        existing checkpoint (there is no source cursor to seek; the
+        checkpoint's fold count plus the store's WAL truncation carry
+        the alignment).
+        """
+        if self.source is not None:
+            raise StreamError("open_push() requires a source-less engine")
+        if self.n_workers:
+            raise StreamError(
+                "push mode classifies inline; construct the engine with "
+                "n_workers=0"
+            )
+        if self._push_open:
+            raise StreamError("push session already open")
+        if resume:
+            if self.checkpointer is None:
+                raise StreamError(
+                    "resume requested but no checkpoint path configured"
+                )
+            self._restore()
+        elif self.store is not None and self.store.is_dirty:
+            raise StreamError(
+                "store directory already holds ingested state; resume from "
+                "its checkpoint or start over with an empty directory "
+                "(re-ingesting into a populated store would double-count)"
+            )
+        self._push_seq = self._n_folded
+        self._push_classifier = TamperingClassifier(self.classifier_config)
+        self.metrics.start()
+        self._stop_requested = False
+        self._push_open = True
+
+    def push_items(self, items: List[StreamItem]) -> int:
+        """Classify and fold a batch of items; returns records folded.
+
+        Items must arrive in non-decreasing ``ts`` order across calls
+        (same contract as a pull source): watermark advancement seals
+        store buckets behind the stream, and a late record for a sealed
+        bucket would be dropped as a ``sealed_skip``.
+        """
+        if not self._push_open:
+            raise StreamError("no push session open; call open_push() first")
+        folded = 0
+        for record in self._serial_records(
+            iter(items),
+            classifier=self._push_classifier,
+            seq_start=self._push_seq,
+        ):
+            self.metrics.on_sample_in()
+            self._fold(record)
+            self._push_seq += 1
+            self._safe_cursor = self._n_folded
+            folded += 1
+        return folded
+
+    def checkpoint_now(self) -> None:
+        """Write a checkpoint of the current state immediately."""
+        if self.checkpointer is None:
+            raise StreamError("no checkpoint path configured")
+        with self._t_checkpoint:
+            self.checkpointer.save(self._checkpoint_state(), self._n_folded)
+        self.metrics.checkpoints_written += 1
+
+    def drain(self, seal: bool = True) -> StreamReport:
+        """End a push session: flush windows, checkpoint, seal, report.
+
+        ``seal=True`` is the end of the stream: close every window,
+        freeze the trailing open buckets into segments (readers see the
+        whole history on disk).  ``seal=False`` is a pause: windows and
+        open buckets stay open -- in the checkpoint and WAL -- for a
+        resumed session that will keep feeding the same buckets.
+        """
+        if not self._push_open:
+            raise StreamError("no push session open; call open_push() first")
+        self.metrics.stop()
+        if seal:
+            self._flush_cells()
+            if self.store is not None:
+                self.store.seal_open()
+                self.store.maybe_compact()
+        if self.checkpointer is not None and self._n_folded:
+            with self._t_checkpoint:
+                self.checkpointer.save(self._checkpoint_state(), self._n_folded)
+            self.metrics.checkpoints_written += 1
+        if self.store is not None:
+            self.store.flush()
+            self.metrics.store_stats = self.store.stats()
+            self.rollup = self.store.to_rollup()
+        self._push_open = False
+        self._push_classifier = None
+        return StreamReport(
+            rollup=self.rollup,
+            events=list(self.detector.events),
+            metrics=self.metrics.snapshot(),
+            finished=seal,
             samples_processed=self.rollup.n_records,
         )

@@ -534,3 +534,193 @@ class TestObsCli:
                      "--progress", "0.000001"]) == 0
         err = capsys.readouterr().err
         assert "progress:" in err
+
+
+class TestRegistryThreadSafety:
+    """The serve tier mutates one registry from several threads.
+
+    Unlocked ``value += n`` and bucket increments span multiple
+    bytecodes and lose updates under concurrent interleaving; these
+    hammers fail reliably on an unlocked registry (verified by
+    reverting the metric locks) and pin the thread-safety contract.
+    """
+
+    N_THREADS = 8
+    N_OPS = 2500
+
+    def _hammer(self, target):
+        import threading
+
+        threads = [
+            threading.Thread(target=target) for _ in range(self.N_THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+    def test_counter_increments_are_not_lost(self):
+        counter = Counter("hammer.counter")
+        self._hammer(lambda: [counter.inc() for _ in range(self.N_OPS)])
+        assert counter.value == self.N_THREADS * self.N_OPS
+
+    def test_gauge_inc_dec_balance(self):
+        gauge = Gauge("hammer.gauge")
+
+        def work():
+            for _ in range(self.N_OPS):
+                gauge.inc(2.0)
+                gauge.dec(1.0)
+
+        self._hammer(work)
+        assert gauge.value == self.N_THREADS * self.N_OPS
+
+    def test_histogram_observations_are_not_lost(self):
+        hist = Histogram("hammer.hist", bounds=(0.001, 0.01, 0.1, 1.0))
+
+        def work():
+            for i in range(self.N_OPS):
+                hist.observe(0.0005 * (1 + i % 4))
+
+        self._hammer(work)
+        counts, total_sum = hist.snapshot()
+        assert sum(counts) == self.N_THREADS * self.N_OPS
+        expected = self.N_THREADS * sum(
+            0.0005 * (1 + i % 4) for i in range(self.N_OPS)
+        )
+        assert total_sum == pytest.approx(expected)
+
+    def test_registry_get_or_create_races_to_one_instance(self):
+        import threading
+
+        registry = MetricsRegistry()
+        barrier = threading.Barrier(self.N_THREADS)
+        got = []
+
+        def work():
+            barrier.wait()
+            got.append(registry.counter("race.single"))
+
+        self._hammer(work)
+        assert len(got) == self.N_THREADS
+        assert all(metric is got[0] for metric in got)
+
+    def test_concurrent_observe_and_render(self):
+        """Rendering while observers run never produces a torn page."""
+        import threading
+
+        registry = MetricsRegistry()
+        counter = registry.counter("mix.counter")
+        hist = registry.histogram("mix.hist", bounds=(0.001, 0.01, 0.1))
+        stop = threading.Event()
+
+        def observe():
+            while not stop.is_set():
+                counter.inc()
+                hist.observe(0.005)
+
+        threads = [threading.Thread(target=observe) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        try:
+            for _ in range(50):
+                text = registry.render_prometheus()
+                cumulative = [
+                    int(line.rsplit(" ", 1)[1])
+                    for line in text.splitlines()
+                    if line.startswith("repro_mix_hist_seconds_bucket")
+                ]
+                assert cumulative == sorted(cumulative)
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()
+
+
+class TestPrometheusExposition:
+    """Validity of the ``/metrics`` text against the exposition format."""
+
+    def make_registry(self):
+        registry = MetricsRegistry()
+        registry.counter("serve.requests", help="requests seen")
+        registry.counter("plain")
+        gauge = registry.gauge("queue.depth", help="records queued")
+        gauge.set(7)
+        hist = registry.histogram(
+            "fold latency!", bounds=(0.001, 0.01, 0.1), help="fold time"
+        )
+        hist.observe(0.0005)
+        hist.observe(0.05)
+        hist.observe(99.0)  # overflow bucket
+        return registry
+
+    def test_help_and_type_precede_samples(self):
+        text = self.make_registry().render_prometheus()
+        lines = text.splitlines()
+        for i, line in enumerate(lines):
+            if line.startswith("#"):
+                continue
+            name = line.split("{")[0].split(" ")[0]
+            base = name
+            for suffix in ("_bucket", "_sum", "_count"):
+                if base.endswith(suffix):
+                    base = base[: -len(suffix)]
+            type_lines = [
+                j for j, other in enumerate(lines)
+                if other.startswith("# TYPE ") and other.split()[2] == base
+            ]
+            assert type_lines, f"no TYPE line for {name}"
+            assert type_lines[0] < i, f"TYPE after sample for {name}"
+        help_lines = [l for l in lines if l.startswith("# HELP")]
+        assert any("requests seen" in l for l in help_lines)
+        # HELP, when present, immediately precedes its TYPE line.
+        for j, line in enumerate(lines):
+            if line.startswith("# HELP "):
+                assert lines[j + 1].startswith("# TYPE ")
+                assert lines[j + 1].split()[2] == line.split()[2]
+
+    def test_total_suffix_only_on_counters(self):
+        text = self.make_registry().render_prometheus()
+        for line in text.splitlines():
+            if line.startswith("#"):
+                kind = line.split()[1]
+                name = line.split()[2]
+                if line.startswith("# TYPE"):
+                    ends_total = name.endswith("_total")
+                    is_counter = line.split()[3] == "counter"
+                    assert ends_total == is_counter, line
+            else:
+                name = line.split("{")[0].split(" ")[0]
+                if name.endswith("_total"):
+                    assert "le=" not in line
+
+    def test_histogram_buckets_cumulative_and_end_plus_inf(self):
+        text = self.make_registry().render_prometheus()
+        buckets = [
+            line for line in text.splitlines()
+            if line.startswith("repro_fold_latency__seconds_bucket")
+        ]
+        assert buckets, text
+        counts = [int(line.rsplit(" ", 1)[1]) for line in buckets]
+        assert counts == sorted(counts), "le counts must be cumulative"
+        assert 'le="+Inf"' in buckets[-1]
+        assert counts[-1] == 3  # +Inf bucket equals _count
+        assert f"repro_fold_latency__seconds_count 3" in text
+        # The 99 s observation lives only in the overflow bucket.
+        assert counts[-1] - counts[-2] == 1
+
+    def test_names_are_sanitized(self):
+        assert prometheus_name("fold latency!") == "repro_fold_latency_"
+        assert prometheus_name("a.b-c", "seconds") == "repro_a_b_c_seconds"
+        text = self.make_registry().render_prometheus()
+        import re
+
+        for line in text.splitlines():
+            name = line.split()[2] if line.startswith("#") else (
+                line.split("{")[0].split(" ")[0]
+            )
+            assert re.fullmatch(r"[a-zA-Z_:][a-zA-Z0-9_:]*", name), line
+
+    def test_gauge_renders_current_value(self):
+        text = self.make_registry().render_prometheus()
+        assert "repro_queue_depth 7" in text

@@ -931,3 +931,186 @@ class TestDurabilityHelpers:
         manager.clear()
         assert manager.load() is None
         manager.clear()  # idempotent
+
+
+# ----------------------------------------------------------------------
+# Read-only snapshots
+# ----------------------------------------------------------------------
+class TestReadOnlyOpen:
+    def _sealed_store(self, tmp_path, n=300, seed=11):
+        """A writable store with every bucket sealed, plus its rollup."""
+        records = random_records(seed, n)
+        store = RollupStore(str(tmp_path / "store"))
+        rollup = StreamRollup()
+        for record in records:
+            store.add(record)
+            rollup.add(record)
+        store.seal_open()
+        return store, rollup
+
+    def test_missing_directory_raises(self, tmp_path):
+        with pytest.raises(StoreError, match="no rollup store"):
+            RollupStore.open_read_only(str(tmp_path / "nope"))
+
+    def test_snapshot_matches_writer_queries(self, tmp_path):
+        store, rollup = self._sealed_store(tmp_path)
+        reader = RollupStore.open_read_only(store.directory)
+        assert reader.read_only is True
+        assert reader.bucket_seconds == store.bucket_seconds
+        assert_query_parity(reader, rollup)
+        reader.close()
+        store.close()
+
+    def test_bucket_seconds_mismatch_raises(self, tmp_path):
+        store, _ = self._sealed_store(tmp_path, n=40)
+        with pytest.raises(StoreError, match="bucket_seconds"):
+            RollupStore.open_read_only(store.directory, bucket_seconds=60.0)
+        store.close()
+
+    def test_every_mutator_is_rejected(self, tmp_path):
+        store, _ = self._sealed_store(tmp_path, n=40)
+        reader = RollupStore.open_read_only(store.directory)
+        record = make_record(0, 0.0, "IR", SignatureId.PSH_RST, Stage.POST_PSH, True)
+        for call in (
+            lambda: reader.add(record),
+            lambda: reader.seal_through(HOUR),
+            lambda: reader.seal_open(),
+            lambda: reader.maybe_compact(),
+            lambda: reader.compact(),
+            lambda: reader.flush(),
+            lambda: reader.checkpoint_state(),
+            lambda: reader.restore({"generation": 0, "count": 0, "open": []}),
+        ):
+            with pytest.raises(StoreError, match="read-only"):
+                call()
+        reader.close()
+        store.close()
+
+    def test_open_never_touches_files(self, tmp_path):
+        store, _ = self._sealed_store(tmp_path, n=60)
+        store.close()
+
+        def listing(root):
+            out = []
+            for dirpath, _dirs, files in os.walk(root):
+                for name in files:
+                    path = os.path.join(dirpath, name)
+                    st = os.stat(path)
+                    out.append((path, st.st_mtime_ns, st.st_size))
+            return sorted(out)
+
+        before = listing(store.directory)
+        reader = RollupStore.open_read_only(store.directory)
+        reader.query(StoreQuery("timeseries"))
+        reader.maybe_refresh()
+        reader.close()
+        assert listing(store.directory) == before
+
+    def test_open_tail_is_invisible_until_sealed(self, tmp_path):
+        records = random_records(13, 200)
+        cut = next(
+            i for i in range(1, len(records))
+            if records[i].ts // HOUR != records[i - 1].ts // HOUR
+            and i > len(records) // 2
+        )
+        store = RollupStore(str(tmp_path / "store"))
+        rollup = StreamRollup()
+        for record in records[:cut]:
+            store.add(record)
+            rollup.add(record)
+        horizon = (records[cut].ts // HOUR) * HOUR - HOUR
+        store.seal_through(horizon)
+
+        reader = RollupStore.open_read_only(store.directory)
+        sealed_rollup = StreamRollup()
+        for record in records[:cut]:
+            if (record.ts // HOUR) * HOUR <= horizon:
+                sealed_rollup.add(record)
+        assert reader.manifest.sealed_records() == sealed_rollup.n_records
+        assert_query_parity(reader, sealed_rollup)
+        # The writer still answers with its open tail included.
+        partial = StreamRollup()
+        for record in records[:cut]:
+            partial.add(record)
+        assert_query_parity(store, partial)
+
+        # Finish the stream, seal, and refresh: the reader catches up.
+        for record in records[cut:]:
+            store.add(record)
+            rollup.add(record)
+        store.seal_open()
+        assert reader.maybe_refresh() is True
+        assert reader.maybe_refresh() is False  # hint short-circuits
+        assert_query_parity(reader, rollup)
+        reader.close()
+        store.close()
+
+    def test_empty_directory_opens_empty_then_refreshes(self, tmp_path):
+        directory = str(tmp_path / "live")
+        os.makedirs(directory)
+        reader = RollupStore.open_read_only(directory)
+        assert reader.query(StoreQuery("timeseries")).value == {}
+        assert reader.maybe_refresh() is False
+
+        store = RollupStore(directory)
+        rollup = StreamRollup()
+        for record in random_records(17, 80):
+            store.add(record)
+            rollup.add(record)
+        store.seal_open()
+        assert reader.maybe_refresh() is True
+        assert_query_parity(reader, rollup)
+        reader.close()
+        store.close()
+
+    def test_maybe_refresh_requires_read_only(self, tmp_path):
+        store, _ = self._sealed_store(tmp_path, n=40)
+        with pytest.raises(StoreError, match="read-only"):
+            store.maybe_refresh()
+        store.close()
+
+    def test_stale_snapshot_surfaces_store_error_then_recovers(self, tmp_path):
+        records = random_records(19, 400)
+        store = RollupStore(str(tmp_path / "store"), config=small_compaction())
+        rollup = StreamRollup()
+        for record in records:
+            store.add(record)
+            rollup.add(record)
+        store.seal_open()
+
+        # Snapshot taken, nothing cached yet; the writer's compaction
+        # then deletes the snapshot's input segments.
+        reader = RollupStore.open_read_only(store.directory)
+        assert store.compact() > 0
+        with pytest.raises(StoreError, match="refresh and retry"):
+            reader.query(StoreQuery("timeseries"))
+        assert reader.maybe_refresh(force=True) is True
+        assert_query_parity(reader, rollup)
+        reader.close()
+        store.close()
+
+    def test_cli_query_leaves_live_store_untouched(self, tmp_path, capsys):
+        from repro.cli import main
+
+        records = random_records(23, 120)
+        cut = len(records) // 2
+        directory = str(tmp_path / "live")
+        store = RollupStore(directory)
+        for record in records[:cut]:
+            store.add(record)
+        horizon = max(slice_ for slice_ in store._open) - HOUR
+        store.seal_through(horizon)
+        store.flush()
+        wal_dir = os.path.join(directory, "wal")
+        wal_before = sorted(os.listdir(wal_dir))
+        assert wal_before  # the open tail has logs on disk
+
+        assert main(["query", directory, "--family", "timeseries",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        # Only the sealed snapshot is visible; the open tail is not.
+        assert payload["open_buckets_scanned"] == 0
+        assert payload["buckets_scanned"] > 0
+        # The query must not have truncated or dropped the writer's WAL.
+        assert sorted(os.listdir(wal_dir)) == wal_before
+        store.close()

@@ -16,6 +16,7 @@ from __future__ import annotations
 import dataclasses
 import json
 import os
+import sys
 
 import pytest
 
@@ -606,3 +607,261 @@ class TestEngine:
     def test_without_geodb_all_unattributed(self, study):
         report = StreamEngine(make_source(study), n_workers=0).run(max_samples=50)
         assert report.rollup.countries == ["??"]
+
+
+# ----------------------------------------------------------------------
+# Cooperative stop (request_stop / SIGTERM) and push mode
+# ----------------------------------------------------------------------
+class _StopTriggerSource:
+    """Delegating source that requests an engine stop after N yields."""
+
+    def __init__(self, inner, after):
+        self.inner = inner
+        self.after = after
+        self.engine = None
+        self.count = 0
+
+    def __iter__(self):
+        for item in self.inner:
+            self.count += 1
+            if self.count == self.after and self.engine is not None:
+                self.engine.request_stop()
+            yield item
+
+    def cursor(self):
+        return self.inner.cursor()
+
+    def seek(self, cursor):
+        self.inner.seek(cursor)
+
+    def close(self):
+        self.inner.close()
+
+
+class TestCooperativeStop:
+    def test_request_stop_checkpoints_and_resumes_identically(
+        self, study, tmp_path
+    ):
+        ck = str(tmp_path / "ck.json")
+        baseline = StreamEngine(
+            make_source(study), geodb=study.geo, n_workers=0
+        ).run()
+
+        source = _StopTriggerSource(make_source(study), after=217)
+        engine1 = StreamEngine(
+            source, geodb=study.geo, n_workers=0,
+            checkpoint_path=ck, checkpoint_interval=50,
+        )
+        source.engine = engine1
+        partial = engine1.run()
+        assert not partial.finished
+        assert partial.samples_processed == 217
+        assert os.path.exists(ck)
+
+        resumed = StreamEngine(
+            make_source(study), geodb=study.geo, n_workers=0,
+            checkpoint_path=ck, checkpoint_interval=50,
+        ).run(resume=True)
+        assert resumed.finished
+        assert resumed.rollup.to_dict() == baseline.rollup.to_dict()
+        assert [e.to_dict() for e in resumed.events] == [
+            e.to_dict() for e in baseline.events
+        ]
+
+    def test_request_stop_with_store_resumes_identically(self, study, tmp_path):
+        offline = StreamEngine(
+            make_source(study), geodb=study.geo, n_workers=0,
+            store_dir=str(tmp_path / "offline"),
+        ).run()
+
+        ck = str(tmp_path / "ck.json")
+        store_dir = str(tmp_path / "stopped")
+        source = _StopTriggerSource(make_source(study), after=301)
+        engine1 = StreamEngine(
+            source, geodb=study.geo, n_workers=0,
+            checkpoint_path=ck, checkpoint_interval=50,
+            store_dir=store_dir,
+        )
+        source.engine = engine1
+        partial = engine1.run()
+        assert not partial.finished
+        engine1.store.close()
+
+        engine2 = StreamEngine(
+            make_source(study), geodb=study.geo, n_workers=0,
+            checkpoint_path=ck, checkpoint_interval=50,
+            store_dir=store_dir,
+        )
+        resumed = engine2.run(resume=True)
+        assert resumed.finished
+        assert resumed.rollup.to_dict() == offline.rollup.to_dict()
+        engine2.store.close()
+
+    def test_stop_before_any_checkpoint_leaves_no_checkpoint(
+        self, study, tmp_path
+    ):
+        ck = str(tmp_path / "ck.json")
+        source = _StopTriggerSource(make_source(study), after=3)
+        engine = StreamEngine(
+            source, geodb=study.geo, n_workers=0,
+            checkpoint_path=ck, checkpoint_interval=50,
+        )
+        source.engine = engine
+        partial = engine.run()
+        assert not partial.finished
+        # Stopped after 3 records: the due-interval never fired, but the
+        # stop path writes a final resumable checkpoint anyway.
+        assert os.path.exists(ck)
+        resumed = StreamEngine(
+            make_source(study), geodb=study.geo, n_workers=0,
+            checkpoint_path=ck, checkpoint_interval=50,
+        ).run(resume=True)
+        assert resumed.rollup.n_records == len(study.samples)
+
+
+class TestPushMode:
+    def _items(self, study):
+        return [
+            StreamItem(sample=s, ts=study.timestamps.get(s.conn_id))
+            for s in study.samples
+        ]
+
+    def test_push_matches_pull_exactly(self, study, tmp_path):
+        baseline = StreamEngine(
+            make_source(study), geodb=study.geo, n_workers=0
+        ).run()
+
+        engine = StreamEngine(None, geodb=study.geo, n_workers=0)
+        engine.open_push()
+        items = self._items(study)
+        total = 0
+        for start in range(0, len(items), 97):  # uneven batches
+            total += engine.push_items(items[start:start + 97])
+        report = engine.drain()
+        assert total == len(items)
+        assert report.finished
+        assert report.rollup.to_dict() == baseline.rollup.to_dict()
+        assert [e.to_dict() for e in report.events] == [
+            e.to_dict() for e in baseline.events
+        ]
+
+    def test_push_store_pause_resume_parity(self, study, tmp_path):
+        offline = StreamEngine(
+            make_source(study), geodb=study.geo, n_workers=0,
+            store_dir=str(tmp_path / "offline"),
+        ).run()
+
+        ck = str(tmp_path / "ck.json")
+        store_dir = str(tmp_path / "pushed")
+        items = self._items(study)
+        cut = len(items) // 2  # mid-bucket is fine: pause does not seal
+
+        engine1 = StreamEngine(
+            None, geodb=study.geo, n_workers=0,
+            checkpoint_path=ck, checkpoint_interval=100,
+            store_dir=store_dir,
+        )
+        engine1.open_push()
+        engine1.push_items(items[:cut])
+        paused = engine1.drain(seal=False)
+        assert not paused.finished
+        engine1.store.close()
+
+        engine2 = StreamEngine(
+            None, geodb=study.geo, n_workers=0,
+            checkpoint_path=ck, checkpoint_interval=100,
+            store_dir=store_dir,
+        )
+        engine2.open_push(resume=True)
+        engine2.push_items(items[cut:])
+        report = engine2.drain(seal=True)
+        assert report.finished
+        assert report.rollup.to_dict() == offline.rollup.to_dict()
+        assert [e.to_dict() for e in report.events] == [
+            e.to_dict() for e in offline.events
+        ]
+        engine2.store.close()
+
+    def test_push_mode_guards(self, study):
+        with pytest.raises(StreamError, match="source-less"):
+            StreamEngine(None, n_workers=0).run()
+        with pytest.raises(StreamError, match="source-less"):
+            StreamEngine(make_source(study), n_workers=0).open_push()
+        with pytest.raises(StreamError, match="n_workers=0"):
+            StreamEngine(None, n_workers=2).open_push()
+        engine = StreamEngine(None, n_workers=0)
+        with pytest.raises(StreamError, match="push session"):
+            engine.push_items([])
+        with pytest.raises(StreamError, match="push session"):
+            engine.drain()
+        engine.open_push()
+        with pytest.raises(StreamError, match="already open"):
+            engine.open_push()
+        with pytest.raises(StreamError, match="no checkpoint path"):
+            engine.checkpoint_now()
+        with pytest.raises(StreamError, match="no checkpoint path"):
+            StreamEngine(None, n_workers=0).open_push(resume=True)
+
+
+@pytest.mark.chaos
+class TestStreamSignals:
+    def test_cli_sigterm_checkpoints_then_resume_parity(self, tmp_path):
+        import signal
+        import subprocess
+        import time as _time
+
+        study = two_week_study(n_connections=120, seed=31)
+        samples_path = str(tmp_path / "samples.jsonl")
+        write_samples_jsonl(samples_path, study.samples)
+        n = len(study.samples)
+
+        # Throttle the child with per-item stalls so the parent can
+        # reliably signal it mid-run.
+        plan_path = str(tmp_path / "faults.json")
+        with open(plan_path, "w") as fh:
+            json.dump({"faults": [
+                {"index": i, "kind": "stall", "stall_seconds": 0.01}
+                for i in range(n)
+            ]}, fh)
+
+        ck = str(tmp_path / "ck.json")
+        store_dir = str(tmp_path / "store")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(os.path.dirname(__file__), "..", "src")
+        cmd = [
+            sys.executable, "-m", "repro", "stream", samples_path,
+            "--checkpoint", ck, "--checkpoint-interval", "20",
+            "--store", store_dir, "--fault-plan", plan_path,
+        ]
+        child = subprocess.Popen(
+            cmd, env=env,
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        )
+        deadline = _time.monotonic() + 30
+        while not os.path.exists(ck):
+            assert _time.monotonic() < deadline, "child never checkpointed"
+            assert child.poll() is None, child.communicate()[1]
+            _time.sleep(0.02)
+        child.send_signal(signal.SIGTERM)
+        out, err = child.communicate(timeout=30)
+        assert child.returncode == 0, err
+        assert "stopped by SIGTERM" in err
+        assert "stream stopped" in out
+
+        resume = subprocess.run(
+            cmd + ["--resume"], env=env,
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+            timeout=60,
+        )
+        assert resume.returncode == 0, resume.stderr
+        assert "stream finished" in resume.stdout
+
+        from repro.store import RollupStore
+
+        offline = StreamEngine(
+            JsonlSource(samples_path), n_workers=0,
+            store_dir=str(tmp_path / "offline"),
+        ).run()
+        reader = RollupStore.open_read_only(store_dir)
+        assert reader.to_rollup().to_dict() == offline.rollup.to_dict()
+        reader.close()
