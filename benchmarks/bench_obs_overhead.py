@@ -37,12 +37,26 @@ at once.  Under the strict CI gate a failing path is re-measured once
 from scratch -- two independent measurements must both exceed the
 ceiling -- which turns a p false-failure rate into p^2.
 
+The headline percentage is clamped at zero: instrumentation cannot
+speed the pipeline up, so a negative reading is the measurement's
+noise floor showing, not a real speedup.  The magnitude below zero is
+reported separately as ``noise_floor_pct`` -- when it rivals the 5%
+ceiling, the gate's verdict on this machine is weather, not signal.
+The unclamped estimators stay in the per-path ``*_min_ratio`` /
+``*_median_pair`` / ``*_p25_pair`` fields.
+
+With ``REPRO_BENCH_TRACE_SAMPLE=N`` set (CI sets 64), the instrumented
+arm also head-samples 1 in N items for end-to-end span trees -- the
+engine arm via ``trace_sample_n``, the store arm by activating a
+sampled context around 1 in N adds -- so the gate certifies the
+*tracing-on* default, not just bare counters and timers.
+
 Writes ``BENCH_obs_overhead.json`` (path override:
 ``REPRO_BENCH_OBS_JSON``) recording both rates, all three estimators,
-and the gated overhead percentage per path.  The report test always
-asserts the overhead is sane; the strict <= 5% ceiling is enforced
-when ``REPRO_BENCH_REQUIRE_OBS_OVERHEAD=1`` (CI sets it) so tiny
-ad-hoc runs on loaded machines do not flake.
+the gated overhead percentage per path, and a ``methodology`` note.
+The report test always asserts the overhead is sane; the strict <= 5%
+ceiling is enforced when ``REPRO_BENCH_REQUIRE_OBS_OVERHEAD=1`` (CI
+sets it) so tiny ad-hoc runs on loaded machines do not flake.
 """
 
 import json
@@ -55,7 +69,14 @@ import time
 
 import pytest
 
-from repro.obs import NULL_OBS, Observability
+from repro.obs import (
+    NULL_OBS,
+    HeadSampler,
+    Observability,
+    TraceContext,
+    mint_span_id,
+    mint_trace_id,
+)
 from repro.store import CompactionConfig, RollupStore, StoreConfig
 from repro.stream import IterableSource, StreamEngine, serial_records
 
@@ -78,9 +99,26 @@ _JSON_PATH = os.environ.get("REPRO_BENCH_OBS_JSON", "BENCH_obs_overhead.json")
 #: The strict ceiling the report test enforces under the CI gate.
 MAX_OVERHEAD_PCT = 5.0
 
+METHODOLOGY = (
+    "Interleaved (NULL_OBS, instrumented) run pairs, alternating order "
+    "to cancel machine drift; gated overhead is min(min-ratio, "
+    "median-pair-ratio, p25-pair-ratio), clamped at 0 (instrumentation "
+    "cannot be a speedup -- negative readings are noise, reported as "
+    "noise_floor_pct); trace_sample_n > 0 means the instrumented arm "
+    "also head-sampled 1-in-N span trees."
+)
+
 
 def _strict_gate():
     return os.environ.get("REPRO_BENCH_REQUIRE_OBS_OVERHEAD") == "1"
+
+
+def _trace_sample_n():
+    """1-in-N head sampling for the instrumented arm (0 = no tracing)."""
+    try:
+        return max(0, int(os.environ.get("REPRO_BENCH_TRACE_SAMPLE", "0")))
+    except ValueError:
+        return 0
 
 
 def _paired_times(run_null, run_obs, pairs):
@@ -138,14 +176,18 @@ def _measure_path(run_null, run_obs, pairs, emit, label):
 
 def _engine_run(study, obs):
     source = IterableSource(study.samples, timestamps=study.timestamps)
+    trace_n = _trace_sample_n() if obs is not NULL_OBS else 0
     t0 = time.perf_counter()
     report = StreamEngine(
-        source, geodb=study.world.geo, n_workers=0, obs=obs
+        source, geodb=study.world.geo, n_workers=0, obs=obs,
+        trace_sample_n=trace_n,
     ).run()
     elapsed = time.perf_counter() - t0
     assert report.samples_processed == len(study.samples)
     if obs is not NULL_OBS:
         assert "obs" in report.metrics  # the instrumentation actually ran
+        if trace_n:
+            assert obs.trace_recorder.stats()["spans"] > 0
     return elapsed
 
 
@@ -167,11 +209,24 @@ def _ingest(records, directory, obs):
     config = StoreConfig(
         compaction=CompactionConfig(trigger=4, fanout=8, max_level=2)
     )
+    trace_n = _trace_sample_n() if obs is not NULL_OBS else 0
+    rec = getattr(obs, "trace_recorder", None) if trace_n else None
+    sampler = HeadSampler(trace_n) if rec is not None else None
     t0 = time.perf_counter()
     store = RollupStore(str(directory), config=config, obs=obs)
     watermark = None
     for index, record in enumerate(records):
-        store.add(record)
+        if sampler is not None and sampler.decide():
+            # Mirror serve-side ingest: 1 in N adds runs under a
+            # sampled context, so WAL append/fsync span recording is
+            # part of what the gate prices.
+            rec.activate(
+                TraceContext(mint_trace_id(), mint_span_id(), True)
+            )
+            store.add(record)
+            rec.activate(None)
+        else:
+            store.add(record)
         if watermark is None or record.ts > watermark:
             watermark = record.ts
         if index % SEAL_EVERY == SEAL_EVERY - 1:
@@ -200,7 +255,8 @@ def test_engine_obs_overhead(study, emit):
     n = len(study.samples)
     _OBS_STATS["engine_null_cps"] = n / min(nulls)
     _OBS_STATS["engine_obs_cps"] = n / min(obss)
-    _OBS_STATS["engine_overhead_pct"] = pct
+    _OBS_STATS["engine_overhead_pct"] = max(0.0, pct)
+    _OBS_STATS["engine_noise_floor_pct"] = max(0.0, -pct)
     _OBS_STATS["engine_overhead_pct_min_ratio"] = detail["min_ratio"]
     _OBS_STATS["engine_overhead_pct_median_pair"] = detail["median_pair"]
     _OBS_STATS["engine_overhead_pct_p25_pair"] = detail["p25_pair"]
@@ -253,7 +309,8 @@ def test_store_obs_overhead(records, tmp_path, emit):
     n = len(records)
     _OBS_STATS["store_null_rps"] = n / min(nulls)
     _OBS_STATS["store_obs_rps"] = n / min(obss)
-    _OBS_STATS["store_overhead_pct"] = pct
+    _OBS_STATS["store_overhead_pct"] = max(0.0, pct)
+    _OBS_STATS["store_noise_floor_pct"] = max(0.0, -pct)
     _OBS_STATS["store_overhead_pct_min_ratio"] = detail["min_ratio"]
     _OBS_STATS["store_overhead_pct_median_pair"] = detail["median_pair"]
     _OBS_STATS["store_overhead_pct_p25_pair"] = detail["p25_pair"]
@@ -278,16 +335,29 @@ def test_obs_overhead_report(emit):
     engine_pct = _OBS_STATS["engine_overhead_pct"]
     store_pct = _OBS_STATS["store_overhead_pct"]
     _OBS_STATS["max_overhead_pct"] = MAX_OVERHEAD_PCT
+    _OBS_STATS["noise_floor_pct"] = max(
+        _OBS_STATS["engine_noise_floor_pct"],
+        _OBS_STATS["store_noise_floor_pct"],
+    )
+    _OBS_STATS["trace_sample_n"] = _trace_sample_n()
+    _OBS_STATS["methodology"] = METHODOLOGY
 
     payload = dict(_OBS_STATS)
     with open(_JSON_PATH, "w") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)
         fh.write("\n")
 
+    trace_note = (
+        f", tracing 1-in-{_OBS_STATS['trace_sample_n']}"
+        if _OBS_STATS["trace_sample_n"]
+        else ""
+    )
     emit(
         "\n".join(
             [
-                f"obs overhead (written to {_JSON_PATH}):",
+                f"obs overhead (written to {_JSON_PATH}"
+                f"; noise floor {_OBS_STATS['noise_floor_pct']:.2f}%"
+                f"{trace_note}):",
                 f"  engine: {_OBS_STATS['engine_null_cps']:,.0f} -> "
                 f"{_OBS_STATS['engine_obs_cps']:,.0f} conn/s "
                 f"({engine_pct:+.2f}% overhead; min-ratio "

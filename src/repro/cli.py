@@ -19,6 +19,9 @@ Subcommands:
   ``--store`` directory, with time-range and country pushdown.
 * ``obs`` -- render the per-stage latency / bottleneck report from a
   ``stream --obs`` export (metrics.json + spans.jsonl).
+* ``trace`` -- reconstruct sampled request span trees from an export's
+  spans.jsonl and print each slow request's critical path (queue wait
+  vs. fold vs. fsync) with per-hop self time.
 """
 
 from __future__ import annotations
@@ -122,6 +125,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="export observability data (metrics.json, "
                              "metrics.prom, spans.jsonl) to this directory; "
                              "inspect with: repro obs DIR")
+    stream.add_argument("--trace-sample", type=int, default=0, metavar="N",
+                        help="head-sample 1 in N connections for end-to-end "
+                             "span trees (serial mode only; 0 = off); "
+                             "inspect with: repro trace OBS_DIR")
     stream.add_argument("--progress", type=float, default=None, metavar="SECONDS",
                         help="print a progress line to stderr every N seconds")
 
@@ -131,6 +138,21 @@ def build_parser() -> argparse.ArgumentParser:
     obs.add_argument("export", help="directory written by stream --obs")
     obs.add_argument("--json", action="store_true",
                      help="emit per-stage summaries as JSON instead of tables")
+
+    trace = sub.add_parser(
+        "trace",
+        help="span-tree / critical-path report from an --obs export "
+             "with tracing enabled",
+    )
+    trace.add_argument("export", help="directory written by stream/serve --obs")
+    trace.add_argument("--top", type=int, default=5,
+                       help="show the N slowest traces (default 5)")
+    trace.add_argument("--trace", dest="trace_id", default=None,
+                       help="show only this trace id (as echoed in the "
+                            "traceparent response header or /metrics "
+                            "exemplars)")
+    trace.add_argument("--json", action="store_true",
+                       help="emit the span trees as JSON instead of text")
 
     query = sub.add_parser(
         "query", help="answer batch-parity questions from a rollup store"
@@ -183,6 +205,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "them)")
     serve.add_argument("--bucket-seconds", type=float, default=3600.0)
     serve.add_argument("--checkpoint-interval", type=int, default=5000)
+    serve.add_argument("--trace-sample", type=int, default=64, metavar="N",
+                       help="head-sample 1 in N untraced ingest requests "
+                            "for end-to-end span trees (0 = only trace "
+                            "requests that send a traceparent header)")
     return parser
 
 
@@ -389,6 +415,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         checkpoint_path=args.checkpoint,
         checkpoint_interval=args.checkpoint_interval,
         store_dir=args.store,
+        trace_sample_n=args.trace_sample,
         progress=(
             ProgressReporter(interval_seconds=args.progress)
             if args.progress
@@ -442,6 +469,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         rate_records_per_second=args.rate,
         rate_burst_records=args.burst,
         drain_seal=not args.no_seal,
+        trace_sample_n=args.trace_sample,
     )
     service = ServeService(
         args.store,
@@ -484,6 +512,33 @@ def _cmd_obs(args: argparse.Namespace) -> int:
         ))
         return 0
     print(render_obs_report(export))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import load_export, render_trace_report, trace_report_data
+
+    export = load_export(args.export)
+    spans = [s for s in export.spans if s.get("kind") == "trace"]
+    if not spans:
+        print(
+            f"no trace spans in {args.export}; run with tracing enabled "
+            "(stream --trace-sample N, serve --trace-sample N, or a client "
+            "sending a traceparent header)",
+            file=sys.stderr,
+        )
+        return 1
+    data = trace_report_data(spans, top=args.top, trace_filter=args.trace_id)
+    if args.trace_id and not data["traces"]:
+        print(f"trace {args.trace_id!r} not found in {args.export}",
+              file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(data, indent=2))
+        return 0
+    print(render_trace_report(data))
     return 0
 
 
@@ -612,6 +667,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "query": _cmd_query,
         "serve": _cmd_serve,
         "obs": _cmd_obs,
+        "trace": _cmd_trace,
     }
     return handlers[args.command](args)
 

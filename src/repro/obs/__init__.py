@@ -27,8 +27,29 @@ This package imports nothing from :mod:`repro.stream` or
 :mod:`repro.store`; the dependency points the other way.
 """
 
+from repro.obs.context import (
+    REQUEST_ID_HEADER,
+    TRACEPARENT_HEADER,
+    HeadSampler,
+    TraceContext,
+    mint_request_id,
+    mint_span_id,
+    mint_trace_id,
+    parse_traceparent,
+)
 from repro.obs.layer import NULL_OBS, NullObservability, Observability, SpanTimer
 from repro.obs.progress import ProgressReporter
+from repro.obs.spantree import (
+    NULL_RECORDER,
+    NullSpanRecorder,
+    SpanNode,
+    SpanRecorder,
+    build_trees,
+    critical_path,
+    render_trace_report,
+    stage_self_times,
+    trace_report_data,
+)
 from repro.obs.registry import (
     DEFAULT_LATENCY_BOUNDS,
     Counter,
@@ -47,6 +68,23 @@ __all__ = [
     "Observability",
     "SpanTimer",
     "ProgressReporter",
+    "REQUEST_ID_HEADER",
+    "TRACEPARENT_HEADER",
+    "HeadSampler",
+    "TraceContext",
+    "mint_request_id",
+    "mint_span_id",
+    "mint_trace_id",
+    "parse_traceparent",
+    "NULL_RECORDER",
+    "NullSpanRecorder",
+    "SpanNode",
+    "SpanRecorder",
+    "build_trees",
+    "critical_path",
+    "render_trace_report",
+    "stage_self_times",
+    "trace_report_data",
     "DEFAULT_LATENCY_BOUNDS",
     "Counter",
     "Gauge",

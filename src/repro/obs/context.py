@@ -1,0 +1,146 @@
+"""W3C-traceparent-style trace context for request-scoped tracing.
+
+A :class:`TraceContext` names one request end to end: a 128-bit trace
+id shared by every span the request produces, the span id of the
+*current* parent (children attach under it), and a sampled flag.  The
+wire form is the W3C ``traceparent`` header, version ``00``::
+
+    traceparent: 00-<32 hex trace id>-<16 hex span id>-<01|00>
+
+:class:`ServeClient` mints a context for every Nth POST (head
+sampling), the HTTP layer parses and echoes it, and the serving tier
+re-parents it onto a server-side request span before attaching it to
+each :class:`~repro.stream.source.StreamItem` -- so the engine, WAL,
+and sealer never see HTTP, only an opaque context riding the item.
+
+Ids come from ``os.urandom`` (no seeding concerns, no coordination);
+the all-zero trace/span ids are invalid per the W3C spec and rejected
+on parse.  Sampling decisions are made once, at the head of the
+request, by :class:`HeadSampler` -- a deterministic 1-in-N counter, not
+a coin flip, so a fixed-rate workload yields a fixed-rate trace stream
+and the overhead benchmark measures a reproducible cost.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from typing import Optional
+
+__all__ = [
+    "TRACEPARENT_HEADER",
+    "REQUEST_ID_HEADER",
+    "TraceContext",
+    "HeadSampler",
+    "mint_trace_id",
+    "mint_span_id",
+    "mint_request_id",
+    "parse_traceparent",
+]
+
+#: Canonical (lowercase) header names; HTTP headers are case-insensitive
+#: and the serve layer normalises to lowercase on parse.
+TRACEPARENT_HEADER = "traceparent"
+REQUEST_ID_HEADER = "x-request-id"
+
+_HEX = set("0123456789abcdef")
+
+
+def mint_trace_id() -> str:
+    """A fresh 128-bit trace id as 32 lowercase hex chars."""
+    return os.urandom(16).hex()
+
+
+def mint_span_id() -> str:
+    """A fresh 64-bit span id as 16 lowercase hex chars."""
+    return os.urandom(8).hex()
+
+
+def mint_request_id() -> str:
+    """A fresh request id (64 bits of entropy, 16 hex chars).
+
+    Request ids are correlation handles for humans and logs; they are
+    deliberately shorter than trace ids and carry no sampling meaning.
+    """
+    return os.urandom(8).hex()
+
+
+def _is_hex(value: str) -> bool:
+    return all(c in _HEX for c in value)
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceContext:
+    """One request's identity: trace id, parent span id, sampled flag.
+
+    ``span_id`` is the span new children should parent onto -- the
+    client's root span on the wire, the server's request span once the
+    serving tier has re-parented the context for the ingest path.
+    """
+
+    trace_id: str
+    span_id: str
+    sampled: bool = True
+
+    def to_traceparent(self) -> str:
+        """Render the W3C ``traceparent`` header value."""
+        flags = "01" if self.sampled else "00"
+        return f"00-{self.trace_id}-{self.span_id}-{flags}"
+
+    def with_parent(self, span_id: str) -> "TraceContext":
+        """The same trace, re-parented onto ``span_id``."""
+        return dataclasses.replace(self, span_id=span_id)
+
+
+def parse_traceparent(value: Optional[str]) -> Optional[TraceContext]:
+    """Parse a ``traceparent`` header value; ``None`` if malformed.
+
+    Per the W3C spec we accept version ``00`` exactly, require
+    lowercase hex, and reject all-zero trace/span ids.  A malformed
+    header is treated as absent (the request proceeds untraced) rather
+    than rejected -- tracing must never break ingest.
+    """
+    if not value:
+        return None
+    parts = value.strip().split("-")
+    if len(parts) != 4:
+        return None
+    version, trace_id, span_id, flags = parts
+    if version != "00":
+        return None
+    if len(trace_id) != 32 or not _is_hex(trace_id):
+        return None
+    if len(span_id) != 16 or not _is_hex(span_id):
+        return None
+    if len(flags) != 2 or not _is_hex(flags):
+        return None
+    if trace_id == "0" * 32 or span_id == "0" * 16:
+        return None
+    sampled = bool(int(flags, 16) & 0x01)
+    return TraceContext(trace_id=trace_id, span_id=span_id, sampled=sampled)
+
+
+class HeadSampler:
+    """Deterministic 1-in-N head sampler.
+
+    ``sample_n == 0`` disables sampling entirely; ``sample_n == 1``
+    samples everything.  The first decision is always True (so a short
+    smoke run still yields a trace), then every Nth after that.  Not
+    thread-safe by design: each producer (client, event loop, engine
+    funnel) owns its own sampler.
+    """
+
+    __slots__ = ("sample_n", "_n")
+
+    def __init__(self, sample_n: int) -> None:
+        if sample_n < 0:
+            raise ValueError("trace sample_n must be >= 0")
+        self.sample_n = sample_n
+        self._n = 0
+
+    def decide(self) -> bool:
+        if not self.sample_n:
+            return False
+        n = self._n
+        self._n = n + 1
+        return n % self.sample_n == 0

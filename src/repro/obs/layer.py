@@ -25,6 +25,7 @@ unwanted).
 
 from __future__ import annotations
 
+import json
 import os
 import time
 from bisect import bisect_left
@@ -33,6 +34,7 @@ from typing import Dict, Optional
 
 from repro._util import atomic_write_json
 from repro.obs.registry import Histogram, MetricsRegistry
+from repro.obs.spantree import NULL_RECORDER, SpanRecorder
 from repro.obs.trace import Tracer
 
 __all__ = ["Observability", "NullObservability", "NULL_OBS", "SpanTimer"]
@@ -154,9 +156,16 @@ class Observability:
         registry: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
         span_capacity: int = 4096,
+        trace_capture: int = 64,
     ) -> None:
         self.registry = registry or MetricsRegistry()
         self.tracer = tracer or Tracer(capacity=span_capacity)
+        # Request-scoped span trees for head-sampled traces; bounded
+        # top-K capture (see repro.obs.spantree).  Idle unless someone
+        # activates a TraceContext, so it costs nothing by default.
+        self.trace_recorder = SpanRecorder(
+            registry=self.registry, max_traces=trace_capture
+        )
         self._timers: Dict[str, SpanTimer] = {}
 
     # -- wiring-time accessors -----------------------------------------
@@ -211,6 +220,9 @@ class Observability:
         """Compact JSON-safe summary (lands in StreamMetrics snapshots)."""
         summary = self.registry.summary()
         summary["spans"] = self._span_stats()
+        trace_stats = self.trace_recorder.stats()
+        if trace_stats["spans"]:
+            summary["trace"] = trace_stats
         return summary
 
     def render_prometheus(self) -> str:
@@ -230,6 +242,7 @@ class Observability:
             "version": EXPORT_VERSION,
             "generated_ts": time.time(),
             "spans": self._span_stats(),
+            "trace": self.trace_recorder.stats(),
         }
         payload.update(self.registry.to_dict())
         if extra:
@@ -241,6 +254,11 @@ class Observability:
             handle.write(self.registry.render_prometheus())
         spans_jsonl = os.path.join(directory, "spans.jsonl")
         self.tracer.export_jsonl(spans_jsonl)
+        trace_spans = self.trace_recorder.spans()
+        if trace_spans:
+            with open(spans_jsonl, "a", encoding="utf-8") as handle:
+                for span in trace_spans:
+                    handle.write(json.dumps(span, sort_keys=True) + "\n")
         return {
             "metrics.json": metrics_json,
             "metrics.prom": metrics_prom,
@@ -290,6 +308,7 @@ class NullObservability:
     """Same surface as :class:`Observability`, zero work, zero state."""
 
     enabled = False
+    trace_recorder = NULL_RECORDER
 
     def counter(self, name, help=""):
         return _NULL_METRIC

@@ -132,7 +132,7 @@ class Histogram:
     semantics).
     """
 
-    __slots__ = ("name", "help", "bounds", "counts", "sum", "_lock")
+    __slots__ = ("name", "help", "bounds", "counts", "sum", "exemplars", "_lock")
 
     def __init__(
         self,
@@ -148,12 +148,29 @@ class Histogram:
         self.bounds = chosen
         self.counts = [0] * (len(chosen) + 1)
         self.sum = 0.0
+        # bucket index -> (trace_id, observed value, epoch ts): the last
+        # traced observation that landed in that bucket.  Bounded by the
+        # bucket count; empty unless request tracing is sampled.
+        self.exemplars: Dict[int, Tuple[str, float, float]] = {}
         self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
         with self._lock:
             self.counts[bisect_left(self.bounds, value)] += 1
             self.sum += value
+
+    def set_exemplar(self, value: float, trace_id: str, ts: float) -> None:
+        """Attach a traced observation to its bucket (exemplar).
+
+        Called by :class:`~repro.obs.spantree.SpanRecorder` for sampled
+        requests only, so the untraced hot path never pays for this.
+        The exemplar does *not* increment the bucket -- the span's
+        duration was already counted through the stage's timer.
+        """
+        with self._lock:
+            self.exemplars[bisect_left(self.bounds, value)] = (
+                trace_id, value, ts,
+            )
 
     def snapshot(self) -> Tuple[List[int], float]:
         """A mutation-consistent ``(counts, sum)`` copy.
@@ -189,12 +206,20 @@ class Histogram:
 
     def to_dict(self) -> Dict[str, object]:
         counts, total_sum = self.snapshot()
-        return {
+        out: Dict[str, object] = {
             "bounds": list(self.bounds),
             "counts": counts,
             "count": sum(counts),
             "sum": total_sum,
         }
+        with self._lock:
+            exemplars = dict(self.exemplars)
+        if exemplars:
+            out["exemplars"] = {
+                str(idx): {"trace_id": tid, "value": value, "ts": ts}
+                for idx, (tid, value, ts) in sorted(exemplars.items())
+            }
+        return out
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Histogram({self.name}, n={self.count}, sum={self.sum:.6f})"
@@ -336,12 +361,20 @@ class MetricsRegistry:
                 lines.append(f"# HELP {pname} {metric.help}")
             lines.append(f"# TYPE {pname} histogram")
             counts, total_sum = metric.snapshot()
+            with metric._lock:
+                exemplars = dict(metric.exemplars)
             total = sum(counts)
             cumulative = 0
-            for bound, n in zip(metric.bounds, counts):
+            for i, (bound, n) in enumerate(zip(metric.bounds, counts)):
                 cumulative += n
-                lines.append(f'{pname}_bucket{{le="{_fmt(bound)}"}} {cumulative}')
-            lines.append(f'{pname}_bucket{{le="+Inf"}} {total}')
+                lines.append(
+                    f'{pname}_bucket{{le="{_fmt(bound)}"}} {cumulative}'
+                    + _exemplar_suffix(exemplars.get(i))
+                )
+            lines.append(
+                f'{pname}_bucket{{le="+Inf"}} {total}'
+                + _exemplar_suffix(exemplars.get(len(metric.bounds)))
+            )
             lines.append(f"{pname}_sum {_fmt(total_sum)}")
             lines.append(f"{pname}_count {total}")
         return "\n".join(lines) + "\n"
@@ -352,3 +385,15 @@ def _fmt(value: float) -> str:
     if value == int(value) and abs(value) < 1e15:
         return str(int(value))
     return repr(value)
+
+
+def _exemplar_suffix(exemplar: Optional[Tuple[str, float, float]]) -> str:
+    """OpenMetrics-style exemplar tail for a ``_bucket`` line (or "").
+
+    Rendered only when request tracing actually attached an exemplar,
+    so exposition output is byte-identical to before on untraced runs.
+    """
+    if exemplar is None:
+        return ""
+    trace_id, value, ts = exemplar
+    return f' # {{trace_id="{trace_id}"}} {_fmt(value)} {_fmt(ts)}'

@@ -1,0 +1,519 @@
+"""Request-scoped span trees: bounded capture, assembly, critical path.
+
+The flight-recorder ring (:mod:`repro.obs.trace`) answers "what do
+stage latencies look like lately"; this module answers "where did
+*this* request's time go".  A :class:`SpanRecorder` hangs off
+:class:`~repro.obs.layer.Observability` and collects parent-linked
+spans for the (head-sampled) requests that carry a
+:class:`~repro.obs.context.TraceContext`, keyed by trace id.
+
+Capture is bounded two ways: at most ``max_traces`` traces are held
+(top-K by total recorded duration -- when full, the cheapest unpinned
+trace is evicted, so slow requests survive), and each trace holds at
+most ``max_spans_per_trace`` spans (excess spans are counted, not
+stored).  Traces can be *pinned* (413/429/503 rejections, anomaly
+fires): pinned traces are evicted only when everything else is pinned
+too, so the interesting tail is still there after a flood of fast
+requests.
+
+The untraced hot path pays one attribute load and a ``None`` check
+(``recorder.active is None``); everything costlier happens only for
+sampled requests.  ``activate()`` / ``begin()`` / ``finish()`` serve
+the single ingest thread that folds items sequentially; cross-thread
+recording (the serve event loop finishing a request span while the
+worker folds) goes through ``record_span(..., ctx=...)`` which touches
+only the lock-protected store.
+
+The second half of the module is the offline analyzer behind ``repro
+trace``: group exported spans by trace id, link children to parents
+(spans whose parent was never recorded become roots -- pull-mode
+traces have no HTTP request span), find the critical path (the chain
+of latest-ending descendants), and aggregate per-stage *self time*
+(duration minus time attributed to children).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.context import TraceContext, mint_span_id
+from repro.obs.registry import Histogram
+
+__all__ = [
+    "SpanRecorder",
+    "NullSpanRecorder",
+    "NULL_RECORDER",
+    "SpanNode",
+    "build_trees",
+    "critical_path",
+    "stage_self_times",
+    "render_trace_report",
+    "trace_report_data",
+]
+
+
+class SpanRecorder:
+    """Bounded, pin-aware store of per-trace span lists."""
+
+    def __init__(
+        self,
+        registry=None,
+        max_traces: int = 64,
+        max_spans_per_trace: int = 512,
+    ) -> None:
+        if max_traces < 1 or max_spans_per_trace < 1:
+            raise ValueError("trace capture bounds must be >= 1")
+        self.max_traces = max_traces
+        self.max_spans_per_trace = max_spans_per_trace
+        #: The context spans on the owning thread attach to; hot paths
+        #: check ``recorder.active is None`` and skip everything else.
+        self.active: Optional[TraceContext] = None
+        self._stack: List[str] = []
+        self._lock = threading.Lock()
+        self._traces: Dict[str, List[dict]] = {}
+        self._score: Dict[str, float] = {}
+        self._order: Dict[str, int] = {}
+        self._pinned: Dict[str, str] = {}
+        self._seq = 0
+        self.total_spans = 0
+        self.dropped_spans = 0
+        self.evicted_traces = 0
+        self._registry = registry
+        self._hist_cache: Dict[str, Optional[Histogram]] = {}
+        # Same epoch pairing trick as Tracer: spans carry perf_counter
+        # stamps, converted to epoch seconds when stored.
+        self._epoch_time = time.time()
+        self._epoch_perf = time.perf_counter()
+
+    # -- owning-thread context ----------------------------------------
+    def activate(self, ctx: Optional[TraceContext]) -> None:
+        """Switch the owning thread's active context (None deactivates).
+
+        Unsampled contexts deactivate too: the sampling decision is
+        made once at the head and honoured everywhere downstream.
+        """
+        if ctx is not None and ctx.sampled:
+            self.active = ctx
+        else:
+            self.active = None
+        del self._stack[:]
+
+    def begin(self, name: str):
+        """Open a nested span under the active context.
+
+        Returns an opaque token for :meth:`finish`.  Callers must have
+        checked ``active is not None``; ``begin``/``finish`` pairs must
+        nest properly on the owning thread.
+        """
+        ctx = self.active
+        span_id = mint_span_id()
+        parent = self._stack[-1] if self._stack else ctx.span_id
+        self._stack.append(span_id)
+        return (name, ctx, span_id, parent, time.perf_counter())
+
+    def finish(self, token, **attrs: object) -> None:
+        """Close a span opened by :meth:`begin` and store it."""
+        name, ctx, span_id, parent, start = token
+        duration = time.perf_counter() - start
+        if self._stack and self._stack[-1] == span_id:
+            self._stack.pop()
+        self._store(name, ctx, span_id, parent, start, duration, attrs or None)
+
+    # -- direct recording (any thread) --------------------------------
+    def record_span(
+        self,
+        name: str,
+        start: float,
+        duration: float,
+        ctx: Optional[TraceContext] = None,
+        span_id: Optional[str] = None,
+        parent_id: Optional[str] = None,
+        attrs: Optional[dict] = None,
+    ) -> Optional[str]:
+        """Store one finished span (``start`` is a ``perf_counter`` value).
+
+        With no explicit ``ctx`` the active context is used, and the
+        parent defaults to the innermost open span (else the context's
+        span id).  With an explicit ``ctx``, ``parent_id=None`` means
+        the span parents onto ``ctx.span_id`` -- pass ``parent_id=""``
+        to record a root span with no parent at all.
+        """
+        if ctx is None:
+            ctx = self.active
+            if ctx is None:
+                return None
+            if parent_id is None:
+                parent_id = self._stack[-1] if self._stack else ctx.span_id
+        elif not ctx.sampled:
+            return None
+        elif parent_id is None:
+            parent_id = ctx.span_id
+        if span_id is None:
+            span_id = mint_span_id()
+        self._store(name, ctx, span_id, parent_id or None, start, duration, attrs)
+        return span_id
+
+    def pin(self, trace_id: str, reason: str) -> None:
+        """Protect a trace from top-K eviction (rejections, anomalies)."""
+        with self._lock:
+            self._pinned.setdefault(trace_id, reason)
+
+    # -- internals -----------------------------------------------------
+    def _store(
+        self,
+        name: str,
+        ctx: TraceContext,
+        span_id: str,
+        parent_id: Optional[str],
+        start: float,
+        duration: float,
+        attrs: Optional[dict],
+    ) -> None:
+        ts = self._epoch_time + (start - self._epoch_perf)
+        trace_id = ctx.trace_id
+        span = {
+            "kind": "trace",
+            "name": name,
+            "trace": trace_id,
+            "span": span_id,
+            "parent": parent_id,
+            "ts": ts,
+            "duration_seconds": duration,
+        }
+        if attrs:
+            span["attrs"] = attrs
+        with self._lock:
+            spans = self._traces.get(trace_id)
+            if spans is None:
+                if len(self._traces) >= self.max_traces:
+                    self._evict_locked()
+                spans = self._traces[trace_id] = []
+                self._score[trace_id] = 0.0
+                self._order[trace_id] = self._seq
+                self._seq += 1
+            if len(spans) >= self.max_spans_per_trace:
+                self.dropped_spans += 1
+                return
+            spans.append(span)
+            self._score[trace_id] += duration
+            self.total_spans += 1
+        self._exemplar(name, duration, trace_id, ts)
+
+    def _evict_locked(self) -> None:
+        """Drop the cheapest unpinned trace (oldest pinned as last resort)."""
+        unpinned = [t for t in self._traces if t not in self._pinned]
+        if unpinned:
+            victim = min(unpinned, key=lambda t: (self._score[t], self._order[t]))
+        else:
+            victim = min(self._traces, key=lambda t: self._order[t])
+            self._pinned.pop(victim, None)
+        del self._traces[victim]
+        del self._score[victim]
+        del self._order[victim]
+        self.evicted_traces += 1
+
+    def _exemplar(self, name: str, duration: float, trace_id: str, ts: float) -> None:
+        registry = self._registry
+        if registry is None:
+            return
+        hist = self._hist_cache.get(name, False)
+        if hist is False:
+            metric = registry.get(name)
+            hist = metric if isinstance(metric, Histogram) else None
+            self._hist_cache[name] = hist
+        if hist is not None:
+            hist.set_exemplar(duration, trace_id, ts)
+
+    # -- export --------------------------------------------------------
+    def spans(self) -> List[dict]:
+        """All captured spans, oldest first, pin reasons attached."""
+        with self._lock:
+            out = [dict(span) for spans in self._traces.values() for span in spans]
+            pinned = dict(self._pinned)
+        for span in out:
+            reason = pinned.get(span["trace"])
+            if reason is not None:
+                span["pinned"] = reason
+        out.sort(key=lambda span: span["ts"])
+        return out
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "traces": len(self._traces),
+                "spans": self.total_spans,
+                "dropped_spans": self.dropped_spans,
+                "evicted_traces": self.evicted_traces,
+                "pinned": len(self._pinned),
+            }
+
+
+class NullSpanRecorder:
+    """No-op twin with the same surface; ``active`` is always ``None``."""
+
+    __slots__ = ()
+    active = None
+
+    def activate(self, ctx):
+        pass
+
+    def begin(self, name):
+        return None
+
+    def finish(self, token, **attrs):
+        pass
+
+    def record_span(self, name, start, duration, ctx=None, span_id=None,
+                    parent_id=None, attrs=None):
+        return None
+
+    def pin(self, trace_id, reason):
+        pass
+
+    def spans(self):
+        return []
+
+    def stats(self):
+        return {"traces": 0, "spans": 0, "dropped_spans": 0,
+                "evicted_traces": 0, "pinned": 0}
+
+
+#: Shared no-op recorder (NullObservability exposes this).
+NULL_RECORDER = NullSpanRecorder()
+
+
+# ----------------------------------------------------------------------
+# Offline assembly and analysis (the `repro trace` half).
+# ----------------------------------------------------------------------
+
+class SpanNode:
+    """One span plus its children, linked by parent span id."""
+
+    __slots__ = ("span", "children")
+
+    def __init__(self, span: dict) -> None:
+        self.span = span
+        self.children: List[SpanNode] = []
+
+    @property
+    def name(self) -> str:
+        return self.span["name"]
+
+    @property
+    def ts(self) -> float:
+        return self.span["ts"]
+
+    @property
+    def duration(self) -> float:
+        return self.span["duration_seconds"]
+
+    @property
+    def end(self) -> float:
+        return self.span["ts"] + self.span["duration_seconds"]
+
+    @property
+    def span_id(self) -> Optional[str]:
+        return self.span.get("span")
+
+    @property
+    def parent_id(self) -> Optional[str]:
+        return self.span.get("parent")
+
+    def self_time(self) -> float:
+        """Duration not attributed to children (clamped at zero)."""
+        return max(0.0, self.duration - sum(c.duration for c in self.children))
+
+    def walk(self):
+        yield self
+        for child in self.children:
+            for node in child.walk():
+                yield node
+
+
+def build_trees(spans: Sequence[dict]) -> Dict[str, List[SpanNode]]:
+    """Group trace spans by trace id and link children under parents.
+
+    Spans whose parent id was never recorded become roots: a
+    client-minted context's root lives client-side, and pull-mode
+    engine traces have no request span at all.  Children (and roots)
+    are ordered by start time.
+    """
+    by_trace: Dict[str, List[dict]] = {}
+    for span in spans:
+        if span.get("kind") != "trace":
+            continue
+        by_trace.setdefault(span["trace"], []).append(span)
+    trees: Dict[str, List[SpanNode]] = {}
+    for trace_id, members in by_trace.items():
+        nodes = {s["span"]: SpanNode(s) for s in members if s.get("span")}
+        roots: List[SpanNode] = []
+        for node in nodes.values():
+            parent = nodes.get(node.parent_id) if node.parent_id else None
+            if parent is not None and parent is not node:
+                parent.children.append(node)
+            else:
+                roots.append(node)
+        for node in nodes.values():
+            node.children.sort(key=lambda n: n.ts)
+        roots.sort(key=lambda n: n.ts)
+        trees[trace_id] = roots
+    return trees
+
+
+def trace_extent(roots: Sequence[SpanNode]) -> Tuple[float, float]:
+    """(first start, wall duration) over every span in the trace."""
+    all_nodes = [n for root in roots for n in root.walk()]
+    start = min(n.ts for n in all_nodes)
+    end = max(n.end for n in all_nodes)
+    return start, end - start
+
+
+def critical_path(roots: Sequence[SpanNode]) -> List[SpanNode]:
+    """The chain of latest-ending descendants from the latest-ending root.
+
+    Our trees are asynchronous -- a request span ends when the response
+    is sent, while fold/WAL children complete later under the ingest
+    worker -- so the request's wall time is governed by whichever
+    branch finishes last.  Following the latest *end* at every level
+    yields that governing chain; per-hop ``self_time`` says how much
+    each hop contributed itself.
+    """
+    if not roots:
+        return []
+    path: List[SpanNode] = []
+    node = max(roots, key=lambda n: n.end)
+    while True:
+        path.append(node)
+        if not node.children:
+            return path
+        node = max(node.children, key=lambda n: n.end)
+
+
+def stage_self_times(trees: Dict[str, List[SpanNode]]) -> Dict[str, float]:
+    """Total self time per stage name across every captured trace."""
+    totals: Dict[str, float] = {}
+    for roots in trees.values():
+        for root in roots:
+            for node in root.walk():
+                totals[node.name] = totals.get(node.name, 0.0) + node.self_time()
+    return totals
+
+
+def _pin_reason(roots: Sequence[SpanNode]) -> Optional[str]:
+    for root in roots:
+        for node in root.walk():
+            reason = node.span.get("pinned")
+            if reason:
+                return reason
+    return None
+
+
+def _ms(seconds: float) -> str:
+    return f"{seconds * 1e3:.3f}ms"
+
+
+def trace_report_data(
+    spans: Sequence[dict],
+    top: int = 5,
+    trace_filter: Optional[str] = None,
+) -> Dict[str, object]:
+    """JSON-safe analysis of exported trace spans (slowest first)."""
+    trees = build_trees(spans)
+    if trace_filter:
+        trees = {
+            tid: roots for tid, roots in trees.items()
+            if tid.startswith(trace_filter)
+        }
+    ranked = []
+    for trace_id, roots in trees.items():
+        start, extent = trace_extent(roots)
+        ranked.append((extent, start, trace_id, roots))
+    ranked.sort(key=lambda item: (-item[0], item[1]))
+
+    traces_out = []
+    for extent, start, trace_id, roots in ranked[: max(0, top)]:
+        path = critical_path(roots)
+        traces_out.append({
+            "trace_id": trace_id,
+            "extent_seconds": extent,
+            "n_spans": sum(1 for r in roots for _ in r.walk()),
+            "pinned": _pin_reason(roots),
+            "critical_path": [
+                {
+                    "name": node.name,
+                    "duration_seconds": node.duration,
+                    "self_seconds": node.self_time(),
+                }
+                for node in path
+            ],
+            "spans": [
+                {
+                    "name": node.name,
+                    "offset_seconds": node.ts - start,
+                    "duration_seconds": node.duration,
+                    "depth": depth,
+                }
+                for root in roots
+                for node, depth in _walk_depth(root)
+            ],
+        })
+    self_times = stage_self_times(trees)
+    return {
+        "n_traces": len(trees),
+        "n_spans": sum(1 for roots in trees.values()
+                       for r in roots for _ in r.walk()),
+        "traces": traces_out,
+        "stage_self_seconds": dict(
+            sorted(self_times.items(), key=lambda kv: -kv[1])
+        ),
+    }
+
+
+def _walk_depth(root: SpanNode, depth: int = 0):
+    yield root, depth
+    for child in root.children:
+        for pair in _walk_depth(child, depth + 1):
+            yield pair
+
+
+def render_trace_report(data: Dict[str, object]) -> str:
+    """Human-readable report from :func:`trace_report_data` output."""
+    lines: List[str] = []
+    lines.append(
+        f"{data['n_traces']} trace(s), {data['n_spans']} span(s) captured"
+    )
+    if not data["traces"]:
+        lines.append("no trace spans found -- run with tracing sampled "
+                     "(e.g. `repro serve --trace-sample 1`)")
+        return "\n".join(lines) + "\n"
+    for entry in data["traces"]:
+        lines.append("")
+        header = (
+            f"trace {entry['trace_id']}  "
+            f"extent {_ms(entry['extent_seconds'])}  "
+            f"spans {entry['n_spans']}"
+        )
+        if entry["pinned"]:
+            header += f"  [pinned: {entry['pinned']}]"
+        lines.append(header)
+        for span in entry["spans"]:
+            indent = "  " * (span["depth"] + 1)
+            lines.append(
+                f"{indent}{span['name']:<28} "
+                f"+{_ms(span['offset_seconds']):>10}  "
+                f"{_ms(span['duration_seconds']):>10}"
+            )
+        hops = " -> ".join(
+            f"{hop['name']} (self {_ms(hop['self_seconds'])})"
+            for hop in entry["critical_path"]
+        )
+        lines.append(f"  critical path: {hops}")
+    lines.append("")
+    lines.append("per-stage self time (all captured traces):")
+    total = sum(data["stage_self_seconds"].values()) or 1.0
+    for name, seconds in data["stage_self_seconds"].items():
+        share = 100.0 * seconds / total
+        lines.append(f"  {name:<28} {_ms(seconds):>12}  {share:5.1f}%")
+    return "\n".join(lines) + "\n"

@@ -49,10 +49,13 @@ class MicroBatcher:
         self.queue_max_records = queue_max_records
         self._clock = clock
         self._cond = threading.Condition()
-        #: (enqueue time, record); one entry per record keeps counting
-        #: trivial and lets a flush cut anywhere, not only on the
-        #: boundaries the producers happened to POST.
-        self._pending: Deque[Tuple[float, object]] = deque()
+        #: (enqueue time, record, trace enqueue perf_counter); one entry
+        #: per record keeps counting trivial and lets a flush cut
+        #: anywhere, not only on the boundaries the producers happened
+        #: to POST.  The third slot is 0.0 for untraced records; traced
+        #: ones carry a real ``perf_counter`` stamp, separate from the
+        #: injectable ``clock`` (tests drive that one with fake time).
+        self._pending: Deque[Tuple[float, object, float]] = deque()
         self._closed = False
         self.offered = 0
         self.refused = 0
@@ -64,8 +67,10 @@ class MicroBatcher:
                 "serve.batch_size",
                 bounds=(1.0, 4.0, 16.0, 64.0, 256.0, 1024.0, 4096.0),
             )
+            self._rec = getattr(obs, "trace_recorder", None)
         else:
             self._g_depth = self._c_refused = self._h_batch = None
+            self._rec = None
 
     # -- producer side (event-loop thread) -----------------------------
     def offer(self, records: Sequence[object]) -> bool:
@@ -86,8 +91,21 @@ class MicroBatcher:
                     self._c_refused.inc(len(records))
                 return False
             now = self._clock()
-            for record in records:
-                self._pending.append((now, record))
+            if self._rec is None:
+                for record in records:
+                    self._pending.append((now, record, 0.0))
+            else:
+                # Records carrying a sampled trace context get a real
+                # perf_counter stamp so queue wait shows up as a span.
+                tperf = 0.0
+                for record in records:
+                    trace = getattr(record, "trace", None)
+                    if trace is not None and trace.sampled:
+                        if not tperf:
+                            tperf = time.perf_counter()
+                        self._pending.append((now, record, tperf))
+                    else:
+                        self._pending.append((now, record, 0.0))
             self.offered += len(records)
             if self._g_depth is not None:
                 self._g_depth.set(len(self._pending))
@@ -127,7 +145,24 @@ class MicroBatcher:
 
     def _take(self) -> List[object]:
         n = min(len(self._pending), self.batch_max_records)
-        batch = [self._pending.popleft()[1] for _ in range(n)]
+        batch: List[object] = []
+        taken = time.perf_counter()
+        spanned = None
+        for _ in range(n):
+            _, record, tperf = self._pending.popleft()
+            batch.append(record)
+            if tperf:
+                # One queue-wait span per traced request in this batch
+                # (a POST's records share one context and one stamp).
+                ctx = record.trace
+                if spanned is None:
+                    spanned = set()
+                if ctx.span_id not in spanned:
+                    spanned.add(ctx.span_id)
+                    self._rec.record_span(
+                        "batcher.queue_wait", tperf, taken - tperf, ctx=ctx,
+                        attrs={"batch_records": n},
+                    )
         self.batches += 1
         if self._g_depth is not None:
             self._g_depth.set(len(self._pending))

@@ -14,6 +14,15 @@ import json
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import ServeError
+from repro.obs import (
+    REQUEST_ID_HEADER,
+    TRACEPARENT_HEADER,
+    HeadSampler,
+    TraceContext,
+    mint_request_id,
+    mint_span_id,
+    mint_trace_id,
+)
 
 __all__ = ["ServeClient", "RetryLater"]
 
@@ -35,11 +44,22 @@ class ServeClient:
         port: int = 8321,
         timeout: float = 30.0,
         client_id: Optional[str] = None,
+        trace_sample_n: int = 0,
     ) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
         self.client_id = client_id
+        #: Head sampling: mint a W3C ``traceparent`` for 1 in N sample
+        #: POSTs (0 disables).  The minted context is kept on
+        #: ``last_trace`` so callers can find their span tree in the
+        #: server's capture / export afterwards.
+        self._trace_sampler = HeadSampler(trace_sample_n)
+        self.last_trace: Optional[TraceContext] = None
+        #: The request id sent with the most recent POST, and whatever
+        #: id the server echoed on the most recent response.
+        self.last_request_id: Optional[str] = None
+        self.last_response_request_id: Optional[str] = None
         self._conn: Optional[http.client.HTTPConnection] = None
 
     # -- plumbing -------------------------------------------------------
@@ -84,6 +104,9 @@ class ServeClient:
         response_headers = {
             name.lower(): value for name, value in response.getheaders()
         }
+        echoed = response_headers.get(REQUEST_ID_HEADER)
+        if echoed is not None:
+            self.last_response_request_id = echoed
         if response_headers.get("connection", "").lower() == "close":
             self.close()
         return response.status, response_headers, payload
@@ -141,12 +164,19 @@ class ServeClient:
             else:
                 entries.append(payload)
         body = json.dumps(entries, separators=(",", ":")).encode("utf-8")
-        return self._json(
-            "POST",
-            "/v1/samples",
-            body=body,
-            headers={"Content-Type": "application/json"},
-        )
+        request_id = mint_request_id()
+        headers = {
+            "Content-Type": "application/json",
+            REQUEST_ID_HEADER: request_id,
+        }
+        if self._trace_sampler.decide():
+            ctx = TraceContext(mint_trace_id(), mint_span_id(), sampled=True)
+            headers[TRACEPARENT_HEADER] = ctx.to_traceparent()
+            self.last_trace = ctx
+        else:
+            self.last_trace = None
+        self.last_request_id = request_id
+        return self._json("POST", "/v1/samples", body=body, headers=headers)
 
     # -- queries --------------------------------------------------------
     def query(

@@ -48,6 +48,15 @@ class ServeConfig:
     #: restarted server resumes without sealed-bucket record drops.
     drain_seal: bool = True
 
+    #: Server-side head sampling for request tracing: when a POST
+    #: carries no ``traceparent`` header, 1 in N ingest requests gets a
+    #: minted trace context (0 disables server-side minting; clients
+    #: can still send their own).  413/429/503 rejections and
+    #: anomaly-firing requests are always captured regardless.
+    trace_sample_n: int = 64
+    #: Bound on captured span trees (top-K by recorded duration).
+    trace_capture_traces: int = 64
+
     def validate(self) -> None:
         if not 0 <= self.port <= 65535:
             raise ServeError(f"port must be in [0, 65535], got {self.port}")
@@ -68,3 +77,7 @@ class ServeConfig:
             raise ServeError("rate_max_clients must be positive")
         if self.max_body_bytes <= 0 or self.max_header_bytes <= 0:
             raise ServeError("size ceilings must be positive")
+        if self.trace_sample_n < 0:
+            raise ServeError("trace_sample_n must be >= 0")
+        if self.trace_capture_traces <= 0:
+            raise ServeError("trace_capture_traces must be positive")

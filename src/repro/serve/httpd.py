@@ -17,6 +17,7 @@ from __future__ import annotations
 import asyncio
 import dataclasses
 import json
+import time
 from typing import Awaitable, Callable, Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
@@ -55,6 +56,11 @@ class HttpRequest:
     headers: Dict[str, str]
     body: bytes
     peer: str
+    #: ``perf_counter`` at the moment the request line arrived -- the
+    #: "socket accept" end of a traced request's span tree.  Stamped
+    #: after the first line is read so keep-alive idle time between
+    #: requests is not billed to the next request.
+    received: float = 0.0
 
     def query_str(self, name: str, default: Optional[str] = None) -> Optional[str]:
         return self.query.get(name, default)
@@ -112,6 +118,7 @@ async def _read_request(
         raise HttpProtocolError(400, "request line too long")
     if len(line) > _MAX_REQUEST_LINE:
         raise HttpProtocolError(400, "request line too long")
+    received = time.perf_counter()
     parts = line.decode("latin-1").rstrip("\r\n").split()
     if len(parts) != 3:
         raise HttpProtocolError(400, "malformed request line")
@@ -170,6 +177,7 @@ async def _read_request(
         headers=headers,
         body=body,
         peer=peer,
+        received=received,
     )
 
 

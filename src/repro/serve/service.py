@@ -40,7 +40,18 @@ from typing import Dict, List, Optional
 
 from repro.cdn.collector import ConnectionSample
 from repro.errors import ReproError, ServeError, StoreError
-from repro.obs import NULL_OBS, Observability
+from repro.obs import (
+    NULL_OBS,
+    REQUEST_ID_HEADER,
+    TRACEPARENT_HEADER,
+    HeadSampler,
+    Observability,
+    TraceContext,
+    mint_request_id,
+    mint_span_id,
+    mint_trace_id,
+    parse_traceparent,
+)
 from repro.serve.batcher import MicroBatcher
 from repro.serve.config import SERVE_CHECKPOINT_NAME, ServeConfig
 from repro.serve.httpd import HttpRequest, HttpResponse, HttpServer
@@ -66,13 +77,19 @@ def _jsonable(value):
     return value
 
 
-def _parse_sample_entries(body: bytes) -> List[StreamItem]:
+def _parse_sample_entries(
+    body: bytes, trace: Optional[TraceContext] = None
+) -> List[StreamItem]:
     """Decode a POST body: JSON array or JSONL, raw or ``ts``-wrapped.
 
     Each entry is either a plain :class:`ConnectionSample` dict or
     ``{"ts": <float>, "sample": {...}}``; the wrapper carries the
     connection start time when the producer knows it (the simulator
     tap does), mirroring :class:`~repro.stream.source.StreamItem`.
+
+    ``trace`` (the request's server-side trace context, when sampled)
+    rides on every item so the batcher and engine can attach their
+    spans to the request's tree.
     """
     text = body.decode("utf-8").strip()
     if not text:
@@ -99,7 +116,9 @@ def _parse_sample_entries(body: bytes) -> List[StreamItem]:
         else:
             ts = None
             payload = entry
-        items.append(StreamItem(sample=ConnectionSample.from_dict(payload), ts=ts))
+        items.append(StreamItem(
+            sample=ConnectionSample.from_dict(payload), ts=ts, trace=trace,
+        ))
     return items
 
 
@@ -122,7 +141,9 @@ class ServeService:
         self.config.validate()
         self.store_dir = store_dir
         self.obs_dir = obs_dir
-        self.obs = obs if obs is not None else Observability()
+        self.obs = obs if obs is not None else Observability(
+            trace_capture=self.config.trace_capture_traces
+        )
         self.engine = StreamEngine(
             None,
             geodb=geodb,
@@ -177,6 +198,21 @@ class ServeService:
             name: reg.gauge(f"serve.http.{name}.inflight")
             for name in _ENDPOINTS
         }
+        #: serve.http.<endpoint>.2xx/4xx/5xx -- rejection rates (413,
+        #: 429, 503) are scrapeable without log parsing.
+        self._c_status = {
+            name: {
+                2: reg.counter(f"serve.http.{name}.2xx"),
+                4: reg.counter(f"serve.http.{name}.4xx"),
+                5: reg.counter(f"serve.http.{name}.5xx"),
+            }
+            for name in _ENDPOINTS
+        }
+        #: Server-side head sampling for requests with no traceparent;
+        #: loop-thread only.  The recorder collects each sampled
+        #: request's span tree (see repro.obs.spantree).
+        self._trace_sampler = HeadSampler(self.config.trace_sample_n)
+        self._rec = getattr(self.obs, "trace_recorder", None)
         self._c_requests = reg.counter("serve.http.requests")
         self._c_rejected_rate = reg.counter("serve.rejected.ratelimit")
         self._c_rejected_queue = reg.counter("serve.rejected.queue_full")
@@ -288,6 +324,10 @@ class ServeService:
     # Routing
     # ------------------------------------------------------------------
     async def _handle(self, request: HttpRequest) -> HttpResponse:
+        # Every response -- errors included -- echoes a request id for
+        # client-side correlation: the client's own if it sent one,
+        # a minted one otherwise.
+        request_id = request.headers.get(REQUEST_ID_HEADER) or mint_request_id()
         path = request.path.rstrip("/") or "/"
         if path == "/v1/samples":
             name, method = "samples", "POST"
@@ -302,23 +342,116 @@ class ServeService:
         elif path == "/readyz":
             name, method = "readyz", "GET"
         else:
-            return HttpResponse.error(404, f"no route for {request.path!r}")
-        if request.method != method:
-            return HttpResponse.error(
-                405,
-                f"{request.method} not allowed on {path}",
-                headers=(("Allow", method),),
+            return self._finalize(
+                request, None, request_id, None, None,
+                HttpResponse.error(404, f"no route for {request.path!r}"),
             )
+        client_ctx = parse_traceparent(request.headers.get(TRACEPARENT_HEADER))
+        if request.method != method:
+            return self._finalize(
+                request, name, request_id, None, client_ctx,
+                HttpResponse.error(
+                    405,
+                    f"{request.method} not allowed on {path}",
+                    headers=(("Allow", method),),
+                ),
+            )
+
+        # The request's server-side context: same trace id as the
+        # client's (when it sent a sampled traceparent), parented onto
+        # a freshly minted request span id that all ingest-side spans
+        # (batcher wait, fold, WAL) will hang under.  Without a client
+        # header, 1 in trace_sample_n ingest requests is head-sampled.
+        ctx: Optional[TraceContext] = None
+        if client_ctx is not None:
+            if client_ctx.sampled:
+                ctx = TraceContext(client_ctx.trace_id, mint_span_id(), True)
+        elif name == "samples" and self._trace_sampler.decide():
+            ctx = TraceContext(mint_trace_id(), mint_span_id(), True)
+        request.trace = ctx
+        request.request_id = request_id
 
         self._c_requests.inc()
         gauge = self._g_inflight[name]
         gauge.inc()
         start = time.perf_counter()
         try:
-            return getattr(self, f"_endpoint_{name}")(request)
+            response = getattr(self, f"_endpoint_{name}")(request)
         finally:
             gauge.dec()
             self._h_endpoint[name].observe(time.perf_counter() - start)
+        return self._finalize(
+            request, name, request_id, ctx, client_ctx, response
+        )
+
+    def _finalize(
+        self,
+        request: HttpRequest,
+        name: Optional[str],
+        request_id: str,
+        ctx: Optional[TraceContext],
+        client_ctx: Optional[TraceContext],
+        response: HttpResponse,
+    ) -> HttpResponse:
+        """Status-class counters, request span, id echo -- every exit."""
+        status = response.status
+        if name is not None:
+            bucket = self._c_status[name].get(status // 100)
+            if bucket is not None:
+                bucket.inc()
+        rejection = status in (413, 429, 503) and name == "samples"
+        rec = self._rec
+        if rec is not None:
+            if rejection and ctx is None:
+                # Rejections are always captured, sampled or not: the
+                # 429 burst is exactly the tail worth inspecting later.
+                trace_id = (
+                    client_ctx.trace_id if client_ctx is not None
+                    else mint_trace_id()
+                )
+                ctx = TraceContext(trace_id, mint_span_id(), True)
+            if ctx is not None:
+                now = time.perf_counter()
+                start = request.received or now
+                rec.record_span(
+                    f"serve.http.{name}" if name else "serve.http.unknown",
+                    start,
+                    now - start,
+                    ctx=ctx,
+                    span_id=ctx.span_id,
+                    parent_id=(
+                        client_ctx.span_id if client_ctx is not None else ""
+                    ),
+                    attrs={"status": status, "request_id": request_id},
+                )
+                if rejection:
+                    rec.pin(ctx.trace_id, f"http.{status}")
+        if rejection:
+            self.obs.event(
+                "serve.rejected",
+                endpoint=name,
+                status=status,
+                request_id=request_id,
+            )
+        extra = ((REQUEST_ID_HEADER, request_id),)
+        if ctx is not None:
+            extra += ((TRACEPARENT_HEADER, ctx.to_traceparent()),)
+        elif client_ctx is not None:
+            # Unsampled contexts are echoed untouched: the sampling
+            # decision belongs to the caller's head, not to us.
+            extra += ((TRACEPARENT_HEADER, client_ctx.to_traceparent()),)
+        response.headers = response.headers + extra
+        if status >= 400 and response.content_type == "application/json":
+            try:
+                payload = json.loads(response.body)
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                payload = None
+            if isinstance(payload, dict) and "request_id" not in payload:
+                payload["request_id"] = request_id
+                response.body = json.dumps(
+                    payload, separators=(",", ":")
+                ).encode("utf-8")
+        return response
 
     # ------------------------------------------------------------------
     # Endpoints
@@ -328,8 +461,9 @@ class ServeService:
             return HttpResponse.error(
                 503, "draining; not accepting new samples"
             )
+        trace = getattr(request, "trace", None)
         try:
-            items = _parse_sample_entries(request.body)
+            items = _parse_sample_entries(request.body, trace=trace)
         except (ValueError, KeyError, TypeError) as exc:
             self._c_bad_request.inc()
             return HttpResponse.error(400, f"bad samples payload: {exc}")
@@ -352,7 +486,19 @@ class ServeService:
                 f"rate limit exceeded for client {client!r}",
                 headers=(("Retry-After", str(max(1, math.ceil(wait)))),),
             )
-        if not self.batcher.offer(items):
+        if trace is not None and self._rec is not None:
+            enq_start = time.perf_counter()
+            offered = self.batcher.offer(items)
+            self._rec.record_span(
+                "batcher.enqueue",
+                enq_start,
+                time.perf_counter() - enq_start,
+                ctx=trace,
+                attrs={"records": len(items)},
+            )
+        else:
+            offered = self.batcher.offer(items)
+        if not offered:
             self._c_rejected_queue.inc()
             # One flush deadline is the soonest the queue can move.
             retry = max(1, math.ceil(self.config.batch_max_delay_seconds))

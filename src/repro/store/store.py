@@ -32,6 +32,7 @@ from __future__ import annotations
 import dataclasses
 import math
 import os
+import time
 from collections import OrderedDict
 from typing import Dict, Iterator, List, Optional, Tuple
 
@@ -374,6 +375,19 @@ class RollupStore:
         self._assert_writable()
         if not buckets:
             return 0
+        rec = getattr(self.obs, "trace_recorder", None)
+        if rec is not None and rec.active is not None:
+            # The record that tipped the watermark pays for the seal --
+            # worth seeing on that request's span tree.
+            start = time.perf_counter()
+            sealed = self._seal_buckets(buckets)
+            duration = time.perf_counter() - start
+            self._t_seal.record(duration, start)
+            rec.record_span(
+                "segment.seal", start, duration,
+                attrs={"buckets": len(buckets)},
+            )
+            return sealed
         with self._t_seal:
             return self._seal_buckets(buckets)
 

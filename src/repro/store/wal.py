@@ -118,6 +118,7 @@ class WriteAheadLog:
         self.obs = obs if obs is not None else NULL_OBS
         self._t_append = self.obs.timer("wal.append", sample=_APPEND_SAMPLE)
         self._t_fsync = self.obs.timer("wal.fsync")
+        self._trace_rec = getattr(self.obs, "trace_recorder", None)
 
     # ------------------------------------------------------------------
     def _path(self, bucket: float) -> str:
@@ -130,7 +131,18 @@ class WriteAheadLog:
         # in the latency report.  A buffered append is a few
         # microseconds, so only every _APPEND_SAMPLE-th one is clocked
         # (weight-corrected histogram; ``self.appends`` stays exact).
-        if self.appends & (_APPEND_SAMPLE - 1):
+        # A request-traced append (active context on the recorder) is
+        # always clocked for its span tree, but feeds the weighted
+        # histogram only on its regular stride.
+        rec = self._trace_rec
+        if rec is not None and rec.active is not None:
+            start = time.perf_counter()
+            self._append(entry)
+            duration = time.perf_counter() - start
+            if not (self.appends - 1) & (_APPEND_SAMPLE - 1):
+                self._t_append.record(duration, start)
+            rec.record_span("wal.append", start, duration)
+        elif self.appends & (_APPEND_SAMPLE - 1):
             self._append(entry)
         else:
             with self._t_append:
@@ -173,7 +185,11 @@ class WriteAheadLog:
         if flushed:
             # No-op syncs (checkpoint/seal boundaries with nothing
             # dirty) are not recorded; they are not fsync latency.
-            self._t_fsync.record(time.perf_counter() - start, start)
+            duration = time.perf_counter() - start
+            self._t_fsync.record(duration, start)
+            rec = self._trace_rec
+            if rec is not None and rec.active is not None:
+                rec.record_span("wal.fsync", start, duration)
 
     def drop_bucket(self, bucket: float) -> None:
         """A sealed bucket needs no log; close and unlink it."""

@@ -28,7 +28,15 @@ from typing import Deque, Dict, Iterator, List, Optional, Tuple
 from repro.cdn.geo import GeoDatabase
 from repro.core.classifier import ClassifierConfig, TamperingClassifier
 from repro.errors import CheckpointError, StreamError, TransientSourceError
-from repro.obs import Observability, ProgressReporter
+from repro.obs import (
+    NULL_RECORDER,
+    HeadSampler,
+    Observability,
+    ProgressReporter,
+    TraceContext,
+    mint_span_id,
+    mint_trace_id,
+)
 from repro.stream.anomaly import AnomalyConfig, AnomalyEvent, EwmaDetector
 from repro.stream.checkpoint import CheckpointManager
 from repro.stream.metrics import StreamMetrics
@@ -115,6 +123,7 @@ class StreamEngine:
         store_chaos: Optional[object] = None,
         obs: Optional[Observability] = None,
         progress: Optional[ProgressReporter] = None,
+        trace_sample_n: int = 0,
     ) -> None:
         if n_workers < 0:
             raise StreamError("n_workers must be >= 0")
@@ -122,6 +131,8 @@ class StreamEngine:
             raise StreamError("max_source_retries must be >= 0")
         if retry_backoff_seconds < 0:
             raise StreamError("retry_backoff_seconds must be >= 0")
+        if trace_sample_n < 0:
+            raise StreamError("trace_sample_n must be >= 0")
         self.source = source
         self.geodb = geodb
         self.n_workers = n_workers
@@ -141,6 +152,21 @@ class StreamEngine:
         self._t_anomaly = self.obs.timer("anomaly.observe")
         self._t_checkpoint = self.obs.timer("checkpoint.write")
         self._c_source_retries = self.obs.counter("source.retries")
+        #: Request-scoped span recorder (see repro.obs.spantree).  The
+        #: untraced hot path only ever reads ``.active is None`` off it.
+        self._trace_rec = getattr(self.obs, "trace_recorder", NULL_RECORDER)
+        #: Pull-mode head sampling: mint a TraceContext for 1 in N items
+        #: so `repro stream --trace-sample N` yields span trees without
+        #: an HTTP tier in front.  Push-mode contexts arrive on the
+        #: items themselves (the serving tier mints them).  Tracing is
+        #: serial-path only: the shard pool's workers classify in other
+        #: processes, where spans cannot reach this recorder.
+        self.trace_sample_n = trace_sample_n
+        self._trace_sampler = (
+            HeadSampler(trace_sample_n)
+            if trace_sample_n and n_workers == 0
+            else None
+        )
         self.max_source_retries = max_source_retries
         self.retry_backoff_seconds = retry_backoff_seconds
         self.worker_chaos = worker_chaos
@@ -271,9 +297,18 @@ class StreamEngine:
             # One anomaly.observe span per non-empty sweep, not per
             # cell: most records ripen nothing, and a per-cell span
             # would make the detector look like a per-record stage.
+            events_before = self.metrics.anomaly_events
             with self._t_anomaly:
                 for cell in ripe:
                     self._feed_cell(cell)
+            rec = self._trace_rec
+            if (
+                rec.active is not None
+                and self.metrics.anomaly_events > events_before
+            ):
+                # The record whose arrival tipped a detector cell is
+                # worth keeping whole, however fast it was.
+                rec.pin(rec.active.trace_id, "anomaly")
         if self.store is not None:
             # The same horizon that closes detector cells seals store
             # buckets: an in-order source can never touch them again.
@@ -300,11 +335,15 @@ class StreamEngine:
             geo = self.geodb.lookup_or_none(record.client_ip)
             if geo is not None:
                 record = record.located(geo.country, geo.asn)
+        rec = self._trace_rec
+        token = rec.begin("rollup.fold") if rec.active is not None else None
         with self._t_fold:
             if self.store is not None:
                 self.store.add(record)
             else:
                 self.rollup.add(record)
+        if token is not None:
+            rec.finish(token)
         self._n_folded += 1
         self.metrics.on_record_out(record.is_tampering)
 
@@ -384,6 +423,12 @@ class StreamEngine:
             self._cursors.append((self._pull_seq, cursor))
             self._pull_seq += 1
             self.metrics.on_sample_in()
+            sampler = self._trace_sampler
+            if sampler is not None and sampler.decide():
+                item = dataclasses.replace(
+                    item,
+                    trace=TraceContext(mint_trace_id(), mint_span_id(), True),
+                )
             yield item
             if max_samples is not None and self._pull_seq >= max_samples:
                 # The cap may coincide with the end of the source; peek
@@ -418,32 +463,58 @@ class StreamEngine:
         t_classify = obs.timer("classify")
         c_hits = obs.counter("classify.cache_hits")
         c_misses = obs.counter("classify.cache_misses")
+        rec = self._trace_rec
         perf = time.perf_counter
         seq = seq_start
-        for item in items:
-            if split:
-                hits_before = classifier.cache_hits
-                if seq & (_CLASSIFY_SAMPLE - 1):
-                    result = classifier.classify(item.sample)
-                    if classifier.cache_hits > hits_before:
-                        c_hits.inc()
+        # ``traced`` mirrors whether the recorder holds this thread's
+        # active context.  Activation happens *here*, per item, because
+        # the generator stays suspended while the caller folds the
+        # yielded record -- so fold/WAL/seal spans all land under the
+        # right request context without any parameter threading.
+        traced = False
+        try:
+            for item in items:
+                trace = item.trace
+                if trace is not None or traced:
+                    rec.activate(trace)
+                    traced = rec.active is not None
+                if split:
+                    hits_before = classifier.cache_hits
+                    if not traced and seq & (_CLASSIFY_SAMPLE - 1):
+                        result = classifier.classify(item.sample)
+                        if classifier.cache_hits > hits_before:
+                            c_hits.inc()
+                        else:
+                            c_misses.inc()
                     else:
-                        c_misses.inc()
-                else:
+                        start = perf()
+                        result = classifier.classify(item.sample)
+                        duration = perf() - start
+                        hit = classifier.cache_hits > hits_before
+                        if not seq & (_CLASSIFY_SAMPLE - 1):
+                            # Only stride observations feed the weighted
+                            # histograms; a traced off-stride measurement
+                            # must not inflate their estimated counts.
+                            (t_hit if hit else t_miss).record(duration, start)
+                        (c_hits if hit else c_misses).inc()
+                        if traced:
+                            rec.record_span(
+                                "classify.hit" if hit else "classify.miss",
+                                start, duration,
+                            )
+                elif traced:
                     start = perf()
-                    result = classifier.classify(item.sample)
-                    duration = perf() - start
-                    if classifier.cache_hits > hits_before:
-                        t_hit.record(duration, start)
-                        c_hits.inc()
-                    else:
-                        t_miss.record(duration, start)
-                        c_misses.inc()
-            else:
-                with t_classify:
-                    result = classifier.classify(item.sample)
-            yield StreamRecord.from_result(result, seq=seq, ts=item.ts)
-            seq += 1
+                    with t_classify:
+                        result = classifier.classify(item.sample)
+                    rec.record_span("classify", start, perf() - start)
+                else:
+                    with t_classify:
+                        result = classifier.classify(item.sample)
+                yield StreamRecord.from_result(result, seq=seq, ts=item.ts)
+                seq += 1
+        finally:
+            if traced:
+                rec.activate(None)
 
     # ------------------------------------------------------------------
     # The run loop

@@ -56,10 +56,19 @@ class StreamItem:
     simulator tap does); ``None`` lets downstream fall back to the
     earliest packet timestamp, mirroring
     :func:`repro.core.aggregate.analyze_results`.
+
+    ``trace`` optionally carries a
+    :class:`~repro.obs.context.TraceContext` for head-sampled request
+    tracing; it rides the item through batching into the engine and is
+    excluded from equality/repr so traced and untraced items with the
+    same payload still compare equal (store parity is about payloads).
     """
 
     sample: ConnectionSample
     ts: Optional[float] = None
+    trace: Optional[object] = dataclasses.field(
+        default=None, compare=False, repr=False
+    )
 
     @property
     def effective_ts(self) -> float:

@@ -724,3 +724,103 @@ class TestPrometheusExposition:
     def test_gauge_renders_current_value(self):
         text = self.make_registry().render_prometheus()
         assert "repro_queue_depth 7" in text
+
+
+# ----------------------------------------------------------------------
+# Tracer ring wrap-around and weighted sampled timers
+# ----------------------------------------------------------------------
+class TestTracerWrapAround:
+    def test_spans_ordering_and_export_after_wrap(self, tmp_path):
+        tracer = Tracer(capacity=4)
+        for i in range(7):
+            tracer.record(f"s{i}", start=float(i), duration=0.001)
+        assert tracer._wrapped is True
+        spans = tracer.spans()
+        # Oldest survivor first: s0..s2 were overwritten in place.
+        assert [s["name"] for s in spans] == ["s3", "s4", "s5", "s6"]
+        ts = [s["ts"] for s in spans]
+        assert ts == sorted(ts)
+        path = str(tmp_path / "spans.jsonl")
+        assert tracer.export_jsonl(path) == 4
+        lines = [json.loads(l) for l in open(path) if l.strip()]
+        assert [l["name"] for l in lines] == ["s3", "s4", "s5", "s6"]
+        assert all(l["kind"] == "span" for l in lines)
+        assert tracer.stats()["recorded"] == 4
+        assert tracer.total_spans == 7
+
+    def test_events_survive_a_span_flood_wrap(self):
+        tracer = Tracer(capacity=2)
+        tracer.event("engine.resume", cursor=9)
+        for i in range(50):
+            tracer.record("hot", start=float(i), duration=0.0001)
+        assert tracer._wrapped is True
+        assert [e["name"] for e in tracer.events()] == ["engine.resume"]
+        # spans() still merges the event in timestamp order.
+        assert sum(s["kind"] == "event" for s in tracer.spans()) == 1
+
+    def test_weighted_timer_counts_are_exact_across_wrap(self):
+        # A weight=N sampled timer must keep histogram counts exact
+        # (every record counts N) even while the ring wraps: ring
+        # writes are a flight recorder, histograms are the aggregate.
+        obs = Observability(span_capacity=4)
+        timer = obs.timer("classify.hit", sample=8)
+        assert timer.weight == 8
+        recorded = 33  # enough ring writes (every 8th) to wrap capacity 4
+        for _ in range(recorded):
+            timer.record(0.001)
+        assert obs.tracer._wrapped is True
+        hist = obs.registry.get("classify.hit")
+        assert hist.count == recorded * 8
+        assert hist.sum == pytest.approx(recorded * 8 * 0.001)
+        # The context-manager path weights identically.
+        with timer:
+            pass
+        assert hist.count == (recorded + 1) * 8
+
+
+# ----------------------------------------------------------------------
+# Histogram exemplars (trace ids on bucket lines)
+# ----------------------------------------------------------------------
+class TestHistogramExemplars:
+    def test_set_exemplar_does_not_touch_counts(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("wal.append", bounds=(0.001, 0.01, 0.1))
+        hist.observe(0.005)
+        hist.set_exemplar(0.005, "a" * 32, 1700000000.0)
+        assert hist.count == 1
+        assert hist.exemplars[1][0] == "a" * 32
+        # Last writer per bucket wins.
+        hist.set_exemplar(0.006, "b" * 32, 1700000001.0)
+        assert hist.exemplars[1][0] == "b" * 32
+        assert len(hist.exemplars) == 1
+
+    def test_exposition_suffix_only_on_exemplar_buckets(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("wal.append", bounds=(0.001, 0.01))
+        hist.observe(0.005)
+        hist.observe(5.0)  # lands in +Inf
+        hist.set_exemplar(0.005, "c" * 32, 1700000000.0)
+        text = registry.render_prometheus()
+        buckets = [l for l in text.splitlines() if "_bucket" in l]
+        assert len(buckets) == 3
+        with_exemplar = [l for l in buckets if "trace_id" in l]
+        assert len(with_exemplar) == 1
+        assert 'le="0.01"' in with_exemplar[0]
+        assert f'# {{trace_id="{"c" * 32}"}} 0.005' in with_exemplar[0]
+        # Exemplar-free buckets keep the plain `name{le} count` shape
+        # existing scrapers parse with rsplit.
+        for line in buckets:
+            if "trace_id" not in line:
+                int(line.rsplit(" ", 1)[1])
+
+    def test_to_dict_round_trips_exemplars(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("wal.append", bounds=(0.001, 0.01))
+        payload = registry.to_dict()
+        assert "exemplars" not in payload["histograms"]["wal.append"]
+        hist.set_exemplar(0.002, "d" * 32, 1700000000.0)
+        payload = registry.to_dict()
+        exemplars = payload["histograms"]["wal.append"]["exemplars"]
+        (entry,) = exemplars.values()
+        assert entry == {"trace_id": "d" * 32, "value": 0.002,
+                         "ts": 1700000000.0}

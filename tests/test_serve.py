@@ -347,6 +347,52 @@ class TestServiceEndpoints:
             assert status == 405
             client.close()
 
+    def test_request_id_echo_on_success_and_errors(self, tmp_path, study):
+        service = ServeService(
+            str(tmp_path / "store"), config=ServeConfig(port=0),
+            geodb=study.geo,
+        )
+        with RunningService(service):
+            client = ServeClient(port=service.port)
+            # No client id sent: the server mints one per response.
+            status, headers, _ = client._request("GET", "/healthz")
+            assert status == 200
+            minted = headers.get("x-request-id")
+            assert minted
+            status, headers, _ = client._request("GET", "/healthz")
+            assert headers.get("x-request-id") != minted
+
+            # A client-supplied id is echoed verbatim -- on errors too,
+            # and injected into the JSON error body for log correlation.
+            supplied = {"X-Request-Id": "req-abc-123"}
+            status, headers, payload = client._request(
+                "POST", "/v1/samples", body=b"not json",
+                headers={"Content-Type": "application/json", **supplied},
+            )
+            assert status == 400
+            assert headers.get("x-request-id") == "req-abc-123"
+            assert json.loads(payload)["request_id"] == "req-abc-123"
+
+            status, headers, payload = client._request(
+                "GET", "/no/such/route", headers=supplied
+            )
+            assert status == 404
+            assert headers.get("x-request-id") == "req-abc-123"
+            assert json.loads(payload)["request_id"] == "req-abc-123"
+
+            status, headers, _ = client._request(
+                "POST", "/v1/query", headers=supplied
+            )
+            assert status == 405
+            assert headers.get("x-request-id") == "req-abc-123"
+
+            # The stdlib client helper tracks what it sent vs. got back.
+            client.post_samples(study.samples[:2],
+                                timestamps=study.timestamps)
+            assert client.last_request_id
+            assert client.last_response_request_id == client.last_request_id
+            client.close()
+
     def test_bad_payloads_are_400(self, tmp_path, study):
         service = ServeService(
             str(tmp_path / "store"), config=ServeConfig(port=0),
@@ -594,6 +640,16 @@ class TestServeParity:
             assert not errors, errors
             assert saw_429, "flood client never drew a 429"
             assert service.report is not None
+            # Per-endpoint status-class counters: the main client's
+            # accepted batches are 2xx, every flood rejection is a 4xx
+            # (the drain-race 503s land in 5xx, never in 4xx).
+            registry = service.obs.registry
+            assert registry.get("serve.http.samples.2xx").value > 0
+            assert registry.get("serve.http.samples.4xx").value >= len(
+                saw_429
+            )
+            assert registry.get("serve.http.query.2xx").value > 0
+            assert registry.get("serve.http.query.4xx").value == 0
 
         # Phase 1: first half (ends on a bucket boundary), then drain.
         serve_phase(study.samples[:cut], False, cut)
